@@ -1,0 +1,203 @@
+"""Shared machinery for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one table/figure of the paper.  Expensive
+artifacts (key sets, built filters, loaded LSM instances) are cached here at
+module level so multiple benchmark tests in one file share them; all key and
+query counts respect ``REPRO_SCALE`` (see ``repro.bench.harness``).
+
+The paper's 50M-key / 1e5-query runs correspond to REPRO_SCALE ~ 500; the
+default scale keeps the full suite in single-digit minutes while preserving
+every comparison's *shape* (EXPERIMENTS.md records scale per run).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.bench.harness import (  # re-exported for the bench files
+    SCALE,
+    FilterUnderTest,
+    build_standalone_filter,
+    measure_point_fpr,
+    measure_range_fpr,
+    print_table,
+    scaled,
+    write_result,
+)
+from repro.workloads import (
+    distribution_by_name,
+    empty_point_queries,
+    empty_range_queries,
+)
+from repro.workloads.distributions import (
+    normal_keys,
+    uniform_keys,
+    zipfian_keys,
+)
+
+__all__ = [
+    "SCALE",
+    "FilterUnderTest",
+    "build_standalone_filter",
+    "measure_point_fpr",
+    "measure_range_fpr",
+    "print_table",
+    "scaled",
+    "write_result",
+    "keyset",
+    "filter_cached",
+    "range_queries_cached",
+    "point_queries_cached",
+    "PRF_NAMES",
+    "U64",
+]
+
+U64 = (1 << 64) - 1
+
+# The three point-range filters every comparison includes.
+PRF_NAMES = ("rosetta", "surf", "bloomrf")
+
+
+@lru_cache(maxsize=32)
+def keyset(distribution: str, n_keys: int, seed: int = 7) -> np.ndarray:
+    """Cached sorted distinct key set for a named distribution."""
+    return distribution_by_name(distribution)(n_keys, seed=seed)
+
+
+@lru_cache(maxsize=256)
+def filter_cached(
+    name: str,
+    distribution: str,
+    n_keys: int,
+    bits_per_key: float,
+    max_range: int,
+    seed: int = 7,
+):
+    """Cached standalone filter build (SuRF ignores max_range -> share it)."""
+    if name in ("surf", "bloom", "cuckoo"):
+        max_range = 1  # these builds do not depend on the tuned range
+    keys = keyset(distribution, n_keys, seed)
+    return build_standalone_filter(
+        name, keys, bits_per_key=bits_per_key, max_range=max_range
+    )
+
+
+@lru_cache(maxsize=128)
+def range_queries_cached(
+    distribution: str,
+    n_keys: int,
+    count: int,
+    range_size: int,
+    workload: str,
+    seed: int = 13,
+):
+    keys = keyset(distribution, n_keys)
+    return empty_range_queries(
+        keys, count, range_size=range_size, workload=workload, seed=seed
+    )
+
+
+@lru_cache(maxsize=64)
+def point_queries_cached(
+    distribution: str, n_keys: int, count: int, workload: str = "uniform",
+    seed: int = 17,
+):
+    keys = keyset(distribution, n_keys)
+    return empty_point_queries(keys, count, workload=workload, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# LSM experiment helpers (Figs. 9, 10, 12.C, 12.G)
+# ----------------------------------------------------------------------
+from dataclasses import dataclass
+
+from repro.lsm import LsmDB, policy_by_name
+
+
+@dataclass
+class LsmRun:
+    """Outcome of one (policy, bits/key, range) LSM probe workload."""
+
+    policy: str
+    bits_per_key: float
+    range_size: int
+    fpr: float
+    time_s: float
+    blocks_read: int
+    stats: object
+
+
+@lru_cache(maxsize=96)
+def lsm_db_cached(
+    policy_name: str,
+    bits_per_key: float,
+    max_range: int,
+    n_keys: int,
+    num_sstables: int,
+    distribution: str = "uniform",
+):
+    """Build (and cache) a bulk-loaded LSM with the given filter policy."""
+    keys = keyset(distribution, n_keys)
+    # Insertion order is a deterministic shuffle: L0 SSTs overlap fully.
+    rng = np.random.default_rng(42)
+    db = LsmDB(policy=policy_by_name(policy_name, bits_per_key, max_range))
+    db.bulk_load(rng.permutation(keys), num_sstables=num_sstables)
+    return db
+
+
+def run_lsm_ranges(
+    policy_name: str,
+    bits_per_key: float,
+    range_size: int,
+    n_keys: int,
+    num_queries: int,
+    num_sstables: int = 8,
+    workload: str = "uniform",
+) -> LsmRun:
+    """Probe an LSM with all-empty range queries; report FPR and cost."""
+    tuned_range = max(range_size, 2)
+    db = lsm_db_cached(policy_name, bits_per_key, tuned_range, n_keys, num_sstables)
+    queries = range_queries_cached(
+        "uniform", n_keys, num_queries, range_size, workload
+    )
+    db.reset_stats()
+    for lo, hi in queries:
+        db.scan_nonempty(lo, hi)
+    stats = db.reset_stats()
+    return LsmRun(
+        policy=policy_name,
+        bits_per_key=bits_per_key,
+        range_size=range_size,
+        fpr=stats.fpr,
+        time_s=stats.total_time_s,
+        blocks_read=stats.blocks_read,
+        stats=stats,
+    )
+
+
+def run_lsm_points(
+    policy_name: str,
+    bits_per_key: float,
+    n_keys: int,
+    num_queries: int,
+    num_sstables: int = 8,
+    workload: str = "uniform",
+) -> LsmRun:
+    """Probe an LSM with absent point lookups."""
+    db = lsm_db_cached(policy_name, bits_per_key, 2, n_keys, num_sstables)
+    probes = point_queries_cached("uniform", n_keys, num_queries, workload=workload)
+    db.reset_stats()
+    for key in probes:
+        db.get(int(key))
+    stats = db.reset_stats()
+    return LsmRun(
+        policy=policy_name,
+        bits_per_key=bits_per_key,
+        range_size=1,
+        fpr=stats.fpr,
+        time_s=stats.total_time_s,
+        blocks_read=stats.blocks_read,
+        stats=stats,
+    )

@@ -1,0 +1,158 @@
+"""Ablations of bloomRF's Sect. 7 design choices.
+
+Isolates each optimization the paper layers onto the basic filter:
+
+* **exact level** — tuned config vs the same config with the exact bitmap's
+  budget folded back into the PMHF segments;
+* **replicated hash functions** — top-layer replicas on/off;
+* **delta (word size)** — basic filter with Delta 3..7;
+* **degenerate guard** — per-group word reversal on an adversarial key set
+  (Sect. 3.2's degenerate-distribution discussion).
+"""
+
+import numpy as np
+import pytest
+
+from _common import (
+    keyset,
+    print_table,
+    range_queries_cached,
+    scaled,
+    write_result,
+)
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+from repro.core.advisor import TuningAdvisor
+
+N_KEYS = scaled(60_000)
+N_QUERIES = scaled(800, 200)
+BITS = 18
+RANGE = 10**7
+
+
+def measure_fpr(filt, queries) -> float:
+    return sum(filt.contains_range(lo, hi) for lo, hi in queries) / len(queries)
+
+
+def tuned_config(**advisor_kwargs) -> BloomRFConfig:
+    advisor = TuningAdvisor(domain_bits=64, **advisor_kwargs)
+    return advisor.configure(
+        n_keys=N_KEYS, total_bits=N_KEYS * BITS, max_range=RANGE
+    )
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    keys = keyset("uniform", N_KEYS)
+    queries = list(range_queries_cached("uniform", N_KEYS, N_QUERIES, RANGE, "uniform"))
+    sink = []
+    results = {}
+
+    # --- exact level on/off -------------------------------------------
+    with_exact = tuned_config()
+    no_exact = BloomRFConfig(
+        domain_bits=64,
+        deltas=with_exact.deltas,
+        replicas=with_exact.replicas,
+        segment_of=with_exact.segment_of,
+        segment_bits=tuple(
+            bits + (with_exact.exact_bitmap_bits if i == 0 else 0) - (
+                (bits + with_exact.exact_bitmap_bits) % 64 if i == 0 else 0
+            )
+            for i, bits in enumerate(with_exact.segment_bits)
+        ),
+        exact_level=None,
+    )
+    for label, config in (("with exact level", with_exact), ("without", no_exact)):
+        filt = BloomRF(config)
+        filt.insert_many(keys)
+        results[("exact", label)] = measure_fpr(filt, queries)
+
+    # --- top-layer replicas on/off -------------------------------------
+    for replicas, label in ((with_exact.replicas, "replicas (2 on top)"),
+                            ((1,) * with_exact.num_layers, "no replicas")):
+        config = BloomRFConfig.from_dict(
+            {**with_exact.to_dict(), "replicas": list(replicas)}
+        )
+        filt = BloomRF(config)
+        filt.insert_many(keys)
+        results[("replicas", label)] = measure_fpr(filt, queries)
+
+    # --- delta sweep on the basic filter -------------------------------
+    basic_queries = list(
+        range_queries_cached("uniform", N_KEYS, N_QUERIES, 1 << 12, "uniform")
+    )
+    for delta in (3, 5, 7):
+        filt = BloomRF.basic(n_keys=N_KEYS, bits_per_key=BITS, delta=delta)
+        filt.insert_many(keys)
+        results[("delta", delta)] = measure_fpr(filt, basic_queries)
+
+    # --- degenerate guard ----------------------------------------------
+    # Adversarial keys: identical in-word offset bits on every layer.
+    lam = 0b010101
+    adversarial = []
+    for i in range(scaled(4_000, 1000)):
+        key = 0
+        for layer in range(9):
+            group_bits = (i >> layer) & 1
+            key |= ((group_bits << 6) | lam) << (layer * 7)
+        adversarial.append(key & ((1 << 64) - 1))
+    adversarial = np.array(sorted(set(adversarial)), dtype=np.uint64)
+    probes = np.array(
+        [int(k) ^ (1 << 40) for k in adversarial[: scaled(2_000, 500)]],
+        dtype=np.uint64,
+    )
+    probe_set = set(adversarial.tolist())
+    probes = np.array([p for p in probes.tolist() if p not in probe_set],
+                      dtype=np.uint64)
+    for guard in (False, True):
+        config = BloomRFConfig.from_dict(
+            {**BloomRFConfig.basic(len(adversarial), 12).to_dict(),
+             "degenerate_guard": guard}
+        )
+        filt = BloomRF(config)
+        filt.insert_many(adversarial)
+        fpr = float(np.mean(filt.contains_point_many(probes)))
+        results[("guard", guard)] = fpr
+
+    rows = [[str(k[0]), str(k[1]), v] for k, v in results.items()]
+    print_table(
+        f"Ablations ({N_KEYS} keys, {BITS} bits/key, range {RANGE:.0e})",
+        ["knob", "setting", "fpr"],
+        rows,
+        sink=sink,
+    )
+    write_result("ablation_design", "\n".join(sink))
+    return results
+
+
+class TestAblations:
+    def test_exact_level_helps_large_ranges(self, ablations):
+        assert ablations[("exact", "with exact level")] <= (
+            ablations[("exact", "without")] + 0.02
+        )
+
+    def test_replicas_do_not_hurt(self, ablations):
+        with_r = ablations[("replicas", "replicas (2 on top)")]
+        without = ablations[("replicas", "no replicas")]
+        assert with_r <= without + 0.05
+
+    def test_larger_delta_fewer_layers_tradeoff(self, ablations):
+        """All delta settings stay usable on basic-rated ranges (<= 2^14)."""
+        for delta in (3, 5, 7):
+            assert ablations[("delta", delta)] < 0.35, delta
+
+    def test_guard_fixes_degenerate_distribution(self, ablations):
+        assert ablations[("guard", True)] <= ablations[("guard", False)]
+
+
+def test_ablation_benchmark(benchmark, ablations):
+    keys = keyset("uniform", N_KEYS)
+    config = tuned_config()
+
+    def build():
+        filt = BloomRF(config)
+        filt.insert_many(keys)
+        return filt.size_bits
+
+    benchmark(build)

@@ -1,0 +1,144 @@
+"""Fig. 5 — PMHF random scatter vs a standard Bloom filter.
+
+(A) How often words of different layers overlay the same bit-array element,
+    per data distribution (flat curves = random scatter at word granularity).
+(B) Lengths of 0-bit runs, bloomRF vs BF, per distribution.
+(C) Distances between consecutive 0-bit runs (= 1-run lengths).
+
+Paper setting: 2M keys, 10 bits/key, Delta=7 (six PMHF layers vs six BF
+hashes); scaled here by REPRO_SCALE.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from _common import keyset, print_table, scaled, write_result
+from repro.baselines.bloom import BloomFilter
+from repro.core.bloomrf import BloomRF
+from repro.hashing import splitmix64_array
+
+DISTRIBUTIONS = ("uniform", "normal", "zipfian")
+N_KEYS = scaled(100_000)
+BITS_PER_KEY = 10
+
+
+def build_pair(distribution: str):
+    keys = keyset(distribution, N_KEYS)
+    brf = BloomRF.basic(n_keys=N_KEYS, bits_per_key=BITS_PER_KEY, delta=7)
+    brf.insert_many(keys)
+    bf = BloomFilter(n_keys=N_KEYS, bits_per_key=BITS_PER_KEY)
+    bf.insert_many(keys)
+    return brf, bf
+
+
+def word_overlay_counts(brf: BloomRF, keys: np.ndarray) -> dict[int, Counter]:
+    """Per layer: how many times each 64-bit array element is targeted."""
+    overlays: dict[int, Counter] = {}
+    for layer in brf._layers:
+        prefix = keys >> np.uint64(layer.level)
+        group = prefix >> np.uint64(layer.offset_bits)
+        elements = Counter()
+        for seed in layer.seeds:
+            word_index = splitmix64_array(group, seed=seed) % np.uint64(
+                layer.num_words
+            )
+            pos = np.uint64(layer.seg_base) + word_index * np.uint64(layer.word_bits)
+            elements.update((pos >> np.uint64(6)).tolist())
+        overlays[layer.index] = Counter(elements.values())
+    return overlays
+
+
+@pytest.fixture(scope="module")
+def tables():
+    sink = []
+    for distribution in DISTRIBUTIONS:
+        brf, bf = build_pair(distribution)
+        keys = keyset(distribution, N_KEYS)
+
+        overlays = word_overlay_counts(brf, keys)
+        rows = []
+        for layer, counter in sorted(overlays.items()):
+            total = sum(counter.values())
+            top = [counter.get(i, 0) / total for i in range(1, 9)]
+            rows.append([f"layer {layer + 1}"] + [round(v, 4) for v in top])
+        print_table(
+            f"Fig 5.A  Word overlays per element, {distribution} "
+            f"(relative frequency of 1..8 overlays; flat-ish rows = random scatter)",
+            ["layer"] + [str(i) for i in range(1, 9)],
+            rows,
+            sink=sink,
+        )
+
+        rows = []
+        for label, runs_a, runs_b in (
+            ("0-runs", brf.pmhf_bits.zero_run_lengths(), bf.bits.zero_run_lengths()),
+            ("1-runs", brf.pmhf_bits.one_run_lengths(), bf.bits.one_run_lengths()),
+        ):
+            hist_a = np.bincount(np.minimum(runs_a, 10), minlength=11)[1:]
+            hist_b = np.bincount(np.minimum(runs_b, 10), minlength=11)[1:]
+            rows.append([f"bloomRF {label}"] + hist_a.tolist())
+            rows.append([f"bloom   {label}"] + hist_b.tolist())
+        print_table(
+            f"Fig 5.B/C  Run-length histograms, {distribution} "
+            f"(counts for lengths 1..9, 10 = 10+)",
+            ["series"] + [str(i) for i in range(1, 10)] + ["10+"],
+            rows,
+            sink=sink,
+        )
+    write_result("fig05_scatter", "\n\n".join(sink))
+    return sink
+
+
+def test_scatter_is_flat_at_word_granularity(tables):
+    """Paper insight: the overlay-frequency curves are (mostly) flat across
+    data distributions — PMHF scatter randomly at word granularity for
+    uniform and normal; strong zipfian skew may affect top layers only.
+    Checked as total-variation distance of each distribution's per-layer
+    overlay histogram from the uniform one."""
+
+    def histograms(distribution):
+        brf, _ = build_pair(distribution)
+        keys = keyset(distribution, N_KEYS)
+        out = {}
+        for layer, counter in word_overlay_counts(brf, keys).items():
+            total = sum(counter.values())
+            out[layer] = {k: v / total for k, v in counter.items()}
+        return out
+
+    reference = histograms("uniform")
+    for distribution in ("normal", "zipfian"):
+        other = histograms(distribution)
+        for layer in reference:
+            support = set(reference[layer]) | set(other[layer])
+            tv_distance = 0.5 * sum(
+                abs(reference[layer].get(k, 0.0) - other[layer].get(k, 0.0))
+                for k in support
+            )
+            if distribution == "zipfian" and layer >= len(reference) - 2:
+                continue  # the paper: strong zipfian skew affects top layers
+            assert tv_distance < 0.25, (distribution, layer, tv_distance)
+
+
+def test_bit_array_state_similar_to_bloom(tables):
+    """Paper: both bit-arrays are in similar states (0-run structure)."""
+    for distribution in DISTRIBUTIONS:
+        brf, bf = build_pair(distribution)
+        mean_brf = float(np.mean(brf.pmhf_bits.zero_run_lengths()))
+        mean_bf = float(np.mean(bf.bits.zero_run_lengths()))
+        assert mean_brf == pytest.approx(mean_bf, rel=0.5), distribution
+        fill_brf = brf.pmhf_bits.fill_ratio()
+        fill_bf = bf.bits.fill_ratio()
+        assert fill_brf == pytest.approx(fill_bf, abs=0.12), distribution
+
+
+def test_fig05_insert_benchmark(benchmark, tables):
+    keys = keyset("uniform", N_KEYS)
+
+    def build():
+        brf = BloomRF.basic(n_keys=N_KEYS, bits_per_key=BITS_PER_KEY, delta=7)
+        brf.insert_many(keys)
+        return brf.pmhf_bits.count_ones()
+
+    assert benchmark(build) > 0

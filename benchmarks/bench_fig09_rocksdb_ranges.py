@@ -1,0 +1,154 @@
+"""Fig. 9 — LSM ("RocksDB") comparison at 22 bits/key across range sizes.
+
+Panels A1/B1/C1: FPR and execution time of Rosetta / SuRF / bloomRF for
+range sizes 2 .. 1e11 under uniform / normal / zipfian workloads.
+Panels A2/B2/C2: point-query FPR insets.
+Panel D: Prefix-BF and fence-pointer latency baselines.
+
+Paper setting: 50M uniform keys, 1e5 empty queries, 22 bits/key; scaled via
+REPRO_SCALE (defaults keep the full sweep in ~2 minutes).
+"""
+
+import pytest
+
+from _common import (
+    lsm_db_cached,
+    print_table,
+    range_queries_cached,
+    run_lsm_points,
+    run_lsm_ranges,
+    scaled,
+    write_result,
+    PRF_NAMES,
+)
+
+BITS = 22
+N_KEYS = scaled(80_000)
+N_QUERIES = scaled(600, 150)
+N_SSTABLES = 8
+RANGE_SIZES = (2, 16, 64, 10**3, 10**5, 10**7, 10**9, 10**11)
+WORKLOADS = ("uniform", "normal", "zipfian")
+
+
+@pytest.fixture(scope="module")
+def range_results():
+    table = {}
+    sink = []
+    for workload in WORKLOADS:
+        rows = []
+        for range_size in RANGE_SIZES:
+            row = [f"{range_size:.0e}" if range_size >= 1000 else range_size]
+            for name in PRF_NAMES:
+                run = run_lsm_ranges(
+                    name, BITS, range_size, N_KEYS, N_QUERIES, N_SSTABLES, workload
+                )
+                table[(workload, range_size, name)] = run
+                row.extend([run.fpr, run.time_s])
+            rows.append(row)
+        print_table(
+            f"Fig 9.{'ABC'[WORKLOADS.index(workload)]}1  Range queries, "
+            f"{workload} workload, {BITS} bits/key "
+            f"({N_KEYS} keys, {N_SSTABLES} SSTs, {N_QUERIES} empty queries)",
+            ["range", "rosetta_fpr", "rosetta_s", "surf_fpr", "surf_s",
+             "bloomrf_fpr", "bloomrf_s"],
+            rows,
+            sink=sink,
+        )
+    write_result("fig09_ranges", "\n\n".join(sink))
+    return table
+
+
+@pytest.fixture(scope="module")
+def point_results():
+    sink = []
+    rows = []
+    table = {}
+    for workload in WORKLOADS:
+        row = [workload]
+        for name in PRF_NAMES:
+            run = run_lsm_points(name, BITS, N_KEYS, N_QUERIES, N_SSTABLES, workload)
+            table[(workload, name)] = run.fpr
+            row.append(run.fpr)
+        rows.append(row)
+    print_table(
+        "Fig 9.A2-C2  Point-query FPR insets "
+        "(paper: Rosetta 2.8e-5 < bloomRF 1.8e-4 << SuRF 2.5e-2)",
+        ["workload"] + list(PRF_NAMES),
+        rows,
+        sink=sink,
+    )
+    write_result("fig09_points", "\n".join(sink))
+    return table
+
+
+@pytest.fixture(scope="module")
+def baseline_results():
+    """Panel D: prefix-BF and fence pointers latency across range sizes."""
+    sink = []
+    rows = []
+    for range_size in (2, 64, 10**3, 10**5, 10**7, 10**9):
+        row = [f"{range_size:.0e}" if range_size >= 1000 else range_size]
+        for name in ("prefix-bloom", "none"):
+            run = run_lsm_ranges(
+                name, BITS, range_size, N_KEYS, N_QUERIES, N_SSTABLES, "uniform"
+            )
+            row.extend([run.fpr, run.time_s])
+        rows.append(row)
+    print_table(
+        "Fig 9.D  Prefix-BF and fence pointers (policy 'none')",
+        ["range", "prefixbf_fpr", "prefixbf_s", "fence_fpr", "fence_s"],
+        rows,
+        sink=sink,
+    )
+    write_result("fig09_baselines", "\n".join(sink))
+    return rows
+
+
+class TestFig9Shapes:
+    def test_bloomrf_handles_all_ranges(self, range_results):
+        """Problem 1 solved: bloomRF FPR stays low from 2 to 1e9."""
+        for workload in WORKLOADS:
+            for range_size in RANGE_SIZES[:-1]:
+                run = range_results[(workload, range_size, "bloomrf")]
+                assert run.fpr < 0.25, (workload, range_size, run.fpr)
+
+    def test_rosetta_collapses_at_large_ranges(self, range_results):
+        small = range_results[("uniform", 16, "rosetta")].fpr
+        large = range_results[("uniform", 10**9, "rosetta")].fpr
+        assert large > max(4 * small, 0.4)
+
+    def test_bloomrf_beats_rosetta_at_medium_ranges(self, range_results):
+        for range_size in (10**5, 10**7, 10**9):
+            rosetta = range_results[("uniform", range_size, "rosetta")]
+            bloomrf = range_results[("uniform", range_size, "bloomrf")]
+            assert bloomrf.fpr <= rosetta.fpr
+
+    def test_bloomrf_latency_competitive(self, range_results):
+        """End-to-end probe cost: bloomRF at or below Rosetta's."""
+        for range_size in (16, 10**5, 10**9):
+            rosetta = range_results[("uniform", range_size, "rosetta")]
+            bloomrf = range_results[("uniform", range_size, "bloomrf")]
+            assert bloomrf.time_s <= rosetta.time_s * 1.5
+
+    def test_point_insets(self, point_results):
+        """Rosetta has the best point FPR; bloomRF stays close."""
+        for workload in WORKLOADS:
+            assert point_results[(workload, "rosetta")] <= 0.01
+            assert point_results[(workload, "bloomrf")] <= 0.02
+
+    def test_prefix_bf_degrades(self, baseline_results):
+        """Fence pointers and prefix BFs are not competitive PRFs."""
+        assert baseline_results[-1][2] > 0  # prefix-bf pays probe time
+
+
+def test_fig09_probe_benchmark(benchmark, range_results, point_results, baseline_results):
+    db = lsm_db_cached("bloomrf", BITS, 10**5, N_KEYS, N_SSTABLES)
+    queries = list(
+        range_queries_cached("uniform", N_KEYS, 200, 10**5, "uniform")
+    )
+
+    def probe():
+        for lo, hi in queries:
+            db.scan_nonempty(lo, hi)
+
+    benchmark(probe)

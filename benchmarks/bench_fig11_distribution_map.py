@@ -1,0 +1,111 @@
+"""Fig. 11 — standalone distribution map: who wins where.
+
+For every combination of key distribution x workload distribution x
+bits/key x range size (x number of keys), build all three PRFs standalone,
+measure FPR on empty queries, and report the best filter plus its margin —
+the color/symbol map of Fig. 11.  Fig. 1 is the flattened version of this
+map (averaged over key counts) and is derived in bench_fig01_positioning.
+"""
+
+import pytest
+
+from _common import (
+    PRF_NAMES,
+    filter_cached,
+    measure_range_fpr,
+    print_table,
+    range_queries_cached,
+    scaled,
+    write_result,
+)
+
+N_KEYS = scaled(30_000)
+N_QUERIES = scaled(300, 100)
+BITS_GRID = (10, 16, 22)
+RANGE_SIZES = (16, 10**5, 10**9)
+KEY_DISTS = ("uniform", "normal", "zipfian")
+WORKLOADS = ("uniform", "normal", "zipfian")
+
+
+def fpr_gap_symbol(best: float, second: float) -> str:
+    gap = second - best
+    if gap < 0.0001:
+        return "~"
+    if gap < 0.001:
+        return "."
+    if gap < 0.01:
+        return "o"
+    if gap < 0.1:
+        return "O"
+    return "#"
+
+
+@pytest.fixture(scope="module")
+def map_results():
+    table = {}
+    sink = []
+    for key_dist in KEY_DISTS:
+        for workload in WORKLOADS:
+            rows = []
+            for range_size in RANGE_SIZES:
+                row = [f"{range_size:.0e}" if range_size >= 1000 else range_size]
+                for bits in BITS_GRID:
+                    fprs = {}
+                    for name in PRF_NAMES:
+                        fut = filter_cached(
+                            name, key_dist, N_KEYS, bits, max(range_size, 2)
+                        )
+                        queries = range_queries_cached(
+                            key_dist, N_KEYS, N_QUERIES, range_size, workload
+                        )
+                        fprs[name] = measure_range_fpr(fut, queries).fpr
+                    ranked = sorted(fprs.items(), key=lambda kv: kv[1])
+                    winner, best = ranked[0]
+                    symbol = fpr_gap_symbol(best, ranked[1][1])
+                    table[(key_dist, workload, range_size, bits)] = fprs
+                    row.append(f"{winner}{symbol} {best:.3f}")
+                rows.append(row)
+            print_table(
+                f"Fig 11  keys={key_dist}, workload={workload} "
+                f"(cell: winner + gap symbol + winning FPR; "
+                f"~ <1e-4, . <1e-3, o <1e-2, O <1e-1, # >=1e-1)",
+                ["range \\ bits"] + [str(b) for b in BITS_GRID],
+                rows,
+                sink=sink,
+            )
+    write_result("fig11_distribution_map", "\n\n".join(sink))
+    return table
+
+
+class TestFig11Shapes:
+    def test_bloomrf_robust_everywhere(self, map_results):
+        """Problem 3: bloomRF stays within a usable FPR band across all
+        distribution combinations at >= 16 bits/key (ranges <= 1e9)."""
+        for (kd, wl, r, bits), fprs in map_results.items():
+            if bits >= 16:
+                assert fprs["bloomrf"] < 0.35, (kd, wl, r, bits, fprs)
+
+    def test_rosetta_loses_large_ranges(self, map_results):
+        for kd in KEY_DISTS:
+            fprs = map_results[(kd, "uniform", 10**9, 16)]
+            assert fprs["rosetta"] >= fprs["bloomrf"]
+
+    def test_every_filter_wins_somewhere_or_close(self, map_results):
+        """The paper: all three approaches augment each other — bloomRF must
+        win or tie a large share; each baseline keeps a niche."""
+        wins = {name: 0 for name in PRF_NAMES}
+        for fprs in map_results.values():
+            winner = min(fprs, key=fprs.get)
+            wins[winner] += 1
+        assert wins["bloomrf"] >= 3
+        assert sum(wins.values()) == len(map_results)
+
+
+def test_fig11_cell_benchmark(benchmark, map_results):
+    fut = filter_cached("bloomrf", "normal", N_KEYS, 16, 10**5)
+    queries = range_queries_cached("normal", N_KEYS, 100, 10**5, "normal")
+
+    def cell():
+        return measure_range_fpr(fut, queries).fpr
+
+    benchmark(cell)

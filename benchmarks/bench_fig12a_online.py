@@ -1,0 +1,102 @@
+"""Fig. 12.A — online behaviour: throughput vs insert/lookup ratio.
+
+Single-threaded mixed workloads over one advisor-tuned bloomRF: x% lookups /
+(100-x)% inserts, unsorted uniform keys, measured separately for point- and
+range-lookup mixes.  The paper's insight: overall throughput *increases*
+with the insert share (inserts are cheaper than probes) — bloomRF is online
+(Problem 2), no a-priori key set needed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import keyset, print_table, scaled, write_result
+from repro.core.bloomrf import BloomRF
+
+N_OPS = scaled(40_000, 5_000)
+RATIOS = (10, 30, 50, 70, 90, 100)  # percentage of lookups
+RANGE_WIDTH = 10**6
+U64 = (1 << 64) - 1
+
+
+def run_mix(lookup_pct: int, range_mode: bool) -> float:
+    """Ops/second for one mixed insert/lookup workload."""
+    rng = np.random.default_rng(lookup_pct)
+    keys = rng.integers(0, 1 << 64, N_OPS, dtype=np.uint64)
+    is_lookup = rng.random(N_OPS) < lookup_pct / 100
+    filt = BloomRF.tuned(
+        n_keys=max(int(N_OPS * (1 - lookup_pct / 100)), 1000),
+        bits_per_key=16,
+        max_range=RANGE_WIDTH,
+    )
+    # Warm the filter so early lookups touch a non-empty structure.
+    filt.insert_many(keys[:1000])
+    start = time.perf_counter()
+    for key, lookup in zip(keys.tolist(), is_lookup.tolist()):
+        if lookup:
+            if range_mode:
+                filt.contains_range(key, min(key + RANGE_WIDTH, U64))
+            else:
+                filt.contains_point(key)
+        else:
+            filt.insert(key)
+    elapsed = time.perf_counter() - start
+    return N_OPS / elapsed
+
+
+@pytest.fixture(scope="module")
+def throughputs():
+    sink = []
+    table = {}
+    rows = []
+    for pct in RATIOS:
+        point_ops = run_mix(pct, range_mode=False)
+        range_ops = run_mix(pct, range_mode=True)
+        table[pct] = (point_ops, range_ops)
+        rows.append([pct, point_ops, range_ops])
+    print_table(
+        f"Fig 12.A  Single-threaded mixed workload ({N_OPS} ops, "
+        "concurrent unsorted inserts; paper: throughput grows with insert share)",
+        ["% lookups", "point-mix ops/s", "range-mix ops/s"],
+        rows,
+        sink=sink,
+    )
+    write_result("fig12a_online", "\n".join(sink))
+    return table
+
+
+class TestOnlineBehaviour:
+    def test_inserts_do_not_collapse_throughput(self, throughputs):
+        """Impact of concurrent insertions is acceptable: the mixes stay
+        within an order of magnitude.  (In CPython an insert costs more than
+        an early-exiting empty probe, so the paper's trend inverts — the
+        documented Fig. 12.A deviation in EXPERIMENTS.md.)"""
+        insert_heavy = throughputs[10][0]
+        lookup_only = throughputs[100][0]
+        assert lookup_only < insert_heavy * 12
+
+    def test_point_mix_faster_than_range_mix(self, throughputs):
+        for pct in RATIOS[:-1]:
+            point_ops, range_ops = throughputs[pct]
+            assert point_ops >= range_ops * 0.5
+
+    def test_no_build_phase_needed(self, throughputs):
+        """Online property: queries interleave with inserts from op one
+        (this whole bench would crash otherwise); sanity-check soundness."""
+        filt = BloomRF.tuned(n_keys=1000, bits_per_key=16, max_range=1 << 20)
+        for key in range(0, 5000, 7):
+            filt.insert(key)
+            assert filt.contains_point(key)
+            assert filt.contains_range(max(0, key - 3), key + 3)
+
+
+def test_fig12a_insert_benchmark(benchmark, throughputs):
+    filt = BloomRF.tuned(n_keys=N_OPS, bits_per_key=16, max_range=RANGE_WIDTH)
+    counter = iter(range(10**9))
+
+    def insert():
+        filt.insert((next(counter) * 0x9E3779B97F4A7C15) & U64)
+
+    benchmark(insert)

@@ -1,0 +1,68 @@
+"""Fig. 12.C — filter construction cost in the LSM across bits/key.
+
+Total filter creation plus serialization time when bulk-loading the key set
+into L0 SSTs (paper: 50M uniform keys, 25 SST files — bloomRF builds fastest
+thanks to its insert path; SuRF pays for budget tuning and trie building).
+"""
+
+import pytest
+
+from _common import keyset, print_table, scaled, write_result
+from repro.lsm import LsmDB, policy_by_name
+
+import numpy as np
+
+N_KEYS = scaled(60_000)
+N_SSTABLES = 10
+BITS_GRID = (10, 14, 18, 22)
+POLICIES = ("bloomrf", "rosetta", "surf")
+
+
+def build_once(policy_name: str, bits: int):
+    keys = keyset("uniform", N_KEYS)
+    rng = np.random.default_rng(3)
+    db = LsmDB(policy=policy_by_name(policy_name, bits, 1 << 20))
+    db.bulk_load(rng.permutation(keys), num_sstables=N_SSTABLES)
+    build_s, serialize_s = db.construction_times()
+    return build_s, serialize_s
+
+
+@pytest.fixture(scope="module")
+def creation_times():
+    table = {}
+    sink = []
+    rows = []
+    for bits in BITS_GRID:
+        row = [bits]
+        for name in POLICIES:
+            build_s, serialize_s = build_once(name, bits)
+            table[(bits, name)] = (build_s, serialize_s)
+            row.append(build_s + serialize_s)
+        rows.append(row)
+    print_table(
+        f"Fig 12.C  Filter creation + serialization seconds "
+        f"({N_KEYS} keys into {N_SSTABLES} SSTs)",
+        ["bits/key"] + list(POLICIES),
+        rows,
+        sink=sink,
+    )
+    write_result("fig12c_creation", "\n".join(sink))
+    return table
+
+
+class TestCreation:
+    def test_bloomrf_fastest_creation(self, creation_times):
+        """Paper: bloomRF has the lowest creation time."""
+        for bits in BITS_GRID:
+            bloomrf = sum(creation_times[(bits, "bloomrf")])
+            surf = sum(creation_times[(bits, "surf")])
+            assert bloomrf < surf
+
+    def test_all_policies_complete(self, creation_times):
+        assert len(creation_times) == len(BITS_GRID) * len(POLICIES)
+
+
+def test_fig12c_build_benchmark(benchmark, creation_times):
+    benchmark.pedantic(
+        lambda: build_once("bloomrf", 16), rounds=3, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,81 @@
+"""Fig. 12.E — standalone point-query FPR vs bits/key (E.1-E.3).
+
+All point filters compared: Rosetta, SuRF, bloomRF, a LevelDB/RocksDB-style
+Bloom filter and a Cuckoo filter (high occupancy, fingerprint sized to the
+budget), across uniform / normal / zipfian workloads.  Paper setting: 2M
+keys; scaled.
+"""
+
+import pytest
+
+from _common import (
+    filter_cached,
+    keyset,
+    measure_point_fpr,
+    point_queries_cached,
+    print_table,
+    scaled,
+    write_result,
+)
+
+N_KEYS = scaled(80_000)
+N_QUERIES = scaled(4_000, 500)
+BITS = (10, 12, 14, 16, 18, 20, 22)
+FILTERS = ("rosetta", "surf", "bloomrf", "bloom", "cuckoo")
+WORKLOADS = ("uniform", "normal", "zipfian")
+
+
+@pytest.fixture(scope="module")
+def results():
+    table = {}
+    sink = []
+    for workload in WORKLOADS:
+        rows = []
+        for bits in BITS:
+            row = [bits]
+            for name in FILTERS:
+                fut = filter_cached(name, "uniform", N_KEYS, bits, 64)
+                queries = point_queries_cached(
+                    "uniform", N_KEYS, N_QUERIES, workload=workload
+                )
+                measured = measure_point_fpr(fut, queries)
+                table[(workload, bits, name)] = measured.fpr
+                row.append(measured.fpr)
+            rows.append(row)
+        print_table(
+            f"Fig 12.E  Point-query FPR, {workload} workload "
+            f"({N_KEYS} uniform keys, {N_QUERIES} empty lookups)",
+            ["bits/key"] + list(FILTERS),
+            rows,
+            sink=sink,
+        )
+    write_result("fig12e_point_fpr", "\n\n".join(sink))
+    return table
+
+
+def test_fpr_decreases_with_budget(results):
+    for name in ("bloomrf", "bloom", "rosetta"):
+        low = results[("uniform", 10, name)]
+        high = results[("uniform", 22, name)]
+        assert high <= low + 0.005, name
+
+
+def test_prf_point_fprs_are_competitive(results):
+    """PRFs stay within an order of magnitude of the plain Bloom filter."""
+    for workload in WORKLOADS:
+        bloom = results[(workload, 22, "bloom")]
+        assert results[(workload, 22, "bloomrf")] < max(50 * bloom, 0.01)
+        assert results[(workload, 22, "rosetta")] < max(50 * bloom, 0.01)
+
+
+def test_point_probe_latency_benchmark(benchmark, results):
+    fut = filter_cached("bloomrf", "uniform", N_KEYS, 16, 64)
+    queries = point_queries_cached("uniform", N_KEYS, 500)
+
+    def probe():
+        hits = 0
+        for key in queries:
+            hits += fut.point(int(key))
+        return hits
+
+    benchmark(probe)

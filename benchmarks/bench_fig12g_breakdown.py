@@ -1,0 +1,94 @@
+"""Fig. 12.G — execution-time breakdown of LSM range probes.
+
+Per (filter, range size): filter-probe CPU, residual CPU, deserialization,
+and (simulated) I/O wait — the paper's stacked bars at 22 bits/key.  The
+shape to reproduce: bloomRF has the lowest CPU *and* total cost; Rosetta's
+probe CPU explodes with the range size; false positives convert directly
+into I/O wait.
+"""
+
+import pytest
+
+from _common import (
+    PRF_NAMES,
+    print_table,
+    run_lsm_ranges,
+    scaled,
+    write_result,
+)
+
+BITS = 22
+N_KEYS = scaled(60_000)
+N_QUERIES = scaled(400, 100)
+RANGE_SIZES = (2, 16, 64, 10**3, 10**6)
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    sink = []
+    table = {}
+    rows = []
+    for range_size in RANGE_SIZES:
+        for name in PRF_NAMES:
+            run = run_lsm_ranges(name, BITS, range_size, N_KEYS, N_QUERIES)
+            b = run.stats.breakdown()
+            table[(range_size, name)] = run
+            rows.append(
+                [
+                    range_size,
+                    name,
+                    b["filter_probe_s"],
+                    b["residual_cpu_s"],
+                    b["deserialization_s"],
+                    b["io_wait_s"],
+                    run.stats.total_time_s,
+                ]
+            )
+    print_table(
+        f"Fig 12.G  Execution-time breakdown (seconds, {N_QUERIES} empty "
+        f"range queries, {BITS} bits/key)",
+        ["range", "filter", "filter probe", "cpu residual",
+         "deserialization", "io wait", "total"],
+        rows,
+        sink=sink,
+    )
+    write_result("fig12g_breakdown", "\n".join(sink))
+    return table
+
+
+class TestBreakdown:
+    def test_bloomrf_lowest_cpu_where_rosetta_engages(self, breakdowns):
+        """Paper: bloomRF has the lowest CPU and total probe costs.  Compared
+        on the ranges Rosetta actually serves — beyond its budget it answers
+        "maybe" instantly (FPR 1), which is cheap but useless."""
+        for range_size in (2, 16, 64, 10**3):
+            bloomrf = breakdowns[(range_size, "bloomrf")]
+            rosetta = breakdowns[(range_size, "rosetta")]
+            assert (
+                bloomrf.stats.filter_cpu_s <= rosetta.stats.filter_cpu_s * 1.2
+            ), range_size
+
+    def test_rosetta_cpu_grows_with_range(self, breakdowns):
+        small = breakdowns[(16, "rosetta")].stats.filter_cpu_s
+        large = breakdowns[(10**3, "rosetta")].stats.filter_cpu_s
+        assert large > small
+        # Beyond its level budget Rosetta gives up: instant positive answers.
+        oversized = breakdowns[(10**6, "rosetta")]
+        assert oversized.stats.fpr > 0.9
+
+    def test_false_positives_cost_io(self, breakdowns):
+        """io_wait appears exactly when filters let queries through."""
+        for (range_size, name), run in breakdowns.items():
+            if run.stats.filter_positives == 0:
+                assert run.stats.io_wait_s == 0
+            blocked = run.stats.blocks_read
+            assert (run.stats.io_wait_s > 0) == (blocked > 0)
+
+
+def test_fig12g_probe_benchmark(benchmark, breakdowns):
+    benchmark.pedantic(
+        lambda: run_lsm_ranges("bloomrf", BITS, 10**3, N_KEYS, 100),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,106 @@
+"""Sect. 6 space-efficiency claims: Rosetta vs basic bloomRF bits/key.
+
+The paper: "to achieve an FPR of 2% for ranges |R| = 2^6, Rosetta uses 17
+bits/key, yet for |R| = 2^10 it already demands 22 bits/key, while for
+|R| = 2^14 it requires 28 bits/key.  Given 17 bits/key, basic bloomRF can
+handle ranges of |R| = 2^14 with an FPR of 1.5%, while with 22 bits/key
+basic bloomRF covers |R| = 2^21 with 2.5% FPR."
+
+Regenerated analytically from both space models plus a *measured*
+confirmation of the two bloomRF claims on a scaled key set.
+"""
+
+import numpy as np
+import pytest
+
+from _common import (
+    keyset,
+    print_table,
+    range_queries_cached,
+    scaled,
+    write_result,
+)
+from repro.bench.theory import rosetta_first_cut_bits
+from repro.core.bloomrf import BloomRF
+from repro.core.model import basic_range_fpr_bound
+from repro.core.config import basic_layer_count
+
+N_MODEL = 10**7  # the analytic claims use paper-scale n
+
+
+@pytest.fixture(scope="module")
+def claims():
+    sink = []
+    k = basic_layer_count(N_MODEL, 64, 7)
+    rows = []
+    for exp in (6, 10, 14, 21):
+        r = 1 << exp
+        rows.append(
+            [
+                f"2^{exp}",
+                rosetta_first_cut_bits(0.02, r),
+                basic_range_fpr_bound(N_MODEL, 17 * N_MODEL, k, 7, r),
+                basic_range_fpr_bound(N_MODEL, 22 * N_MODEL, k, 7, r),
+            ]
+        )
+    print_table(
+        "Sect 6: Rosetta bits/key for 2% FPR vs basic bloomRF FPR at fixed budgets",
+        ["range", "rosetta_bits@2%", "bloomRF_fpr@17b/k", "bloomRF_fpr@22b/k"],
+        rows,
+        sink=sink,
+    )
+    return sink
+
+
+@pytest.fixture(scope="module")
+def measured(claims):
+    n = scaled(100_000)
+    keys = keyset("uniform", n)
+    rows = []
+    for bits, exp in ((17, 14), (22, 21)):
+        filt = BloomRF.basic(n_keys=n, bits_per_key=bits)
+        filt.insert_many(keys)
+        queries = range_queries_cached("uniform", n, scaled(1_500, 300), 1 << exp, "uniform")
+        fpr = sum(filt.contains_range(lo, hi) for lo, hi in queries) / len(queries)
+        rows.append([f"2^{exp}", bits, fpr])
+    text = print_table(
+        "Sect 6 measured (scaled): basic bloomRF range FPR",
+        ["range", "bits/key", "measured_fpr"],
+        rows,
+        sink=claims,
+    )
+    write_result("sect6_space_claims", "\n\n".join(claims))
+    return rows
+
+
+def test_rosetta_space_claims(claims):
+    assert rosetta_first_cut_bits(0.02, 2**6) == pytest.approx(17, abs=1.5)
+    assert rosetta_first_cut_bits(0.02, 2**10) == pytest.approx(22, abs=1.5)
+    assert rosetta_first_cut_bits(0.02, 2**14) == pytest.approx(28, abs=1.5)
+
+
+def test_bloomrf_claims_model(claims):
+    k = basic_layer_count(N_MODEL, 64, 7)
+    assert basic_range_fpr_bound(N_MODEL, 17 * N_MODEL, k, 7, 1 << 14) < 0.03
+    assert basic_range_fpr_bound(N_MODEL, 22 * N_MODEL, k, 7, 1 << 21) < 0.04
+
+
+def test_bloomrf_claims_measured(measured):
+    for _, bits, fpr in measured:
+        assert fpr < 0.08, f"measured FPR {fpr} too high at {bits} bits/key"
+
+
+def test_basic_bloomrf_probe_benchmark(benchmark, measured):
+    n = scaled(100_000)
+    keys = keyset("uniform", n)
+    filt = BloomRF.basic(n_keys=n, bits_per_key=17)
+    filt.insert_many(keys)
+    queries = list(range_queries_cached("uniform", n, 200, 1 << 14, "uniform"))
+
+    def probe():
+        hits = 0
+        for lo, hi in queries:
+            hits += filt.contains_range(lo, hi)
+        return hits
+
+    benchmark(probe)

@@ -1,0 +1,99 @@
+"""Sect. 7 worked examples: extended FPR model and the tuning advisor.
+
+Regenerates (a) the d=16/n=3 model example — ``p ~ 0.683`` and the per-level
+FPR vector ``(0, 0.95, 0.78, 0.53, 0.32, ..., 0.01)`` — and (b) the advisor
+trace for n = 50M keys, 16 bits/key, |R| = 1e10, which the paper's Fig. ??.C
+plots as two candidate curves (exact levels 36 and 37) with the minimum
+marked on each.
+"""
+
+import pytest
+
+from _common import print_table, write_result
+from repro.core.advisor import TuningAdvisor
+from repro.core.config import BloomRFConfig
+from repro.core.model import extended_fpr_profile
+
+
+@pytest.fixture(scope="module")
+def model_example():
+    config = BloomRFConfig(
+        domain_bits=16,
+        deltas=(4, 4, 4, 4),
+        replicas=(1, 1, 1, 1),
+        segment_of=(0, 0, 0, 0),
+        segment_bits=(32,),
+        exact_level=16,
+    )
+    return extended_fpr_profile(config, n_keys=3)
+
+
+@pytest.fixture(scope="module")
+def advisor_report():
+    advisor = TuningAdvisor(domain_bits=64)
+    return advisor.configure(
+        n_keys=50_000_000,
+        total_bits=50_000_000 * 16,
+        max_range=10**10,
+        return_report=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def tables(model_example, advisor_report):
+    sink = []
+    rows = [
+        [level, model_example.fpr[level]] for level in range(16, -1, -1)
+    ]
+    print_table(
+        "Sect 7 model example (d=16, n=3, Delta=(4,4,4,4), m=32): "
+        f"p={model_example.p_zero_by_segment[0]:.3f} (paper: 0.683)",
+        ["level", "fpr (paper: 0, 0.95, 0.78, 0.53, 0.32, ..., 0.01)"],
+        rows,
+        sink=sink,
+    )
+    curve_rows = []
+    for cand in advisor_report.candidates:
+        curve_rows.append(
+            [
+                cand.exact_level,
+                cand.mid_fraction,
+                cand.range_fpr,
+                cand.point_fpr,
+                cand.objective,
+                "<- chosen" if cand is advisor_report.best else "",
+            ]
+        )
+    print_table(
+        "Advisor trace: n=50M, 16 bits/key, |R|=1e10 "
+        "(paper: examines exact levels 36/37, picks ~0.5% point / ~3% range)",
+        ["exact_level", "mid_fraction", "fpr_range", "fpr_point", "objective", ""],
+        curve_rows,
+        sink=sink,
+    )
+    write_result("sect7_model_example", "\n\n".join(sink))
+    return sink
+
+
+def test_model_example_matches_paper(model_example, tables):
+    assert model_example.p_zero_by_segment[0] == pytest.approx(0.683, abs=0.01)
+    assert model_example.fpr[15] == pytest.approx(0.95, abs=0.02)
+    assert model_example.point_fpr < 0.03
+
+
+def test_advisor_estimates_match_paper(advisor_report, tables):
+    """Paper: ~0.5% point FPR and ~3% for dyadic ranges up to 1e10."""
+    assert advisor_report.best.point_fpr < 0.02
+    assert advisor_report.best.range_fpr < 0.15
+    assert {c.exact_level for c in advisor_report.candidates} >= {36, 37}
+
+
+def test_advisor_benchmark(benchmark, tables):
+    """Auto-tuning cost (paper: ~8 ms)."""
+    advisor = TuningAdvisor(domain_bits=64)
+    result = benchmark(
+        lambda: advisor.configure(
+            n_keys=50_000_000, total_bits=50_000_000 * 16, max_range=10**10
+        )
+    )
+    assert result.exact_level in (35, 36, 37)

@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+Makes the sibling ``_common`` module importable from every bench file and
+keeps pytest-benchmark output compact.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Floating-point range filtering on a Kepler-like flux time series (Exp. 5).
+
+Demonstrates the monotone float codec of Sect. 8: tiny (1e-3 wide) range
+queries over doubles spanning many magnitudes, positive and negative.
+
+Run: ``python examples/float_timeseries.py``
+"""
+
+import numpy as np
+
+from repro.core.types import FloatBloomRF, float_to_key
+from repro.workloads import kepler_like_flux
+
+
+def main() -> None:
+    flux = kepler_like_flux(50_000, seed=3)
+    print(
+        f"{flux.size} flux samples, range [{flux.min():.3g}, {flux.max():.3g}], "
+        f"{np.mean(flux < 0) * 100:.1f}% negative"
+    )
+
+    # A float range of width 1e-3 can span ~2^40+ integer codes — the codec
+    # makes this a plain integer range probe (paper, Sect. 1 & 8).
+    lo_code, hi_code = float_to_key(1.0), float_to_key(1.0 + 1e-3)
+    print(f"code-space width of [1.0, 1.001]: 2^{(hi_code - lo_code).bit_length()}")
+
+    filt = FloatBloomRF.tuned(n_keys=flux.size, bits_per_key=18)
+    filt.insert_many(flux)
+
+    # Every stored value is found, point or range (no false negatives).
+    for value in flux[:1000]:
+        v = float(value)
+        assert filt.contains_point(v)
+        assert filt.contains_range(v - 5e-4, v + 5e-4)
+    print("soundness: 1000/1000 stored values answer positive")
+
+    # Empty-range FPR near the data (the hard case).
+    sorted_flux = np.sort(flux)
+    rng = np.random.default_rng(4)
+    fp = trials = 0
+    while trials < 2_000:
+        anchor = float(sorted_flux[int(rng.integers(0, sorted_flux.size))])
+        lo = anchor + float(rng.uniform(0.002, 0.2))
+        hi = lo + 1e-3
+        left = int(np.searchsorted(sorted_flux, lo))
+        if left < sorted_flux.size and float(sorted_flux[left]) <= hi:
+            continue
+        trials += 1
+        fp += filt.contains_range(lo, hi)
+    print(f"empty 1e-3-wide range FPR: {fp / trials:.4f} "
+          "(paper reports ~0.18 avg across 10-22 bits/key at 50M keys)")
+
+
+if __name__ == "__main__":
+    main()

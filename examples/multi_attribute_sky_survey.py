@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Multi-attribute filtering on an SDSS-like catalog (the paper's Exp. 6).
+
+Builds bloomRF(Run, ObjectID) with dual-orientation insertion and probes
+``Run < 300 AND ObjectID = c`` conjunctions, comparing against two separate
+single-attribute filters.
+
+Run: ``python examples/multi_attribute_sky_survey.py``
+"""
+
+import numpy as np
+
+from repro.core.bloomrf import BloomRF
+from repro.core.types import AttributeSpec, MultiAttributeBloomRF
+from repro.workloads import sdss_like_catalog
+
+N_ROWS = 40_000
+RUN_BOUND = 300
+BITS_PER_KEY = 20
+
+
+def main() -> None:
+    run, object_id = sdss_like_catalog(N_ROWS, seed=11)
+    print(f"{N_ROWS} rows; Run in [{run.min()}, {run.max()}], "
+          f"ObjectID ~ 63-bit identifiers")
+
+    # The multi-attribute filter reduces each attribute to 32 bits and
+    # inserts both <Run, ObjectID> and <ObjectID, Run> (Sect. 8).
+    spec_run = AttributeSpec("run", source_bits=64, target_bits=32)
+    spec_obj = AttributeSpec("objectid", source_bits=64, target_bits=32)
+    multi = MultiAttributeBloomRF.tuned(
+        n_keys=N_ROWS, bits_per_key=BITS_PER_KEY, spec_a=spec_run, spec_b=spec_obj
+    )
+    multi.insert_many(run, object_id)
+
+    # Baseline: two separate filters, same total budget, results ANDed.
+    f_run = BloomRF.tuned(n_keys=N_ROWS, bits_per_key=BITS_PER_KEY / 2,
+                          max_range=1 << 32)
+    f_run.insert_many(run)
+    f_obj = BloomRF.tuned(n_keys=N_ROWS, bits_per_key=BITS_PER_KEY / 2,
+                          max_range=1 << 32)
+    f_obj.insert_many(object_id)
+
+    # Soundness on stored tuples.
+    for a, b in zip(run[:500].tolist(), object_id[:500].tolist()):
+        assert multi.contains_point(a, b)
+        assert multi.contains_b_eq_a_range(b, 0, a)
+    print("soundness: 500/500 stored tuples answer positive")
+
+    # Empty conjunctive probes: ObjectID values not in the catalog.
+    present = set(object_id.tolist())
+    rng = np.random.default_rng(12)
+    multi_fp = separate_fp = trials = 0
+    while trials < 2_000:
+        candidate = int(rng.integers(1, 1 << 63, dtype=np.uint64))
+        if candidate in present:
+            continue
+        trials += 1
+        multi_fp += multi.contains_b_eq_a_range(candidate, 0, RUN_BOUND - 1)
+        separate_fp += f_obj.contains_point(candidate) and f_run.contains_range(
+            0, RUN_BOUND - 1
+        )
+    print(f"Run<{RUN_BOUND} AND ObjectID=absent ({trials} probes):")
+    print(f"  multi-attribute bloomRF(Run,ObjectID): FPR = {multi_fp / trials:.4f}")
+    print(f"  two separate filters (conjunctive):    FPR = {separate_fp / trials:.4f}")
+    print("(the joint filter wins: Run<300 alone is unselective, so the")
+    print(" separate Run-filter almost always fires — the paper's Exp. 6 insight)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a bloomRF, insert keys online, run point + range probes.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import BloomRF
+
+U64 = (1 << 64) - 1
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    keys = np.unique(rng.integers(0, 1 << 64, 100_000, dtype=np.uint64))
+
+    # One call tunes the whole filter: the advisor picks the level layout,
+    # replica counts, segment split and exact-level bitmap for the budget.
+    filt = BloomRF.tuned(
+        n_keys=len(keys),
+        bits_per_key=16,
+        max_range=10**9,  # the largest range size you expect to query
+    )
+    print("configuration:", filt.config.describe())
+
+    # bloomRF is online: insertions and probes interleave freely.
+    filt.insert_many(keys[: len(keys) // 2])
+    filt.insert_many(keys[len(keys) // 2 :])
+    print(f"inserted {len(keys)} keys at {filt.bits_per_key:.1f} bits/key")
+
+    # Point probes: never a false negative.
+    sample = int(keys[1234])
+    print(f"contains_point({sample}) = {filt.contains_point(sample)}")
+    assert all(filt.contains_point(int(k)) for k in keys[:1000])
+
+    # Range probes: "is [lo, hi] empty?" in O(k), independent of hi - lo.
+    lo = int(keys[500])
+    print(f"contains_range around a key: {filt.contains_range(lo - 10, lo + 10)}")
+
+    # Measure the false-positive rate on guaranteed-empty ranges.
+    sorted_keys = np.sort(keys)
+    false_positives = trials = 0
+    while trials < 2_000:
+        start = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+        end = min(start + 10**6, U64)
+        idx = int(np.searchsorted(sorted_keys, np.uint64(start)))
+        if idx < sorted_keys.size and int(sorted_keys[idx]) <= end:
+            continue  # not empty; skip
+        trials += 1
+        false_positives += filt.contains_range(start, end)
+    print(f"empty-range FPR (width 1e6): {false_positives / trials:.4f}")
+
+    # Filters serialize to plain bytes (the LSM stores them per SSTable).
+    blob = filt.to_bytes()
+    restored = BloomRF.from_bytes(blob)
+    assert restored.contains_point(sample)
+    print(f"serialized size: {len(blob) / 1024:.0f} KiB; round-trip OK")
+
+
+if __name__ == "__main__":
+    main()

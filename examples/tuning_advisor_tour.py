@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A tour of the tuning advisor (Sect. 7): how bloomRF configures itself.
+
+Reproduces the paper's advisor walkthrough for n = 50M keys at several
+budgets/range targets, printing the full candidate trace (the data behind
+the paper's advisor figure) and the analytic FPR profile of the winner.
+
+Run: ``python examples/tuning_advisor_tour.py``
+"""
+
+from repro import TuningAdvisor
+from repro.core.model import extended_fpr_profile
+
+N_KEYS = 50_000_000
+
+
+def describe(bits_per_key: float, max_range: int) -> None:
+    advisor = TuningAdvisor(domain_bits=64)
+    report = advisor.configure(
+        n_keys=N_KEYS,
+        total_bits=int(N_KEYS * bits_per_key),
+        max_range=max_range,
+        return_report=True,
+    )
+    best = report.best
+    print(f"\n=== {bits_per_key} bits/key, max range {max_range:.0e} ===")
+    print("chosen:", best.config.describe())
+    print(f"estimated point FPR: {best.point_fpr:.5f}   "
+          f"range FPR (<= R): {best.range_fpr:.5f}")
+    print("candidate curves (exact level -> objective at each budget split):")
+    for level, series in sorted(report.curves().items()):
+        lowest = min(obj for _, obj in series)
+        marker = " <- winner" if level == best.exact_level else ""
+        print(f"  exact level {level}: min objective {lowest:.5f} "
+              f"over {len(series)} splits{marker}")
+
+    profile = extended_fpr_profile(best.config, N_KEYS)
+    interesting = [0, 7, 14, 21, 28, best.config.top_boundary_level - 1]
+    print("per-level FPR profile (level: fpr):",
+          {l: round(profile.fpr[l], 4) for l in interesting})
+
+
+def main() -> None:
+    # The paper's worked example: 14 bits/key, basic range budget.
+    describe(14, 1 << 14)
+    # The paper's advisor figure: 16 bits/key, |R| = 1e10.
+    describe(16, 10**10)
+    # A point-heavy configuration.
+    describe(10, 1 << 6)
+
+
+if __name__ == "__main__":
+    main()

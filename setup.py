@@ -1,0 +1,4 @@
+"""Legacy-editable-install shim (environments without the `wheel` package)."""
+from setuptools import setup
+
+setup()

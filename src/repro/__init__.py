@@ -1,0 +1,64 @@
+"""repro — a reproduction of bloomRF (EDBT 2023).
+
+bloomRF is a unified *point-range filter*: an approximate membership
+structure that answers both "is key x in the set?" and "is any key in
+[a, b]?" with no false negatives, online insertions and constant query
+complexity.  This package implements the paper's filter, its tuning advisor
+and analytic models, every baseline from its evaluation (Bloom, Prefix-Bloom,
+fence pointers, Cuckoo, Rosetta, SuRF), an LSM-tree substrate standing in for
+RocksDB, and the workload generators needed to reproduce the paper's
+experiments.
+
+Quickstart::
+
+    import numpy as np
+    from repro import BloomRF
+
+    keys = np.random.default_rng(7).integers(0, 1 << 64, 100_000, dtype=np.uint64)
+    filt = BloomRF.tuned(n_keys=len(keys), bits_per_key=16, max_range=1 << 20)
+    filt.insert_many(keys)
+
+    filt.contains_point(int(keys[0]))          # True (never a false negative)
+    filt.contains_range(1000, 1 << 20)         # True or False (maybe/no)
+"""
+
+from repro.core import (
+    AdvisorReport,
+    AttributeSpec,
+    BloomRF,
+    BloomRFConfig,
+    FloatBloomRF,
+    FprProfile,
+    MultiAttributeBloomRF,
+    StringBloomRF,
+    TuningAdvisor,
+    basic_point_fpr,
+    basic_range_fpr_bound,
+    extended_fpr_profile,
+    float_to_key,
+    key_to_float,
+    string_range_keys,
+    string_to_point_key,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomRF",
+    "BloomRFConfig",
+    "TuningAdvisor",
+    "AdvisorReport",
+    "FprProfile",
+    "basic_point_fpr",
+    "basic_range_fpr_bound",
+    "extended_fpr_profile",
+    "AttributeSpec",
+    "FloatBloomRF",
+    "MultiAttributeBloomRF",
+    "StringBloomRF",
+    "float_to_key",
+    "key_to_float",
+    "string_range_keys",
+    "string_to_point_key",
+    "__version__",
+]

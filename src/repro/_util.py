@@ -1,0 +1,69 @@
+"""Small shared helpers: bit arithmetic on unsigned integers.
+
+Every filter in this package works over fixed-width unsigned integer domains
+(``d`` bits, ``d <= 64``).  Python integers are unbounded, so the helpers here
+centralize the masking discipline that keeps intermediate values inside the
+domain.  They are deliberately tiny and dependency-free so the hot paths in
+:mod:`repro.core` can inline-call them without surprises.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def mask(bits: int) -> int:
+    """Return an all-ones mask of ``bits`` bits (``mask(3) == 0b111``)."""
+    return (1 << bits) - 1
+
+
+def domain_size(domain_bits: int) -> int:
+    """Number of elements in a ``domain_bits``-bit unsigned domain."""
+    return 1 << domain_bits
+
+
+def domain_max(domain_bits: int) -> int:
+    """Largest representable key of a ``domain_bits``-bit unsigned domain."""
+    return (1 << domain_bits) - 1
+
+
+def check_key(key: int, domain_bits: int) -> int:
+    """Validate that ``key`` lies in the ``domain_bits``-bit domain.
+
+    Returns the key unchanged so call sites can validate inline.
+    Raises ``ValueError`` for out-of-domain or negative keys.
+    """
+    if not 0 <= key <= domain_max(domain_bits):
+        raise ValueError(
+            f"key {key!r} outside the {domain_bits}-bit unsigned domain"
+        )
+    return key
+
+
+def floor_log2(value: int) -> int:
+    """``floor(log2(value))`` for a positive integer."""
+    if value <= 0:
+        raise ValueError(f"floor_log2 requires a positive value, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` for a positive integer."""
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding up."""
+    return -(-numerator // denominator)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,27 @@
+"""Baseline filters from the paper's evaluation.
+
+Every structure bloomRF is compared against in Sect. 9:
+
+* :class:`BloomFilter` — the standard point filter (RocksDB/LevelDB styles),
+* :class:`PrefixBloomFilter` — BF over fixed-length key prefixes,
+* :class:`FencePointers` — min/max per block (ZoneMaps / BRIN),
+* :class:`CuckooFilter` — Fan et al., used in the Fig. 12.E comparison,
+* :class:`Rosetta` — hierarchical per-level BFs with doubting (Luo et al.),
+* :class:`SuRF` — the fast succinct trie (Zhang et al.).
+"""
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.cuckoo import CuckooFilter
+from repro.baselines.fence import FencePointers
+from repro.baselines.prefix_bloom import PrefixBloomFilter
+from repro.baselines.rosetta import Rosetta
+from repro.baselines.surf import SuRF
+
+__all__ = [
+    "BloomFilter",
+    "PrefixBloomFilter",
+    "FencePointers",
+    "CuckooFilter",
+    "Rosetta",
+    "SuRF",
+]

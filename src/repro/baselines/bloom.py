@@ -1,0 +1,154 @@
+"""Standard Bloom filters (the paper's point-filter baseline).
+
+Two construction styles are provided, matching the systems the paper
+compares against:
+
+* ``style="rocksdb"`` — ``k = floor(ln 2 * bits_per_key)`` independent-probe
+  positions derived by double hashing, like RocksDB's full filter (the paper:
+  "BFs have 10 * ln 2 = 6.93 hash functions, floored to 6 in RocksDB").
+* ``style="optimal"`` — ``k`` rounded to the nearest integer of the optimum.
+
+Only point lookups are supported; this is exactly the limitation motivating
+point-range filters (Sect. 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import round_up
+from repro.bitarray import BitArray
+from repro.hashing import double_hash_positions, double_hash_positions_array
+
+__all__ = ["BloomFilter", "optimal_num_hashes", "bits_for_fpr"]
+
+
+def optimal_num_hashes(bits_per_key: float, style: str = "rocksdb") -> int:
+    """Hash count for a space budget: floored (RocksDB) or rounded (optimal)."""
+    raw = math.log(2) * bits_per_key
+    if style == "rocksdb":
+        return max(1, math.floor(raw))
+    if style == "optimal":
+        return max(1, round(raw))
+    raise ValueError(f"unknown Bloom filter style {style!r}")
+
+
+def bits_for_fpr(n_keys: int, fpr: float) -> int:
+    """Standard sizing: ``m = -n ln(eps) / (ln 2)^2`` bits."""
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    return max(64, math.ceil(-n_keys * math.log(fpr) / (math.log(2) ** 2)))
+
+
+class BloomFilter:
+    """Classic Bloom filter over integer keys."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        bits_per_key: float,
+        style: str = "rocksdb",
+        num_hashes: int | None = None,
+        seed: int = 0xB10F,
+    ) -> None:
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        if bits_per_key <= 0:
+            raise ValueError(f"bits_per_key must be positive, got {bits_per_key}")
+        self.num_bits = round_up(max(int(n_keys * bits_per_key), 64), 64)
+        self.num_hashes = (
+            num_hashes if num_hashes is not None else optimal_num_hashes(bits_per_key, style)
+        )
+        self.seed = seed
+        self._bits = BitArray(self.num_bits)
+        self._num_keys = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def size_bits(self) -> int:
+        return self.num_bits
+
+    def fill_ratio(self) -> float:
+        return self._bits.fill_ratio()
+
+    @property
+    def bits(self) -> BitArray:
+        """Raw storage (scatter diagnostics for Fig. 5 read this)."""
+        return self._bits
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        for pos in double_hash_positions(key, self.num_hashes, self.num_bits, self.seed):
+            self._bits.set_bit(pos)
+        self._num_keys += 1
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        positions = double_hash_positions_array(
+            keys, self.num_hashes, self.num_bits, self.seed
+        )
+        self._bits.set_bits(positions.ravel())
+        self._num_keys += int(keys.size)
+
+    def contains_point(self, key: int) -> bool:
+        return all(
+            self._bits.test_bit(pos)
+            for pos in double_hash_positions(
+                key, self.num_hashes, self.num_bits, self.seed
+            )
+        )
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        positions = double_hash_positions_array(
+            keys, self.num_hashes, self.num_bits, self.seed
+        )
+        result = np.ones(keys.size, dtype=bool)
+        for row in positions:
+            result &= self._bits.test_bits(row)
+        return result
+
+    __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    def expected_fpr(self) -> float:
+        """Analytic ``(1 - e^{-kn/m})^k`` for the current load."""
+        if self._num_keys == 0:
+            return 0.0
+        return (
+            1.0 - math.exp(-self.num_hashes * self._num_keys / self.num_bits)
+        ) ** self.num_hashes
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = np.array(
+            [self.num_bits, self.num_hashes, self.seed, self._num_keys],
+            dtype=np.uint64,
+        ).tobytes()
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        num_bits, num_hashes, seed, num_keys = np.frombuffer(
+            data[:32], dtype=np.uint64
+        )
+        filt = cls.__new__(cls)
+        filt.num_bits = int(num_bits)
+        filt.num_hashes = int(num_hashes)
+        filt.seed = int(seed)
+        filt._num_keys = int(num_keys)
+        filt._bits = BitArray.from_bytes(data[32:], int(num_bits))
+        return filt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BloomFilter(bits={self.num_bits}, k={self.num_hashes}, "
+            f"keys={self._num_keys})"
+        )

@@ -1,0 +1,161 @@
+"""Cuckoo filter (Fan et al. [17]) — point-filter baseline of Fig. 12.E.
+
+Partial-key cuckoo hashing with 4-slot buckets: each key stores an ``f``-bit
+fingerprint in one of two buckets; the alternate bucket is derived from the
+fingerprint itself, so relocation never needs the original key.  The paper
+compares point-query FPR across fingerprint sizes at high (95 %) occupancy.
+Supports deletion (the capability Bloom filters lack).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import ceil_div, is_power_of_two
+from repro.hashing import splitmix64
+
+__all__ = ["CuckooFilter"]
+
+_SLOTS_PER_BUCKET = 4
+_MAX_KICKS = 500
+
+
+class CuckooFilter:
+    """Cuckoo filter with 4-way buckets and parametric fingerprint width."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        fingerprint_bits: int = 12,
+        load_factor: float = 0.95,
+        seed: int = 0xC0C0,
+    ) -> None:
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        if not 1 <= fingerprint_bits <= 32:
+            raise ValueError(
+                f"fingerprint_bits must be in [1, 32], got {fingerprint_bits}"
+            )
+        if not 0 < load_factor <= 1:
+            raise ValueError(f"load_factor must be in (0, 1], got {load_factor}")
+        self.fingerprint_bits = fingerprint_bits
+        self.seed = seed
+        needed_buckets = ceil_div(
+            math.ceil(n_keys / load_factor), _SLOTS_PER_BUCKET
+        )
+        # A handful of buckets degenerates partial-key cuckoo hashing (the
+        # alternate bucket collapses onto the primary); keep at least 8.
+        self.num_buckets = max(_next_power_of_two(needed_buckets), 8)
+        # Slot value 0 means empty; fingerprints are forced non-zero.
+        self._table = np.zeros(
+            (self.num_buckets, _SLOTS_PER_BUCKET), dtype=np.uint32
+        )
+        self._num_keys = 0
+        self._rng_state = seed
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def size_bits(self) -> int:
+        """Occupied size: ``buckets * 4 * f`` bits (table payload)."""
+        return self.num_buckets * _SLOTS_PER_BUCKET * self.fingerprint_bits
+
+    def load(self) -> float:
+        return self._num_keys / (self.num_buckets * _SLOTS_PER_BUCKET)
+
+    def expected_fpr(self) -> float:
+        """``~ 8 / 2^f`` at full 4-way occupancy (Fan et al.)."""
+        return min(1.0, 2 * _SLOTS_PER_BUCKET / (1 << self.fingerprint_bits))
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, key: int) -> int:
+        fp = splitmix64(key, seed=self.seed + 1) & ((1 << self.fingerprint_bits) - 1)
+        return fp if fp else 1
+
+    def _index1(self, key: int) -> int:
+        return splitmix64(key, seed=self.seed) & (self.num_buckets - 1)
+
+    def _alt_index(self, index: int, fingerprint: int) -> int:
+        return (index ^ splitmix64(fingerprint, seed=self.seed + 2)) & (
+            self.num_buckets - 1
+        )
+
+    def _bucket_insert(self, index: int, fingerprint: int) -> bool:
+        row = self._table[index]
+        for slot in range(_SLOTS_PER_BUCKET):
+            if row[slot] == 0:
+                row[slot] = fingerprint
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> bool:
+        """Insert; returns False if the filter is too full (insert failed)."""
+        fp = self._fingerprint(key)
+        i1 = self._index1(key)
+        i2 = self._alt_index(i1, fp)
+        if self._bucket_insert(i1, fp) or self._bucket_insert(i2, fp):
+            self._num_keys += 1
+            return True
+        # Kick a random victim back and forth (partial-key cuckoo hashing).
+        index = i1 if self._next_random() & 1 else i2
+        for _ in range(_MAX_KICKS):
+            slot = self._next_random() % _SLOTS_PER_BUCKET
+            fp, self._table[index][slot] = int(self._table[index][slot]), fp
+            index = self._alt_index(index, fp)
+            if self._bucket_insert(index, fp):
+                self._num_keys += 1
+                return True
+        return False
+
+    def insert_many(self, keys: np.ndarray) -> int:
+        """Insert a batch; returns how many inserts succeeded."""
+        inserted = 0
+        for key in np.asarray(keys, dtype=np.uint64):
+            inserted += self.insert(int(key))
+        return inserted
+
+    def contains_point(self, key: int) -> bool:
+        fp = self._fingerprint(key)
+        i1 = self._index1(key)
+        if fp in self._table[i1]:
+            return True
+        i2 = self._alt_index(i1, fp)
+        return fp in self._table[i2]
+
+    __contains__ = contains_point
+
+    def delete(self, key: int) -> bool:
+        """Remove one copy of ``key``; returns whether anything was removed."""
+        fp = self._fingerprint(key)
+        i1 = self._index1(key)
+        for index in (i1, self._alt_index(i1, fp)):
+            row = self._table[index]
+            for slot in range(_SLOTS_PER_BUCKET):
+                if row[slot] == fp:
+                    row[slot] = 0
+                    self._num_keys -= 1
+                    return True
+        return False
+
+    def _next_random(self) -> int:
+        self._rng_state = splitmix64(self._rng_state)
+        return self._rng_state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CuckooFilter(buckets={self.num_buckets}, f={self.fingerprint_bits}, "
+            f"keys={self._num_keys}, load={self.load():.2f})"
+        )
+
+
+def _next_power_of_two(value: int) -> int:
+    if value <= 1:
+        return 1
+    if is_power_of_two(value):
+        return value
+    return 1 << value.bit_length()

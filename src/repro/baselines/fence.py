@@ -1,0 +1,90 @@
+"""Fence pointers / min-max indices (ZoneMaps [34], BRIN [38]).
+
+The simplest range-capable baseline: the key space of each data block is
+summarized by its ``[min, max]``.  A range query reports the blocks whose key
+span intersects it; a point query reports the blocks whose span contains the
+key.  Precision is limited by block-level granularity, which is why fence
+pointers lose to PRFs on point and small-range queries (Fig. 9.D) while
+remaining cheap and exact at block granularity.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+__all__ = ["FencePointers"]
+
+
+class FencePointers:
+    """Sorted-run min/max index with binary-searched probes."""
+
+    def __init__(self, block_size: int = 128) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._mins: list[int] = []
+        self._maxs: list[int] = []
+        self._num_keys = 0
+
+    @classmethod
+    def build(cls, sorted_keys: np.ndarray, block_size: int = 128) -> "FencePointers":
+        """Build from a sorted key array, one fence per ``block_size`` keys."""
+        fences = cls(block_size=block_size)
+        keys = np.asarray(sorted_keys, dtype=np.uint64)
+        if keys.size and np.any(keys[1:] < keys[:-1]):
+            raise ValueError("FencePointers.build requires sorted keys")
+        for start in range(0, keys.size, block_size):
+            block = keys[start : start + block_size]
+            fences._mins.append(int(block[0]))
+            fences._maxs.append(int(block[-1]))
+        fences._num_keys = int(keys.size)
+        return fences
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._mins)
+
+    @property
+    def size_bits(self) -> int:
+        """Two 64-bit bounds per block."""
+        return 128 * self.num_blocks
+
+    # ------------------------------------------------------------------
+    def blocks_for_point(self, key: int) -> list[int]:
+        """Indices of blocks whose [min, max] contains ``key``."""
+        # Blocks are sorted and non-overlapping for a sorted run; at most one
+        # block matches, found by binary search over the block minima.
+        idx = bisect.bisect_right(self._mins, key) - 1
+        if idx >= 0 and self._mins[idx] <= key <= self._maxs[idx]:
+            return [idx]
+        return []
+
+    def blocks_for_range(self, l_key: int, r_key: int) -> list[int]:
+        """Indices of blocks intersecting ``[l_key, r_key]``."""
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        first = bisect.bisect_right(self._maxs, l_key - 1) if l_key else 0
+        out = []
+        for idx in range(first, self.num_blocks):
+            if self._mins[idx] > r_key:
+                break
+            out.append(idx)
+        return out
+
+    def contains_point(self, key: int) -> bool:
+        return bool(self.blocks_for_point(key))
+
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        return bool(self.blocks_for_range(l_key, r_key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FencePointers(blocks={self.num_blocks}, "
+            f"block_size={self.block_size}, keys={self._num_keys})"
+        )

@@ -1,0 +1,108 @@
+"""Prefix Bloom filter (classic range-capable BF, the paper's Fig. 9.D baseline).
+
+A Bloom filter over *fixed-length prefixes*: every key is truncated to its
+``domain_bits - prefix_level`` high bits before insertion.  Point lookups
+probe the single prefix of the lookup key (losing precision — the paper calls
+prefix BFs "impractical for point queries").  Range lookups enumerate every
+prefix whose dyadic interval intersects the query, so probe cost grows
+linearly with ``range_size / 2**prefix_level`` — the latency cliff visible in
+Fig. 9.D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bloom import BloomFilter
+from repro.dyadic import covering_prefix_range
+
+__all__ = ["PrefixBloomFilter"]
+
+# Range probes beyond this many prefixes answer a sound "maybe" instead of
+# scanning forever (mirrors production prefix-BF usage, which only serves
+# prefix-aligned scans).
+_MAX_PROBES = 1 << 16
+
+
+class PrefixBloomFilter:
+    """Bloom filter over key prefixes at one fixed dyadic level."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        bits_per_key: float,
+        prefix_level: int,
+        domain_bits: int = 64,
+        seed: int = 0x9F1,
+    ) -> None:
+        if not 0 <= prefix_level < domain_bits:
+            raise ValueError(
+                f"prefix_level must be in [0, {domain_bits}), got {prefix_level}"
+            )
+        self.prefix_level = prefix_level
+        self.domain_bits = domain_bits
+        self._bloom = BloomFilter(
+            n_keys=n_keys, bits_per_key=bits_per_key, style="optimal", seed=seed
+        )
+
+    @classmethod
+    def for_range(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        expected_range: int,
+        domain_bits: int = 64,
+        seed: int = 0x9F1,
+    ) -> "PrefixBloomFilter":
+        """Pick the prefix level so a typical query touches ~2 prefixes."""
+        level = max(0, min(domain_bits - 1, max(expected_range, 2).bit_length() - 1))
+        return cls(
+            n_keys=n_keys,
+            bits_per_key=bits_per_key,
+            prefix_level=level,
+            domain_bits=domain_bits,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bloom)
+
+    @property
+    def size_bits(self) -> int:
+        return self._bloom.size_bits
+
+    def insert(self, key: int) -> None:
+        self._bloom.insert(key >> self.prefix_level)
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        prefixes = np.asarray(keys, dtype=np.uint64) >> np.uint64(self.prefix_level)
+        self._bloom.insert_many(prefixes)
+
+    def contains_point(self, key: int) -> bool:
+        """Point probe — answers at prefix granularity (high FPR by design)."""
+        return self._bloom.contains_point(key >> self.prefix_level)
+
+    def contains_range(self, l_key: int, r_key: int) -> tuple[bool, int]:
+        """Range probe; returns ``(answer, probes)`` — probes drive latency.
+
+        Cost is linear in the number of covering prefixes, illustrating why
+        prefix BFs only suit range sizes near their fixed prefix level.
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        p_lo, p_hi = covering_prefix_range(l_key, r_key, self.prefix_level)
+        if p_hi - p_lo + 1 > _MAX_PROBES:
+            return True, 1  # beyond practical enumeration: sound "maybe"
+        probes = 0
+        for prefix in range(p_lo, p_hi + 1):
+            probes += 1
+            if self._bloom.contains_point(prefix):
+                return True, probes
+        return False, probes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PrefixBloomFilter(level={self.prefix_level}, "
+            f"bits={self.size_bits}, keys={len(self)})"
+        )

@@ -1,0 +1,230 @@
+"""Rosetta (Luo et al., SIGMOD 2020 [29]) — the dyadic point-range baseline.
+
+Rosetta maintains one Bloom filter per dyadic level ``0..L`` (``L = log2 R``,
+the largest supported query range).  Inserting a key inserts its prefix on
+every level; a range query decomposes the interval into at most ``2L``
+maximal DIs (Sect. 2) and probes each with *doubting*: a positive DI on
+level ``l`` is only believed after recursively confirming one of its two
+children, down to level 0.  This gives Rosetta its excellent small-range FPR
+and its ``O(log R)``-to-``O(R)`` probe cost (Sect. 6 of the bloomRF paper).
+
+Variants implemented (Sect. 6):
+
+* ``first_cut``  — (F): bottom level sized for the target FPR, all upper
+  levels sized for FPR ``1/(2 - eps)`` (~0.5, i.e. ~1.44 bits/key).
+* ``single_level`` — (S): only the bottom BF; range queries probe every key
+  in the interval (linear time).
+* ``tuned`` — (O)-style: a fixed total budget is split by giving every upper
+  level its ~1.44 bits/key survival ration and the bottom level the rest;
+  when the budget cannot feed all ``L`` levels the upper allocation shrinks,
+  degrading long-range FPR first — reproducing the behaviour the paper
+  reports for Rosetta under small budgets / large ranges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.bloom import BloomFilter, bits_for_fpr
+from repro.dyadic import dyadic_decompose
+
+__all__ = ["Rosetta"]
+
+# Bits/key that keep an upper-level BF at ~50% FPR (ln2-scaled single hash).
+_UPPER_LEVEL_BITS_PER_KEY = 1.44
+# An upper level below this allocation is useless (FPR ~ 1); the tuner drops
+# levels it cannot afford instead, like Rosetta's variant switching.
+_MIN_UPPER_BITS_PER_KEY = 0.7
+# Probe budget per range query before answering a sound "maybe" (bounds the
+# worst-case O(R) doubting walk the paper describes).
+_MAX_PROBES = 1 << 9
+
+
+class Rosetta:
+    """Hierarchical Bloom filters over dyadic prefixes, with doubting."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        level_bits: dict[int, int],
+        domain_bits: int = 64,
+        seed: int = 0x0E77A,
+    ) -> None:
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        if 0 not in level_bits:
+            raise ValueError("Rosetta requires a level-0 (point) Bloom filter")
+        self.domain_bits = domain_bits
+        self.n_keys = n_keys
+        self.max_level = max(level_bits)
+        self._filters: dict[int, BloomFilter] = {}
+        for level, bits in sorted(level_bits.items()):
+            if not 0 <= level <= domain_bits:
+                raise ValueError(f"level {level} outside domain of {domain_bits} bits")
+            self._filters[level] = BloomFilter(
+                n_keys=n_keys,
+                bits_per_key=max(bits / n_keys, 0.5),
+                style="optimal",
+                seed=seed + level,
+            )
+        self._num_keys = 0
+        self.last_probe_count = 0
+
+    # ------------------------------------------------------------------
+    # constructors / tuning
+    # ------------------------------------------------------------------
+    @classmethod
+    def first_cut(
+        cls,
+        n_keys: int,
+        target_fpr: float,
+        max_range: int,
+        domain_bits: int = 64,
+        seed: int = 0x0E77A,
+    ) -> "Rosetta":
+        """Variant (F): FPR ``eps`` at level 0, ``1/(2-eps)`` above."""
+        max_level = min(domain_bits, max(1, math.ceil(math.log2(max(max_range, 2)))))
+        upper_fpr = 1.0 / (2.0 - target_fpr)
+        level_bits = {0: bits_for_fpr(n_keys, target_fpr)}
+        for level in range(1, max_level + 1):
+            level_bits[level] = bits_for_fpr(n_keys, upper_fpr)
+        return cls(n_keys, level_bits, domain_bits=domain_bits, seed=seed)
+
+    @classmethod
+    def single_level(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        domain_bits: int = 64,
+        seed: int = 0x0E77A,
+    ) -> "Rosetta":
+        """Variant (S): one point BF; ranges probed key by key."""
+        return cls(
+            n_keys,
+            {0: int(n_keys * bits_per_key)},
+            domain_bits=domain_bits,
+            seed=seed,
+        )
+
+    @classmethod
+    def tuned(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        max_range: int,
+        domain_bits: int = 64,
+        seed: int = 0x0E77A,
+    ) -> "Rosetta":
+        """Budget-driven allocation ((O)-style heuristic, see module doc)."""
+        total_bits = int(n_keys * bits_per_key)
+        max_level = min(domain_bits, max(1, math.ceil(math.log2(max(max_range, 2)))))
+        # Drop levels the budget cannot feed (an upper BF below ~0.7 b/k is
+        # pure noise): Rosetta then serves larger ranges only via many small
+        # pieces, degrading exactly as the paper's Problem 1 describes.
+        affordable = int(
+            (total_bits // 4) / max(_MIN_UPPER_BITS_PER_KEY * n_keys, 1)
+        )
+        max_level = max(1, min(max_level, affordable))
+        # Bottom-heavy split, mimicking the published (V) weighting: upper
+        # levels get their ~1.44 bits/key survival ration only while that
+        # costs at most a quarter of the budget; the precise bottom filter —
+        # which doubting funnels every decision through — takes the rest.
+        upper_each = int(_UPPER_LEVEL_BITS_PER_KEY * n_keys)
+        upper_budget = min(max_level * upper_each, total_bits // 4)
+        upper_each = max(upper_budget // max_level, n_keys // 4) if max_level else 0
+        level_bits = {0: max(total_bits - max_level * upper_each, n_keys)}
+        for level in range(1, max_level + 1):
+            level_bits[level] = upper_each
+        return cls(n_keys, level_bits, domain_bits=domain_bits, seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bits(self) -> int:
+        return sum(f.size_bits for f in self._filters.values())
+
+    @property
+    def levels(self) -> list[int]:
+        return sorted(self._filters)
+
+    def __len__(self) -> int:
+        return self._num_keys
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        for level, filt in self._filters.items():
+            filt.insert(key >> level)
+        self._num_keys += 1
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        for level, filt in self._filters.items():
+            filt.insert_many(keys >> np.uint64(level))
+        self._num_keys += int(keys.size)
+
+    def contains_point(self, key: int) -> bool:
+        """Point probe: the precise bottom filter decides."""
+        return self._filters[0].contains_point(key)
+
+    __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Dyadic decomposition + doubting (Rosetta's range query)."""
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        self.last_probe_count = 0
+        pieces = _bounded_decompose(l_key, r_key, self.max_level)
+        if pieces is None:
+            return True  # range far beyond the tuned budget: sound "maybe"
+        for level, prefix in pieces:
+            result = self._doubt(level, prefix)
+            if result is None:
+                return True  # probe budget exhausted mid-doubt
+            if result:
+                return True
+        return False
+
+    def _doubt(self, level: int, prefix: int) -> bool | None:
+        """Recursively confirm a positive DI down to level 0.
+
+        Returns True/False, or None when the probe budget is exhausted
+        (treated as a positive by the caller — soundness is preserved).
+        """
+        self.last_probe_count += 1
+        if self.last_probe_count > _MAX_PROBES:
+            return None
+        filt = self._filters.get(level)
+        if filt is not None and not filt.contains_point(prefix):
+            return False
+        if level == 0:
+            return True
+        left = self._doubt(level - 1, prefix << 1)
+        if left is None or left:
+            return left
+        return self._doubt(level - 1, (prefix << 1) | 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Rosetta(levels=0..{self.max_level}, bits={self.size_bits}, "
+            f"keys={self._num_keys})"
+        )
+
+
+def _bounded_decompose(
+    l_key: int, r_key: int, max_level: int
+) -> list[tuple[int, int]] | None:
+    """Decomposition capped at ``max_level``; None if it would explode.
+
+    Capping the level means a query much longer than the tuned ``R`` breaks
+    into ``~range/2**max_level`` pieces; Rosetta cannot serve those
+    efficiently (the paper's Problem 1), so we bail out conservatively once
+    the piece count exceeds the probe budget.
+    """
+    if (r_key - l_key + 1) >> max_level > _MAX_PROBES:
+        return None
+    pieces = dyadic_decompose(l_key, r_key, max_level=max_level)
+    if len(pieces) > _MAX_PROBES:
+        return None
+    return pieces

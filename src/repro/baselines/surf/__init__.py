@@ -1,0 +1,27 @@
+"""SuRF — Fast Succinct Trie range filter (Zhang et al., SIGMOD 2018 [49]).
+
+Built from scratch: rank/select bitvectors, a LOUDS-Dense top / LOUDS-Sparse
+bottom trie over shortest distinguishing key prefixes, and the Base / Hash /
+Real suffix variants.  See :mod:`repro.baselines.surf.builder` for the
+construction and :mod:`repro.baselines.surf.surf` for navigation.
+"""
+
+from repro.baselines.surf.bitvector import RankSelectBitVector
+from repro.baselines.surf.builder import (
+    SUFFIX_HASH,
+    SUFFIX_NONE,
+    SUFFIX_REAL,
+    TrieData,
+    build_trie,
+)
+from repro.baselines.surf.surf import SuRF
+
+__all__ = [
+    "SuRF",
+    "RankSelectBitVector",
+    "TrieData",
+    "build_trie",
+    "SUFFIX_NONE",
+    "SUFFIX_HASH",
+    "SUFFIX_REAL",
+]

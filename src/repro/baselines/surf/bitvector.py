@@ -1,0 +1,91 @@
+"""Succinct rank/select bitvector for the LOUDS-encoded trie.
+
+Construction is vectorized (NumPy); queries are scalar but O(1)-ish:
+``rank1`` combines a precomputed per-word cumulative popcount with one
+in-word popcount; ``select1`` binary-searches the cumulative array and scans
+a single word.  This trades a little space (one int64 per 64 bits) for the
+simplicity Python needs — the *nominal* succinct size used in the bits/key
+accounting is reported separately by the SuRF facade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RankSelectBitVector"]
+
+
+class RankSelectBitVector:
+    """Immutable bitvector with 1-based select and exclusive/inclusive rank."""
+
+    __slots__ = ("num_bits", "words", "_cum", "num_ones")
+
+    def __init__(self, bits: np.ndarray) -> None:
+        """Build from a 0/1 (or boolean) array, one entry per bit."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        self.num_bits = int(bits.size)
+        padded = np.zeros(-(-self.num_bits // 64) * 64, dtype=np.uint8)
+        padded[: self.num_bits] = bits
+        self.words = np.packbits(padded, bitorder="little").view(np.uint64)
+        counts = np.bitwise_count(self.words).astype(np.int64)
+        self._cum = np.concatenate(([0], np.cumsum(counts)))
+        self.num_ones = int(self._cum[-1])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_bits
+
+    def get(self, pos: int) -> bool:
+        """Bit value at ``pos``."""
+        return bool((int(self.words[pos >> 6]) >> (pos & 63)) & 1)
+
+    def rank1(self, pos: int) -> int:
+        """Number of set bits in ``[0, pos)`` (exclusive rank)."""
+        if pos <= 0:
+            return 0
+        if pos >= self.num_bits:
+            return self.num_ones
+        word_idx = pos >> 6
+        within = int(self.words[word_idx]) & ((1 << (pos & 63)) - 1)
+        return int(self._cum[word_idx]) + within.bit_count()
+
+    def rank1_inclusive(self, pos: int) -> int:
+        """Number of set bits in ``[0, pos]``."""
+        return self.rank1(pos + 1)
+
+    def select1(self, count: int) -> int:
+        """Position of the ``count``-th set bit (1-based).
+
+        Raises ``IndexError`` if fewer than ``count`` bits are set.
+        """
+        if not 1 <= count <= self.num_ones:
+            raise IndexError(
+                f"select1({count}) out of range (only {self.num_ones} ones)"
+            )
+        word_idx = int(np.searchsorted(self._cum, count, side="left")) - 1
+        remaining = count - int(self._cum[word_idx])
+        word = int(self.words[word_idx])
+        pos = word_idx << 6
+        while True:
+            low_bit = word & -word
+            remaining -= 1
+            if remaining == 0:
+                return pos + low_bit.bit_length() - 1
+            word ^= low_bit
+
+    def next_set_bit(self, pos: int) -> int:
+        """Smallest set position >= ``pos``, or -1 when none exists."""
+        if pos >= self.num_bits:
+            return -1
+        word_idx = pos >> 6
+        word = int(self.words[word_idx]) >> (pos & 63)
+        if word:
+            return pos + (word & -word).bit_length() - 1
+        for idx in range(word_idx + 1, self.words.size):
+            word = int(self.words[idx])
+            if word:
+                return (idx << 6) + (word & -word).bit_length() - 1
+        return -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RankSelectBitVector(bits={self.num_bits}, ones={self.num_ones})"

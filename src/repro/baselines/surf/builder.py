@@ -1,0 +1,298 @@
+"""SuRF trie builder: truncation, BFS layout, LOUDS-Dense/Sparse emission.
+
+SuRF (Zhang et al. [49]) stores the *shortest distinguishing prefixes* of the
+key set in a Fast Succinct Trie: each key is cut right after the byte that
+separates it from its sorted neighbors, which bounds the trie size by the key
+count instead of the key length — and is exactly the truncation whose lost
+suffixes cause SuRF's range false positives on short ranges (the bloomRF
+paper's Problem 1).
+
+The builder works on sorted, distinct byte strings:
+
+1. compute per-key kept lengths from neighbor LCPs,
+2. BFS over the implicit trie, collecting per-level node layouts,
+3. split levels into a LOUDS-Dense top (256-bit bitmaps per node) and a
+   LOUDS-Sparse bottom (label byte + has-child bit + LOUDS bit per entry)
+   using SuRF's size-ratio rule, and
+4. emit suffix values per leaf (none / key hash / real key bits) in global
+   BFS order, which is the order rank-based value lookup reconstructs.
+
+A key that is a proper prefix of another stored key becomes a *prefix key*:
+the D-IsPrefixKey bit of its node in the dense part, or a terminator label
+(sorting before all real labels) in the sparse part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.surf.bitvector import RankSelectBitVector
+from repro.hashing import splitmix64
+
+__all__ = ["TrieData", "build_trie", "SUFFIX_NONE", "SUFFIX_HASH", "SUFFIX_REAL"]
+
+SUFFIX_NONE = "none"
+SUFFIX_HASH = "hash"
+SUFFIX_REAL = "real"
+
+_TERM = -1  # terminator pseudo-label; sorts before every real byte
+
+# Nominal per-unit sizes (bits) used for cutoff choice and size accounting,
+# matching the SuRF paper: dense node = 2x256-bit maps + prefix-key bit;
+# sparse entry = 8-bit label + has-child bit + LOUDS bit.
+_DENSE_NODE_BITS = 2 * 256 + 1
+_SPARSE_ENTRY_BITS = 10
+
+
+@dataclass
+class TrieData:
+    """Everything the navigation layer needs, already rank/select-indexed."""
+
+    num_keys: int
+    # Dense part (levels [0, cutoff)):
+    num_dense_nodes: int
+    d_labels: RankSelectBitVector | None
+    d_haschild: RankSelectBitVector | None
+    d_leaf: RankSelectBitVector | None
+    d_isprefix: RankSelectBitVector | None
+    num_dense_values: int
+    # Sparse part (levels >= cutoff):
+    s_labels: np.ndarray  # uint16: 0 = terminator, byte b stored as b + 1
+    s_haschild: RankSelectBitVector | None
+    s_louds: RankSelectBitVector | None
+    dense_to_sparse: int  # sparse root-node count (D2S)
+    cutoff_level: int
+    # Suffixes:
+    suffix_mode: str
+    suffix_bits: int
+    suffixes: np.ndarray  # uint64, one per leaf/value in BFS order
+
+    @property
+    def nominal_bits(self) -> int:
+        """SuRF's C++-level structure size (what bits/key accounting uses)."""
+        return (
+            self.num_dense_nodes * _DENSE_NODE_BITS
+            + int(self.s_labels.size) * _SPARSE_ENTRY_BITS
+            + int(self.suffixes.size) * self.suffix_bits
+        )
+
+
+def _kept_lengths(keys: list[bytes]) -> list[int]:
+    """Shortest distinguishing length per key (>= 1, capped at key length)."""
+    n = len(keys)
+    lcp = [0] * (n - 1)
+    for i in range(n - 1):
+        a, b = keys[i], keys[i + 1]
+        limit = min(len(a), len(b))
+        j = 0
+        while j < limit and a[j] == b[j]:
+            j += 1
+        lcp[i] = j
+    kept = []
+    for i in range(n):
+        need = 1
+        if i > 0:
+            need = max(need, lcp[i - 1] + 1)
+        if i < n - 1:
+            need = max(need, lcp[i] + 1)
+        kept.append(min(len(keys[i]), need))
+    return kept
+
+
+def _key_hash(data: bytes, seed: int) -> int:
+    digest = splitmix64(len(data), seed=seed)
+    for start in range(0, len(data), 8):
+        chunk = data[start : start + 8]
+        digest = splitmix64(digest ^ int.from_bytes(chunk, "big"), seed=seed)
+    return digest
+
+
+def _real_suffix(data: bytes, consumed: int, bits: int) -> int:
+    """First ``bits`` key bits after the kept prefix, zero-padded."""
+    if bits == 0:
+        return 0
+    tail = data[consumed:]
+    nbytes = -(-bits // 8)
+    padded = tail[:nbytes].ljust(nbytes, b"\x00")
+    return int.from_bytes(padded, "big") >> (8 * nbytes - bits)
+
+
+def build_trie(
+    keys: list[bytes],
+    suffix_mode: str = SUFFIX_NONE,
+    suffix_bits: int = 0,
+    dense_ratio: int = 64,
+    seed: int = 0x50F1,
+) -> TrieData:
+    """Build the LOUDS-DS trie from sorted, distinct byte-string keys."""
+    if suffix_mode not in (SUFFIX_NONE, SUFFIX_HASH, SUFFIX_REAL):
+        raise ValueError(f"unknown suffix mode {suffix_mode!r}")
+    if suffix_mode == SUFFIX_NONE:
+        suffix_bits = 0
+    elif not 0 <= suffix_bits <= 64:
+        raise ValueError(f"suffix_bits must be in [0, 64], got {suffix_bits}")
+    n = len(keys)
+    if n == 0:
+        raise ValueError("SuRF requires at least one key")
+    for i in range(n - 1):
+        if keys[i] >= keys[i + 1]:
+            raise ValueError("keys must be sorted and distinct")
+    if any(len(k) == 0 for k in keys):
+        raise ValueError("empty keys are not supported")
+
+    kept = _kept_lengths(keys)
+
+    # ------------------------------------------------------------------
+    # BFS: build per-level node layouts.
+    # Node entry: (label, leaf_key_index) — leaf_key_index None => internal.
+    # ------------------------------------------------------------------
+    levels: list[list[list[tuple[int, int | None]]]] = []
+    queue: list[tuple[int, int]] = [(0, n)]
+    depth = 0
+    while queue:
+        level_nodes: list[list[tuple[int, int | None]]] = []
+        next_queue: list[tuple[int, int]] = []
+        for lo, hi in queue:
+            entries: list[tuple[int, int | None]] = []
+            i = lo
+            if kept[i] == depth:
+                entries.append((_TERM, i))  # prefix key ends at this node
+                i += 1
+            while i < hi:
+                byte = keys[i][depth]
+                j = i
+                while j < hi and keys[j][depth] == byte:
+                    j += 1
+                if j - i == 1:
+                    entries.append((byte, i))  # single key: leaf edge
+                else:
+                    entries.append((byte, None))
+                    next_queue.append((i, j))
+                i = j
+            level_nodes.append(entries)
+        levels.append(level_nodes)
+        queue = next_queue
+        depth += 1
+
+    # ------------------------------------------------------------------
+    # Choose the dense/sparse cutoff level: SuRF keeps the upper levels in
+    # LOUDS-Dense only while their dense encoding stays at most 1/R of the
+    # LOUDS-Sparse size of the remaining lower levels (default R = 64).
+    # ------------------------------------------------------------------
+    level_dense_cost = [len(lv) * _DENSE_NODE_BITS for lv in levels]
+    level_sparse_cost = [
+        sum(len(node) for node in lv) * _SPARSE_ENTRY_BITS for lv in levels
+    ]
+    cutoff = 0
+    dense_cum = 0
+    sparse_below = sum(level_sparse_cost)
+    for level in range(len(levels)):
+        dense_cum += level_dense_cost[level]
+        sparse_below -= level_sparse_cost[level]
+        if dense_cum * dense_ratio <= max(sparse_below, 1):
+            cutoff = level + 1
+
+    # ------------------------------------------------------------------
+    # Emit structures.
+    # ------------------------------------------------------------------
+    dense_levels = levels[:cutoff]
+    sparse_levels = levels[cutoff:]
+    num_dense_nodes = sum(len(lv) for lv in dense_levels)
+
+    d_labels = np.zeros(num_dense_nodes * 256, dtype=bool)
+    d_haschild = np.zeros(num_dense_nodes * 256, dtype=bool)
+    d_isprefix = np.zeros(max(num_dense_nodes, 1), dtype=bool)
+    suffix_list: list[int] = []
+
+    def emit_suffix(key_index: int, consumed: int) -> None:
+        if suffix_mode == SUFFIX_HASH:
+            suffix_list.append(
+                _key_hash(keys[key_index], seed) & ((1 << suffix_bits) - 1)
+                if suffix_bits
+                else 0
+            )
+        elif suffix_mode == SUFFIX_REAL:
+            suffix_list.append(_real_suffix(keys[key_index], consumed, suffix_bits))
+        else:
+            suffix_list.append(0)
+
+    node_counter = 0
+    for level, level_nodes in enumerate(dense_levels):
+        for entries in level_nodes:
+            base = node_counter * 256
+            for label, key_index in entries:
+                if label == _TERM:
+                    d_isprefix[node_counter] = True
+                    emit_suffix(key_index, level)
+                elif key_index is not None:
+                    d_labels[base + label] = True
+                    emit_suffix(key_index, level + 1)
+                else:
+                    d_labels[base + label] = True
+                    d_haschild[base + label] = True
+            node_counter += 1
+    num_dense_values = len(suffix_list)
+
+    s_labels_list: list[int] = []
+    s_haschild_list: list[bool] = []
+    s_louds_list: list[bool] = []
+    for level_offset, level_nodes in enumerate(sparse_levels):
+        level = cutoff + level_offset
+        for entries in level_nodes:
+            first = True
+            for label, key_index in entries:
+                s_labels_list.append(0 if label == _TERM else label + 1)
+                s_louds_list.append(first)
+                first = False
+                if label == _TERM:
+                    s_haschild_list.append(False)
+                    emit_suffix(key_index, level)
+                elif key_index is not None:
+                    s_haschild_list.append(False)
+                    emit_suffix(key_index, level + 1)
+                else:
+                    s_haschild_list.append(True)
+
+    # Sparse root-node count: children crossing the dense/sparse boundary,
+    # or the root itself when the whole trie is sparse.
+    if cutoff == 0:
+        dense_to_sparse = 1
+    elif sparse_levels:
+        dense_to_sparse = sum(
+            1
+            for entries in dense_levels[-1]
+            for label, key_index in entries
+            if label != _TERM and key_index is None
+        )
+    else:
+        dense_to_sparse = 0
+
+    return TrieData(
+        num_keys=n,
+        num_dense_nodes=num_dense_nodes,
+        d_labels=RankSelectBitVector(d_labels) if num_dense_nodes else None,
+        d_haschild=RankSelectBitVector(d_haschild) if num_dense_nodes else None,
+        d_leaf=(
+            RankSelectBitVector(d_labels & ~d_haschild) if num_dense_nodes else None
+        ),
+        d_isprefix=RankSelectBitVector(d_isprefix) if num_dense_nodes else None,
+        num_dense_values=num_dense_values,
+        s_labels=np.asarray(s_labels_list, dtype=np.uint16),
+        s_haschild=(
+            RankSelectBitVector(np.asarray(s_haschild_list, dtype=bool))
+            if s_labels_list
+            else None
+        ),
+        s_louds=(
+            RankSelectBitVector(np.asarray(s_louds_list, dtype=bool))
+            if s_labels_list
+            else None
+        ),
+        dense_to_sparse=dense_to_sparse,
+        cutoff_level=cutoff,
+        suffix_mode=suffix_mode,
+        suffix_bits=suffix_bits,
+        suffixes=np.asarray(suffix_list, dtype=np.uint64),
+    )

@@ -1,0 +1,548 @@
+"""SuRF: point and range queries over the LOUDS-DS fast succinct trie.
+
+Navigation uses the standard rank/select formulas:
+
+* dense child of ``(node n, byte c)``: ``rank1(D-HasChild, n*256 + c)``
+  (inclusive) — BFS node numbers start at 0 for the root, so the i-th
+  has-child position leads to node i; numbers past the dense node count
+  cross into the sparse part.
+* sparse node ``s`` spans label positions
+  ``[select1(S-LOUDS, s+1), select1(S-LOUDS, s+2))``; the child of position
+  ``p`` is sparse node ``D2S + rank1(S-HasChild, p) - 1`` where ``D2S``
+  counts the sparse root nodes created at the dense/sparse boundary.
+* leaf values (suffixes) are indexed by rank over the leaf indicators, in
+  global BFS order (dense prefix-key bit sorts before the node's labels,
+  the sparse terminator label sorts before all real labels).
+
+Range queries implement ``moveToKeyGreaterThan``: walk down along the left
+query bound, fall back to the smallest leaf of the first subtree to the
+right when a byte cannot be matched, and accept when the found leaf's
+*minimal extension* (stored prefix, refined by real-suffix bits when
+available, zero-padded) does not exceed the right bound.  Truncated suffixes
+make this conservative — SuRF's documented source of short-range false
+positives — but never produce a false negative, which the property tests
+verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.surf.builder import (
+    SUFFIX_HASH,
+    SUFFIX_NONE,
+    SUFFIX_REAL,
+    TrieData,
+    build_trie,
+    _key_hash,
+    _real_suffix,
+)
+
+__all__ = ["SuRF"]
+
+_DENSE = 0
+_SPARSE = 1
+
+
+def _uint64_to_bytes(key: int) -> bytes:
+    return int(key).to_bytes(8, "big")
+
+
+def _min_ext_leq(min_ext: bytes, bound: bytes) -> bool:
+    """Is ``min_ext`` zero-padded lexicographically <= ``bound``?"""
+    common = min(len(min_ext), len(bound))
+    head_a, head_b = min_ext[:common], bound[:common]
+    if head_a != head_b:
+        return head_a < head_b
+    if len(min_ext) <= len(bound):
+        return True
+    return all(b == 0 for b in min_ext[common:])
+
+
+class SuRF:
+    """Fast Succinct Trie range filter (SuRF-Base / -Hash / -Real)."""
+
+    def __init__(
+        self,
+        keys: list[bytes],
+        suffix_mode: str = SUFFIX_REAL,
+        suffix_bits: int = 8,
+        dense_ratio: int = 64,
+        seed: int = 0x50F1,
+    ) -> None:
+        self._seed = seed
+        self._trie: TrieData = build_trie(
+            keys,
+            suffix_mode=suffix_mode,
+            suffix_bits=suffix_bits,
+            dense_ratio=dense_ratio,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uint64(
+        cls,
+        keys: np.ndarray,
+        suffix_mode: str = SUFFIX_REAL,
+        suffix_bits: int = 8,
+        dense_ratio: int = 64,
+        seed: int = 0x50F1,
+    ) -> "SuRF":
+        """Build over 64-bit integer keys (big-endian byte order)."""
+        keys = np.unique(np.asarray(keys, dtype=np.uint64))
+        raw = keys.astype(">u8").tobytes()
+        key_bytes = [raw[i : i + 8] for i in range(0, len(raw), 8)]
+        return cls(
+            key_bytes,
+            suffix_mode=suffix_mode,
+            suffix_bits=suffix_bits,
+            dense_ratio=dense_ratio,
+            seed=seed,
+        )
+
+    @classmethod
+    def tuned_uint64(
+        cls,
+        keys: np.ndarray,
+        bits_per_key: float,
+        suffix_mode: str = SUFFIX_REAL,
+        dense_ratio: int = 64,
+        seed: int = 0x50F1,
+    ) -> "SuRF":
+        """Pick the largest suffix length that fits the space budget.
+
+        SuRF cannot hit arbitrary budgets: the base trie is a floor.  When
+        even ``suffix_bits = 0`` exceeds the budget the base filter is
+        returned and its real ``size_bits`` reports the overshoot (the paper
+        notes it could not always select a SuRF setting).
+        """
+        base = cls.from_uint64(
+            keys, suffix_mode=SUFFIX_NONE, suffix_bits=0,
+            dense_ratio=dense_ratio, seed=seed,
+        )
+        n = base._trie.num_keys
+        budget = int(bits_per_key * n)
+        spare = budget - base._trie.nominal_bits
+        suffix_bits = max(0, min(64, spare // n))
+        if suffix_bits == 0 or suffix_mode == SUFFIX_NONE:
+            return base
+        return cls.from_uint64(
+            keys, suffix_mode=suffix_mode, suffix_bits=int(suffix_bits),
+            dense_ratio=dense_ratio, seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._trie.num_keys
+
+    @property
+    def size_bits(self) -> int:
+        """Nominal structure size (C++-equivalent bits; see builder)."""
+        return self._trie.nominal_bits
+
+    @property
+    def suffix_mode(self) -> str:
+        return self._trie.suffix_mode
+
+    @property
+    def suffix_bits(self) -> int:
+        return self._trie.suffix_bits
+
+    @property
+    def cutoff_level(self) -> int:
+        """First LOUDS-Sparse level (levels above are LOUDS-Dense)."""
+        return self._trie.cutoff_level
+
+    # ------------------------------------------------------------------
+    # node navigation helpers
+    # ------------------------------------------------------------------
+    def _root(self) -> tuple[int, int]:
+        if self._trie.num_dense_nodes:
+            return (_DENSE, 0)
+        return (_SPARSE, 0)
+
+    def _dense_child(self, node: int, byte: int) -> tuple[int, int]:
+        child = self._trie.d_haschild.rank1_inclusive(node * 256 + byte)
+        if child < self._trie.num_dense_nodes:
+            return (_DENSE, child)
+        return (_SPARSE, child - self._trie.num_dense_nodes)
+
+    def _sparse_child(self, pos: int) -> tuple[int, int]:
+        t = self._trie
+        return (_SPARSE, t.dense_to_sparse + t.s_haschild.rank1_inclusive(pos) - 1)
+
+    def _sparse_span(self, node: int) -> tuple[int, int]:
+        t = self._trie
+        start = t.s_louds.select1(node + 1)
+        if node + 2 <= t.s_louds.num_ones:
+            return start, t.s_louds.select1(node + 2)
+        return start, int(t.s_labels.size)
+
+    def _dense_leaf_value(self, node: int, byte: int) -> int:
+        t = self._trie
+        return t.d_isprefix.rank1(node + 1) + t.d_leaf.rank1(node * 256 + byte)
+
+    def _dense_prefix_value(self, node: int) -> int:
+        t = self._trie
+        return t.d_isprefix.rank1(node) + t.d_leaf.rank1(node * 256)
+
+    def _sparse_leaf_value(self, pos: int) -> int:
+        t = self._trie
+        leaves_before = pos + 1 - t.s_haschild.rank1_inclusive(pos)
+        return t.num_dense_values + leaves_before - 1
+
+    # ------------------------------------------------------------------
+    # suffix checks
+    # ------------------------------------------------------------------
+    def _suffix_matches(self, value_index: int, key: bytes, consumed: int) -> bool:
+        t = self._trie
+        if t.suffix_mode == SUFFIX_NONE or t.suffix_bits == 0:
+            return True
+        stored = int(t.suffixes[value_index])
+        if t.suffix_mode == SUFFIX_HASH:
+            return stored == (
+                _key_hash(key, self._seed) & ((1 << t.suffix_bits) - 1)
+            )
+        return stored == _real_suffix(key, consumed, t.suffix_bits)
+
+    def _suffix_below(self, value_index: int, bound: bytes, consumed: int) -> bool:
+        """Do the stored real-suffix bits prove the key is below ``bound``?
+
+        Used by the successor walk when a stored (truncated) key is a prefix
+        of the left query bound: comparing the stored suffix bits with the
+        bound's next bits can prove the key smaller, letting SuRF-Real skip
+        it (the refinement that gives SuRF-Real its range-FPR advantage).
+        Conservative: returns False whenever uncertain.
+        """
+        t = self._trie
+        if t.suffix_mode != SUFFIX_REAL or t.suffix_bits == 0:
+            return False
+        stored = int(t.suffixes[value_index])
+        return stored < _real_suffix(bound, consumed, t.suffix_bits)
+
+    def _suffix_as_bytes(self, value_index: int) -> bytes:
+        """Real-suffix bits as a zero-padded byte fragment (range refinement)."""
+        t = self._trie
+        if t.suffix_mode != SUFFIX_REAL or t.suffix_bits == 0:
+            return b""
+        nbytes = -(-t.suffix_bits // 8)
+        value = int(t.suffixes[value_index]) << (8 * nbytes - t.suffix_bits)
+        return value.to_bytes(nbytes, "big")
+
+    # ------------------------------------------------------------------
+    # point lookup
+    # ------------------------------------------------------------------
+    def contains_point(self, key: int | bytes) -> bool:
+        """Approximate membership; false positives only."""
+        data = _uint64_to_bytes(key) if isinstance(key, int) else key
+        t = self._trie
+        kind, node = self._root()
+        depth = 0
+        while True:
+            if kind == _DENSE:
+                if depth == len(data):
+                    return bool(t.d_isprefix.get(node)) and self._suffix_matches(
+                        self._dense_prefix_value(node), data, depth
+                    )
+                byte = data[depth]
+                flat = node * 256 + byte
+                if not t.d_labels.get(flat):
+                    return False
+                if not t.d_haschild.get(flat):
+                    return self._suffix_matches(
+                        self._dense_leaf_value(node, byte), data, depth + 1
+                    )
+                kind, node = self._dense_child(node, byte)
+                depth += 1
+            else:
+                start, end = self._sparse_span(node)
+                if depth == len(data):
+                    if t.s_labels[start] == 0:  # terminator leaf
+                        return self._suffix_matches(
+                            self._sparse_leaf_value(start), data, depth
+                        )
+                    return False
+                target = data[depth] + 1
+                offset = int(
+                    np.searchsorted(t.s_labels[start:end], np.uint16(target))
+                )
+                pos = start + offset
+                if pos >= end or int(t.s_labels[pos]) != target:
+                    return False
+                if not t.s_haschild.get(pos):
+                    return self._suffix_matches(
+                        self._sparse_leaf_value(pos), data, depth + 1
+                    )
+                kind, node = self._sparse_child(pos)
+                depth += 1
+
+    __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    # range lookup
+    # ------------------------------------------------------------------
+    def contains_range(self, l_key: int | bytes, r_key: int | bytes) -> bool:
+        """Approximate emptiness of ``[l_key, r_key]`` (inclusive bounds)."""
+        lo = _uint64_to_bytes(l_key) if isinstance(l_key, int) else l_key
+        hi = _uint64_to_bytes(r_key) if isinstance(r_key, int) else r_key
+        if not lo <= hi:
+            raise ValueError(f"empty query range [{lo!r}, {hi!r}]")
+        leaf = self._successor_leaf(lo)
+        if leaf is None:
+            return False
+        path, value_index = leaf
+        return _min_ext_leq(path + self._suffix_as_bytes(value_index), hi)
+
+    # -- moveToKeyGreaterThan ------------------------------------------
+    def _successor_leaf(self, bound: bytes) -> tuple[bytes, int] | None:
+        """Smallest stored leaf whose subtree may contain a key >= bound.
+
+        Returns ``(stored_prefix, value_index)`` or None when every stored
+        key is provably below ``bound``.
+        """
+        t = self._trie
+        stack: list[tuple[int, int, int]] = []  # (kind, node, followed byte)
+        path = bytearray()
+        kind, node = self._root()
+        depth = 0
+        while True:
+            if depth >= len(bound):
+                return self._min_leaf(kind, node, path)
+            byte = bound[depth]
+            if kind == _DENSE:
+                if t.d_isprefix.get(node):
+                    # The stored prefix-key equals the walked path, a prefix
+                    # of the bound: its (unknown) extension may be >= bound —
+                    # unless the real-suffix bits prove it smaller.
+                    value = self._dense_prefix_value(node)
+                    if not self._suffix_below(value, bound, depth):
+                        return bytes(path), value
+                flat = node * 256 + byte
+                descend = False
+                if t.d_labels.get(flat):
+                    if t.d_haschild.get(flat):
+                        descend = True
+                    else:
+                        value = self._dense_leaf_value(node, byte)
+                        if not self._suffix_below(value, bound, depth + 1):
+                            path.append(byte)
+                            return bytes(path), value
+                if descend:
+                    stack.append((kind, node, byte))
+                    path.append(byte)
+                    kind, node = self._dense_child(node, byte)
+                    depth += 1
+                    continue
+                result = self._dense_next_leaf(node, byte + 1, path)
+            else:
+                start, end = self._sparse_span(node)
+                if int(t.s_labels[start]) == 0:
+                    value = self._sparse_leaf_value(start)
+                    if not self._suffix_below(value, bound, depth):
+                        return bytes(path), value
+                target = byte + 1
+                offset = int(
+                    np.searchsorted(t.s_labels[start:end], np.uint16(target))
+                )
+                pos = start + offset
+                descend = False
+                if pos < end and int(t.s_labels[pos]) == target:
+                    if t.s_haschild.get(pos):
+                        descend = True
+                    else:
+                        value = self._sparse_leaf_value(pos)
+                        if not self._suffix_below(value, bound, depth + 1):
+                            path.append(byte)
+                            return bytes(path), value
+                if descend:
+                    stack.append((kind, node, byte))
+                    path.append(byte)
+                    kind, node = self._sparse_child(pos)
+                    depth += 1
+                    continue
+                result = self._sparse_next_leaf(node, byte + 1, path)
+            if result is not None:
+                return result
+            # Backtrack: resume at the parent after the byte we followed.
+            while stack:
+                kind, node, byte = stack.pop()
+                path.pop()
+                if kind == _DENSE:
+                    result = self._dense_next_leaf(node, byte + 1, path)
+                else:
+                    result = self._sparse_next_leaf(node, byte + 1, path)
+                if result is not None:
+                    return result
+            return None
+
+    def _dense_next_leaf(
+        self, node: int, from_byte: int, path: bytearray
+    ) -> tuple[bytes, int] | None:
+        """Smallest leaf under ``node`` restricted to labels >= from_byte."""
+        if from_byte > 255:
+            return None
+        t = self._trie
+        flat = t.d_labels.next_set_bit(node * 256 + from_byte)
+        if flat < 0 or flat >= (node + 1) * 256:
+            return None
+        byte = flat - node * 256
+        if not t.d_haschild.get(flat):
+            return bytes(path) + bytes([byte]), self._dense_leaf_value(node, byte)
+        kind, child = self._dense_child(node, byte)
+        branch = bytearray(path)
+        branch.append(byte)
+        return self._min_leaf(kind, child, branch)
+
+    def _sparse_next_leaf(
+        self, node: int, from_byte: int, path: bytearray
+    ) -> tuple[bytes, int] | None:
+        if from_byte > 255:
+            return None
+        t = self._trie
+        start, end = self._sparse_span(node)
+        offset = int(
+            np.searchsorted(t.s_labels[start:end], np.uint16(from_byte + 1))
+        )
+        pos = start + offset
+        if pos >= end:
+            return None
+        byte = int(t.s_labels[pos]) - 1
+        if not t.s_haschild.get(pos):
+            return bytes(path) + bytes([byte]), self._sparse_leaf_value(pos)
+        kind, child = self._sparse_child(pos)
+        branch = bytearray(path)
+        branch.append(byte)
+        return self._min_leaf(kind, child, branch)
+
+    def _min_leaf(
+        self, kind: int, node: int, path: bytearray
+    ) -> tuple[bytes, int]:
+        """Smallest leaf in the subtree rooted at ``(kind, node)``."""
+        t = self._trie
+        path = bytearray(path)
+        while True:
+            if kind == _DENSE:
+                if t.d_isprefix.get(node):
+                    return bytes(path), self._dense_prefix_value(node)
+                flat = t.d_labels.next_set_bit(node * 256)
+                byte = flat - node * 256
+                if not t.d_haschild.get(flat):
+                    path.append(byte)
+                    return bytes(path), self._dense_leaf_value(node, byte)
+                path.append(byte)
+                kind, node = self._dense_child(node, byte)
+            else:
+                start, _ = self._sparse_span(node)
+                label = int(t.s_labels[start])
+                if label == 0:
+                    return bytes(path), self._sparse_leaf_value(start)
+                if not t.s_haschild.get(start):
+                    path.append(label - 1)
+                    return bytes(path), self._sparse_leaf_value(start)
+                path.append(label - 1)
+                kind, node = self._sparse_child(start)
+
+    def iter_leaves(self):
+        """Yield every stored (truncated) key prefix in sorted order.
+
+        Structural depth-first walk — the basis of the iterator API; order
+        equals the lexicographic order of the original keys.
+        """
+        kind, node = self._root()
+        yield from self._iter_subtree(kind, node, bytearray())
+
+    def _iter_subtree(self, kind: int, node: int, path: bytearray):
+        t = self._trie
+        if kind == _DENSE:
+            if t.d_isprefix.get(node):
+                yield bytes(path), self._dense_prefix_value(node)
+            byte = 0
+            while byte <= 255:
+                flat = t.d_labels.next_set_bit(node * 256 + byte)
+                if flat < 0 or flat >= (node + 1) * 256:
+                    return
+                byte = flat - node * 256
+                path.append(byte)
+                if t.d_haschild.get(flat):
+                    child_kind, child = self._dense_child(node, byte)
+                    yield from self._iter_subtree(child_kind, child, path)
+                else:
+                    yield bytes(path), self._dense_leaf_value(node, byte)
+                path.pop()
+                byte += 1
+        else:
+            start, end = self._sparse_span(node)
+            for pos in range(start, end):
+                label = int(t.s_labels[pos])
+                if label == 0:
+                    yield bytes(path), self._sparse_leaf_value(pos)
+                    continue
+                path.append(label - 1)
+                if t.s_haschild.get(pos):
+                    child_kind, child = self._sparse_child(pos)
+                    yield from self._iter_subtree(child_kind, child, path)
+                else:
+                    yield bytes(path), self._sparse_leaf_value(pos)
+                path.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        t = self._trie
+        return (
+            f"SuRF(keys={t.num_keys}, mode={t.suffix_mode}, "
+            f"suffix_bits={t.suffix_bits}, bits={t.nominal_bits}, "
+            f"dense_nodes={t.num_dense_nodes}, sparse_entries={t.s_labels.size})"
+        )
+
+
+class SuRFIterator:
+    """Ordered iterator over a SuRF's stored (truncated) keys.
+
+    Mirrors the real SuRF's iterator API: ``seek(key)`` positions at the
+    first stored key whose extensions may be >= ``key``; ``next()`` advances
+    in lexicographic order via a structural depth-first walk.  Yields the
+    *stored prefixes* — truncated keys, the only information the filter
+    retains.
+    """
+
+    def __init__(self, surf: SuRF) -> None:
+        self._surf = surf
+        self._walk = None
+        self._current: bytes | None = None
+
+    def seek(self, key: int | bytes) -> bytes | None:
+        """Position at the successor of ``key``; returns its stored prefix."""
+        data = _uint64_to_bytes(key) if isinstance(key, int) else key
+        target = self._surf._successor_leaf(data)
+        if target is None:
+            self._walk = None
+            self._current = None
+            return None
+        self._walk = self._surf.iter_leaves()
+        for prefix, value_index in self._walk:
+            if (prefix, value_index) == target:
+                self._current = prefix
+                return prefix
+        self._walk = None  # pragma: no cover - successor always in the walk
+        self._current = None
+        return None
+
+    def next(self) -> bytes | None:
+        """Advance to the next stored key (None at the end)."""
+        if self._walk is None:
+            return None
+        try:
+            self._current, _ = next(self._walk)
+        except StopIteration:
+            self._walk = None
+            self._current = None
+        return self._current
+
+    def __iter__(self):
+        while self._current is not None:
+            yield self._current
+            self.next()

@@ -1,0 +1,35 @@
+"""Shared measurement and reporting machinery for the benchmark suite."""
+
+from repro.bench.harness import (
+    FilterUnderTest,
+    MeasuredFpr,
+    Throughput,
+    build_standalone_filter,
+    measure_point_fpr,
+    measure_range_fpr,
+    measure_throughput,
+    print_table,
+    write_result,
+)
+from repro.bench.theory import (
+    carter_point_lower_bound,
+    goswami_range_lower_bound,
+    rosetta_first_cut_bits,
+    rosetta_first_cut_fpr,
+)
+
+__all__ = [
+    "FilterUnderTest",
+    "MeasuredFpr",
+    "Throughput",
+    "build_standalone_filter",
+    "measure_point_fpr",
+    "measure_range_fpr",
+    "measure_throughput",
+    "print_table",
+    "write_result",
+    "carter_point_lower_bound",
+    "goswami_range_lower_bound",
+    "rosetta_first_cut_bits",
+    "rosetta_first_cut_fpr",
+]

@@ -1,0 +1,238 @@
+"""Benchmark harness: build filters, measure FPR/latency, print paper tables.
+
+Every ``benchmarks/bench_*.py`` file drives this module.  The central
+abstraction is :class:`FilterUnderTest` — a uniform facade over bloomRF and
+all baselines (standalone setting) so sweeps over (filter, bits/key, range
+size, distribution) are one loop.
+
+Scale control: the environment variable ``REPRO_SCALE`` multiplies the
+default key/query counts (default 1.0; the paper's 50M-key runs correspond
+to roughly ``REPRO_SCALE=250``).  EXPERIMENTS.md records the scale used.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines import BloomFilter, CuckooFilter, Rosetta, SuRF
+from repro.core.bloomrf import BloomRF
+from repro.workloads.queries import QueryWorkload
+
+__all__ = [
+    "SCALE",
+    "scaled",
+    "FilterUnderTest",
+    "MeasuredFpr",
+    "Throughput",
+    "build_standalone_filter",
+    "measure_point_fpr",
+    "measure_range_fpr",
+    "measure_throughput",
+    "print_table",
+    "write_result",
+]
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Apply the global scale factor to a workload size."""
+    return max(minimum, int(base * SCALE))
+
+
+@dataclass
+class FilterUnderTest:
+    """Uniform probe interface over any filter in the package."""
+
+    name: str
+    point: Callable[[int], bool]
+    range_: Callable[[int, int], bool]
+    size_bits: int
+    build_time_s: float
+
+    def bits_per_key(self, n_keys: int) -> float:
+        return self.size_bits / n_keys
+
+
+def build_standalone_filter(
+    name: str,
+    keys: np.ndarray,
+    bits_per_key: float,
+    max_range: int,
+    seed: int = 1,
+) -> FilterUnderTest:
+    """Build one filter over ``keys`` in the standalone setting.
+
+    ``name``: bloomrf | bloomrf-basic | rosetta | surf | bloom | cuckoo.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    n = int(keys.size)
+    start = time.perf_counter()
+    if name == "bloomrf":
+        filt = BloomRF.tuned(
+            n_keys=n, bits_per_key=bits_per_key, max_range=max_range, seed=seed
+        )
+        filt.insert_many(keys)
+        fut = FilterUnderTest(
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+        )
+    elif name == "bloomrf-basic":
+        filt = BloomRF.basic(n_keys=n, bits_per_key=bits_per_key, seed=seed)
+        filt.insert_many(keys)
+        fut = FilterUnderTest(
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+        )
+    elif name == "rosetta":
+        filt = Rosetta.tuned(
+            n_keys=n, bits_per_key=bits_per_key, max_range=max_range, seed=seed
+        )
+        filt.insert_many(keys)
+        fut = FilterUnderTest(
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+        )
+    elif name == "surf":
+        filt = SuRF.tuned_uint64(keys, bits_per_key=bits_per_key, seed=seed)
+        fut = FilterUnderTest(
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+        )
+    elif name == "bloom":
+        filt = BloomFilter(n_keys=n, bits_per_key=bits_per_key, seed=seed)
+        filt.insert_many(keys)
+        fut = FilterUnderTest(
+            name, filt.contains_point, lambda lo, hi: True, filt.size_bits, 0.0
+        )
+    elif name == "cuckoo":
+        fingerprint = max(2, min(32, int(bits_per_key * 0.95 / 1.05)))
+        filt = CuckooFilter(n_keys=n, fingerprint_bits=fingerprint, seed=seed)
+        filt.insert_many(keys)
+        fut = FilterUnderTest(
+            name, filt.contains_point, lambda lo, hi: True, filt.size_bits, 0.0
+        )
+    else:
+        raise ValueError(f"unknown standalone filter {name!r}")
+    fut.build_time_s = time.perf_counter() - start
+    return fut
+
+
+@dataclass
+class MeasuredFpr:
+    """FPR measurement over a batch of guaranteed-empty queries."""
+
+    filter_name: str
+    fpr: float
+    queries: int
+    positives: int
+    probe_seconds: float
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.probe_seconds <= 0:
+            return float("inf")
+        return self.queries / self.probe_seconds
+
+
+def measure_range_fpr(fut: FilterUnderTest, workload: QueryWorkload) -> MeasuredFpr:
+    """FPR + probe latency over an all-empty range workload."""
+    positives = 0
+    start = time.perf_counter()
+    for lo, hi in workload:
+        positives += fut.range_(lo, hi)
+    elapsed = time.perf_counter() - start
+    return MeasuredFpr(
+        filter_name=fut.name,
+        fpr=positives / len(workload),
+        queries=len(workload),
+        positives=positives,
+        probe_seconds=elapsed,
+    )
+
+
+def measure_point_fpr(fut: FilterUnderTest, lookup_keys: np.ndarray) -> MeasuredFpr:
+    """FPR + probe latency over guaranteed-absent point lookups."""
+    positives = 0
+    start = time.perf_counter()
+    for key in lookup_keys:
+        positives += fut.point(int(key))
+    elapsed = time.perf_counter() - start
+    return MeasuredFpr(
+        filter_name=fut.name,
+        fpr=positives / len(lookup_keys),
+        queries=len(lookup_keys),
+        positives=positives,
+        probe_seconds=elapsed,
+    )
+
+
+@dataclass
+class Throughput:
+    """Operations/second over a timed batch."""
+
+    name: str
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.operations / self.seconds
+
+
+def measure_throughput(name: str, operation: Callable[[], None], count: int) -> Throughput:
+    """Time ``count`` invocations of a zero-argument operation."""
+    start = time.perf_counter()
+    for _ in range(count):
+        operation()
+    return Throughput(name=name, operations=count, seconds=time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def print_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    sink: list[str] | None = None,
+) -> str:
+    """Render an aligned text table, print it, and return it."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    if sink is not None:
+        sink.append(text)
+    return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.001 or abs(cell) >= 100000:
+            return f"{cell:.2e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a bench table under benchmarks/results/ for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

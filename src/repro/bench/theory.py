@@ -1,0 +1,98 @@
+"""Analytic curves for Fig. 8: lower bounds and Rosetta's space model.
+
+* Carter et al. [7]: any point filter with FPR eps needs
+  ``m >= n log2(1/eps)`` bits.
+* Goswami et al. [20]: any range filter answering ranges up to ``R`` with
+  FPR eps needs (family over gamma > 1)::
+
+      m >= n log2(R^(1-gamma*eps)/eps) + n log2(1 - 4nR/2^d) (1 - 1/gamma) e
+
+  The usable lower bound is the pointwise maximum over gamma, which we take
+  numerically (the paper determines gamma as a function of eps the same way).
+* Rosetta (F) first-cut space: ``m ~ log2(e) * n * log2(R/eps)`` [29].
+
+All functions return **bits per key** so they plot directly against the
+bloomRF model of :mod:`repro.core.model`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "carter_point_lower_bound",
+    "goswami_range_lower_bound",
+    "rosetta_first_cut_bits",
+    "rosetta_first_cut_fpr",
+    "bloomrf_bits_for_range_fpr",
+]
+
+
+def carter_point_lower_bound(fpr: float) -> float:
+    """Bits/key lower bound for point filters [7]."""
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    return math.log2(1.0 / fpr)
+
+
+def goswami_range_lower_bound(
+    fpr: float,
+    range_size: int,
+    n_keys: int,
+    domain_bits: int = 64,
+    gamma_grid: int = 200,
+) -> float:
+    """Bits/key lower bound for range filters [20] (max over gamma)."""
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    if range_size < 2:
+        return carter_point_lower_bound(fpr)
+    occupancy = 1.0 - 4.0 * n_keys * range_size / (2.0**domain_bits)
+    best = 0.0
+    for i in range(1, gamma_grid + 1):
+        gamma = 1.0 + i * (1.0 / fpr - 1.0) / gamma_grid
+        exponent = 1.0 - gamma * fpr
+        if exponent <= 0:
+            continue
+        term = math.log2(range_size**exponent / fpr)
+        if occupancy > 0:
+            term += math.log2(occupancy) * (1.0 - 1.0 / gamma) * math.e
+        best = max(best, term)
+    return best
+
+
+def rosetta_first_cut_bits(fpr: float, range_size: int) -> float:
+    """Rosetta (F) space model: ``log2(e) * log2(R/eps)`` bits/key [29]."""
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    return math.log2(math.e) * math.log2(max(range_size, 1) / fpr)
+
+
+def rosetta_first_cut_fpr(bits_per_key: float, range_size: int) -> float:
+    """Inverse of :func:`rosetta_first_cut_bits` (FPR for a budget)."""
+    return min(1.0, max(range_size, 1) / 2.0 ** (bits_per_key / math.log2(math.e)))
+
+
+def bloomrf_bits_for_range_fpr(
+    fpr: float,
+    range_size: int,
+    n_keys: int,
+    domain_bits: int = 64,
+    delta: int = 7,
+) -> float:
+    """Bits/key basic bloomRF needs for range FPR ``fpr`` (eq. 6 inverted).
+
+    Solves ``2 (1 - e^{-kn/m})^(k - log2 R / delta) = fpr`` for ``m`` with
+    ``k`` fixed by the datatype (Sect. 6's comparison uses exactly this
+    non-free-``k`` constraint to explain the small point-query gap).
+    """
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    k = max(1, round((domain_bits - math.log2(n_keys)) / delta))
+    exponent = k - math.log2(max(range_size, 1)) / delta
+    if exponent <= 0:
+        return float("inf")
+    inner = (fpr / 2.0) ** (1.0 / exponent)  # = 1 - e^{-kn/m}
+    if inner >= 1.0:
+        return 0.0
+    return k / -math.log(1.0 - inner)

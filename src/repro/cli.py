@@ -1,0 +1,207 @@
+"""Command-line interface: tune, model, measure and inspect bloomRF filters.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro tune --keys 50000000 --bits-per-key 14 --max-range 16384
+    python -m repro model --keys 1000000 --bits-per-key 16 --max-range 1e9
+    python -m repro measure --keys 100000 --bits-per-key 18 --range-size 1e6 \
+        --distribution normal --filter bloomrf
+    python -m repro inspect filter.bin
+
+``tune`` prints the advisor's chosen configuration and its analytic FPR
+estimates; ``model`` prints the full per-level FPR profile; ``measure``
+builds a filter over synthetic keys and measures FPR on guaranteed-empty
+queries; ``inspect`` summarizes a serialized filter file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_ish(text: str) -> int:
+    """Accept plain ints and scientific notation like ``1e9``."""
+    return int(float(text))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="bloomRF point-range filter toolkit (EDBT 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="run the tuning advisor (Sect. 7)")
+    tune.add_argument("--keys", type=_int_ish, required=True)
+    tune.add_argument("--bits-per-key", type=float, required=True)
+    tune.add_argument("--max-range", type=_int_ish, required=True)
+    tune.add_argument("--domain-bits", type=int, default=64)
+    tune.add_argument("--point-weight", type=float, default=4.0)
+
+    model = sub.add_parser("model", help="print the per-level FPR profile")
+    model.add_argument("--keys", type=_int_ish, required=True)
+    model.add_argument("--bits-per-key", type=float, required=True)
+    model.add_argument("--max-range", type=_int_ish, required=True)
+    model.add_argument("--domain-bits", type=int, default=64)
+
+    measure = sub.add_parser("measure", help="measure FPR on synthetic data")
+    measure.add_argument("--keys", type=_int_ish, default=100_000)
+    measure.add_argument("--bits-per-key", type=float, default=16)
+    measure.add_argument("--range-size", type=_int_ish, default=1 << 16)
+    measure.add_argument("--queries", type=_int_ish, default=2_000)
+    measure.add_argument(
+        "--distribution", choices=("uniform", "normal", "zipfian"), default="uniform"
+    )
+    measure.add_argument(
+        "--workload", choices=("uniform", "normal", "zipfian"), default="uniform"
+    )
+    measure.add_argument(
+        "--filter",
+        choices=("bloomrf", "bloomrf-basic", "rosetta", "surf", "bloom", "cuckoo"),
+        default="bloomrf",
+    )
+    measure.add_argument("--seed", type=int, default=7)
+
+    inspect = sub.add_parser("inspect", help="summarize a serialized filter")
+    inspect.add_argument("path")
+
+    save = sub.add_parser("build", help="build a filter over a key file")
+    save.add_argument("keyfile", help="text file, one integer key per line")
+    save.add_argument("output", help="where to write the serialized filter")
+    save.add_argument("--bits-per-key", type=float, default=16)
+    save.add_argument("--max-range", type=_int_ish, default=1 << 20)
+
+    return parser
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.advisor import TuningAdvisor
+
+    advisor = TuningAdvisor(
+        domain_bits=args.domain_bits, point_weight=args.point_weight
+    )
+    report = advisor.configure(
+        n_keys=args.keys,
+        total_bits=int(args.keys * args.bits_per_key),
+        max_range=args.max_range,
+        return_report=True,
+    )
+    best = report.best
+    print(best.config.describe())
+    print(f"total size: {best.config.total_bits} bits "
+          f"({best.config.bits_per_key(args.keys):.2f} bits/key)")
+    print(f"estimated point FPR: {best.point_fpr:.6f}")
+    print(f"estimated range FPR (R <= {args.max_range}): {best.range_fpr:.6f}")
+    print(f"candidates examined: {len(report.candidates)} "
+          f"(exact levels {sorted({c.exact_level for c in report.candidates})})")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.core.advisor import TuningAdvisor
+    from repro.core.model import extended_fpr_profile
+
+    advisor = TuningAdvisor(domain_bits=args.domain_bits)
+    config = advisor.configure(
+        n_keys=args.keys,
+        total_bits=int(args.keys * args.bits_per_key),
+        max_range=args.max_range,
+    )
+    print(config.describe())
+    profile = extended_fpr_profile(config, args.keys)
+    for level in range(args.domain_bits, -1, -1):
+        bar = "#" * int(profile.fpr[level] * 50)
+        print(f"level {level:2d}  fpr {profile.fpr[level]:9.6f}  {bar}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from repro.bench.harness import (
+        build_standalone_filter,
+        measure_point_fpr,
+        measure_range_fpr,
+    )
+    from repro.workloads import (
+        distribution_by_name,
+        empty_point_queries,
+        empty_range_queries,
+    )
+
+    keys = distribution_by_name(args.distribution)(args.keys, seed=args.seed)
+    fut = build_standalone_filter(
+        args.filter, keys, bits_per_key=args.bits_per_key,
+        max_range=max(args.range_size, 2), seed=args.seed,
+    )
+    print(f"filter: {args.filter}  size: {fut.size_bits} bits "
+          f"({fut.bits_per_key(args.keys):.2f} bits/key)  "
+          f"build: {fut.build_time_s * 1e3:.1f} ms")
+    if args.range_size <= 1:
+        probes = empty_point_queries(keys, args.queries, workload=args.workload)
+        result = measure_point_fpr(fut, probes)
+        kind = "point"
+    else:
+        queries = empty_range_queries(
+            keys, args.queries, range_size=args.range_size, workload=args.workload
+        )
+        result = measure_range_fpr(fut, queries)
+        kind = f"range({args.range_size})"
+    print(f"{kind} FPR over {result.queries} empty queries: {result.fpr:.5f}")
+    print(f"probe throughput: {result.queries_per_second:,.0f} queries/s")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from pathlib import Path
+
+    from repro.core.bloomrf import BloomRF
+
+    data = Path(args.path).read_bytes()
+    filt = BloomRF.from_bytes(data)
+    print(filt.config.describe())
+    print(f"keys inserted: {filt.num_keys}")
+    print(f"size: {filt.size_bits} bits ({filt.size_bits / 8 / 1024:.1f} KiB)")
+    print(f"PMHF fill ratio: {filt.fill_ratio():.4f}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core.bloomrf import BloomRF
+
+    lines = Path(args.keyfile).read_text().split()
+    keys = np.array([int(line) for line in lines], dtype=np.uint64)
+    filt = BloomRF.tuned(
+        n_keys=max(keys.size, 1),
+        bits_per_key=args.bits_per_key,
+        max_range=args.max_range,
+    )
+    filt.insert_many(keys)
+    Path(args.output).write_bytes(filt.to_bytes())
+    print(f"built {filt.config.describe()}")
+    print(f"wrote {args.output} ({filt.size_bits / 8 / 1024:.1f} KiB, "
+          f"{keys.size} keys)")
+    return 0
+
+
+_COMMANDS = {
+    "tune": _cmd_tune,
+    "model": _cmd_model,
+    "measure": _cmd_measure,
+    "inspect": _cmd_inspect,
+    "build": _cmd_build,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""bloomRF core: the paper's primary contribution.
+
+Public surface: the :class:`BloomRF` filter, its configuration, the tuning
+advisor, the analytic FPR models and the datatype codecs of Sect. 8.
+"""
+
+from repro.core.advisor import AdvisorReport, TuningAdvisor, build_delta_vector
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+from repro.core.model import (
+    FprProfile,
+    basic_point_fpr,
+    basic_range_fpr_bound,
+    extended_fpr_profile,
+)
+from repro.core.types import (
+    AttributeSpec,
+    FloatBloomRF,
+    MultiAttributeBloomRF,
+    StringBloomRF,
+    float_to_key,
+    key_to_float,
+    string_range_keys,
+    string_to_point_key,
+)
+
+__all__ = [
+    "BloomRF",
+    "BloomRFConfig",
+    "TuningAdvisor",
+    "AdvisorReport",
+    "build_delta_vector",
+    "FprProfile",
+    "basic_point_fpr",
+    "basic_range_fpr_bound",
+    "extended_fpr_profile",
+    "AttributeSpec",
+    "FloatBloomRF",
+    "MultiAttributeBloomRF",
+    "StringBloomRF",
+    "float_to_key",
+    "key_to_float",
+    "string_range_keys",
+    "string_to_point_key",
+]

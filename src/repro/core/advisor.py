@@ -1,0 +1,269 @@
+"""The bloomRF tuning advisor (Sect. 7).
+
+Given the standard parameters — number of keys ``n``, memory budget ``m``
+(bits) and an approximate maximum query-range size ``R`` — the advisor
+derives a full :class:`~repro.core.config.BloomRFConfig`:
+
+1. **Exact-level candidates.**  The heuristic places the exact bitmap where
+   it costs at most 60 % of the budget: ``l_e = min{l : 2^(d-l) < 0.6 m}``;
+   the candidates examined are ``l_e`` and ``l_e + 1`` (we also admit
+   ``l_e - 1`` when it fits, which subsumes the paper's second phrasing).
+2. **Delta vector.**  Bottom layers use the largest word (``delta = 7`` —
+   64-bit words); approaching the exact level the distance shrinks
+   (higher precision near the top): the remainder is halved repeatedly.
+   For the paper's example (exact level 36) this yields top-down
+   ``Delta = (2, 2, 4, 7, 7, 7, 7)`` exactly.
+3. **Replicas** — one per layer, two on the highest layer only.
+4. **Segments** — bottom (``delta = 7``) layers share the sparse segment
+   ``m_3``, the remaining mid layers share ``m_2``, the exact bitmap is
+   ``m_1 = 2^(d - l_e)``.
+5. **Budget split.**  With ``m_1`` fixed, ``m_2`` is swept and the extended
+   model evaluated; the advisor minimizes the weighted norm
+   ``fpr_w^2 = fpr_m^2 + C^2 fpr_p^2`` (range-FPR for ranges up to ``R``
+   versus point-FPR), then picks the best exact-level candidate.
+
+The whole optimization is a few hundred model evaluations (~ms), matching
+the paper's "~8 ms" auto-tuning claim in spirit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro._util import ceil_div, round_up
+from repro.core.config import MAX_DELTA, BloomRFConfig
+from repro.core.model import FprProfile, extended_fpr_profile
+
+__all__ = ["TuningAdvisor", "AdvisorCandidate", "AdvisorReport"]
+
+_ALIGN = 64
+_MIN_SEGMENT_BITS = 512
+
+
+def build_delta_vector(target_level: int, max_delta: int = MAX_DELTA) -> tuple[int, ...]:
+    """Bottom-up delta vector summing to ``target_level`` (advisor step 2).
+
+    Keeps emitting the maximal distance while at least two such layers
+    remain, then repeatedly halves the remainder so the layers nearest the
+    exact level are the most precise.
+    """
+    if target_level < 1:
+        raise ValueError(f"target_level must be >= 1, got {target_level}")
+    deltas: list[int] = []
+    remaining = target_level
+    while remaining >= 2 * max_delta:
+        deltas.append(max_delta)
+        remaining -= max_delta
+    while remaining > 0:
+        if remaining > 4:
+            step = ceil_div(remaining, 2)
+        elif remaining >= 2:
+            step = 2
+        else:
+            step = 1
+        step = min(step, max_delta)
+        deltas.append(step)
+        remaining -= step
+    return tuple(deltas)
+
+
+@dataclass
+class AdvisorCandidate:
+    """One evaluated configuration (kept for reporting / Fig. ??.C style plots)."""
+
+    exact_level: int
+    mid_fraction: float
+    config: BloomRFConfig
+    profile: FprProfile
+    range_fpr: float
+    point_fpr: float
+    objective: float
+
+
+@dataclass
+class AdvisorReport:
+    """Full advisor trace: every candidate plus the winner."""
+
+    best: AdvisorCandidate
+    candidates: list[AdvisorCandidate] = field(default_factory=list)
+
+    def curves(self) -> dict[int, list[tuple[float, float]]]:
+        """Per exact-level candidate: (mid_fraction, objective) series."""
+        out: dict[int, list[tuple[float, float]]] = {}
+        for cand in self.candidates:
+            out.setdefault(cand.exact_level, []).append(
+                (cand.mid_fraction, cand.objective)
+            )
+        return out
+
+
+class TuningAdvisor:
+    """Computes bloomRF configurations from (n, m, R) — Sect. 7."""
+
+    def __init__(
+        self,
+        domain_bits: int = 64,
+        point_weight: float = 4.0,
+        max_delta: int = MAX_DELTA,
+        exact_budget_fraction: float = 0.6,
+        top_replicas: int = 2,
+        distribution_constant: float = 1.0,
+        seed: int = 0x5EED,
+    ) -> None:
+        if not 0 < exact_budget_fraction < 1:
+            raise ValueError("exact_budget_fraction must be in (0, 1)")
+        self.domain_bits = domain_bits
+        self.point_weight = point_weight
+        self.max_delta = max_delta
+        self.exact_budget_fraction = exact_budget_fraction
+        self.top_replicas = top_replicas
+        self.distribution_constant = distribution_constant
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def exact_level_floor(self, total_bits: int) -> int:
+        """``l_e = min{l : 2^(d-l) < fraction * m}`` (advisor step 1)."""
+        budget = self.exact_budget_fraction * total_bits
+        level = self.domain_bits
+        while level > 0 and 2.0 ** (self.domain_bits - (level - 1)) < budget:
+            level -= 1
+        return level
+
+    def candidate_config(
+        self, exact_level: int, mid_bits: int, bottom_bits: int
+    ) -> BloomRFConfig:
+        """Assemble a config for one exact-level / budget-split choice."""
+        deltas = build_delta_vector(exact_level, self.max_delta)
+        k = len(deltas)
+        replicas = [1] * k
+        replicas[-1] = self.top_replicas
+        bottom_layers = [i for i in range(k) if deltas[i] == self.max_delta]
+        mid_layers = [i for i in range(k) if deltas[i] != self.max_delta]
+        if bottom_layers and mid_layers:
+            segment_of = [0 if i in mid_layers else 1 for i in range(k)]
+            segment_bits = (mid_bits, bottom_bits)
+        else:
+            segment_of = [0] * k
+            segment_bits = (mid_bits + bottom_bits,)
+        return BloomRFConfig(
+            domain_bits=self.domain_bits,
+            deltas=deltas,
+            replicas=tuple(replicas),
+            segment_of=tuple(segment_of),
+            segment_bits=segment_bits,
+            exact_level=exact_level,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        n_keys: int,
+        total_bits: int,
+        max_range: int,
+        return_report: bool = False,
+    ) -> BloomRFConfig | AdvisorReport:
+        """Select the best configuration for (n, m, R).
+
+        Falls back to the tuning-free basic configuration when the budget is
+        too small to afford any exact bitmap.
+        """
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        if total_bits <= 0:
+            raise ValueError(f"total_bits must be positive, got {total_bits}")
+        total_bits = max(total_bits, 64)  # smallest buildable filter
+        max_range = max(1, min(max_range, 1 << self.domain_bits))
+
+        floor_level = self.exact_level_floor(total_bits)
+        candidates: list[AdvisorCandidate] = []
+        for exact_level in (floor_level - 1, floor_level, floor_level + 1):
+            if not 2 <= exact_level <= self.domain_bits:
+                continue
+            exact_bits = 1 << (self.domain_bits - exact_level)
+            pmhf_budget = total_bits - exact_bits
+            if pmhf_budget < 2 * _MIN_SEGMENT_BITS:
+                continue
+            candidates.extend(
+                self._sweep_budget_split(n_keys, exact_level, pmhf_budget, max_range)
+            )
+
+        if not candidates:
+            config = BloomRFConfig.basic(
+                n_keys=n_keys,
+                bits_per_key=total_bits / n_keys,
+                domain_bits=self.domain_bits,
+                delta=min(self.max_delta, self.domain_bits),
+                seed=self.seed,
+            )
+            if not return_report:
+                return config
+            profile = extended_fpr_profile(
+                config, n_keys, distribution_constant=self.distribution_constant
+            )
+            fallback = AdvisorCandidate(
+                exact_level=-1,
+                mid_fraction=0.0,
+                config=config,
+                profile=profile,
+                range_fpr=profile.max_fpr_up_to_range(max_range),
+                point_fpr=profile.point_fpr,
+                objective=profile.weighted_norm(max_range, self.point_weight),
+            )
+            return AdvisorReport(best=fallback, candidates=[fallback])
+
+        best = min(candidates, key=lambda c: c.objective)
+        if return_report:
+            return AdvisorReport(best=best, candidates=candidates)
+        return best.config
+
+    # ------------------------------------------------------------------
+    def _sweep_budget_split(
+        self, n_keys: int, exact_level: int, pmhf_budget: int, max_range: int
+    ) -> list[AdvisorCandidate]:
+        deltas = build_delta_vector(exact_level, self.max_delta)
+        has_two_segments = any(d == self.max_delta for d in deltas) and any(
+            d != self.max_delta for d in deltas
+        )
+        out: list[AdvisorCandidate] = []
+        if has_two_segments:
+            fractions = [f / 100 for f in range(5, 96, 5)]
+        else:
+            fractions = [0.0]
+        for fraction in fractions:
+            if has_two_segments:
+                mid_bits = round_up(
+                    max(int(fraction * pmhf_budget), _MIN_SEGMENT_BITS), _ALIGN
+                )
+                bottom_bits = pmhf_budget - mid_bits
+                bottom_bits -= bottom_bits % _ALIGN
+                if bottom_bits < _MIN_SEGMENT_BITS:
+                    continue
+            else:
+                mid_bits = pmhf_budget - pmhf_budget % _ALIGN
+                bottom_bits = 0
+            try:
+                config = self.candidate_config(exact_level, mid_bits, bottom_bits)
+            except ValueError:
+                continue
+            profile = extended_fpr_profile(
+                config, n_keys, distribution_constant=self.distribution_constant
+            )
+            range_fpr = profile.max_fpr_up_to_range(max_range)
+            point_fpr = profile.point_fpr
+            objective = math.sqrt(
+                range_fpr**2 + (self.point_weight * point_fpr) ** 2
+            )
+            out.append(
+                AdvisorCandidate(
+                    exact_level=exact_level,
+                    mid_fraction=fraction,
+                    config=config,
+                    profile=profile,
+                    range_fpr=range_fpr,
+                    point_fpr=point_fpr,
+                    objective=objective,
+                )
+            )
+        return out

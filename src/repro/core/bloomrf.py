@@ -1,0 +1,495 @@
+"""The bloomRF point-range filter (the paper's primary contribution).
+
+Layout
+------
+All PMHF segments live in one :class:`~repro.bitarray.BitArray`, each segment
+64-bit aligned; the optional exact-level bitmap is a second bit array.  Layer
+``i`` owns a window of ``W_i = segment_bits / word_bits_i`` words inside its
+segment; its piecewise-monotone hash function maps a key ``x`` to the global
+bit position::
+
+    MH_i(x) = seg_base_i
+              + (h_i(x >> (l_i + delta_i - 1)) mod W_i) * word_bits_i
+              + ((x >> l_i) & (word_bits_i - 1))
+
+i.e. the hash sees only the part of the prefix *above* the word, so the low
+``delta_i - 1`` prefix bits select the bit inside the word and local order is
+preserved (Sect. 3.2; verified bit-for-bit against the paper's Fig. 4
+example in the tests).  Replicated hash functions (Sect. 7) repeat the word
+placement with independent seeds; the in-word offset is shared, so replicas
+preserve the same local order.
+
+Operations
+----------
+* ``insert`` / ``contains_point`` behave like a Bloom filter over the key's
+  prefix code (Sect. 4), plus the exact bitmap when configured.
+* ``contains_range`` runs the two-path Algorithm 1 via
+  :func:`repro.dyadic.two_path_range_lookup`; covering probes test one bit
+  per replica and decomposition probes read at most two aligned words per
+  path per layer.
+* ``insert_many`` / ``contains_point_many`` are NumPy-vectorized bulk paths
+  computing bit-identical positions to the scalar ones.
+
+Thread-safety: mutation happens through single NumPy word-level OR
+operations, which CPython executes atomically under the GIL, so concurrent
+inserts and probes never observe torn words (they may race benignly, exactly
+like the paper's parallel filter).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import check_key, domain_max
+from repro.bitarray import BitArray
+from repro.core.config import BloomRFConfig
+from repro.dyadic import two_path_range_lookup
+from repro.hashing import splitmix64, splitmix64_array, splitmix64_multi_seed
+
+__all__ = ["BloomRF"]
+
+# Probing an enormous prefix range word-by-word (possible only for queries
+# far beyond the configured range budget) is cut off conservatively: the
+# filter answers "maybe" — sound, never a false negative.
+_MAX_MASK_GROUPS = 1 << 16
+
+
+class _Layer:
+    """Precomputed per-layer probe geometry (internal)."""
+
+    __slots__ = (
+        "index",
+        "level",
+        "delta",
+        "word_bits",
+        "offset_bits",
+        "offset_mask",
+        "seg_base",
+        "num_words",
+        "seeds",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        level: int,
+        delta: int,
+        seg_base: int,
+        seg_bits: int,
+        seeds: Sequence[int],
+    ) -> None:
+        self.index = index
+        self.level = level
+        self.delta = delta
+        self.word_bits = 1 << (delta - 1)
+        self.offset_bits = delta - 1
+        self.offset_mask = self.word_bits - 1
+        self.seg_base = seg_base
+        self.num_words = seg_bits // self.word_bits
+        self.seeds = list(seeds)
+
+
+class BloomRF:
+    """Unified point-range filter with prefix hashing and PMHF."""
+
+    def __init__(self, config: BloomRFConfig) -> None:
+        self.config = config
+        self._d = config.domain_bits
+        # Segments are packed into one bit array with 64-bit-aligned bases,
+        # so every power-of-two word read stays within one storage word.
+        seg_bases: list[int] = []
+        base = 0
+        for seg in config.segment_bits:
+            seg_bases.append(base)
+            base += (seg + 63) & ~63
+        self._bits = BitArray(max(base, 64))
+
+        self._layers: list[_Layer] = []
+        seed_cursor = 0
+        for i in range(config.num_layers):
+            replica_seeds = [
+                splitmix64(seed_cursor + r, seed=config.seed)
+                for r in range(config.replicas[i])
+            ]
+            seed_cursor += config.replicas[i]
+            seg = config.segment_of[i]
+            self._layers.append(
+                _Layer(
+                    index=i,
+                    level=config.levels[i],
+                    delta=config.deltas[i],
+                    seg_base=seg_bases[seg],
+                    seg_bits=config.segment_bits[seg],
+                    seeds=replica_seeds,
+                )
+            )
+
+        self._exact: BitArray | None = None
+        if config.exact_level is not None:
+            self._exact = BitArray(config.exact_bitmap_bits)
+
+        # Flattened (layer, replica) geometry so the scalar insert runs one
+        # tight loop without per-layer indirection.
+        self._flat_geometry: list[tuple[int, ...]] = [
+            (
+                layer.level,
+                layer.offset_bits,
+                layer.offset_mask,
+                layer.word_bits,
+                layer.num_words,
+                layer.seg_base,
+                seed,
+                layer.seeds[0] ^ 0xA5A5,  # guard hash is per layer, not replica
+            )
+            for layer in self._layers
+            for seed in layer.seeds
+        ]
+
+        # Planner layer list: PMHF layers bottom-up, exact bitmap as the
+        # pseudo top layer when configured.
+        self._planner_levels: list[int] = [layer.level for layer in self._layers]
+        self._exact_layer_index: int | None = None
+        if self._exact is not None:
+            self._exact_layer_index = len(self._planner_levels)
+            self._planner_levels.append(config.exact_level)
+
+        self._num_keys = 0
+        self._guard = config.degenerate_guard
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def num_keys(self) -> int:
+        """Number of insert operations performed (duplicates included)."""
+        return self._num_keys
+
+    @property
+    def size_bits(self) -> int:
+        """Total occupied filter size in bits."""
+        return self.config.total_bits
+
+    @property
+    def bits_per_key(self) -> float:
+        """Space per inserted key; ``inf`` for an empty filter."""
+        if self._num_keys == 0:
+            return float("inf")
+        return self.size_bits / self._num_keys
+
+    @property
+    def domain_bits(self) -> int:
+        return self._d
+
+    def fill_ratio(self) -> float:
+        """Fraction of PMHF bits set (diagnostic; Fig. 5 uses this)."""
+        return self._bits.fill_ratio()
+
+    @property
+    def pmhf_bits(self) -> BitArray:
+        """The raw PMHF bit array (read-only use: scatter diagnostics)."""
+        return self._bits
+
+    # ------------------------------------------------------------------
+    # position computation (scalar)
+    # ------------------------------------------------------------------
+    def _offset(self, layer: _Layer, prefix: int) -> int:
+        """In-word offset of a level-``l_i`` prefix, honoring the guard."""
+        off = prefix & layer.offset_mask
+        if self._guard and layer.offset_bits:
+            group = prefix >> layer.offset_bits
+            if splitmix64(group, seed=layer.seeds[0] ^ 0xA5A5) & 1:
+                off = layer.offset_mask - off
+        return off
+
+    def _word_base(self, layer: _Layer, group: int, seed: int) -> int:
+        """Global bit position of the layer word for prefix-group ``group``."""
+        word_index = splitmix64(group, seed=seed) % layer.num_words
+        return layer.seg_base + word_index * layer.word_bits
+
+    def _iter_positions(self, key: int):
+        """Yield every PMHF bit position of ``key`` (all layers, replicas)."""
+        for layer in self._layers:
+            prefix = key >> layer.level
+            group = prefix >> layer.offset_bits
+            offset = self._offset(layer, prefix)
+            for seed in layer.seeds:
+                yield self._word_base(layer, group, seed) + offset
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        """Insert one key (sets ``r_i`` bits per layer plus the exact bit).
+
+        Runs one tight loop over the flattened (layer, replica) geometry —
+        bit-identical to the per-layer arithmetic (asserted by the tests).
+        """
+        check_key(key, self._d)
+        words = self._bits.words
+        guard = self._guard
+        for level, offbits, offmask, wordbits, numwords, segbase, seed, gseed in (
+            self._flat_geometry
+        ):
+            prefix = key >> level
+            group = prefix >> offbits
+            offset = prefix & offmask
+            if guard and offbits and splitmix64(group, seed=gseed) & 1:
+                offset = offmask - offset
+            pos = segbase + splitmix64(group, seed=seed) % numwords * wordbits + offset
+            words[pos >> 6] |= np.uint64(1 << (pos & 63))
+        if self._exact is not None:
+            self._exact.set_bit(key >> self.config.exact_level)
+        self._num_keys += 1
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        """Vectorized bulk insert of a ``uint64`` key array."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        for layer in self._layers:
+            prefix = keys >> np.uint64(layer.level)
+            group = prefix >> np.uint64(layer.offset_bits)
+            offset = self._offsets_array(layer, prefix, group)
+            for seed in layer.seeds:
+                word_index = splitmix64_array(group, seed=seed) % np.uint64(
+                    layer.num_words
+                )
+                pos = (
+                    np.uint64(layer.seg_base)
+                    + word_index * np.uint64(layer.word_bits)
+                    + offset
+                )
+                self._bits.set_bits(pos)
+        if self._exact is not None:
+            self._exact.set_bits(keys >> np.uint64(self.config.exact_level))
+        self._num_keys += int(keys.size)
+
+    def _offsets_array(
+        self, layer: _Layer, prefix: np.ndarray, group: np.ndarray
+    ) -> np.ndarray:
+        offset = prefix & np.uint64(layer.offset_mask)
+        if self._guard and layer.offset_bits:
+            flip = (
+                splitmix64_array(group, seed=layer.seeds[0] ^ 0xA5A5)
+                & np.uint64(1)
+            ).astype(bool)
+            offset = np.where(
+                flip, np.uint64(layer.offset_mask) - offset, offset
+            )
+        return offset
+
+    # ------------------------------------------------------------------
+    # point lookup
+    # ------------------------------------------------------------------
+    def contains_point(self, key: int) -> bool:
+        """Approximate membership test; may return a false positive only."""
+        check_key(key, self._d)
+        if self._exact is not None and not self._exact.test_bit(
+            key >> self.config.exact_level
+        ):
+            return False
+        for pos in self._iter_positions(key):
+            if not self._bits.test_bit(pos):
+                return False
+        return True
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized point lookup: boolean array per key."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        result = np.ones(keys.size, dtype=bool)
+        if self._exact is not None:
+            result &= self._exact.test_bits(
+                keys >> np.uint64(self.config.exact_level)
+            )
+        for layer in self._layers:
+            if not result.any():
+                break
+            prefix = keys >> np.uint64(layer.level)
+            group = prefix >> np.uint64(layer.offset_bits)
+            offset = self._offsets_array(layer, prefix, group)
+            for seed in layer.seeds:
+                word_index = splitmix64_array(group, seed=seed) % np.uint64(
+                    layer.num_words
+                )
+                pos = (
+                    np.uint64(layer.seg_base)
+                    + word_index * np.uint64(layer.word_bits)
+                    + offset
+                )
+                result &= self._bits.test_bits(pos)
+        return result
+
+    __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    # range lookup (Algorithm 1)
+    # ------------------------------------------------------------------
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Approximate emptiness test of ``[l_key, r_key]`` (inclusive).
+
+        Returns False only when the filter *proves* no inserted key lies in
+        the interval; True means "possibly non-empty".  Constant O(k) word
+        accesses regardless of the interval length (Sect. 5).
+        """
+        check_key(l_key, self._d)
+        check_key(r_key, self._d)
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        return two_path_range_lookup(
+            l_key, r_key, self._planner_levels, self._probe_bit, self._probe_mask
+        )
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Range lookup over an ``(n, 2)`` array of inclusive bounds."""
+        bounds = np.asarray(bounds)
+        return np.fromiter(
+            (
+                self.contains_range(int(lo), int(hi))
+                for lo, hi in zip(bounds[:, 0], bounds[:, 1])
+            ),
+            dtype=bool,
+            count=bounds.shape[0],
+        )
+
+    # -- probe oracles consumed by the planner -------------------------
+    def _probe_bit(self, layer_index: int, prefix: int) -> bool:
+        if layer_index == self._exact_layer_index:
+            return self._exact.test_bit(prefix)
+        layer = self._layers[layer_index]
+        group = prefix >> layer.offset_bits
+        offset = self._offset(layer, prefix)
+        for seed in layer.seeds:
+            if not self._bits.test_bit(self._word_base(layer, group, seed) + offset):
+                return False
+        return True
+
+    def _probe_mask(self, layer_index: int, p_lo: int, p_hi: int) -> bool:
+        if layer_index == self._exact_layer_index:
+            return self._exact.any_in_range(p_lo, p_hi)
+        layer = self._layers[layer_index]
+        g_lo = p_lo >> layer.offset_bits
+        g_hi = p_hi >> layer.offset_bits
+        if g_hi - g_lo >= _MAX_MASK_GROUPS:
+            return True  # beyond the rated range budget: sound "maybe"
+        for group in range(g_lo, g_hi + 1):
+            base = group << layer.offset_bits
+            off_lo = max(p_lo, base) - base
+            off_hi = min(p_hi, base + layer.offset_mask) - base
+            if self._guard and layer.offset_bits:
+                if splitmix64(group, seed=layer.seeds[0] ^ 0xA5A5) & 1:
+                    off_lo, off_hi = (
+                        layer.offset_mask - off_hi,
+                        layer.offset_mask - off_lo,
+                    )
+            mask = ((1 << (off_hi - off_lo + 1)) - 1) << off_lo
+            hit = True
+            for seed in layer.seeds:
+                word = self._bits.read_field(
+                    self._word_base(layer, group, seed), layer.word_bits
+                )
+                if not (word & mask):
+                    hit = False
+                    break
+            if hit:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # serialization (the paper persists filters as SST filter blocks)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize config + bit arrays to a self-describing byte string."""
+        header = json.dumps(
+            {"config": self.config.to_dict(), "num_keys": self._num_keys}
+        ).encode()
+        body = self._bits.to_bytes()
+        exact = self._exact.to_bytes() if self._exact is not None else b""
+        return (
+            len(header).to_bytes(4, "little")
+            + header
+            + len(body).to_bytes(8, "little")
+            + body
+            + exact
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomRF":
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        header_len = int.from_bytes(data[:4], "little")
+        header = json.loads(data[4 : 4 + header_len].decode())
+        config = BloomRFConfig.from_dict(header["config"])
+        cursor = 4 + header_len
+        body_len = int.from_bytes(data[cursor : cursor + 8], "little")
+        cursor += 8
+        filt = cls(config)
+        filt._bits = BitArray.from_bytes(
+            data[cursor : cursor + body_len], filt._bits.num_bits
+        )
+        cursor += body_len
+        if filt._exact is not None:
+            filt._exact = BitArray.from_bytes(
+                data[cursor:], config.exact_bitmap_bits
+            )
+        filt._num_keys = header["num_keys"]
+        return filt
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def basic(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        domain_bits: int = 64,
+        delta: int = 7,
+        seed: int = 0x5EED,
+    ) -> "BloomRF":
+        """Tuning-free basic bloomRF (Sect. 3-5; rated for ranges <= 2^14)."""
+        return cls(
+            BloomRFConfig.basic(
+                n_keys=n_keys,
+                bits_per_key=bits_per_key,
+                domain_bits=domain_bits,
+                delta=delta,
+                seed=seed,
+            )
+        )
+
+    @classmethod
+    def tuned(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        max_range: int,
+        domain_bits: int = 64,
+        point_weight: float = 4.0,
+        seed: int = 0x5EED,
+    ) -> "BloomRF":
+        """Advisor-tuned bloomRF for ranges up to ``max_range`` (Sect. 7)."""
+        from repro.core.advisor import TuningAdvisor
+
+        advisor = TuningAdvisor(domain_bits=domain_bits, point_weight=point_weight)
+        config = advisor.configure(
+            n_keys=n_keys, total_bits=int(n_keys * bits_per_key), max_range=max_range
+        )
+        return cls(
+            BloomRFConfig.from_dict({**config.to_dict(), "seed": seed})
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BloomRF(keys={self._num_keys}, bits={self.size_bits}, "
+            f"{self.config.describe()})"
+        )
+
+
+def max_supported_key(filt: BloomRF) -> int:
+    """Largest key the filter's domain admits (helper for workloads)."""
+    return domain_max(filt.domain_bits)

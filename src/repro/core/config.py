@@ -1,0 +1,249 @@
+"""bloomRF configuration: layer layout, segments, replicas, exact level.
+
+Terminology follows the paper (Table 1):
+
+* ``d`` (``domain_bits``) — keys live in ``[0, 2**d)``.
+* layers ``i = 0 .. k-1`` — one piecewise-monotone hash function family per
+  layer; layer ``i`` is responsible for dyadic level ``l_i``.
+* ``deltas`` — the level-distance vector, stored **bottom-up**:
+  ``deltas[i]`` is the gap between layer ``i``'s level and the next layer's
+  level, so ``l_i = sum(deltas[:i])`` (the paper prints the same vector
+  top-down).  ``deltas[k-1]`` is the gap from the top layer to the exact
+  level / omitted region, and also fixes the top layer's word size.
+* word size of layer ``i`` is ``2**(deltas[i]-1)`` bits, so a parent DI spans
+  exactly two words and any decomposition probe costs at most two word reads
+  per path per layer (Sect. 3.2 / Sect. 4).
+* ``replicas[i]`` (``r_i``) — replicated hash functions per layer (Sect. 7).
+* ``segment_of[i]`` — which bit-array segment stores layer ``i``;
+  ``segment_bits[s]`` are the per-segment budgets (``m_2``/``m_3`` style).
+* ``exact_level`` — if set, the level stored as an exact bitmap of
+  ``2**(d - exact_level)`` bits (Sect. 7 "Memory Management"); it must equal
+  ``sum(deltas)``, i.e. sit directly above the top layer.
+
+The configuration is a frozen dataclass: filters built from equal configs and
+equal seeds are bit-identical, which the serialization round-trip relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro._util import ceil_div, floor_log2, round_up
+
+__all__ = ["BloomRFConfig", "MAX_DELTA", "MIN_DELTA"]
+
+# Word size is 2**(delta-1) bits and must fit one uint64 storage word.
+MAX_DELTA = 7
+MIN_DELTA = 1
+
+_STORAGE_WORD_BITS = 64
+
+
+@dataclass(frozen=True)
+class BloomRFConfig:
+    """Complete static description of a bloomRF filter."""
+
+    domain_bits: int
+    deltas: tuple[int, ...]
+    replicas: tuple[int, ...]
+    segment_of: tuple[int, ...]
+    segment_bits: tuple[int, ...]
+    exact_level: int | None = None
+    seed: int = 0x5EED
+    degenerate_guard: bool = False
+    levels: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._validate()
+        levels = []
+        acc = 0
+        for delta in self.deltas:
+            levels.append(acc)
+            acc += delta
+        object.__setattr__(self, "levels", tuple(levels))
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        d = self.domain_bits
+        if not 1 <= d <= 64:
+            raise ValueError(f"domain_bits must be in [1, 64], got {d}")
+        k = len(self.deltas)
+        if k == 0:
+            raise ValueError("at least one layer is required")
+        for delta in self.deltas:
+            if not MIN_DELTA <= delta <= MAX_DELTA:
+                raise ValueError(
+                    f"every delta must be in [{MIN_DELTA}, {MAX_DELTA}], got {delta}"
+                )
+        if len(self.replicas) != k or any(r < 1 for r in self.replicas):
+            raise ValueError("replicas must list one positive count per layer")
+        if len(self.segment_of) != k:
+            raise ValueError("segment_of must list one segment per layer")
+        num_segments = len(self.segment_bits)
+        if num_segments == 0:
+            raise ValueError("at least one segment is required")
+        if any(not 0 <= s < num_segments for s in self.segment_of):
+            raise ValueError("segment_of entries must index segment_bits")
+        top = sum(self.deltas)
+        if top > d:
+            raise ValueError(
+                f"levels exceed the domain: sum(deltas)={top} > domain_bits={d}"
+            )
+        if self.exact_level is not None and self.exact_level != top:
+            raise ValueError(
+                f"exact_level must sit directly above the top layer "
+                f"(expected {top}, got {self.exact_level})"
+            )
+        for s, bits in enumerate(self.segment_bits):
+            word = self.max_word_bits_in_segment(s)
+            if bits < word:
+                raise ValueError(
+                    f"segment {s} has {bits} bits, smaller than its word size {word}"
+                )
+            if bits % word:
+                raise ValueError(
+                    f"segment {s} size {bits} is not a multiple of its "
+                    f"word size {word}"
+                )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """``k`` — the number of PMHF layers."""
+        return len(self.deltas)
+
+    @property
+    def top_boundary_level(self) -> int:
+        """First level *above* the top layer's band (= exact level if any)."""
+        return sum(self.deltas)
+
+    def word_bits(self, layer: int) -> int:
+        """PMHF word size of ``layer`` in bits (``2**(delta_i - 1)``)."""
+        return 1 << (self.deltas[layer] - 1)
+
+    def max_word_bits_in_segment(self, segment: int) -> int:
+        words = [
+            self.word_bits(i)
+            for i in range(self.num_layers)
+            if self.segment_of[i] == segment
+        ]
+        return max(words, default=1)
+
+    @property
+    def exact_bitmap_bits(self) -> int:
+        """Size of the exact-level bitmap (0 when no exact level is used)."""
+        if self.exact_level is None:
+            return 0
+        return 1 << (self.domain_bits - self.exact_level)
+
+    @property
+    def total_bits(self) -> int:
+        """Total filter size in bits (PMHF segments + exact bitmap)."""
+        return sum(self.segment_bits) + self.exact_bitmap_bits
+
+    def bits_per_key(self, n_keys: int) -> float:
+        """Space efficiency for a given key count."""
+        return self.total_bits / n_keys
+
+    def hash_count_in_segment(self, segment: int) -> int:
+        """``k'`` of Sect. 7: total hash functions writing into ``segment``."""
+        return sum(
+            r
+            for i, r in enumerate(self.replicas)
+            if self.segment_of[i] == segment
+        )
+
+    def describe(self) -> str:
+        """Paper-style one-line summary (top-down delta vector)."""
+        deltas_td = tuple(reversed(self.deltas))
+        reps_td = tuple(reversed(self.replicas))
+        segs_td = tuple(reversed(self.segment_of))
+        exact = f", exact_level={self.exact_level}" if self.exact_level is not None else ""
+        return (
+            f"BloomRFConfig(d={self.domain_bits}, k={self.num_layers}, "
+            f"Delta={deltas_td}, r={reps_td}, seg={segs_td}, "
+            f"segment_bits={self.segment_bits}{exact})"
+        )
+
+    # ------------------------------------------------------------------
+    # canonical constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def basic(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        domain_bits: int = 64,
+        delta: int = 7,
+        seed: int = 0x5EED,
+    ) -> "BloomRFConfig":
+        """The tuning-free *basic* bloomRF of Sect. 3-5.
+
+        Equidistant levels ``l_i = i*delta``, a single shared segment of
+        ``n_keys * bits_per_key`` bits, one hash function per layer and no
+        exact level.  The layer count follows the paper's
+        ``k = ceil((d - log2 n)/delta)``; with the exact (non-integer)
+        ``log2 n`` this reproduces both worked examples in the paper
+        (d=16, n=3, delta=4 -> k=4; d=64, n=2M, delta=7 -> k=6) when the
+        ratio is rounded to the nearest integer, which is what we do.
+        """
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        if bits_per_key <= 0:
+            raise ValueError(f"bits_per_key must be positive, got {bits_per_key}")
+        saturation_free = domain_bits - math.log2(n_keys)
+        k = max(1, math.floor(saturation_free / delta + 0.5))
+        k = min(k, ceil_div(domain_bits, delta))
+        while k * delta > domain_bits:
+            k -= 1
+        k = max(k, 1)
+        word = 1 << (delta - 1)
+        m = round_up(max(int(n_keys * bits_per_key), word), _STORAGE_WORD_BITS)
+        return cls(
+            domain_bits=domain_bits,
+            deltas=(delta,) * k,
+            replicas=(1,) * k,
+            segment_of=(0,) * k,
+            segment_bits=(m,),
+            exact_level=None,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BloomRFConfig":
+        """Inverse of :meth:`to_dict` (used by serialization)."""
+        return cls(
+            domain_bits=data["domain_bits"],
+            deltas=tuple(data["deltas"]),
+            replicas=tuple(data["replicas"]),
+            segment_of=tuple(data["segment_of"]),
+            segment_bits=tuple(data["segment_bits"]),
+            exact_level=data["exact_level"],
+            seed=data["seed"],
+            degenerate_guard=data.get("degenerate_guard", False),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON-style serialization."""
+        return {
+            "domain_bits": self.domain_bits,
+            "deltas": list(self.deltas),
+            "replicas": list(self.replicas),
+            "segment_of": list(self.segment_of),
+            "segment_bits": list(self.segment_bits),
+            "exact_level": self.exact_level,
+            "seed": self.seed,
+            "degenerate_guard": self.degenerate_guard,
+        }
+
+
+def basic_layer_count(n_keys: int, domain_bits: int, delta: int) -> int:
+    """Expose the basic-config layer-count rule for models and tests."""
+    saturation_free = domain_bits - math.log2(n_keys)
+    k = max(1, math.floor(saturation_free / delta + 0.5))
+    while k * delta > domain_bits:
+        k -= 1
+    return max(k, 1)

@@ -1,0 +1,188 @@
+"""Analytic FPR models for bloomRF (Sect. 5 basic, Sect. 7 extended).
+
+Two models are provided:
+
+* the closed-form *basic* model — eq. (5)/(6) of the paper: an upper bound on
+  the range-query FPR of the tuning-free filter, plus the standard
+  Bloom-style point FPR with the layer count fixed by the datatype; and
+* the *extended* recursive model of Sect. 7, which walks dyadic levels from
+  the exact level downwards, tracking per-level expected counts of true
+  positives (``tp``), false positives (``fp``) and true negatives (``tn``),
+  honoring segments (per-segment fill probability ``p``), replicated hash
+  functions and the exact bitmap.  This is the model the tuning advisor
+  optimizes over.
+
+Notation matches the paper: ``p`` is the probability that a bit is **zero**;
+a DI on level ``l`` probed through layer ``i`` reads ``s = 2**(l - l_i)``
+adjacent bits per replica, so the probe fires with
+``p' = (1 - p**s) ** r_i`` (the closed form consistent with the paper's
+``r=1`` expansions; its printed ``r=2`` expansion has a coefficient typo —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util import floor_log2
+from repro.core.config import BloomRFConfig
+
+__all__ = [
+    "basic_point_fpr",
+    "basic_range_fpr_bound",
+    "expected_occupied",
+    "extended_fpr_profile",
+    "FprProfile",
+    "probe_fire_probability",
+]
+
+
+def basic_point_fpr(n_keys: int, num_bits: int, num_hashes: int) -> float:
+    """Point FPR of basic bloomRF: ``(1 - e^{-kn/m})^k`` (Sect. 5)."""
+    if n_keys <= 0:
+        return 0.0
+    p_zero = math.exp(-num_hashes * n_keys / num_bits)
+    return (1.0 - p_zero) ** num_hashes
+
+
+def basic_range_fpr_bound(
+    n_keys: int,
+    num_bits: int,
+    num_hashes: int,
+    delta: int,
+    range_size: int,
+    distribution_constant: float = 1.0,
+) -> float:
+    """Eq. (6): FPR bound for range queries up to ``range_size`` keys.
+
+    ``epsilon <= 2 (1 - e^{-Ckn/m})^(k - log2(R)/delta)``.  Returns 1.0 when
+    the exponent is non-positive (the bound is vacuous there — the paper's
+    basic filter is rated for ``R <= 2**14`` with typical parameters).
+    """
+    if range_size < 1:
+        raise ValueError(f"range_size must be >= 1, got {range_size}")
+    if n_keys <= 0:
+        return 0.0
+    p_zero = math.exp(
+        -distribution_constant * num_hashes * n_keys / num_bits
+    )
+    exponent = num_hashes - math.log2(range_size) / delta
+    if exponent <= 0:
+        return 1.0
+    return min(1.0, 2.0 * (1.0 - p_zero) ** exponent)
+
+
+def expected_occupied(num_intervals: float, n_keys: int) -> float:
+    """Expected number of DIs occupied by ``n`` uniform keys.
+
+    ``N * (1 - (1 - 1/N)^n)`` evaluated stably for the huge ``N = 2**(d-l)``
+    counts that occur on low levels of 64-bit domains.
+    """
+    if num_intervals <= 0 or n_keys <= 0:
+        return 0.0
+    if num_intervals <= 1.0:
+        return num_intervals  # a single interval is certainly occupied
+    # -expm1(n * log1p(-1/N)) is exact even when n/N is astronomically small.
+    return num_intervals * -math.expm1(n_keys * math.log1p(-1.0 / num_intervals))
+
+
+def probe_fire_probability(p_zero: float, span_bits: int, replicas: int) -> float:
+    """Probability that probing ``span_bits`` adjacent bits fires (Sect. 7).
+
+    One replica fires when at least one of its ``span_bits`` bits is set;
+    all ``replicas`` must fire: ``(1 - p**s)^r``.
+    """
+    return (1.0 - p_zero**span_bits) ** replicas
+
+
+@dataclass(frozen=True)
+class FprProfile:
+    """Per-level FPR estimates: ``fpr[l]`` for dyadic levels ``0..d``."""
+
+    fpr: tuple[float, ...]
+    fp: tuple[float, ...]
+    tn: tuple[float, ...]
+    tp: tuple[float, ...]
+    p_zero_by_segment: tuple[float, ...]
+
+    @property
+    def point_fpr(self) -> float:
+        """Estimated FPR of point queries (level 0, full error-correction)."""
+        return self.fpr[0]
+
+    def max_fpr_up_to_range(self, range_size: int) -> float:
+        """``fpr_m`` of Sect. 7: worst per-level FPR for ranges <= R."""
+        top = min(floor_log2(max(range_size, 1)), len(self.fpr) - 1)
+        return max(self.fpr[: top + 1])
+
+    def weighted_norm(self, range_size: int, point_weight: float) -> float:
+        """The advisor's objective ``sqrt(fpr_m^2 + C^2 fpr_p^2)``."""
+        fpr_m = self.max_fpr_up_to_range(range_size)
+        return math.sqrt(fpr_m**2 + (point_weight * self.point_fpr) ** 2)
+
+
+def extended_fpr_profile(
+    config: BloomRFConfig,
+    n_keys: int,
+    distribution_constant: float = 1.0,
+    tp_mode: str = "expected",
+) -> FprProfile:
+    """Sect. 7 extended model: per-level FPR for an arbitrary configuration.
+
+    ``tp_mode`` selects the true-positive estimator: ``"expected"`` (expected
+    occupied DIs under uniform keys — matches the paper's worked example) or
+    ``"min"`` (the simpler ``min(n, 2^{d-l})`` stated in the running text).
+    """
+    d = config.domain_bits
+    n = n_keys
+    if tp_mode == "expected":
+        tp = [expected_occupied(2.0 ** (d - l), n) for l in range(d + 1)]
+    elif tp_mode == "min":
+        tp = [min(float(n), 2.0 ** (d - l)) for l in range(d + 1)]
+    else:
+        raise ValueError(f"unknown tp_mode {tp_mode!r}")
+
+    p_by_segment = []
+    for s, seg_bits in enumerate(config.segment_bits):
+        hashes = config.hash_count_in_segment(s)
+        inside = 1.0 - distribution_constant / seg_bits
+        p_by_segment.append(max(inside, 0.0) ** (hashes * n) if inside > 0 else 0.0)
+
+    fp = [0.0] * (d + 1)
+    tn = [0.0] * (d + 1)
+    boundary = config.top_boundary_level
+    for level in range(d, boundary - 1, -1):
+        total = 2.0 ** (d - level)
+        if config.exact_level is not None:
+            fp[level] = 0.0  # exact bitmap: no error at/above the exact level
+            tn[level] = total - tp[level]
+        else:
+            fp[level] = total - tp[level]  # saturated omitted levels: all fire
+            tn[level] = 0.0
+
+    for layer in reversed(range(config.num_layers)):
+        lo_level = config.levels[layer]
+        hi_level = lo_level + config.deltas[layer]  # == next layer's level
+        p_zero = p_by_segment[config.segment_of[layer]]
+        replicas = config.replicas[layer]
+        for level in range(hi_level - 1, lo_level - 1, -1):
+            span = 1 << (level - lo_level)
+            fire = probe_fire_probability(p_zero, span, replicas)
+            scale = 2.0 ** (hi_level - level)
+            fp_pot = max(0.0, scale * (fp[hi_level] + tp[hi_level]) - tp[level])
+            fp[level] = fire * fp_pot
+            tn[level] = scale * tn[hi_level] + (1.0 - fire) * fp_pot
+
+    fpr = []
+    for level in range(d + 1):
+        denom = fp[level] + tn[level]
+        fpr.append(fp[level] / denom if denom > 0 else 0.0)
+
+    return FprProfile(
+        fpr=tuple(fpr),
+        fp=tuple(fp),
+        tn=tuple(tn),
+        tp=tuple(tp),
+        p_zero_by_segment=tuple(p_by_segment),
+    )

@@ -1,0 +1,317 @@
+"""Datatype support (Sect. 8): floats, variable-length strings, multi-attribute.
+
+bloomRF operates on unsigned integer domains; richer datatypes are handled by
+*monotone codecs* that map values to ``uint64`` such that value order equals
+unsigned integer order — range queries then translate directly.
+
+* **Floats** use the classic sign-flip mapping ``phi``: positive doubles get
+  the sign bit set, negative doubles are bitwise inverted.  ``phi`` is a
+  monotone bijection on the IEEE-754 totally ordered doubles (the paper's
+  Sect. 8 formulation with ``q + r = 63`` mantissa+exponent bits).
+* **Strings** follow SuRF-Hash: the seven most significant bytes carry the
+  first seven characters; the least significant byte carries an 8-bit hash of
+  the whole string (including its length).  Point probes use the full code;
+  range probes zero/saturate the hash byte, so order on the 7-byte prefix is
+  preserved (longer shared prefixes are beyond the filter's resolution, as in
+  the paper).
+* **Multi-attribute filtering** concatenates two reduced-precision attributes
+  and inserts *both* orders ``<A,B>`` and ``<B,A>``, so conjunctive queries
+  with an equality on either attribute and an equality-or-range on the other
+  become a single range probe on the appropriate orientation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bloomrf import BloomRF
+from repro.hashing import splitmix64
+
+__all__ = [
+    "float_to_key",
+    "key_to_float",
+    "float_keys",
+    "string_to_point_key",
+    "string_range_keys",
+    "FloatBloomRF",
+    "StringBloomRF",
+    "AttributeSpec",
+    "MultiAttributeBloomRF",
+]
+
+_SIGN_BIT = 1 << 63
+_MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# floating point codec
+# ----------------------------------------------------------------------
+def float_to_key(value: float) -> int:
+    """Monotone map ``phi``: IEEE-754 double -> uint64 preserving order.
+
+    ``-0.0`` is normalized to ``+0.0`` so equal floats get equal codes.
+    """
+    if value == 0.0:
+        value = 0.0  # collapses -0.0
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    if bits & _SIGN_BIT:
+        return (~bits) & _MASK64  # negative: reverse the reversed order
+    return bits | _SIGN_BIT  # positive: move above all negatives
+
+
+def key_to_float(key: int) -> float:
+    """Inverse of :func:`float_to_key`."""
+    if key & _SIGN_BIT:
+        bits = key & ~_SIGN_BIT & _MASK64
+    else:
+        bits = (~key) & _MASK64
+    (value,) = struct.unpack("<d", struct.pack("<Q", bits))
+    return value
+
+
+def float_keys(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`float_to_key` for a float64 array."""
+    values = np.asarray(values, dtype=np.float64)
+    values = np.where(values == 0.0, 0.0, values)  # collapses -0.0
+    bits = values.view(np.uint64)
+    negative = (bits & np.uint64(_SIGN_BIT)) != 0
+    return np.where(negative, ~bits, bits | np.uint64(_SIGN_BIT))
+
+
+# ----------------------------------------------------------------------
+# string codec
+# ----------------------------------------------------------------------
+_PREFIX_BYTES = 7
+
+
+def _prefix_value(data: bytes) -> int:
+    """First seven bytes, left-aligned into the 7 most significant bytes."""
+    padded = data[:_PREFIX_BYTES].ljust(_PREFIX_BYTES, b"\x00")
+    return int.from_bytes(padded, "big") << 8
+
+
+def string_to_point_key(value: str | bytes, seed: int = 0) -> int:
+    """Point-query encoding: 7-byte prefix + 1-byte whole-string hash."""
+    data = value.encode() if isinstance(value, str) else value
+    tail_hash = splitmix64(len(data), seed=seed)
+    for chunk_start in range(0, len(data), 8):
+        chunk = data[chunk_start : chunk_start + 8]
+        tail_hash = splitmix64(
+            tail_hash ^ int.from_bytes(chunk, "big"), seed=seed
+        )
+    return _prefix_value(data) | (tail_hash & 0xFF)
+
+
+def string_range_keys(lo: str | bytes, hi: str | bytes) -> tuple[int, int]:
+    """Range-query encoding of inclusive string bounds.
+
+    The hash byte is floored/saturated so every point encoding of a string in
+    the lexicographic interval falls inside the returned key interval
+    (restricted to 7-byte-prefix resolution, as in SuRF-Hash).
+    """
+    lo_data = lo.encode() if isinstance(lo, str) else lo
+    hi_data = hi.encode() if isinstance(hi, str) else hi
+    return _prefix_value(lo_data), _prefix_value(hi_data) | 0xFF
+
+
+# ----------------------------------------------------------------------
+# typed facades
+# ----------------------------------------------------------------------
+class FloatBloomRF:
+    """bloomRF over IEEE-754 doubles via the monotone codec."""
+
+    def __init__(self, filt: BloomRF) -> None:
+        self.filter = filt
+
+    @classmethod
+    def tuned(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        max_range_keys: int = 1 << 40,
+        seed: int = 0x5EED,
+    ) -> "FloatBloomRF":
+        """Advisor-tuned float filter.
+
+        ``max_range_keys`` is the expected query width *in code space*; as the
+        paper notes, a float range of 1.0 can span ~2^61 codes, so float
+        filters should be tuned generously.
+        """
+        return cls(
+            BloomRF.tuned(
+                n_keys=n_keys,
+                bits_per_key=bits_per_key,
+                max_range=max_range_keys,
+                seed=seed,
+            )
+        )
+
+    def insert(self, value: float) -> None:
+        self.filter.insert(float_to_key(value))
+
+    def insert_many(self, values: np.ndarray) -> None:
+        self.filter.insert_many(float_keys(values))
+
+    def contains_point(self, value: float) -> bool:
+        return self.filter.contains_point(float_to_key(value))
+
+    def contains_range(self, lo: float, hi: float) -> bool:
+        if not lo <= hi:
+            raise ValueError(f"empty float range [{lo}, {hi}]")
+        return self.filter.contains_range(float_to_key(lo), float_to_key(hi))
+
+
+class StringBloomRF:
+    """bloomRF over variable-length strings (SuRF-Hash-style encoding)."""
+
+    def __init__(self, filt: BloomRF, seed: int = 0) -> None:
+        self.filter = filt
+        self._seed = seed
+
+    @classmethod
+    def tuned(
+        cls, n_keys: int, bits_per_key: float, seed: int = 0x5EED
+    ) -> "StringBloomRF":
+        # String ranges resolve at one-byte granularity of the 7-byte prefix:
+        # a one-character range spans 2^8 codes; typical prefix ranges 2^40.
+        return cls(
+            BloomRF.tuned(
+                n_keys=n_keys,
+                bits_per_key=bits_per_key,
+                max_range=1 << 40,
+                seed=seed,
+            ),
+            seed=seed,
+        )
+
+    def insert(self, value: str | bytes) -> None:
+        self.filter.insert(string_to_point_key(value, seed=self._seed))
+
+    def contains_point(self, value: str | bytes) -> bool:
+        return self.filter.contains_point(
+            string_to_point_key(value, seed=self._seed)
+        )
+
+    def contains_range(self, lo: str | bytes, hi: str | bytes) -> bool:
+        lo_key, hi_key = string_range_keys(lo, hi)
+        return self.filter.contains_range(lo_key, hi_key)
+
+
+# ----------------------------------------------------------------------
+# multi-attribute filter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttributeSpec:
+    """How to reduce one attribute to its slice of the concatenated key.
+
+    ``source_bits`` is the width of the raw attribute values; ``target_bits``
+    the reduced width (the paper reduces 64-bit attributes to 32 bits).
+    Reduction keeps the *high* bits, which preserves order — required for
+    range predicates on the attribute.
+    """
+
+    name: str
+    source_bits: int = 64
+    target_bits: int = 32
+
+    def reduce(self, value: int) -> int:
+        return value >> (self.source_bits - self.target_bits)
+
+    def reduce_range(self, lo: int, hi: int) -> tuple[int, int]:
+        shift = self.source_bits - self.target_bits
+        return lo >> shift, hi >> shift
+
+
+class MultiAttributeBloomRF:
+    """Two-attribute bloomRF(A, B) with dual-orientation insertion (Sect. 8).
+
+    Supports conjunctive probes where at least one attribute is an equality:
+    ``A = a AND B = b``, ``A = a AND B in [lo, hi]``, ``A in [lo, hi] AND
+    B = b`` — the equality attribute leads the concatenation and the other
+    becomes the low part, turning the probe into a single range lookup.
+    """
+
+    def __init__(
+        self, filt: BloomRF, spec_a: AttributeSpec, spec_b: AttributeSpec
+    ) -> None:
+        if spec_a.target_bits + spec_b.target_bits > filt.domain_bits:
+            raise ValueError(
+                "reduced attribute widths exceed the filter domain "
+                f"({spec_a.target_bits} + {spec_b.target_bits} > {filt.domain_bits})"
+            )
+        self.filter = filt
+        self.spec_a = spec_a
+        self.spec_b = spec_b
+
+    @classmethod
+    def tuned(
+        cls,
+        n_keys: int,
+        bits_per_key: float,
+        spec_a: AttributeSpec,
+        spec_b: AttributeSpec,
+        seed: int = 0x5EED,
+    ) -> "MultiAttributeBloomRF":
+        filt = BloomRF.tuned(
+            n_keys=2 * n_keys,  # each tuple is inserted in both orientations
+            bits_per_key=bits_per_key / 2,
+            max_range=1 << max(spec_a.target_bits, spec_b.target_bits),
+            seed=seed,
+        )
+        return cls(filt, spec_a, spec_b)
+
+    # -- internal concatenation helpers --------------------------------
+    def _key_ab(self, a_reduced: int, b_reduced: int) -> int:
+        return (a_reduced << self.spec_b.target_bits) | b_reduced
+
+    def _key_ba(self, a_reduced: int, b_reduced: int) -> int:
+        return (b_reduced << self.spec_a.target_bits) | a_reduced
+
+    # -- public API -----------------------------------------------------
+    def insert(self, a_value: int, b_value: int) -> None:
+        """Insert the tuple ``<A, B>`` in both concatenation orders."""
+        a_red = self.spec_a.reduce(a_value)
+        b_red = self.spec_b.reduce(b_value)
+        self.filter.insert(self._key_ab(a_red, b_red))
+        self.filter.insert(self._key_ba(a_red, b_red))
+
+    def insert_many(self, a_values: np.ndarray, b_values: np.ndarray) -> None:
+        a_red = np.asarray(a_values, dtype=np.uint64) >> np.uint64(
+            self.spec_a.source_bits - self.spec_a.target_bits
+        )
+        b_red = np.asarray(b_values, dtype=np.uint64) >> np.uint64(
+            self.spec_b.source_bits - self.spec_b.target_bits
+        )
+        ab = (a_red << np.uint64(self.spec_b.target_bits)) | b_red
+        ba = (b_red << np.uint64(self.spec_a.target_bits)) | a_red
+        self.filter.insert_many(ab)
+        self.filter.insert_many(ba)
+
+    def contains_point(self, a_value: int, b_value: int) -> bool:
+        """Probe ``A = a AND B = b``."""
+        a_red = self.spec_a.reduce(a_value)
+        b_red = self.spec_b.reduce(b_value)
+        return self.filter.contains_point(self._key_ab(a_red, b_red))
+
+    def contains_a_eq_b_range(
+        self, a_value: int, b_lo: int, b_hi: int
+    ) -> bool:
+        """Probe ``A = a AND B in [b_lo, b_hi]`` (one range lookup)."""
+        a_red = self.spec_a.reduce(a_value)
+        lo_red, hi_red = self.spec_b.reduce_range(b_lo, b_hi)
+        return self.filter.contains_range(
+            self._key_ab(a_red, lo_red), self._key_ab(a_red, hi_red)
+        )
+
+    def contains_b_eq_a_range(
+        self, b_value: int, a_lo: int, a_hi: int
+    ) -> bool:
+        """Probe ``B = b AND A in [a_lo, a_hi]`` via the <B,A> orientation."""
+        b_red = self.spec_b.reduce(b_value)
+        lo_red, hi_red = self.spec_a.reduce_range(a_lo, a_hi)
+        return self.filter.contains_range(
+            self._key_ba(lo_red, b_red), self._key_ba(hi_red, b_red)
+        )

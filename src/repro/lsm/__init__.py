@@ -1,0 +1,35 @@
+"""LSM-tree substrate — the RocksDB stand-in for the system experiments.
+
+Memtable + compaction-disabled L0 SSTables with per-SST full filter blocks
+(through :mod:`repro.lsm.filter_policy`), fence pointers, and a simulated
+block device whose read costs surface in :class:`repro.lsm.iostats.IOStats`.
+"""
+
+from repro.lsm.db import LsmDB
+from repro.lsm.filter_policy import (
+    BloomPolicy,
+    BloomRFPolicy,
+    NoFilterPolicy,
+    PrefixBloomPolicy,
+    RosettaPolicy,
+    SuRFPolicy,
+    policy_by_name,
+)
+from repro.lsm.iostats import IOStats, SimulatedDevice
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import SSTable
+
+__all__ = [
+    "LsmDB",
+    "MemTable",
+    "SSTable",
+    "IOStats",
+    "SimulatedDevice",
+    "BloomRFPolicy",
+    "BloomPolicy",
+    "PrefixBloomPolicy",
+    "RosettaPolicy",
+    "SuRFPolicy",
+    "NoFilterPolicy",
+    "policy_by_name",
+]

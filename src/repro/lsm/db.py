@@ -1,0 +1,229 @@
+"""The LSM key-value store: memtable + L0 SSTables (+ optional compaction).
+
+This is the system harness for Experiments 1, 2 and the Fig. 12.C/G
+measurements — and a usable KV store: point gets, deletes via tombstones,
+and merging range scans (newest version wins) that walk the SSTs
+newest-first, consulting each SST's filter block, fence pointers, and the
+(simulated) device.  All probe outcomes and time buckets land in
+:class:`~repro.lsm.iostats.IOStats`.
+
+Compaction is disabled by default, matching the paper's RocksDB setup
+(overlapping L0 runs are exactly what makes per-SST filters matter);
+:meth:`LsmDB.compact` is provided for KV-store completeness and drops
+shadowed versions and tombstones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsm.filter_policy import FilterPolicy, NoFilterPolicy
+from repro.lsm.iostats import IOStats, SimulatedDevice
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import SSTable
+
+__all__ = ["LsmDB"]
+
+
+class LsmDB:
+    """Minimal RocksDB-like store (L0 runs, newest first)."""
+
+    def __init__(
+        self,
+        policy: FilterPolicy | None = None,
+        memtable_capacity: int = 1 << 16,
+        value_bytes: int = 512,
+        block_bytes: int = 4096,
+        device: SimulatedDevice | None = None,
+        store_values: bool = False,
+    ) -> None:
+        self.policy = policy if policy is not None else NoFilterPolicy()
+        self.memtable = MemTable(memtable_capacity)
+        self.sstables: list[SSTable] = []
+        self.value_bytes = value_bytes
+        self.block_bytes = block_bytes
+        self.device = device if device is not None else SimulatedDevice()
+        self.store_values = store_values
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes = b"") -> None:
+        """Insert or overwrite one key; flushes the memtable when full."""
+        self.memtable.put(key, value)
+        if self.memtable.is_full:
+            self.flush()
+
+    def delete(self, key: int) -> None:
+        """Delete via tombstone (shadows older versions until compaction)."""
+        self.memtable.delete(key)
+        if self.memtable.is_full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable into a new L0 SSTable (newest first)."""
+        if len(self.memtable) == 0:
+            return
+        keys, values, tombstones = self.memtable.drain_sorted()
+        self.sstables.insert(
+            0,
+            self._make_sstable(
+                keys,
+                values if self.store_values else None,
+                tombstones,
+            ),
+        )
+
+    def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
+        """Load an insertion-ordered key stream into ``num_sstables`` runs.
+
+        Mirrors how sequential memtable flushes partition a write stream:
+        each chunk is sorted on flush, chunks overlap arbitrarily in key
+        space (the L0 shape that makes filters matter).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if num_sstables <= 0:
+            raise ValueError(f"num_sstables must be positive, got {num_sstables}")
+        for chunk in np.array_split(keys, num_sstables):
+            if chunk.size == 0:
+                continue
+            sorted_chunk = np.unique(chunk)
+            self.sstables.insert(0, self._make_sstable(sorted_chunk, None, None))
+
+    def compact(self) -> None:
+        """Merge every run into one, dropping shadowed versions/tombstones."""
+        self.flush()
+        if not self.sstables:
+            return
+        merged: dict[int, tuple[bytes, bool]] = {}
+        for sst in reversed(self.sstables):  # oldest first; newer overwrite
+            for idx in range(sst.num_keys):
+                key = int(sst.keys[idx])
+                value = sst.values[idx] if sst.values is not None else b""
+                merged[key] = (value, bool(sst.tombstones[idx]))
+        live = sorted(
+            (k, v) for k, (v, dead) in merged.items() if not dead
+        )
+        self.sstables.clear()
+        if not live:
+            return
+        keys = np.fromiter((k for k, _ in live), dtype=np.uint64, count=len(live))
+        values = [v for _, v in live] if self.store_values else None
+        self.sstables.append(self._make_sstable(keys, values, None))
+
+    def _make_sstable(
+        self,
+        sorted_keys: np.ndarray,
+        values: list[bytes] | None,
+        tombstones: np.ndarray | None,
+    ) -> SSTable:
+        return SSTable(
+            sorted_keys,
+            policy=self.policy,
+            values=values,
+            tombstones=tombstones,
+            value_bytes=self.value_bytes,
+            block_bytes=self.block_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bool:
+        """Is a live version of ``key`` present? (filter-accelerated)."""
+        return self.get_value(key) is not None
+
+    def get_value(self, key: int) -> bytes | None:
+        """Newest live value of ``key``, or None (absent or deleted)."""
+        buffered = self.memtable.get(key)
+        if buffered is not None:
+            return None if buffered is TOMBSTONE else buffered
+        for sst in self.sstables:
+            found, value, is_tombstone = sst.get(key, self.stats, self.device)
+            if found:
+                return None if is_tombstone else value
+        return None
+
+    def scan_nonempty(self, l_key: int, r_key: int) -> bool:
+        """Does ``[l_key, r_key]`` hold any live key? (Exp. 1's probe shape).
+
+        Probes every run's filter (the paper's workloads are empty — the
+        worst case — and real scans must merge all overlapping runs), then
+        reconciles versions newest-first.
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        candidates = [
+            sst
+            for sst in self.sstables
+            if sst.scan(l_key, r_key, self.stats, self.device)
+        ]
+        if self.memtable.contains_range(l_key, r_key):
+            return True
+        if not candidates:
+            return False
+        return bool(self._merge_scan(l_key, r_key, candidates, limit=1))
+
+    def scan(self, l_key: int, r_key: int, limit: int | None = None):
+        """Merged live entries in range, newest version wins, sorted by key.
+
+        Returns ``[(key, value), ...]``; filters prune non-overlapping runs.
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        candidates = [
+            sst
+            for sst in self.sstables
+            if sst.scan(l_key, r_key, self.stats, self.device)
+        ]
+        return self._merge_scan(l_key, r_key, candidates, limit)
+
+    def _merge_scan(self, l_key, r_key, candidates, limit):
+        # Newest-wins reconciliation: memtable first, then runs new -> old.
+        seen: dict[int, tuple[bytes, bool]] = {}
+        for key, value in self.memtable.entries_in_range(l_key, r_key):
+            seen[key] = (b"", True) if value is TOMBSTONE else (value, False)
+        for sst in candidates:  # self.sstables order = newest first
+            for key, value, dead in sst.entries_in_range(l_key, r_key):
+                if key not in seen:
+                    seen[key] = (value, dead)
+        live = sorted(
+            (k, v) for k, (v, dead) in seen.items() if not dead
+        )
+        if limit is not None:
+            live = live[:limit]
+        return live
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return len(self.memtable) + sum(s.num_keys for s in self.sstables)
+
+    @property
+    def filter_bits(self) -> int:
+        return sum(s.filter.size_bits for s in self.sstables)
+
+    def filter_bits_per_key(self) -> float:
+        stored = sum(s.num_keys for s in self.sstables)
+        return self.filter_bits / stored if stored else 0.0
+
+    def construction_times(self) -> tuple[float, float]:
+        """(total filter build seconds, total serialization seconds)."""
+        return (
+            sum(s.build_time_s for s in self.sstables),
+            sum(s.serialize_time_s for s in self.sstables),
+        )
+
+    def reset_stats(self) -> IOStats:
+        """Swap in fresh stats; returns the old object."""
+        old, self.stats = self.stats, IOStats()
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LsmDB(policy={self.policy.name}, sstables={len(self.sstables)}, "
+            f"keys={self.num_keys})"
+        )

@@ -1,0 +1,277 @@
+"""Filter policies: how SSTables build and consult their filter blocks.
+
+Mirrors RocksDB's ``FilterPolicy`` extension described in Sect. 9: the policy
+builds one full-filter block per SST from the SST's keys, (de)serializes it,
+and answers point probes — extended here (as in the paper) with range probes
+carrying the query's lower/upper bounds.
+
+Policies exist for every baseline so the same DB harness runs the whole
+comparison: bloomRF (basic/tuned), Bloom, Prefix-Bloom, Rosetta, SuRF, and
+"none" (fence pointers only).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.prefix_bloom import PrefixBloomFilter
+from repro.baselines.rosetta import Rosetta
+from repro.baselines.surf import SuRF
+from repro.core.bloomrf import BloomRF
+
+__all__ = [
+    "FilterHandle",
+    "FilterPolicy",
+    "BloomRFPolicy",
+    "BloomPolicy",
+    "PrefixBloomPolicy",
+    "RosettaPolicy",
+    "SuRFPolicy",
+    "NoFilterPolicy",
+    "policy_by_name",
+]
+
+
+class FilterHandle(Protocol):
+    """What the DB needs from a built filter block."""
+
+    def probe_point(self, key: int) -> bool: ...
+
+    def probe_range(self, l_key: int, r_key: int) -> bool: ...
+
+    @property
+    def size_bits(self) -> int: ...
+
+    def serialize(self) -> bytes: ...
+
+
+class FilterPolicy(Protocol):
+    name: str
+
+    def build(self, keys: np.ndarray) -> FilterHandle: ...
+
+    def deserialize(self, data: bytes) -> FilterHandle: ...
+
+
+class _Handle:
+    """Adapter turning any filter object into a :class:`FilterHandle`."""
+
+    __slots__ = ("_filter", "_point", "_range", "_serialize")
+
+    def __init__(self, filt, point, range_, serialize) -> None:
+        self._filter = filt
+        self._point = point
+        self._range = range_
+        self._serialize = serialize
+
+    def probe_point(self, key: int) -> bool:
+        return self._point(key)
+
+    def probe_range(self, l_key: int, r_key: int) -> bool:
+        return self._range(l_key, r_key)
+
+    @property
+    def size_bits(self) -> int:
+        return self._filter.size_bits
+
+    def serialize(self) -> bytes:
+        return self._serialize()
+
+
+class BloomRFPolicy:
+    """bloomRF full-filter policy (advisor-tuned unless ``basic=True``)."""
+
+    def __init__(
+        self,
+        bits_per_key: float,
+        max_range: int = 1 << 40,
+        basic: bool = False,
+        seed: int = 0x5EED,
+    ) -> None:
+        self.bits_per_key = bits_per_key
+        self.max_range = max_range
+        self.basic = basic
+        self.seed = seed
+        self.name = f"bloomRF{'-basic' if basic else ''}"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        n = max(int(keys.size), 1)
+        if self.basic:
+            filt = BloomRF.basic(
+                n_keys=n, bits_per_key=self.bits_per_key, seed=self.seed
+            )
+        else:
+            filt = BloomRF.tuned(
+                n_keys=n,
+                bits_per_key=self.bits_per_key,
+                max_range=self.max_range,
+                seed=self.seed,
+            )
+        filt.insert_many(np.asarray(keys, dtype=np.uint64))
+        return self._wrap(filt)
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        return self._wrap(BloomRF.from_bytes(data))
+
+    @staticmethod
+    def _wrap(filt: BloomRF) -> FilterHandle:
+        return _Handle(filt, filt.contains_point, filt.contains_range, filt.to_bytes)
+
+
+class BloomPolicy:
+    """Standard RocksDB-style Bloom filter (point probes only).
+
+    Range probes conservatively answer True — a BF cannot prune ranges,
+    which is exactly the paper's motivation for point-range filters.
+    """
+
+    def __init__(self, bits_per_key: float, seed: int = 0xB10F) -> None:
+        self.bits_per_key = bits_per_key
+        self.seed = seed
+        self.name = "bloom"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        filt = BloomFilter(
+            n_keys=max(int(keys.size), 1),
+            bits_per_key=self.bits_per_key,
+            seed=self.seed,
+        )
+        filt.insert_many(np.asarray(keys, dtype=np.uint64))
+        return _Handle(
+            filt, filt.contains_point, lambda lo, hi: True, filt.to_bytes
+        )
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        filt = BloomFilter.from_bytes(data)
+        return _Handle(
+            filt, filt.contains_point, lambda lo, hi: True, filt.to_bytes
+        )
+
+
+class PrefixBloomPolicy:
+    """Prefix-BF policy (Fig. 9.D baseline)."""
+
+    def __init__(
+        self, bits_per_key: float, expected_range: int, seed: int = 0x9F1
+    ) -> None:
+        self.bits_per_key = bits_per_key
+        self.expected_range = expected_range
+        self.seed = seed
+        self.name = "prefix-bloom"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        filt = PrefixBloomFilter.for_range(
+            n_keys=max(int(keys.size), 1),
+            bits_per_key=self.bits_per_key,
+            expected_range=self.expected_range,
+            seed=self.seed,
+        )
+        filt.insert_many(np.asarray(keys, dtype=np.uint64))
+        return _Handle(
+            filt,
+            filt.contains_point,
+            lambda lo, hi: filt.contains_range(lo, hi)[0],
+            lambda: b"",
+        )
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        raise NotImplementedError("prefix-BF serialization is not persisted")
+
+
+class RosettaPolicy:
+    """Rosetta policy (budget-tuned variant)."""
+
+    def __init__(
+        self, bits_per_key: float, max_range: int, seed: int = 0x0E77A
+    ) -> None:
+        self.bits_per_key = bits_per_key
+        self.max_range = max_range
+        self.seed = seed
+        self.name = "rosetta"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        filt = Rosetta.tuned(
+            n_keys=max(int(keys.size), 1),
+            bits_per_key=self.bits_per_key,
+            max_range=self.max_range,
+            seed=self.seed,
+        )
+        filt.insert_many(np.asarray(keys, dtype=np.uint64))
+        return _Handle(
+            filt, filt.contains_point, filt.contains_range, lambda: b""
+        )
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        raise NotImplementedError("Rosetta serialization is not persisted")
+
+
+class SuRFPolicy:
+    """SuRF policy (suffix length tuned to the budget)."""
+
+    def __init__(
+        self,
+        bits_per_key: float,
+        suffix_mode: str = "real",
+        seed: int = 0x50F1,
+    ) -> None:
+        self.bits_per_key = bits_per_key
+        self.suffix_mode = suffix_mode
+        self.seed = seed
+        self.name = "surf"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        filt = SuRF.tuned_uint64(
+            np.asarray(keys, dtype=np.uint64),
+            bits_per_key=self.bits_per_key,
+            suffix_mode=self.suffix_mode,
+            seed=self.seed,
+        )
+        return _Handle(
+            filt, filt.contains_point, filt.contains_range, lambda: b""
+        )
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        raise NotImplementedError("SuRF serialization is not persisted")
+
+
+class NoFilterPolicy:
+    """Fence pointers only — every probe answers 'maybe'."""
+
+    name = "none"
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        return _Handle(
+            _ZeroSize(), lambda key: True, lambda lo, hi: True, lambda: b""
+        )
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        return self.build(np.empty(0, dtype=np.uint64))
+
+
+class _ZeroSize:
+    size_bits = 0
+
+
+def policy_by_name(
+    name: str, bits_per_key: float, max_range: int, seed: int | None = None
+) -> FilterPolicy:
+    """Factory used by the benchmark harness."""
+    if name == "bloomrf":
+        return BloomRFPolicy(bits_per_key, max_range=max_range)
+    if name == "bloomrf-basic":
+        return BloomRFPolicy(bits_per_key, max_range=max_range, basic=True)
+    if name == "bloom":
+        return BloomPolicy(bits_per_key)
+    if name == "prefix-bloom":
+        return PrefixBloomPolicy(bits_per_key, expected_range=max_range)
+    if name == "rosetta":
+        return RosettaPolicy(bits_per_key, max_range=max_range)
+    if name == "surf":
+        return SuRFPolicy(bits_per_key)
+    if name == "none":
+        return NoFilterPolicy()
+    raise ValueError(f"unknown filter policy {name!r}")

@@ -1,0 +1,101 @@
+"""Write buffer of the LSM substrate.
+
+RocksDB absorbs writes in a main-memory delta (memtable) and builds the SST
+filter only at flush time, when the SST's full key set is known — the system
+property that lets *offline* PRFs work inside an LSM at all (the paper's
+Problem 2 discussion).  The memtable here is a plain hash map with
+sort-on-flush semantics, standing in for RocksDB's HashSkipList: the paper
+itself notes that searching the delta "is handled otherwise, e.g. through
+its organization", so probe structure inside the memtable is not part of any
+reproduced experiment.
+
+Supports values and deletes: a delete writes a *tombstone* that shadows any
+older version of the key in lower levels until compaction drops it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemTable", "TOMBSTONE"]
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key (survives until compaction)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class MemTable:
+    """Unsorted write buffer with sorted flush; newest write wins."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[int, bytes | _Tombstone] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes = b"") -> None:
+        self._entries[key] = value
+
+    def delete(self, key: int) -> None:
+        """Record a tombstone (shadows older versions on lower levels)."""
+        self._entries[key] = TOMBSTONE
+
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bytes | _Tombstone | None:
+        """Value, TOMBSTONE, or None when the memtable knows nothing."""
+        return self._entries.get(key)
+
+    def contains_point(self, key: int) -> bool:
+        """Is a *live* version of ``key`` buffered here?"""
+        value = self._entries.get(key)
+        return value is not None and value is not TOMBSTONE
+
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Exact live-key range check (memtables answer precisely)."""
+        if not self._entries:
+            return False
+        width = r_key - l_key + 1
+        if width <= 64 and width < len(self._entries):
+            return any(self.contains_point(k) for k in range(l_key, r_key + 1))
+        return any(
+            l_key <= key <= r_key and value is not TOMBSTONE
+            for key, value in self._entries.items()
+        )
+
+    def entries_in_range(self, l_key: int, r_key: int) -> list[tuple[int, object]]:
+        """All buffered entries (incl. tombstones) in [l_key, r_key], sorted."""
+        return sorted(
+            (k, v) for k, v in self._entries.items() if l_key <= k <= r_key
+        )
+
+    # ------------------------------------------------------------------
+    def drain_sorted(self):
+        """Flush: return (keys, values, tombstone flags) sorted; clear.
+
+        ``keys`` is a uint64 array; ``values`` a list aligned with it;
+        tombstoned slots carry ``b""`` in values and True in the flag array.
+        """
+        items = sorted(self._entries.items())
+        self._entries.clear()
+        keys = np.fromiter((k for k, _ in items), dtype=np.uint64, count=len(items))
+        tombstones = np.fromiter(
+            (v is TOMBSTONE for _, v in items), dtype=bool, count=len(items)
+        )
+        values = [b"" if v is TOMBSTONE else v for _, v in items]
+        return keys, values, tombstones

@@ -1,0 +1,35 @@
+"""Workload and dataset generators for the paper's experiments (Sect. 9)."""
+
+from repro.workloads.distributions import (
+    KeyDistribution,
+    distribution_by_name,
+    normal_keys,
+    sample_indices,
+    uniform_keys,
+    zipfian_keys,
+)
+from repro.workloads.queries import (
+    QueryWorkload,
+    empty_point_queries,
+    empty_range_queries,
+)
+from repro.workloads.datasets import (
+    kepler_like_flux,
+    sdss_like_catalog,
+    synthetic_words,
+)
+
+__all__ = [
+    "KeyDistribution",
+    "distribution_by_name",
+    "sample_indices",
+    "uniform_keys",
+    "normal_keys",
+    "zipfian_keys",
+    "QueryWorkload",
+    "empty_point_queries",
+    "empty_range_queries",
+    "kepler_like_flux",
+    "sdss_like_catalog",
+    "synthetic_words",
+]

@@ -1,0 +1,177 @@
+"""Key distributions used throughout the evaluation: uniform, normal, zipfian.
+
+The paper's YCSB-E derivative uses uniformly distributed 64-bit keys with
+workloads (query positions) drawn uniform / normal / zipfian; the standalone
+experiments (Fig. 11) also vary the *data* distribution.  Generators return
+sorted, de-duplicated ``uint64`` arrays of exactly the requested size
+(oversampling until enough distinct keys exist), so filters and reference
+structures can binary-search them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "KeyDistribution",
+    "uniform_keys",
+    "normal_keys",
+    "zipfian_keys",
+    "distribution_by_name",
+    "sample_indices",
+]
+
+_U64_MAX = (1 << 64) - 1
+
+KeyDistribution = Callable[[int, int], np.ndarray]
+
+
+def _dedupe_to_size(
+    draw: Callable[[np.random.Generator, int], np.ndarray],
+    n_keys: int,
+    seed: int,
+) -> np.ndarray:
+    """Draw until ``n_keys`` distinct keys exist; return them sorted."""
+    rng = np.random.default_rng(seed)
+    keys = np.unique(draw(rng, int(n_keys * 1.1) + 16))
+    while keys.size < n_keys:
+        extra = draw(rng, max(n_keys - keys.size, 1024) * 2)
+        keys = np.unique(np.concatenate([keys, extra]))
+    return keys[:n_keys].copy()
+
+
+def uniform_keys(n_keys: int, seed: int = 0, domain_bits: int = 64) -> np.ndarray:
+    """``n_keys`` distinct uniform keys over ``[0, 2**domain_bits)``, sorted."""
+    high = 1 << domain_bits
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.integers(0, high, count, dtype=np.uint64)
+
+    return _dedupe_to_size(draw, n_keys, seed)
+
+
+def normal_keys(
+    n_keys: int,
+    seed: int = 0,
+    domain_bits: int = 64,
+    sigma_fraction: float = 1 / 8,
+) -> np.ndarray:
+    """Normally distributed keys centered mid-domain, clipped and sorted.
+
+    ``sigma_fraction`` scales the standard deviation relative to the domain
+    width (default: domain/8, a clearly peaked but wide bell).
+    """
+    width = float(1 << domain_bits)
+    center, sigma = width / 2, width * sigma_fraction
+
+    # The float clip bound must be exactly representable below 2**64 or the
+    # cast back to uint64 overflows.
+    top = float(2**64 - 2**12)
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        values = rng.normal(center, sigma, count)
+        return np.clip(values, 0, top).astype(np.uint64)
+
+    return _dedupe_to_size(draw, n_keys, seed)
+
+
+def zipfian_keys(
+    n_keys: int,
+    seed: int = 0,
+    domain_bits: int = 64,
+    theta: float = 0.99,
+    universe_factor: int = 64,
+) -> np.ndarray:
+    """Zipf-skewed keys: ranks drawn YCSB-style, scattered over the domain.
+
+    Ranks follow a Zipf(theta) law over a universe of
+    ``n_keys * universe_factor`` items; rank ``r`` is then placed at a
+    deterministic pseudo-random position (rank-hashing), giving the heavily
+    skewed *collision structure* of YCSB's zipfian generator without
+    clustering every key at the domain start.
+    """
+    universe = n_keys * universe_factor
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        ranks = _zipf_ranks(rng, count, universe, theta)
+        return _scatter_ranks(ranks, domain_bits)
+
+    return _dedupe_to_size(draw, n_keys, seed)
+
+
+def _zipf_ranks(
+    rng: np.random.Generator, count: int, universe: int, theta: float
+) -> np.ndarray:
+    """YCSB's rejection-free zipfian generator (Gray et al. quick method)."""
+    zetan = _zeta(universe, theta)
+    zeta2 = _zeta(2, theta)
+    alpha = 1.0 / (1.0 - theta)
+    eta = (1 - (2.0 / universe) ** (1 - theta)) / (1 - zeta2 / zetan)
+    u = rng.random(count)
+    uz = u * zetan
+    ranks = np.empty(count, dtype=np.uint64)
+    low = uz < 1.0
+    mid = ~low & (uz < 1.0 + 0.5**theta)
+    rest = ~(low | mid)
+    ranks[low] = 0
+    ranks[mid] = 1
+    ranks[rest] = (universe * (eta * u[rest] - eta + 1) ** alpha).astype(np.uint64)
+    return np.minimum(ranks, universe - 1)
+
+
+def _zeta(n: int, theta: float) -> float:
+    """Generalized harmonic number; exact below 1e6 items, integral above."""
+    if n <= 1_000_000:
+        return float(np.sum(1.0 / np.arange(1, n + 1) ** theta))
+    head = float(np.sum(1.0 / np.arange(1, 1_000_001) ** theta))
+    # Integral tail approximation of sum_{k=1e6+1}^{n} k^-theta.
+    return head + (n ** (1 - theta) - 1_000_000 ** (1 - theta)) / (1 - theta)
+
+
+def _scatter_ranks(ranks: np.ndarray, domain_bits: int) -> np.ndarray:
+    """Map ranks to stable pseudo-random domain positions (FNV-style mix)."""
+    z = ranks.astype(np.uint64)
+    z = (z + np.uint64(0x9E3779B97F4A7C15)) * np.uint64(0xBF58476D1CE4E5B9)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(0x94D049BB133111EB)
+    z ^= z >> np.uint64(31)
+    if domain_bits < 64:
+        z >>= np.uint64(64 - domain_bits)
+    return z
+
+
+def distribution_by_name(name: str) -> KeyDistribution:
+    """Resolve a distribution by the names the paper uses."""
+    table = {
+        "uniform": uniform_keys,
+        "normal": normal_keys,
+        "zipfian": zipfian_keys,
+    }
+    if name not in table:
+        raise ValueError(f"unknown distribution {name!r} (expected {sorted(table)})")
+    return table[name]
+
+
+def sample_indices(
+    rng: np.random.Generator, n_items: int, count: int, workload: str, theta: float = 0.99
+) -> np.ndarray:
+    """Sample item indices according to a *workload* distribution.
+
+    Used to pick query anchor keys: ``uniform`` picks keys evenly, ``normal``
+    concentrates on the middle of the sorted key space, ``zipfian`` hammers a
+    hot set — reproducing how the paper's workload distributions shift query
+    positions over the (sorted) dataset.
+    """
+    if workload == "uniform":
+        return rng.integers(0, n_items, count)
+    if workload == "normal":
+        raw = rng.normal(n_items / 2, n_items / 6, count)
+        return np.clip(raw, 0, n_items - 1).astype(np.int64)
+    if workload == "zipfian":
+        ranks = _zipf_ranks(rng, count, max(n_items, 2), theta)
+        # Scatter hot ranks over the index space deterministically.
+        return (_scatter_ranks(ranks, 64) % np.uint64(n_items)).astype(np.int64)
+    raise ValueError(f"unknown workload {workload!r}")

@@ -1,0 +1,113 @@
+"""Query workload generation: empty point/range queries (the worst case).
+
+The paper's YCSB-E derivative issues queries of one fixed range size, all
+*empty* — the worst case for a filter, because every positive is a false
+positive and every negative saves work (Sect. 9, "Workloads").
+
+Empty queries are generated in the *gaps* of the sorted key set: an anchor
+key is sampled according to the workload distribution (uniform / normal /
+zipfian over the sorted key index space), and the query is placed uniformly
+inside the key-free gap following the anchor.  This keeps queries adjacent
+to real data — exercising the filters' hard cases, e.g. SuRF's truncated
+suffixes — instead of landing in the astronomically empty reaches of a
+64-bit domain where every filter looks perfect.  Verification against the
+key set guarantees emptiness by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.distributions import sample_indices
+
+__all__ = ["QueryWorkload", "empty_range_queries", "empty_point_queries"]
+
+_U64_MAX = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A batch of queries: ``bounds[i] = (lo, hi)`` inclusive, all empty."""
+
+    bounds: np.ndarray  # shape (n, 2), uint64
+    range_size: int
+    workload: str
+
+    def __len__(self) -> int:
+        return int(self.bounds.shape[0])
+
+    def __iter__(self):
+        for lo, hi in self.bounds:
+            yield int(lo), int(hi)
+
+
+def empty_range_queries(
+    sorted_keys: np.ndarray,
+    count: int,
+    range_size: int,
+    workload: str = "uniform",
+    seed: int = 0,
+    max_attempts: int = 64,
+) -> QueryWorkload:
+    """``count`` empty range queries of exactly ``range_size`` keys.
+
+    Anchors are sampled by ``workload`` over the sorted key indices; each
+    query starts uniformly inside the gap ``(key_i, key_{i+1})`` so that
+    ``[lo, lo + range_size - 1]`` contains no key.  Raises ``ValueError``
+    when the key set is so dense that no gap fits the range (at paper-scale
+    domains this only happens for ranges near the domain size).
+    """
+    if range_size < 1:
+        raise ValueError(f"range_size must be >= 1, got {range_size}")
+    keys = np.asarray(sorted_keys, dtype=np.uint64)
+    if keys.size < 2:
+        raise ValueError("need at least two keys to define gaps")
+    rng = np.random.default_rng(seed)
+    out = np.empty((count, 2), dtype=np.uint64)
+    filled = 0
+    for _ in range(max_attempts):
+        need = count - filled
+        if need <= 0:
+            break
+        anchors = sample_indices(rng, keys.size - 1, need * 2, workload)
+        gap_lo = keys[anchors] + np.uint64(1)
+        gap_hi = keys[anchors + 1] - np.uint64(1)
+        # Usable gaps must fit the whole range strictly between two keys.
+        span = gap_hi.astype(np.float64) - gap_lo.astype(np.float64) + 1.0
+        ok = span >= float(range_size)
+        idx = np.nonzero(ok)[0][:need]
+        if idx.size == 0:
+            continue
+        slack = (gap_hi[idx] - gap_lo[idx] + np.uint64(1)) - np.uint64(range_size)
+        offset = (rng.random(idx.size) * (slack.astype(np.float64) + 1.0)).astype(
+            np.uint64
+        )
+        lo = gap_lo[idx] + np.minimum(offset, slack)
+        out[filled : filled + idx.size, 0] = lo
+        out[filled : filled + idx.size, 1] = lo + np.uint64(range_size - 1)
+        filled += idx.size
+    if filled < count:
+        raise ValueError(
+            f"could not place {count} empty ranges of size {range_size}: "
+            f"gaps too small (only {filled} found)"
+        )
+    return QueryWorkload(bounds=out, range_size=range_size, workload=workload)
+
+
+def empty_point_queries(
+    sorted_keys: np.ndarray,
+    count: int,
+    workload: str = "uniform",
+    seed: int = 0,
+) -> np.ndarray:
+    """``count`` lookup keys guaranteed absent from ``sorted_keys``.
+
+    Sampled adjacent to real keys (inside gaps), the worst case for filters
+    whose precision depends on key locality (SuRF, prefix BFs).
+    """
+    qw = empty_range_queries(
+        sorted_keys, count, range_size=1, workload=workload, seed=seed
+    )
+    return qw.bounds[:, 0].copy()

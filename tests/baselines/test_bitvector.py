@@ -1,0 +1,82 @@
+"""Tests for the rank/select bitvector underlying SuRF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.surf.bitvector import RankSelectBitVector
+
+bit_lists = st.lists(st.booleans(), min_size=1, max_size=600)
+
+
+class TestRank:
+    @given(bit_lists)
+    @settings(max_examples=100)
+    def test_rank_matches_naive(self, bits):
+        bv = RankSelectBitVector(np.array(bits, dtype=bool))
+        prefix = 0
+        for pos, bit in enumerate(bits):
+            assert bv.rank1(pos) == prefix
+            prefix += bit
+            assert bv.rank1_inclusive(pos) == prefix
+        assert bv.rank1(len(bits)) == prefix
+        assert bv.num_ones == prefix
+
+    def test_rank_beyond_end(self):
+        bv = RankSelectBitVector(np.array([1, 0, 1], dtype=bool))
+        assert bv.rank1(100) == 2
+
+    def test_rank_at_zero(self):
+        bv = RankSelectBitVector(np.array([1], dtype=bool))
+        assert bv.rank1(0) == 0
+
+
+class TestSelect:
+    @given(bit_lists)
+    @settings(max_examples=100)
+    def test_select_matches_naive(self, bits):
+        bv = RankSelectBitVector(np.array(bits, dtype=bool))
+        ones = [i for i, bit in enumerate(bits) if bit]
+        for count, pos in enumerate(ones, start=1):
+            assert bv.select1(count) == pos
+
+    def test_select_out_of_range(self):
+        bv = RankSelectBitVector(np.array([1, 0], dtype=bool))
+        with pytest.raises(IndexError):
+            bv.select1(2)
+        with pytest.raises(IndexError):
+            bv.select1(0)
+
+    @given(bit_lists)
+    @settings(max_examples=50)
+    def test_select_rank_inverse(self, bits):
+        bv = RankSelectBitVector(np.array(bits, dtype=bool))
+        for count in range(1, bv.num_ones + 1):
+            assert bv.rank1_inclusive(bv.select1(count)) == count
+
+
+class TestNextSetBit:
+    @given(bit_lists, st.integers(min_value=0, max_value=700))
+    @settings(max_examples=100)
+    def test_matches_naive(self, bits, start):
+        bv = RankSelectBitVector(np.array(bits, dtype=bool))
+        expected = next((i for i in range(start, len(bits)) if bits[i]), -1)
+        assert bv.next_set_bit(start) == expected
+
+    def test_cross_word_boundary(self):
+        bits = np.zeros(200, dtype=bool)
+        bits[130] = True
+        bv = RankSelectBitVector(bits)
+        assert bv.next_set_bit(0) == 130
+        assert bv.next_set_bit(130) == 130
+        assert bv.next_set_bit(131) == -1
+
+
+class TestGet:
+    @given(bit_lists)
+    @settings(max_examples=50)
+    def test_get_matches_input(self, bits):
+        bv = RankSelectBitVector(np.array(bits, dtype=bool))
+        for pos, bit in enumerate(bits):
+            assert bv.get(pos) == bit

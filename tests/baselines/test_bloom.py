@@ -1,0 +1,93 @@
+"""Tests for the standard Bloom filter baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import BloomFilter, bits_for_fpr, optimal_num_hashes
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestSizing:
+    def test_rocksdb_floors(self):
+        """Paper: 10 bits/key -> 6.93 hashes, floored to 6 in RocksDB."""
+        assert optimal_num_hashes(10, style="rocksdb") == 6
+
+    def test_optimal_rounds(self):
+        assert optimal_num_hashes(10, style="optimal") == 7
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(10, style="bogus")
+
+    def test_bits_for_fpr(self):
+        bits = bits_for_fpr(1000, 0.01)
+        assert 9_000 < bits < 10_000  # ~9.59 bits/key
+
+    def test_bits_for_fpr_rejects_bad(self):
+        with pytest.raises(ValueError):
+            bits_for_fpr(1000, 0.0)
+        with pytest.raises(ValueError):
+            bits_for_fpr(1000, 1.0)
+
+
+class TestSoundness:
+    @given(st.sets(u64, min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, keys):
+        filt = BloomFilter(n_keys=len(keys), bits_per_key=8)
+        for key in keys:
+            filt.insert(key)
+        for key in keys:
+            assert filt.contains_point(key)
+
+    @given(st.lists(u64, min_size=1, max_size=200, unique=True))
+    @settings(max_examples=30)
+    def test_vectorized_matches_scalar(self, keys):
+        a = BloomFilter(n_keys=len(keys), bits_per_key=10, seed=3)
+        b = BloomFilter(n_keys=len(keys), bits_per_key=10, seed=3)
+        a.insert_many(np.array(keys, dtype=np.uint64))
+        for key in keys:
+            b.insert(key)
+        assert np.array_equal(a.bits.words, b.bits.words)
+        probes = np.array(keys[:50], dtype=np.uint64)
+        assert list(a.contains_point_many(probes)) == [
+            b.contains_point(int(k)) for k in probes
+        ]
+
+
+class TestFpr:
+    def test_measured_close_to_expected(self):
+        rng = np.random.default_rng(8)
+        keys = rng.integers(0, 1 << 64, 30_000, dtype=np.uint64)
+        filt = BloomFilter(n_keys=30_000, bits_per_key=10)
+        filt.insert_many(keys)
+        probes = rng.integers(0, 1 << 64, 60_000, dtype=np.uint64)
+        measured = float(np.mean(filt.contains_point_many(probes)))
+        assert measured == pytest.approx(filt.expected_fpr(), rel=0.5)
+
+    def test_empty_filter_never_fires(self):
+        filt = BloomFilter(n_keys=100, bits_per_key=10)
+        assert not filt.contains_point(12345)
+        assert filt.expected_fpr() == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        filt = BloomFilter(n_keys=100, bits_per_key=12, seed=77)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1 << 64, 100, dtype=np.uint64)
+        filt.insert_many(keys)
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert restored.num_hashes == filt.num_hashes
+        assert restored.num_bits == filt.num_bits
+        for key in keys:
+            assert restored.contains_point(int(key))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(n_keys=0, bits_per_key=10)
+        with pytest.raises(ValueError):
+            BloomFilter(n_keys=10, bits_per_key=0)

@@ -1,0 +1,125 @@
+"""Tests for the Rosetta baseline (hierarchical BFs with doubting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rosetta import Rosetta
+
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U64 = (1 << 64) - 1
+
+
+def small_rosetta(keys, max_range=64, bits_per_key=16, domain_bits=16):
+    filt = Rosetta.tuned(
+        n_keys=max(len(keys), 1),
+        bits_per_key=bits_per_key,
+        max_range=max_range,
+        domain_bits=domain_bits,
+    )
+    for key in keys:
+        filt.insert(key)
+    return filt
+
+
+class TestSoundness:
+    @given(st.sets(u16, min_size=1, max_size=150))
+    @settings(max_examples=60)
+    def test_point_no_false_negatives(self, keys):
+        filt = small_rosetta(keys)
+        for key in keys:
+            assert filt.contains_point(key)
+
+    @given(st.sets(u16, min_size=1, max_size=100), u16, u16)
+    @settings(max_examples=200)
+    def test_range_consistent_with_truth(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        filt = small_rosetta(keys, max_range=1 << 16)
+        if not filt.contains_range(lo, hi):
+            assert not any(lo <= k <= hi for k in keys)
+
+    @given(st.sets(u64, min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_full_domain_ranges(self, keys):
+        filt = Rosetta.tuned(n_keys=len(keys), bits_per_key=16, max_range=1 << 10)
+        for key in keys:
+            filt.insert(key)
+        for key in list(keys)[:15]:
+            assert filt.contains_range(max(0, key - 5), min(U64, key + 500))
+
+
+class TestVariants:
+    def test_first_cut_sizing(self):
+        filt = Rosetta.first_cut(n_keys=1000, target_fpr=0.02, max_range=64)
+        assert filt.max_level == 6
+        # Bottom filter must be much larger than upper-level filters.
+        bottom = filt._filters[0].size_bits
+        upper = filt._filters[3].size_bits
+        assert bottom > 3 * upper
+
+    def test_single_level_linear_probing(self):
+        filt = Rosetta.single_level(n_keys=100, bits_per_key=12, domain_bits=16)
+        filt.insert(500)
+        assert filt.max_level == 0
+        assert filt.contains_range(490, 510)
+        assert filt.contains_point(500)
+
+    def test_tuned_respects_budget(self):
+        filt = Rosetta.tuned(n_keys=10_000, bits_per_key=18, max_range=256)
+        assert filt.size_bits <= 10_000 * 18 * 1.2
+
+    def test_requires_level_zero(self):
+        with pytest.raises(ValueError):
+            Rosetta(n_keys=10, level_bits={1: 100})
+
+    def test_rejects_level_beyond_domain(self):
+        with pytest.raises(ValueError):
+            Rosetta(n_keys=10, level_bits={0: 100, 20: 100}, domain_bits=16)
+
+
+class TestDoubting:
+    def test_probe_count_grows_with_range(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1 << 64, 5_000, dtype=np.uint64)
+        filt = Rosetta.tuned(n_keys=5_000, bits_per_key=14, max_range=1 << 12)
+        filt.insert_many(keys)
+        filt.contains_range(123, 123 + 15)
+        small = filt.last_probe_count
+        filt.contains_range(123, 123 + (1 << 12) - 1)
+        large = filt.last_probe_count
+        assert large > small
+
+    def test_oversized_range_is_conservative(self):
+        filt = Rosetta.tuned(n_keys=100, bits_per_key=14, max_range=64)
+        assert filt.contains_range(0, 1 << 60) is True
+
+    def test_vectorized_insert_matches_scalar(self):
+        keys = np.arange(100, 400, 3, dtype=np.uint64)
+        a = Rosetta.tuned(n_keys=keys.size, bits_per_key=14, max_range=64, seed=5)
+        b = Rosetta.tuned(n_keys=keys.size, bits_per_key=14, max_range=64, seed=5)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        for level in a.levels:
+            assert np.array_equal(
+                a._filters[level].bits.words, b._filters[level].bits.words
+            )
+
+
+class TestBehaviorShape:
+    def test_degrades_with_range_size(self):
+        """Problem 1: Rosetta's FPR collapses once ranges exceed its budget."""
+        rng = np.random.default_rng(6)
+        keys = np.unique(rng.integers(0, 1 << 64, 20_000, dtype=np.uint64))
+        filt = Rosetta.tuned(n_keys=keys.size, bits_per_key=16, max_range=256)
+        filt.insert_many(keys)
+        from repro.workloads import empty_range_queries
+
+        small = empty_range_queries(keys, 300, range_size=16, seed=1)
+        large = empty_range_queries(keys, 300, range_size=1 << 20, seed=2)
+        fpr_small = sum(filt.contains_range(lo, hi) for lo, hi in small) / 300
+        fpr_large = sum(filt.contains_range(lo, hi) for lo, hi in large) / 300
+        assert fpr_small < 0.2
+        assert fpr_large > 0.5

@@ -1,0 +1,226 @@
+"""Tests for SuRF: trie construction, navigation, suffix variants, ranges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.surf import SuRF, build_trie
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U64 = (1 << 64) - 1
+
+key_bytes = st.binary(min_size=1, max_size=12)
+
+
+class TestBuilder:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_trie([])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            build_trie([b"b", b"a"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            build_trie([b"a", b"a"])
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            build_trie([b"", b"a"])
+
+    def test_single_key(self):
+        trie = build_trie([b"hello"])
+        assert trie.num_keys == 1
+        assert trie.suffixes.size == 1
+
+    def test_truncation_bounds_size(self):
+        """Stored entries stay near n even for long shared-prefix keys."""
+        keys = [b"averylongcommonprefix" + bytes([i]) for i in range(200)]
+        trie = build_trie(keys)
+        total_entries = trie.num_dense_nodes * 256 + trie.s_labels.size
+        # The chain of the shared prefix is walked once, not per key.
+        assert trie.nominal_bits < 200 * 64 * 4
+
+    def test_suffix_modes(self):
+        keys = [bytes([i, j]) for i in range(4) for j in range(4)]
+        for mode, bits in (("none", 0), ("hash", 8), ("real", 16)):
+            trie = build_trie(keys, suffix_mode=mode, suffix_bits=bits)
+            assert trie.suffix_mode == mode
+            assert trie.suffix_bits == bits
+        with pytest.raises(ValueError):
+            build_trie(keys, suffix_mode="bogus")
+        with pytest.raises(ValueError):
+            build_trie(keys, suffix_mode="real", suffix_bits=100)
+
+
+class TestPointQueries:
+    @given(st.sets(key_bytes, min_size=1, max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_no_false_negatives_bytes(self, key_set):
+        keys = sorted(key_set)
+        for mode, bits in (("none", 0), ("hash", 8), ("real", 8)):
+            filt = SuRF(keys, suffix_mode=mode, suffix_bits=bits)
+            for key in keys:
+                assert filt.contains_point(key), (mode, key)
+
+    @given(st.sets(u64, min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_ints(self, key_set):
+        keys = np.array(sorted(key_set), dtype=np.uint64)
+        filt = SuRF.from_uint64(keys, suffix_mode="real", suffix_bits=8)
+        for key in keys:
+            assert filt.contains_point(int(key))
+
+    def test_suffixes_reduce_point_fpr(self):
+        rng = np.random.default_rng(1)
+        keys = np.unique(rng.integers(0, 1 << 32, 5_000, dtype=np.uint64))
+        probes = rng.integers(0, 1 << 32, 20_000, dtype=np.uint64)
+        key_set = set(keys.tolist())
+        rates = []
+        for mode, bits in (("none", 0), ("hash", 8)):
+            filt = SuRF.from_uint64(keys, suffix_mode=mode, suffix_bits=bits)
+            false_pos = sum(
+                filt.contains_point(int(p))
+                for p in probes
+                if int(p) not in key_set
+            )
+            rates.append(false_pos)
+        assert rates[1] < rates[0]
+
+    def test_prefix_key_handling(self):
+        """Keys that are prefixes of other keys (terminator path)."""
+        keys = [b"ab", b"abc", b"abcd", b"b"]
+        filt = SuRF(keys, suffix_mode="real", suffix_bits=8)
+        for key in keys:
+            assert filt.contains_point(key)
+        assert not filt.contains_point(b"a")
+        assert not filt.contains_point(b"abce")
+
+
+class TestRangeQueries:
+    @given(st.sets(u64, min_size=1, max_size=100), u64, u64)
+    @settings(max_examples=100, deadline=None)
+    def test_consistent_with_truth(self, key_set, a, b):
+        lo, hi = min(a, b), max(a, b)
+        keys = np.array(sorted(key_set), dtype=np.uint64)
+        filt = SuRF.from_uint64(keys, suffix_mode="real", suffix_bits=8)
+        if not filt.contains_range(lo, hi):
+            assert not any(lo <= int(k) <= hi for k in keys)
+
+    @given(st.sets(key_bytes, min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_string_ranges_containing_keys(self, key_set):
+        keys = sorted(key_set)
+        filt = SuRF(keys, suffix_mode="real", suffix_bits=8)
+        for key in keys[:20]:
+            assert filt.contains_range(key, key + b"\xff")
+            assert filt.contains_range(key, key)
+
+    def test_rejects_inverted(self):
+        filt = SuRF([b"x"])
+        with pytest.raises(ValueError):
+            filt.contains_range(b"b", b"a")
+
+    def test_base_variant_truncation_false_positive(self):
+        """SuRF-Base answers at truncated-prefix granularity (the documented
+        short-range weakness); SuRF-Real refines it away here."""
+        keys = sorted([b"apple", b"applet", b"banana", b"band"])
+        base = SuRF(keys, suffix_mode="none")
+        real = SuRF(keys, suffix_mode="real", suffix_bits=16)
+        # No stored key lies in [applf, bana], but banana's truncated
+        # prefix 'bana' does.
+        assert base.contains_range(b"applf", b"bana")
+        assert not real.contains_range(b"applf", b"bana")
+
+    def test_empty_region_is_negative(self):
+        keys = sorted([b"aa", b"zz"])
+        filt = SuRF(keys)
+        assert not filt.contains_range(b"bb", b"cc")
+
+
+class TestDenseSparseBoundary:
+    @pytest.mark.parametrize("dense_ratio", [0, 16, 64, 10**9])
+    def test_all_layouts_sound(self, dense_ratio):
+        """ratio=0 forces all-dense, huge ratio forces all-sparse."""
+        rng = np.random.default_rng(2)
+        keys = np.unique(rng.integers(0, 1 << 64, 2_000, dtype=np.uint64))
+        filt = SuRF.from_uint64(
+            keys, suffix_mode="real", suffix_bits=8, dense_ratio=dense_ratio
+        )
+        for key in keys[:300]:
+            key = int(key)
+            assert filt.contains_point(key)
+            assert filt.contains_range(max(0, key - 5), min(U64, key + 5))
+
+    def test_ratio_moves_cutoff(self):
+        """Larger ratio demands a smaller dense part (dense <= sparse/R)."""
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 1 << 64, 5_000, dtype=np.uint64))
+        all_dense = SuRF.from_uint64(keys, dense_ratio=0)
+        all_sparse = SuRF.from_uint64(keys, dense_ratio=10**9)
+        assert all_sparse.cutoff_level == 0
+        assert all_dense.cutoff_level > all_sparse.cutoff_level
+
+
+class TestTuning:
+    def test_suffix_fits_budget(self):
+        rng = np.random.default_rng(4)
+        keys = np.unique(rng.integers(0, 1 << 64, 20_000, dtype=np.uint64))
+        filt = SuRF.tuned_uint64(keys, bits_per_key=22)
+        assert filt.size_bits / keys.size <= 23
+        assert filt.suffix_bits > 0
+
+    def test_budget_below_base_returns_base(self):
+        rng = np.random.default_rng(5)
+        keys = np.unique(rng.integers(0, 1 << 64, 5_000, dtype=np.uint64))
+        filt = SuRF.tuned_uint64(keys, bits_per_key=2)
+        assert filt.suffix_bits == 0  # cannot shrink below the trie
+
+
+class TestSizeAccounting:
+    def test_size_grows_with_suffix(self):
+        rng = np.random.default_rng(6)
+        keys = np.unique(rng.integers(0, 1 << 64, 3_000, dtype=np.uint64))
+        small = SuRF.from_uint64(keys, suffix_mode="real", suffix_bits=4)
+        large = SuRF.from_uint64(keys, suffix_mode="real", suffix_bits=16)
+        assert large.size_bits - small.size_bits == keys.size * 12
+
+
+class TestIterator:
+    def test_seek_and_walk(self):
+        from repro.baselines.surf.surf import SuRFIterator
+
+        keys = sorted([b"apple", b"banana", b"cherry", b"date"])
+        filt = SuRF(keys, suffix_mode="none")
+        it = SuRFIterator(filt)
+        first = it.seek(b"b")
+        assert first is not None and first <= b"banana"
+        assert b"banana".startswith(first) or first >= b"b"
+        walked = [first] + [k for k in iter(it)][1:]
+        # Walk visits distinct stored prefixes in ascending order.
+        assert walked == sorted(set(walked))
+
+    def test_seek_past_everything(self):
+        from repro.baselines.surf.surf import SuRFIterator
+
+        filt = SuRF([b"aa", b"bb"])
+        it = SuRFIterator(filt)
+        assert it.seek(b"zz") is None
+        assert it.next() is None
+
+    def test_full_scan_covers_all_keys(self):
+        from repro.baselines.surf.surf import SuRFIterator
+
+        rng = np.random.default_rng(9)
+        keys = np.unique(rng.integers(0, 1 << 64, 500, dtype=np.uint64))
+        filt = SuRF.from_uint64(keys, suffix_mode="none")
+        it = SuRFIterator(filt)
+        it.seek(0)
+        prefixes = list(iter(it))
+        assert len(prefixes) == keys.size  # one stored prefix per key
+        assert prefixes == sorted(prefixes)
+        raw = keys.astype(">u8").tobytes()
+        for i, prefix in enumerate(prefixes):
+            assert raw[i * 8 : i * 8 + 8].startswith(prefix)

@@ -1,0 +1,122 @@
+"""Tests for the bench harness and the Fig. 8 theory curves."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    FilterUnderTest,
+    build_standalone_filter,
+    measure_point_fpr,
+    measure_range_fpr,
+    measure_throughput,
+    print_table,
+    scaled,
+)
+from repro.bench.theory import (
+    bloomrf_bits_for_range_fpr,
+    carter_point_lower_bound,
+    goswami_range_lower_bound,
+    rosetta_first_cut_bits,
+    rosetta_first_cut_fpr,
+)
+from repro.workloads import empty_point_queries, empty_range_queries, uniform_keys
+
+
+class TestTheory:
+    def test_carter_bound(self):
+        assert carter_point_lower_bound(0.01) == pytest.approx(6.64, abs=0.01)
+        with pytest.raises(ValueError):
+            carter_point_lower_bound(0)
+
+    def test_goswami_reduces_to_carter_for_points(self):
+        assert goswami_range_lower_bound(0.01, 1, 10**6) == pytest.approx(
+            carter_point_lower_bound(0.01)
+        )
+
+    def test_goswami_grows_with_range(self):
+        values = [
+            goswami_range_lower_bound(0.01, r, 10**6) for r in (16, 32, 64)
+        ]
+        assert values == sorted(values)
+
+    def test_rosetta_space_example(self):
+        """Sect. 6: FPR 2% needs ~17 b/k at R=2^6, ~22 at 2^10, ~28 at 2^14."""
+        assert rosetta_first_cut_bits(0.02, 2**6) == pytest.approx(17, abs=1.5)
+        assert rosetta_first_cut_bits(0.02, 2**10) == pytest.approx(22, abs=1.5)
+        assert rosetta_first_cut_bits(0.02, 2**14) == pytest.approx(28, abs=1.5)
+
+    def test_rosetta_fpr_inverse(self):
+        bits = rosetta_first_cut_bits(0.02, 64)
+        assert rosetta_first_cut_fpr(bits, 64) == pytest.approx(0.02, rel=0.05)
+
+    def test_lower_bound_below_constructions(self):
+        """Fig. 8's ordering: lower bound <= bloomRF <= Rosetta for ranges."""
+        for fpr in (0.005, 0.01, 0.02):
+            for r in (16, 32, 64):
+                lower = goswami_range_lower_bound(fpr, r, 10**7)
+                rosetta = rosetta_first_cut_bits(fpr, r)
+                assert lower < rosetta
+
+    def test_bloomrf_improves_over_rosetta_for_larger_ranges(self):
+        """Sect. 6: bloomRF needs fewer bits than Rosetta, more so as R
+        grows (eq. 6 is a model, not a worst-case bound, so it is only
+        compared against the Rosetta construction, not the lower bound)."""
+        n = 10**7
+        gaps = []
+        for r in (2**6, 2**10, 2**14):
+            bloomrf = bloomrf_bits_for_range_fpr(0.02, r, n)
+            rosetta = rosetta_first_cut_bits(0.02, r)
+            assert bloomrf < rosetta
+            gaps.append(rosetta - bloomrf)
+        assert gaps == sorted(gaps), "advantage must grow with R"
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return uniform_keys(8_000, seed=21)
+
+    @pytest.mark.parametrize(
+        "name", ["bloomrf", "bloomrf-basic", "rosetta", "surf", "bloom", "cuckoo"]
+    )
+    def test_build_standalone(self, keys, name):
+        fut = build_standalone_filter(name, keys, bits_per_key=14, max_range=1 << 10)
+        assert fut.size_bits > 0
+        assert fut.build_time_s > 0
+        assert fut.point(int(keys[0]))
+
+    def test_unknown_filter(self, keys):
+        with pytest.raises(ValueError):
+            build_standalone_filter("bogus", keys, 10, 10)
+
+    def test_measure_range_fpr(self, keys):
+        fut = build_standalone_filter("bloomrf", keys, 16, 1 << 10)
+        queries = empty_range_queries(keys, 300, range_size=64, seed=22)
+        measured = measure_range_fpr(fut, queries)
+        assert 0 <= measured.fpr <= 1
+        assert measured.queries == 300
+        assert measured.queries_per_second > 0
+
+    def test_measure_point_fpr(self, keys):
+        fut = build_standalone_filter("bloom", keys, 12, 1)
+        points = empty_point_queries(keys, 300, seed=23)
+        measured = measure_point_fpr(fut, points)
+        assert measured.fpr < 0.1
+
+    def test_measure_throughput(self):
+        counter = []
+        t = measure_throughput("noop", lambda: counter.append(1), 100)
+        assert t.operations == 100 == len(counter)
+        assert t.ops_per_second > 0
+
+    def test_print_table(self, capsys):
+        sink = []
+        text = print_table(
+            "demo", ["a", "b"], [[1, 0.5], ["x", 1.23456]], sink=sink
+        )
+        out = capsys.readouterr().out
+        assert "demo" in out and "1.2346" in out
+        assert sink == [text]
+
+    def test_scaled(self, monkeypatch):
+        assert scaled(100) >= 1

@@ -1,0 +1,120 @@
+"""Tests for the tuning advisor (Sect. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import AdvisorReport, TuningAdvisor, build_delta_vector
+from repro.core.config import BloomRFConfig
+
+
+class TestDeltaVector:
+    def test_paper_example(self):
+        assert build_delta_vector(36) == (7, 7, 7, 7, 4, 2, 2)
+
+    def test_small_targets(self):
+        assert sum(build_delta_vector(7)) == 7
+        assert sum(build_delta_vector(2)) == 2
+        assert build_delta_vector(1) == (1,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            build_delta_vector(0)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_sums_to_target(self, target):
+        deltas = build_delta_vector(target)
+        assert sum(deltas) == target
+        assert all(1 <= d <= 7 for d in deltas)
+
+    @given(st.integers(min_value=8, max_value=64))
+    def test_bottom_heavy(self, target):
+        """Distances shrink towards the top (higher precision near exact)."""
+        deltas = build_delta_vector(target)
+        assert list(deltas) == sorted(deltas, reverse=True)
+
+
+class TestExactLevelFloor:
+    def test_paper_example(self):
+        assert TuningAdvisor(domain_bits=64).exact_level_floor(7 * 10**8) == 36
+
+    def test_monotone_in_budget(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        levels = [advisor.exact_level_floor(m) for m in (10**6, 10**8, 10**10)]
+        assert levels == sorted(levels, reverse=True)
+
+
+class TestConfigure:
+    def test_returns_valid_config(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        config = advisor.configure(
+            n_keys=100_000, total_bits=100_000 * 16, max_range=10**6
+        )
+        assert isinstance(config, BloomRFConfig)
+        assert config.exact_level == config.top_boundary_level
+        assert config.total_bits <= 100_000 * 16 * 1.01
+
+    def test_report_contains_candidates_and_curves(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        report = advisor.configure(
+            n_keys=100_000,
+            total_bits=100_000 * 16,
+            max_range=10**6,
+            return_report=True,
+        )
+        assert isinstance(report, AdvisorReport)
+        assert report.best in report.candidates
+        assert report.best.objective == min(c.objective for c in report.candidates)
+        curves = report.curves()
+        assert len(curves) >= 1
+        for series in curves.values():
+            assert len(series) >= 1
+
+    def test_fallback_to_basic_on_tiny_budget(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        config = advisor.configure(n_keys=100, total_bits=800, max_range=100)
+        assert config.exact_level is None  # basic fallback
+
+    def test_rejects_bad_inputs(self):
+        advisor = TuningAdvisor()
+        with pytest.raises(ValueError):
+            advisor.configure(n_keys=0, total_bits=10**6, max_range=64)
+        with pytest.raises(ValueError):
+            advisor.configure(n_keys=100, total_bits=0, max_range=64)
+        # A tiny positive budget is clamped, not rejected.
+        config = advisor.configure(n_keys=3, total_bits=42, max_range=64)
+        assert config.total_bits >= 64
+
+    def test_larger_range_budget_shifts_config(self):
+        """Tuning for larger ranges must not hurt the advertised range FPR."""
+        advisor = TuningAdvisor(domain_bits=64)
+        small = advisor.configure(
+            n_keys=50_000, total_bits=50_000 * 18, max_range=64, return_report=True
+        )
+        large = advisor.configure(
+            n_keys=50_000, total_bits=50_000 * 18, max_range=10**9, return_report=True
+        )
+        assert large.best.range_fpr <= 0.2
+        assert small.best.point_fpr <= 0.02
+
+    @given(
+        st.integers(min_value=1_000, max_value=200_000),
+        st.integers(min_value=10, max_value=22),
+        st.sampled_from([2**6, 2**14, 10**6, 10**10]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_produces_buildable_config(self, n_keys, bits_per_key, max_range):
+        advisor = TuningAdvisor(domain_bits=64)
+        config = advisor.configure(
+            n_keys=n_keys, total_bits=n_keys * bits_per_key, max_range=max_range
+        )
+        from repro.core.bloomrf import BloomRF
+
+        filt = BloomRF(config)  # construction validates the whole layout
+        filt.insert(12345)
+        assert filt.contains_point(12345)
+        assert filt.contains_range(12000, 13000)
+
+    def test_invalid_exact_budget_fraction(self):
+        with pytest.raises(ValueError):
+            TuningAdvisor(exact_budget_fraction=1.5)

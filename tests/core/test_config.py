@@ -1,0 +1,133 @@
+"""Tests for BloomRFConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import MAX_DELTA, BloomRFConfig
+
+
+def make_config(**overrides):
+    base = dict(
+        domain_bits=64,
+        deltas=(7, 7, 7),
+        replicas=(1, 1, 2),
+        segment_of=(0, 0, 0),
+        segment_bits=(4096,),
+        exact_level=None,
+    )
+    base.update(overrides)
+    return BloomRFConfig(**base)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        config = make_config()
+        assert config.num_layers == 3
+        assert config.levels == (0, 7, 14)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            make_config(domain_bits=0)
+        with pytest.raises(ValueError):
+            make_config(domain_bits=65)
+
+    def test_rejects_empty_layers(self):
+        with pytest.raises(ValueError):
+            make_config(deltas=(), replicas=(), segment_of=())
+
+    def test_rejects_oversized_delta(self):
+        with pytest.raises(ValueError):
+            make_config(deltas=(MAX_DELTA + 1, 7, 7))
+
+    def test_rejects_levels_beyond_domain(self):
+        with pytest.raises(ValueError):
+            make_config(domain_bits=16, deltas=(7, 7, 7))
+
+    def test_rejects_replica_mismatch(self):
+        with pytest.raises(ValueError):
+            make_config(replicas=(1, 1))
+        with pytest.raises(ValueError):
+            make_config(replicas=(1, 0, 1))
+
+    def test_rejects_bad_segment_index(self):
+        with pytest.raises(ValueError):
+            make_config(segment_of=(0, 0, 1))
+
+    def test_rejects_misaligned_segment(self):
+        with pytest.raises(ValueError):
+            make_config(segment_bits=(4097,))
+
+    def test_rejects_wrong_exact_level(self):
+        with pytest.raises(ValueError):
+            make_config(exact_level=10)
+
+    def test_exact_level_at_top_boundary(self):
+        config = make_config(exact_level=21)
+        assert config.exact_bitmap_bits == 1 << (64 - 21)
+
+
+class TestDerived:
+    def test_word_bits(self):
+        config = make_config(deltas=(2, 4, 7), segment_bits=(4096,))
+        assert [config.word_bits(i) for i in range(3)] == [2, 8, 64]
+
+    def test_total_bits_includes_exact(self):
+        config = make_config(exact_level=21)
+        assert config.total_bits == 4096 + (1 << 43)
+
+    def test_bits_per_key(self):
+        config = make_config()
+        assert config.bits_per_key(1024) == pytest.approx(4.0)
+
+    def test_hash_count_in_segment(self):
+        config = make_config(
+            deltas=(7, 7, 2),
+            replicas=(1, 1, 3),
+            segment_of=(1, 1, 0),
+            segment_bits=(1024, 4096),
+        )
+        assert config.hash_count_in_segment(0) == 3
+        assert config.hash_count_in_segment(1) == 2
+
+    def test_describe_prints_top_down(self):
+        config = make_config(deltas=(7, 4, 2), segment_bits=(4096,))
+        assert "Delta=(2, 4, 7)" in config.describe()
+
+
+class TestBasicConstructor:
+    def test_paper_layer_counts(self):
+        assert BloomRFConfig.basic(3, 10, domain_bits=16, delta=4).num_layers == 4
+        assert BloomRFConfig.basic(2_000_000, 10, delta=7).num_layers == 6
+
+    def test_budget_respected(self):
+        config = BloomRFConfig.basic(10_000, 12.5)
+        assert config.total_bits >= 125_000
+        assert config.total_bits <= 125_000 + 64
+
+    def test_single_segment_one_replica(self):
+        config = BloomRFConfig.basic(1000, 10)
+        assert config.segment_bits == (config.total_bits,)
+        assert all(r == 1 for r in config.replicas)
+        assert config.exact_level is None
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            BloomRFConfig.basic(0, 10)
+        with pytest.raises(ValueError):
+            BloomRFConfig.basic(10, -1)
+
+    def test_small_domain_caps_layers(self):
+        config = BloomRFConfig.basic(4, 10, domain_bits=8, delta=7)
+        assert config.top_boundary_level <= 8
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        config = make_config(exact_level=21, seed=99, degenerate_guard=True)
+        restored = BloomRFConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_dict_is_json_friendly(self):
+        import json
+
+        data = json.dumps(make_config().to_dict())
+        assert "deltas" in data

@@ -1,0 +1,191 @@
+"""Tests for the analytic FPR models (Sect. 5 and Sect. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BloomRFConfig
+from repro.core.model import (
+    basic_point_fpr,
+    basic_range_fpr_bound,
+    expected_occupied,
+    extended_fpr_profile,
+    probe_fire_probability,
+)
+
+
+class TestExpectedOccupied:
+    def test_zero_keys(self):
+        assert expected_occupied(100, 0) == 0.0
+
+    def test_single_interval(self):
+        assert expected_occupied(1, 5) == 1.0
+
+    def test_matches_naive_small(self):
+        # N(1 - (1 - 1/N)^n) computed directly.
+        naive = 8 * (1 - (1 - 1 / 8) ** 5)
+        assert expected_occupied(8, 5) == pytest.approx(naive)
+
+    def test_huge_interval_count_approaches_n(self):
+        assert expected_occupied(2.0**60, 1000) == pytest.approx(1000, rel=1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=100)
+    def test_bounds(self, num_intervals, n_keys):
+        occ = expected_occupied(num_intervals, n_keys)
+        assert 0 < occ <= min(num_intervals, n_keys) + 1e-9
+
+
+class TestProbeFire:
+    def test_single_bit_single_replica(self):
+        assert probe_fire_probability(0.7, 1, 1) == pytest.approx(0.3)
+
+    def test_two_bits_matches_paper_r1(self):
+        """Paper: r=1, two bits -> p' = 2p(1-p) + (1-p)^2 = 1 - p^2."""
+        p = 0.683
+        assert probe_fire_probability(p, 2, 1) == pytest.approx(
+            2 * p * (1 - p) + (1 - p) ** 2
+        )
+
+    def test_replicas_reduce_fire_probability(self):
+        assert probe_fire_probability(0.5, 2, 2) < probe_fire_probability(0.5, 2, 1)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_is_probability(self, p, span, replicas):
+        fire = probe_fire_probability(p, span, replicas)
+        assert 0.0 <= fire <= 1.0
+
+
+class TestBasicModel:
+    def test_point_fpr_matches_bloom_formula(self):
+        assert basic_point_fpr(1000, 10_000, 7) == pytest.approx(
+            (1 - math.exp(-7 * 1000 / 10_000)) ** 7
+        )
+
+    def test_point_fpr_empty_filter(self):
+        assert basic_point_fpr(0, 1000, 5) == 0.0
+
+    def test_range_bound_monotone_in_range_size(self):
+        values = [
+            basic_range_fpr_bound(10**6, 10**7, 6, 7, r)
+            for r in (1, 2**7, 2**14, 2**21)
+        ]
+        assert values == sorted(values)
+
+    def test_range_bound_vacuous_beyond_layers(self):
+        assert basic_range_fpr_bound(10**6, 10**7, 6, 7, 2**42) == 1.0
+
+    def test_range_bound_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            basic_range_fpr_bound(10, 100, 3, 7, 0)
+
+    def test_paper_sect6_claims(self):
+        """Sect. 6: with 17 bits/key basic bloomRF handles R=2^14 at ~1.5%,
+        with 22 bits/key R=2^21 at ~2.5% (d=64 integers)."""
+        n = 10**7
+        k = max(1, round((64 - math.log2(n)) / 7))
+        fpr_17 = basic_range_fpr_bound(n, 17 * n, k, 7, 2**14)
+        fpr_22 = basic_range_fpr_bound(n, 22 * n, k, 7, 2**21)
+        assert fpr_17 == pytest.approx(0.015, abs=0.01)
+        assert fpr_22 == pytest.approx(0.025, abs=0.015)
+
+
+class TestExtendedModel:
+    def make_config(self, exact=True):
+        return BloomRFConfig(
+            domain_bits=32,
+            deltas=(7, 7, 4, 2),
+            replicas=(1, 1, 1, 2),
+            segment_of=(1, 1, 0, 0),
+            segment_bits=(8192, 65536),
+            exact_level=20 if exact else None,
+        )
+
+    def test_profile_shape(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=1000)
+        assert len(profile.fpr) == 33
+        assert all(0.0 <= f <= 1.0 for f in profile.fpr)
+
+    def test_exact_levels_are_error_free(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=1000)
+        for level in range(20, 33):
+            assert profile.fpr[level] == 0.0
+
+    def test_saturated_top_without_exact_layer(self):
+        config = BloomRFConfig(
+            domain_bits=32,
+            deltas=(7, 7, 4, 2),
+            replicas=(1, 1, 1, 2),
+            segment_of=(1, 1, 0, 0),
+            segment_bits=(8192, 65536),
+            exact_level=None,
+        )
+        profile = extended_fpr_profile(config, n_keys=1000)
+        # Omitted top levels answer positive for (almost) everything.
+        assert profile.fpr[25] > 0.9
+
+    def test_more_memory_lowers_fpr(self):
+        small = BloomRFConfig.basic(10_000, 8, domain_bits=32, delta=7)
+        large = BloomRFConfig.basic(10_000, 20, domain_bits=32, delta=7)
+        p_small = extended_fpr_profile(small, 10_000)
+        p_large = extended_fpr_profile(large, 10_000)
+        assert p_large.point_fpr < p_small.point_fpr
+
+    def test_distribution_constant_scales_fill(self):
+        """C scales the per-key bit consumption: C > 1 models distributions
+        that spread bits wider (higher fill, worse FPR), C < 1 the opposite."""
+        config = self.make_config()
+        low = extended_fpr_profile(config, 1000, distribution_constant=0.5)
+        base = extended_fpr_profile(config, 1000, distribution_constant=1.0)
+        high = extended_fpr_profile(config, 1000, distribution_constant=2.0)
+        assert low.point_fpr <= base.point_fpr <= high.point_fpr
+        assert low.p_zero_by_segment[0] >= base.p_zero_by_segment[0]
+
+    def test_tp_modes(self):
+        config = self.make_config()
+        for mode in ("expected", "min"):
+            profile = extended_fpr_profile(config, 1000, tp_mode=mode)
+            assert profile.point_fpr >= 0.0
+        with pytest.raises(ValueError):
+            extended_fpr_profile(config, 1000, tp_mode="bogus")
+
+    def test_max_fpr_up_to_range(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=1000)
+        assert profile.max_fpr_up_to_range(1) == profile.fpr[0]
+        assert profile.max_fpr_up_to_range(1 << 10) == max(profile.fpr[:11])
+
+    def test_weighted_norm(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=1000)
+        norm = profile.weighted_norm(1 << 10, point_weight=4.0)
+        assert norm >= profile.max_fpr_up_to_range(1 << 10)
+
+
+class TestModelAgainstMeasurement:
+    """The extended model should track measured per-level FPR within a
+    small factor for uniform keys (this is what the advisor relies on)."""
+
+    def test_point_level_prediction(self):
+        from repro.core.bloomrf import BloomRF
+
+        n = 20_000
+        config = BloomRFConfig.basic(n, 12, domain_bits=64, delta=7)
+        profile = extended_fpr_profile(config, n)
+        filt = BloomRF(config)
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 1 << 64, n, dtype=np.uint64)
+        filt.insert_many(keys)
+        probes = rng.integers(0, 1 << 64, 50_000, dtype=np.uint64)
+        measured = float(np.mean(filt.contains_point_many(probes)))
+        predicted = profile.point_fpr
+        assert measured <= predicted * 3 + 0.002
+        assert predicted <= max(measured * 5, 0.02)

@@ -1,0 +1,224 @@
+"""Bit-exact unit tests for every worked example in the paper.
+
+These pin the implementation to the published arithmetic: Sect. 3.1's
+prefix-hashing example (Fig. 3), Sect. 3.2's PMHF example (Fig. 4), the
+Fig. 7 two-path decomposition, Sect. 7's extended-model example, and the
+tuning-advisor example (n=50M, 14 bits/key, d=64).
+"""
+
+import math
+
+import pytest
+
+from repro.core.advisor import TuningAdvisor, build_delta_vector
+from repro.core.config import BloomRFConfig, basic_layer_count
+from repro.core.model import extended_fpr_profile
+from repro.dyadic import di_bounds, dyadic_decompose
+from repro.hashing import pmhf_position
+
+# Fig. 3/4 hash parameters: h_i(x) = a_i + b_i * x, layers i = 3, 2, 1, 0.
+_A = {3: 2, 2: 3, 1: 5, 0: 7}
+_B = {3: 29, 2: 31, 1: 37, 0: 41}
+
+
+def _h(i):
+    return lambda value: _A[i] + _B[i] * value
+
+
+class TestFig3PrefixHashing:
+    """code(y) = (h3(y>>12), h2(y>>8), h1(y>>4), h0(y)) mod 30 (Fig. 3.A/B)."""
+
+    M = 30
+
+    def code(self, key):
+        return tuple(_h(i)(key >> (4 * i)) % self.M for i in (3, 2, 1, 0))
+
+    def test_codes_of_example_keys(self):
+        assert self.code(42) == (2, 3, 19, 19)
+        assert self.code(1414) == (2, 8, 21, 21)
+        assert self.code(50000) == (20, 18, 10, 17)
+        assert self.code(43) == (2, 3, 19, 0)
+        assert self.code(48) == (2, 3, 26, 25)
+
+    def test_bit_array_after_insertion(self):
+        bits = set()
+        for key in (42, 1414, 50000):
+            bits.update(self.code(key))
+        assert bits == {2, 3, 8, 10, 17, 18, 19, 20, 21}
+
+    def test_prefix_hashing_equation_4(self):
+        """Keys 42 and 43 share prefixes on layers 1..3 (code prefix (2,3,19))."""
+        assert self.code(42)[:3] == self.code(43)[:3] == (2, 3, 19)
+
+    def test_range_32_47_shares_layer1_prefix(self):
+        codes = {self.code(y)[:3] for y in range(32, 48)}
+        assert codes == {(2, 3, 19)}
+
+    def test_range_48_63_is_excluded(self):
+        codes = {self.code(y)[:3] for y in range(48, 64)}
+        assert codes == {(2, 3, 26)}
+        # Position 26 is never set by the three keys -> negative answer.
+        inserted = set()
+        for key in (42, 1414, 50000):
+            inserted.update(self.code(key))
+        assert 26 not in inserted
+
+
+class TestFig4Pmhf:
+    """MH_i with Delta=4, m=32 bits -> 4 words of 8 bits (Fig. 4)."""
+
+    WORDS = 4
+
+    def mh(self, i, key):
+        return pmhf_position(_h(i), key, level=4 * i, delta=4, num_words=self.WORDS)
+
+    @pytest.mark.parametrize(
+        "key,expected",
+        [
+            (42, (16, 24, 10, 2)),
+            (1414, (16, 29, 0, 30)),
+            (50000, (28, 27, 29, 8)),
+            (43, (16, 24, 10, 3)),
+            (48, (16, 24, 11, 8)),
+        ],
+    )
+    def test_codes(self, key, expected):
+        assert tuple(self.mh(i, key) for i in (3, 2, 1, 0)) == expected
+
+    def test_bit_array_after_insertion(self):
+        bits = set()
+        for key in (42, 1414, 50000):
+            bits.update(self.mh(i, key) for i in (3, 2, 1, 0))
+        assert bits == {0, 2, 8, 10, 16, 24, 27, 28, 29, 30}
+
+    def test_di_42_43_single_word(self):
+        """[42,43]: positions 2 and 3 lie side by side -> one word access."""
+        assert self.mh(0, 42) == 2 and self.mh(0, 43) == 3
+        # word = first byte of the bit array = {0, 2} set -> 0b00000101
+        word = 0
+        for key in (42, 1414, 50000):
+            pos = self.mh(0, key)
+            if pos < 8:
+                word |= 1 << pos
+        mask_42_43 = (1 << 2) | (1 << 3)
+        assert word & mask_42_43  # positive answer, as in the paper
+
+    def test_di_44_47_negative(self):
+        word = 0
+        for key in (42, 1414, 50000):
+            pos = self.mh(0, key)
+            if pos < 8:
+                word |= 1 << pos
+        mask_44_47 = 0b11110000
+        assert not (word & mask_44_47)  # negative answer, as in the paper
+
+    def test_error_correction_interval_416_431(self):
+        """Sect. 3.2: [416,431] has prefix (16, 25, 2); MH1 errs (bit 2 set),
+        MH2 corrects (bit 25 unset)."""
+        key = 416
+        assert self.mh(3, key) == 16
+        assert self.mh(2, key) == 25
+        assert self.mh(1, key) == 2
+        inserted = set()
+        for x in (42, 1414, 50000):
+            inserted.update(self.mh(i, x) for i in (3, 2, 1, 0))
+        assert 2 in inserted  # MH1's false positive
+        assert 25 not in inserted  # corrected on layer 2
+
+
+class TestFig7Decomposition:
+    def test_pieces(self):
+        pieces = [di_bounds(p, l) for l, p in dyadic_decompose(45, 60)]
+        assert pieces == [(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]
+
+
+class TestSect7ModelExample:
+    """d=16, n=3, Delta=(4,4,4,4), one hash/layer, m=32 bits (Sect. 7)."""
+
+    def make_config(self):
+        return BloomRFConfig(
+            domain_bits=16,
+            deltas=(4, 4, 4, 4),
+            replicas=(1, 1, 1, 1),
+            segment_of=(0, 0, 0, 0),
+            segment_bits=(32,),
+            exact_level=16,
+        )
+
+    def test_p_estimate(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=3)
+        # Paper: p ~ 0.683 ((1 - 1/32)^12).
+        assert profile.p_zero_by_segment[0] == pytest.approx((1 - 1 / 32) ** 12)
+        assert profile.p_zero_by_segment[0] == pytest.approx(0.683, abs=0.01)
+
+    def test_level_fpr_vector_head(self):
+        """Paper: fpr = (0, 0.95, 0.78, 0.53, 0.32, ...) from level 16 down."""
+        profile = extended_fpr_profile(self.make_config(), n_keys=3)
+        assert profile.fpr[16] == 0.0
+        assert profile.fpr[15] == pytest.approx(0.95, abs=0.02)
+        assert profile.fpr[14] == pytest.approx(0.78, abs=0.02)
+        assert profile.fpr[13] == pytest.approx(0.53, abs=0.02)
+        assert profile.fpr[12] == pytest.approx(0.32, abs=0.02)
+
+    def test_point_fpr_tail(self):
+        """Paper: point-query FPR ~ 0.01 (1%)."""
+        profile = extended_fpr_profile(self.make_config(), n_keys=3)
+        assert profile.point_fpr == pytest.approx(0.01, abs=0.01)
+
+    def test_fpr_decreases_towards_level_zero(self):
+        profile = extended_fpr_profile(self.make_config(), n_keys=3)
+        assert profile.fpr[0] < profile.fpr[4] < profile.fpr[8] < profile.fpr[12]
+
+
+class TestLayerCountRule:
+    """k = ceil((d - log2 n)/Delta) as printed, validated on both worked
+    examples (which jointly force nearest-integer rounding; DESIGN.md)."""
+
+    def test_sect31_example(self):
+        # d=16, n=3, Delta=4 -> k=4
+        assert basic_layer_count(3, 16, 4) == 4
+
+    def test_random_scatter_example(self):
+        # d=64, n=2M, Delta=7 -> k=6 (paper, "Random Scatter")
+        assert basic_layer_count(2_000_000, 64, 7) == 6
+
+
+class TestAdvisorExample:
+    """n=50M keys, 14 bits/key, d=64 (Sect. 7, Tuning Advisor)."""
+
+    def test_exact_level_is_36(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        assert advisor.exact_level_floor(50_000_000 * 14) == 36
+
+    def test_delta_vector(self):
+        # Paper: Delta = (2, 2, 4, 7, 7, 7, 7) top-down.
+        assert tuple(reversed(build_delta_vector(36))) == (2, 2, 4, 7, 7, 7, 7)
+
+    def test_full_configuration(self):
+        advisor = TuningAdvisor(domain_bits=64)
+        config = advisor.configure(
+            n_keys=50_000_000, total_bits=50_000_000 * 14, max_range=1 << 14
+        )
+        assert config.exact_level in (36, 37)
+        assert config.deltas[0] == 7  # bottom layers use 64-bit words
+        assert config.replicas[-1] == 2  # replicated hashes on the top layer
+        assert config.replicas[0] == 1
+        # Mid layers (delta < 7) and bottom layers live in separate segments.
+        segments = {config.segment_of[i] for i in range(config.num_layers)}
+        assert len(segments) == 2
+        assert config.total_bits <= 50_000_000 * 14 * 1.01
+
+    def test_second_example_levels(self):
+        """n=50M, 16 bits/key, |R|=1e10: candidates are levels 36/37
+        (the paper's Fig. ??.C quotes them as 28/27 bitmap address bits)."""
+        advisor = TuningAdvisor(domain_bits=64)
+        report = advisor.configure(
+            n_keys=50_000_000,
+            total_bits=50_000_000 * 16,
+            max_range=10**10,
+            return_report=True,
+        )
+        examined = {c.exact_level for c in report.candidates}
+        assert {36, 37} <= examined
+        assert report.best.point_fpr < 0.02
+        assert report.best.range_fpr < 0.10

@@ -1,0 +1,189 @@
+"""Exhaustive and adversarial range-query semantics tests.
+
+Small domains allow *exhaustive* verification: every query interval against
+every filter answer, leaving nothing to sampling.  These tests pin down the
+soundness contract far more tightly than the statistical suites.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+
+
+class TestExhaustiveSmallDomain:
+    """d = 10: all 2^10 keys, every aligned query width, zero sampling."""
+
+    @pytest.fixture(scope="class")
+    def filt_and_keys(self):
+        rng = np.random.default_rng(77)
+        keys = sorted(set(rng.integers(0, 1 << 10, 60).tolist()))
+        config = BloomRFConfig(
+            domain_bits=10,
+            deltas=(4, 3, 3),
+            replicas=(1, 1, 2),
+            segment_of=(0, 0, 0),
+            segment_bits=(1024,),
+            exact_level=10,
+        )
+        filt = BloomRF(config)
+        for key in keys:
+            filt.insert(key)
+        return filt, set(keys)
+
+    def test_every_point(self, filt_and_keys):
+        filt, keys = filt_and_keys
+        for y in range(1 << 10):
+            if y in keys:
+                assert filt.contains_point(y), f"false negative at {y}"
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 7, 16, 64, 256, 1024])
+    def test_every_range_of_width(self, filt_and_keys, width):
+        filt, keys = filt_and_keys
+        domain_max = (1 << 10) - 1
+        false_positives = empties = 0
+        for lo in range(0, (1 << 10) - width + 1, max(1, width // 3)):
+            hi = min(lo + width - 1, domain_max)
+            answer = filt.contains_range(lo, hi)
+            truly = any(lo <= k <= hi for k in keys)
+            assert answer or not truly, f"false negative on [{lo},{hi}]"
+            if not truly:
+                empties += 1
+                false_positives += answer
+        if empties:
+            assert false_positives / empties < 0.6
+
+    def test_exhaustive_fpr_within_band(self, filt_and_keys):
+        """Point FPR over the whole domain stays within a sane band."""
+        filt, keys = filt_and_keys
+        fp = sum(
+            filt.contains_point(y) for y in range(1 << 10) if y not in keys
+        )
+        assert fp / ((1 << 10) - len(keys)) < 0.4
+
+
+class TestAdjacentBoundaries:
+    """Queries ending/starting exactly at keys: the off-by-one hot spots."""
+
+    @given(st.sets(st.integers(min_value=2, max_value=(1 << 16) - 3),
+                   min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_one_off_boundaries(self, keys):
+        filt = BloomRF.basic(n_keys=len(keys), bits_per_key=14,
+                             domain_bits=16, delta=4)
+        for key in keys:
+            filt.insert(key)
+        for key in list(keys)[:25]:
+            assert filt.contains_range(key, key)
+            assert filt.contains_range(key - 1, key)
+            assert filt.contains_range(key, key + 1)
+            assert filt.contains_range(key - 1, key + 1)
+
+    def test_domain_extremes(self):
+        filt = BloomRF.basic(n_keys=4, bits_per_key=16, domain_bits=16, delta=4)
+        for key in (0, 1, (1 << 16) - 2, (1 << 16) - 1):
+            filt.insert(key)
+        assert filt.contains_point(0)
+        assert filt.contains_point((1 << 16) - 1)
+        assert filt.contains_range(0, 0)
+        assert filt.contains_range((1 << 16) - 1, (1 << 16) - 1)
+        assert filt.contains_range(0, (1 << 16) - 1)
+
+
+class TestDyadicAlignedQueries:
+    """Queries that exactly coincide with DIs at each level: the planner's
+    single-mask fast path must stay sound."""
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=(1 << 16) - 1),
+                min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=200)
+    def test_aligned_query_consistency(self, keys, level, anchor):
+        filt = BloomRF.basic(n_keys=len(keys), bits_per_key=14,
+                             domain_bits=16, delta=4)
+        for key in keys:
+            filt.insert(key)
+        prefix = anchor >> level
+        lo = prefix << level
+        hi = lo + (1 << level) - 1
+        answer = filt.contains_range(lo, hi)
+        truly = any(lo <= k <= hi for k in keys)
+        assert answer or not truly
+
+
+class TestSerializationFailureInjection:
+    """Corrupted filter blocks must fail loudly, never silently mis-answer."""
+
+    def make_blob(self):
+        filt = BloomRF.tuned(n_keys=500, bits_per_key=16, max_range=1 << 20)
+        rng = np.random.default_rng(3)
+        filt.insert_many(rng.integers(0, 1 << 64, 500, dtype=np.uint64))
+        return filt.to_bytes()
+
+    def test_truncated_blob_raises(self):
+        blob = self.make_blob()
+        with pytest.raises(Exception):
+            BloomRF.from_bytes(blob[: len(blob) // 2])
+
+    def test_garbage_header_raises(self):
+        blob = self.make_blob()
+        with pytest.raises(Exception):
+            BloomRF.from_bytes(b"\xff" * 16 + blob[16:])
+
+    def test_bitflip_in_body_keeps_no_crash(self):
+        """A flipped payload bit yields a *different but functioning* filter
+        (the format has no checksum, like RocksDB filter blocks)."""
+        blob = bytearray(self.make_blob())
+        blob[-10] ^= 0x40
+        filt = BloomRF.from_bytes(bytes(blob))
+        filt.contains_point(12345)
+        filt.contains_range(0, 1 << 30)
+
+    def test_empty_filter_round_trip(self):
+        filt = BloomRF.basic(n_keys=10, bits_per_key=16)
+        restored = BloomRF.from_bytes(filt.to_bytes())
+        assert restored.num_keys == 0
+        assert not restored.contains_point(42)
+
+
+class TestCrossFilterAgreementOnTruth:
+    """All three PRFs must agree with ground truth on definitive negatives:
+    whenever any filter says 'no', reality says 'no'."""
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                min_size=1, max_size=80),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=1 << 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_filter_contradicts_reality(self, keys, lo, width):
+        from repro.baselines import Rosetta, SuRF
+
+        hi = min(lo + width, (1 << 32) - 1)
+        if lo > hi:
+            lo, hi = hi, lo
+        key_arr = np.array(sorted(keys), dtype=np.uint64)
+        truly = any(lo <= k <= hi for k in keys)
+
+        brf = BloomRF.basic(n_keys=len(keys), bits_per_key=14,
+                            domain_bits=32, delta=7)
+        brf.insert_many(key_arr)
+        rosetta = Rosetta.tuned(n_keys=len(keys), bits_per_key=14,
+                                max_range=max(width, 2), domain_bits=32)
+        rosetta.insert_many(key_arr)
+        surf = SuRF.from_uint64(key_arr, suffix_mode="real", suffix_bits=8)
+
+        answers = {
+            "bloomrf": brf.contains_range(lo, hi),
+            "rosetta": rosetta.contains_range(lo, hi),
+            "surf": surf.contains_range(lo, hi),
+        }
+        for name, answer in answers.items():
+            assert answer or not truly, (name, lo, hi)

@@ -1,0 +1,195 @@
+"""Tests for datatype support (Sect. 8): floats, strings, multi-attribute."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloomrf import BloomRF
+from repro.core.types import (
+    AttributeSpec,
+    FloatBloomRF,
+    MultiAttributeBloomRF,
+    StringBloomRF,
+    float_keys,
+    float_to_key,
+    key_to_float,
+    string_range_keys,
+    string_to_point_key,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestFloatCodec:
+    @given(finite_floats, finite_floats)
+    @settings(max_examples=500)
+    def test_monotone(self, a, b):
+        """phi(x) < phi(y) <=> x < y (the paper's monotone coding)."""
+        if a < b:
+            assert float_to_key(a) < float_to_key(b)
+        elif a > b:
+            assert float_to_key(a) > float_to_key(b)
+        else:
+            assert float_to_key(a) == float_to_key(b)
+
+    @given(finite_floats)
+    def test_round_trip(self, value):
+        assert key_to_float(float_to_key(value)) == value
+
+    def test_specific_order(self):
+        values = [-math.inf, -1e300, -1.5, -0.0, 0.0, 1e-300, 2.5, math.inf]
+        keys = [float_to_key(v) for v in values]
+        # -0.0 and 0.0 compare equal as floats but have distinct codes;
+        # everything else must be strictly increasing.
+        assert keys == sorted(keys)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_vectorized_matches_scalar(self, values):
+        got = float_keys(np.array(values, dtype=np.float64))
+        expected = [float_to_key(v) for v in values]
+        assert list(got) == expected
+
+    def test_range_of_one_is_wide_in_code_space(self):
+        """Paper Sect. 1: for doubles a range of 1 can be ~2^61 codes."""
+        span = float_to_key(1.0) - float_to_key(0.0)
+        assert span > 1 << 60
+
+
+class TestFloatFilter:
+    def test_no_false_negatives(self):
+        filt = FloatBloomRF.tuned(n_keys=2000, bits_per_key=16)
+        rng = np.random.default_rng(4)
+        values = rng.normal(0, 100, 2000)
+        filt.insert_many(values)
+        for v in values[:300]:
+            assert filt.contains_point(float(v))
+            assert filt.contains_range(float(v) - 1e-3, float(v) + 1e-3)
+
+    def test_negative_and_positive_ranges(self):
+        filt = FloatBloomRF.tuned(n_keys=100, bits_per_key=16)
+        for v in (-5.0, -1.0, 3.5):
+            filt.insert(v)
+        assert filt.contains_range(-1.5, -0.5)
+        assert filt.contains_range(3.0, 4.0)
+        assert filt.contains_range(-10.0, 10.0)
+
+    def test_rejects_inverted_range(self):
+        filt = FloatBloomRF.tuned(n_keys=10, bits_per_key=16)
+        with pytest.raises(ValueError):
+            filt.contains_range(2.0, 1.0)
+
+
+class TestStringCodec:
+    def test_prefix_in_high_bytes(self):
+        key = string_to_point_key("AB")
+        assert key >> 56 == ord("A")
+        assert (key >> 48) & 0xFF == ord("B")
+
+    def test_last_byte_is_hash(self):
+        a = string_to_point_key("same-prefix-x")
+        b = string_to_point_key("same-prefix-y")
+        assert a >> 8 == b >> 8  # 7-byte prefix identical
+        # hash byte may or may not collide; length is included in the hash:
+        c = string_to_point_key("same-pr")
+        assert c >> 8 == a >> 8
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=300)
+    def test_range_encoding_brackets_point_encoding(self, a, b):
+        lo, hi = sorted([a, b])
+        lo_key, hi_key = string_range_keys(lo, hi)
+        for probe in (lo, hi):
+            point = string_to_point_key(probe)
+            # Prefix resolution: the point code of any string in [lo, hi]
+            # must be inside the range code interval.
+            if lo[:7] <= probe[:7] <= hi[:7]:
+                assert lo_key <= point <= hi_key
+
+    def test_bytes_and_str_agree(self):
+        assert string_to_point_key("abc") == string_to_point_key(b"abc")
+
+
+class TestStringFilter:
+    def test_no_false_negatives(self):
+        words = [f"user{i:04d}@example.com" for i in range(500)]
+        filt = StringBloomRF.tuned(n_keys=len(words), bits_per_key=18)
+        for word in words:
+            filt.insert(word)
+        for word in words:
+            assert filt.contains_point(word)
+        for word in words[:100]:
+            assert filt.contains_range(word, word + "~")
+
+    def test_range_lookup_by_prefix(self):
+        filt = StringBloomRF.tuned(n_keys=10, bits_per_key=18)
+        filt.insert("banana")
+        assert filt.contains_range("bana", "banz")
+
+
+class TestAttributeSpec:
+    def test_reduce_keeps_high_bits(self):
+        spec = AttributeSpec("a", source_bits=64, target_bits=32)
+        assert spec.reduce(0xFFFF_FFFF_0000_0000) == 0xFFFF_FFFF
+
+    def test_reduce_preserves_order(self):
+        spec = AttributeSpec("a", source_bits=64, target_bits=16)
+        assert spec.reduce(1 << 50) <= spec.reduce(1 << 51)
+
+    def test_reduce_range(self):
+        spec = AttributeSpec("a", source_bits=32, target_bits=16)
+        lo, hi = spec.reduce_range(0x0001_0000, 0x0003_FFFF)
+        assert (lo, hi) == (1, 3)
+
+
+class TestMultiAttribute:
+    def make(self, n=500, seed=0):
+        rng = np.random.default_rng(seed)
+        run = rng.integers(1, 1000, n, dtype=np.uint64)
+        obj = rng.integers(1, 1 << 63, n, dtype=np.uint64)
+        spec_a = AttributeSpec("run", source_bits=64, target_bits=32)
+        spec_b = AttributeSpec("objectid", source_bits=64, target_bits=32)
+        filt = MultiAttributeBloomRF.tuned(
+            n_keys=n, bits_per_key=20, spec_a=spec_a, spec_b=spec_b
+        )
+        filt.insert_many(run, obj)
+        return filt, run, obj
+
+    def test_point_no_false_negatives(self):
+        filt, run, obj = self.make()
+        for a, b in zip(run[:200], obj[:200]):
+            assert filt.contains_point(int(a), int(b))
+
+    def test_a_eq_b_range_no_false_negatives(self):
+        filt, run, obj = self.make()
+        for a, b in zip(run[:200], obj[:200]):
+            assert filt.contains_a_eq_b_range(int(a), max(0, int(b) - 10), int(b) + 10)
+
+    def test_b_eq_a_range_no_false_negatives(self):
+        """The paper's Run<300 AND ObjectID=Const probe shape."""
+        filt, run, obj = self.make()
+        for a, b in zip(run[:200], obj[:200]):
+            assert filt.contains_b_eq_a_range(int(b), 0, int(a) + 1)
+
+    def test_rejects_oversized_specs(self):
+        base = BloomRF.basic(n_keys=10, bits_per_key=10)
+        with pytest.raises(ValueError):
+            MultiAttributeBloomRF(
+                base,
+                AttributeSpec("a", target_bits=40),
+                AttributeSpec("b", target_bits=40),
+            )
+
+    def test_scalar_and_vector_inserts_agree(self):
+        spec = AttributeSpec("x", source_bits=64, target_bits=16)
+        a = MultiAttributeBloomRF.tuned(50, 20, spec, spec, seed=7)
+        b = MultiAttributeBloomRF.tuned(50, 20, spec, spec, seed=7)
+        runs = np.arange(50, dtype=np.uint64) << np.uint64(48)
+        objs = (np.arange(50, dtype=np.uint64) * 977) << np.uint64(40)
+        a.insert_many(runs, objs)
+        for r, o in zip(runs, objs):
+            b.insert(int(r), int(o))
+        assert np.array_equal(a.filter.pmhf_bits.words, b.filter.pmhf_bits.words)

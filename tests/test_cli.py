@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scientific_notation(self):
+        args = build_parser().parse_args(
+            ["tune", "--keys", "1e6", "--bits-per-key", "14", "--max-range", "1e9"]
+        )
+        assert args.keys == 1_000_000
+        assert args.max_range == 10**9
+
+
+class TestCommands:
+    def test_tune(self, capsys):
+        assert main(
+            ["tune", "--keys", "100000", "--bits-per-key", "16",
+             "--max-range", "1e6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BloomRFConfig" in out
+        assert "estimated point FPR" in out
+
+    def test_model(self, capsys):
+        assert main(
+            ["model", "--keys", "50000", "--bits-per-key", "14",
+             "--max-range", "1e4", "--domain-bits", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "level 32" in out and "level  0" in out
+
+    def test_measure_range(self, capsys):
+        assert main(
+            ["measure", "--keys", "20000", "--bits-per-key", "16",
+             "--range-size", "1e4", "--queries", "300", "--filter", "bloomrf"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FPR over 300 empty queries" in out
+
+    def test_measure_point(self, capsys):
+        assert main(
+            ["measure", "--keys", "20000", "--range-size", "1",
+             "--queries", "200", "--filter", "bloom"]
+        ) == 0
+        assert "point FPR" in capsys.readouterr().out
+
+    def test_build_and_inspect(self, tmp_path, capsys):
+        keyfile = tmp_path / "keys.txt"
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 1 << 64, 500, dtype=np.uint64)
+        keyfile.write_text("\n".join(str(int(k)) for k in keys))
+        output = tmp_path / "filter.bin"
+        assert main(["build", str(keyfile), str(output),
+                     "--bits-per-key", "14"]) == 0
+        assert output.exists()
+        assert main(["inspect", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "keys inserted: 500" in out
+
+    def test_measure_all_filters(self, capsys):
+        for name in ("rosetta", "surf", "cuckoo"):
+            assert main(
+                ["measure", "--keys", "5000", "--range-size",
+                 "64" if name == "rosetta" else "1",
+                 "--queries", "100", "--filter", name]
+            ) == 0

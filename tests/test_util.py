@@ -1,0 +1,102 @@
+"""Unit tests for repro._util bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    ceil_div,
+    ceil_log2,
+    check_key,
+    domain_max,
+    domain_size,
+    floor_log2,
+    is_power_of_two,
+    mask,
+    round_up,
+)
+
+
+class TestMask:
+    def test_zero_bits(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(3) == 0b111
+
+    def test_64_bits(self):
+        assert mask(64) == (1 << 64) - 1
+
+
+class TestDomain:
+    def test_size(self):
+        assert domain_size(16) == 65536
+
+    def test_max(self):
+        assert domain_max(16) == 65535
+
+    def test_check_key_accepts_bounds(self):
+        assert check_key(0, 8) == 0
+        assert check_key(255, 8) == 255
+
+    def test_check_key_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            check_key(256, 8)
+
+    def test_check_key_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_key(-1, 8)
+
+
+class TestLogs:
+    def test_floor_log2_powers(self):
+        for exp in range(0, 63):
+            assert floor_log2(1 << exp) == exp
+
+    def test_floor_log2_between(self):
+        assert floor_log2(5) == 2
+        assert floor_log2(1023) == 9
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1024) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            ceil_log2(-3)
+
+    @given(st.integers(min_value=1, max_value=1 << 64))
+    def test_floor_ceil_consistency(self, value):
+        lo, hi = floor_log2(value), ceil_log2(value)
+        assert (1 << lo) <= value <= (1 << hi)
+        assert hi - lo <= 1
+
+
+class TestRounding:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+
+    def test_round_up(self):
+        assert round_up(65, 64) == 128
+        assert round_up(64, 64) == 64
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_round_up_properties(self, value, multiple):
+        result = round_up(value, multiple)
+        assert result >= value
+        assert result % multiple == 0
+        assert result - value < multiple
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exp in range(0, 20):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for value in (0, 3, 5, 6, 7, 9, 100, -2, -4):
+            assert not is_power_of_two(value)

@@ -1,0 +1,155 @@
+"""Tests for key distributions, query generation, and synthetic datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    empty_point_queries,
+    empty_range_queries,
+    kepler_like_flux,
+    normal_keys,
+    sdss_like_catalog,
+    synthetic_words,
+    uniform_keys,
+    zipfian_keys,
+)
+from repro.workloads.distributions import distribution_by_name, sample_indices
+
+
+class TestKeyDistributions:
+    @pytest.mark.parametrize("gen", [uniform_keys, normal_keys, zipfian_keys])
+    def test_exact_count_sorted_distinct(self, gen):
+        keys = gen(5_000, seed=1)
+        assert keys.size == 5_000
+        assert keys.dtype == np.uint64
+        assert np.all(keys[1:] > keys[:-1])
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(uniform_keys(100, seed=5), uniform_keys(100, seed=5))
+        assert not np.array_equal(uniform_keys(100, seed=5), uniform_keys(100, seed=6))
+
+    def test_normal_is_centered(self):
+        keys = normal_keys(20_000, seed=2)
+        mean = float(np.mean(keys.astype(np.float64)))
+        center = 2.0**63
+        assert abs(mean - center) < 0.05 * 2.0**64
+
+    def test_normal_is_peaked(self):
+        """Middle half of the domain holds most of a normal key set."""
+        keys = normal_keys(20_000, seed=3)
+        quarter, three_quarters = 2.0**62, 3 * 2.0**62
+        inside = np.mean((keys.astype(np.float64) > quarter) & (keys.astype(np.float64) < three_quarters))
+        assert inside > 0.85
+
+    def test_zipfian_is_skewed(self):
+        """Zipf ranks concentrate: the top-1% hottest ranks cover a large
+        probability mass, visible as many duplicate draws pre-dedup."""
+        rng = np.random.default_rng(4)
+        from repro.workloads.distributions import _zipf_ranks
+
+        ranks = _zipf_ranks(rng, 50_000, universe=10**6, theta=0.99)
+        unique = np.unique(ranks).size
+        assert unique < 25_000  # heavy repetition = skew
+
+    def test_distribution_by_name(self):
+        assert distribution_by_name("uniform") is uniform_keys
+        with pytest.raises(ValueError):
+            distribution_by_name("exponential")
+
+    def test_small_domain(self):
+        keys = uniform_keys(100, seed=7, domain_bits=16)
+        assert int(keys.max()) < 1 << 16
+
+
+class TestSampleIndices:
+    @pytest.mark.parametrize("workload", ["uniform", "normal", "zipfian"])
+    def test_bounds(self, workload):
+        rng = np.random.default_rng(0)
+        idx = sample_indices(rng, 1000, 5_000, workload)
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_rejects_unknown(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_indices(rng, 10, 10, "bogus")
+
+    def test_normal_concentrates_middle(self):
+        rng = np.random.default_rng(1)
+        idx = sample_indices(rng, 1000, 20_000, "normal")
+        middle = np.mean((idx > 250) & (idx < 750))
+        assert middle > 0.8
+
+
+class TestEmptyQueries:
+    @pytest.mark.parametrize("workload", ["uniform", "normal", "zipfian"])
+    @pytest.mark.parametrize("range_size", [1, 64, 10**6])
+    def test_guaranteed_empty(self, workload, range_size):
+        keys = uniform_keys(5_000, seed=11)
+        queries = empty_range_queries(
+            keys, 500, range_size=range_size, workload=workload, seed=12
+        )
+        assert len(queries) == 500
+        for lo, hi in queries:
+            assert hi - lo + 1 == range_size
+            idx = int(np.searchsorted(keys, np.uint64(lo)))
+            assert not (idx < keys.size and int(keys[idx]) <= hi), "non-empty!"
+
+    def test_point_queries_absent(self):
+        keys = uniform_keys(2_000, seed=13)
+        key_set = set(keys.tolist())
+        points = empty_point_queries(keys, 300, seed=14)
+        assert len(points) == 300
+        assert all(int(p) not in key_set for p in points)
+
+    def test_rejects_bad_range(self):
+        keys = uniform_keys(100, seed=15)
+        with pytest.raises(ValueError):
+            empty_range_queries(keys, 10, range_size=0)
+
+    def test_impossible_range_raises(self):
+        keys = np.arange(0, 200, 2, dtype=np.uint64)  # gaps of 1
+        with pytest.raises(ValueError):
+            empty_range_queries(keys, 10, range_size=1 << 30, max_attempts=3)
+
+    def test_queries_sit_in_gaps(self):
+        """Anchored adjacency: each query's gap hosts a real key boundary."""
+        keys = uniform_keys(1_000, seed=16)
+        queries = empty_range_queries(keys, 200, range_size=16, seed=17)
+        for lo, _ in list(queries)[:50]:
+            idx = int(np.searchsorted(keys, np.uint64(lo)))
+            # predecessor key exists and the query is inside its gap
+            assert 0 < idx <= keys.size
+
+
+class TestDatasets:
+    def test_kepler_flux_shape(self):
+        flux = kepler_like_flux(10_000, seed=1)
+        assert flux.size == 10_000
+        assert flux.dtype == np.float64
+        assert np.any(flux > 0) and np.any(flux < 0)
+        assert np.all(np.isfinite(flux))
+
+    def test_kepler_dynamic_range(self):
+        flux = kepler_like_flux(20_000, seed=2)
+        magnitudes = np.abs(flux[flux != 0])
+        assert magnitudes.max() / magnitudes.min() > 1e4
+
+    def test_sdss_catalog(self):
+        run, obj = sdss_like_catalog(5_000, seed=3)
+        assert run.size == obj.size == 5_000
+        assert run.dtype == obj.dtype == np.uint64
+        assert int(run.max()) <= 1000 and int(run.min()) >= 1
+        assert int(obj.max()) < 1 << 63
+
+    def test_sdss_run_roughly_normal(self):
+        run, _ = sdss_like_catalog(20_000, seed=4)
+        mean = float(np.mean(run.astype(np.float64)))
+        assert 250 < mean < 350
+
+    def test_synthetic_words(self):
+        words = synthetic_words(500, seed=5)
+        assert len(words) == 500
+        assert words == sorted(set(words))
+        assert all(isinstance(w, bytes) and b"@" in w for w in words)
