@@ -100,3 +100,21 @@ def test_fig12a_insert_benchmark(benchmark, throughputs):
         filt.insert((next(counter) * 0x9E3779B97F4A7C15) & U64)
 
     benchmark(insert)
+
+
+def test_fig12a_batch_range_lookup(throughputs):
+    """Batched range lookups through the compiled-plan engine agree bit for
+    bit with the scalar walk on the online workload's mixed-width queries.
+    (Throughput itself is tracked by benchmarks/bench_ops_rangebatch.py —
+    a wall-clock assert here would only add flake risk.)"""
+    rng = np.random.default_rng(12)
+    filt = BloomRF.tuned(n_keys=N_OPS, bits_per_key=16, max_range=RANGE_WIDTH)
+    filt.insert_many(rng.integers(0, 1 << 64, N_OPS, dtype=np.uint64))
+    n = min(N_OPS, 10_000)
+    lo = rng.integers(0, 1 << 63, n, dtype=np.uint64)
+    width = np.uint64(1) << rng.integers(1, 20, n, dtype=np.uint64)
+    hi = np.minimum(lo + width, np.uint64(U64))
+    bounds = np.stack([lo, hi], axis=1)
+    batch = filt.contains_range_many(bounds)
+    scalar = [filt.contains_range(int(a), int(b)) for a, b in bounds]
+    assert list(batch) == scalar

@@ -3,13 +3,35 @@
 Every filter in this package works over fixed-width unsigned integer domains
 (``d`` bits, ``d <= 64``).  Python integers are unbounded, so the helpers here
 centralize the masking discipline that keeps intermediate values inside the
-domain.  They are deliberately tiny and dependency-free so the hot paths in
-:mod:`repro.core` can inline-call them without surprises.
+domain.  They are deliberately tiny so the hot paths in :mod:`repro.core` can
+inline-call them without surprises; :func:`bulk_range_eval` is the one
+NumPy-facing helper (the shared scalar->bulk range-probe adapter).
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
+import numpy as np
+
 MASK64 = (1 << 64) - 1
+
+
+def bulk_range_eval(
+    scalar_fn: Callable[[int, int], bool], bounds: np.ndarray
+) -> np.ndarray:
+    """Evaluate a scalar ``(lo, hi) -> bool`` range probe over ``(n, 2)`` rows.
+
+    The uniform bulk-interface adapter for filters whose range probe is
+    inherently sequential (Rosetta's doubting, SuRF's trie walk, ...):
+    one scalar probe per row, boolean array out.
+    """
+    bounds = np.asarray(bounds)
+    return np.fromiter(
+        (scalar_fn(int(lo), int(hi)) for lo, hi in bounds),
+        dtype=bool,
+        count=bounds.shape[0],
+    )
 
 
 def mask(bits: int) -> int:

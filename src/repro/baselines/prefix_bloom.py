@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util import bulk_range_eval
 from repro.baselines.bloom import BloomFilter
 from repro.dyadic import covering_prefix_range
 
@@ -100,6 +101,12 @@ class PrefixBloomFilter:
             if self._bloom.contains_point(prefix):
                 return True, probes
         return False, probes
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk range probe: boolean answer per ``(lo, hi)`` row."""
+        return bulk_range_eval(
+            lambda lo, hi: self.contains_range(lo, hi)[0], bounds
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

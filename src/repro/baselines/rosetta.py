@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro._util import bulk_range_eval
 from repro.baselines.bloom import BloomFilter, bits_for_fpr
 from repro.dyadic import dyadic_decompose
 
@@ -185,6 +186,14 @@ class Rosetta:
             if result:
                 return True
         return False
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk range probe over an ``(n, 2)`` array of inclusive bounds.
+
+        Rosetta's doubting recursion is inherently sequential, so this is a
+        uniform bulk interface (one scalar probe per row), not a fast path.
+        """
+        return bulk_range_eval(self.contains_range, bounds)
 
     def _doubt(self, level: int, prefix: int) -> bool | None:
         """Recursively confirm a positive DI down to level 0.

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._util import bulk_range_eval
 from repro.baselines.surf.builder import (
     SUFFIX_HASH,
     SUFFIX_NONE,
@@ -297,6 +298,14 @@ class SuRF:
             return False
         path, value_index = leaf
         return _min_ext_leq(path + self._suffix_as_bytes(value_index), hi)
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk range probe over an ``(n, 2)`` array of inclusive bounds.
+
+        The trie walk is pointer-chasing, so this is a uniform bulk
+        interface (one scalar probe per row), not a fast path.
+        """
+        return bulk_range_eval(self.contains_range, bounds)
 
     # -- moveToKeyGreaterThan ------------------------------------------
     def _successor_leaf(self, bound: bytes) -> tuple[bytes, int] | None:

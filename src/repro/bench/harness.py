@@ -56,6 +56,9 @@ class FilterUnderTest:
     range_: Callable[[int, int], bool]
     size_bits: int
     build_time_s: float
+    # Bulk range interface (``(n, 2) bounds -> bool array``); None for
+    # filters without one — measurements then fall back to the scalar loop.
+    range_many: Callable[[np.ndarray], np.ndarray] | None = None
 
     def bits_per_key(self, n_keys: int) -> float:
         return self.size_bits / n_keys
@@ -81,13 +84,15 @@ def build_standalone_filter(
         )
         filt.insert_many(keys)
         fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
+            range_many=filt.contains_range_many,
         )
     elif name == "bloomrf-basic":
         filt = BloomRF.basic(n_keys=n, bits_per_key=bits_per_key, seed=seed)
         filt.insert_many(keys)
         fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
+            range_many=filt.contains_range_many,
         )
     elif name == "rosetta":
         filt = Rosetta.tuned(
@@ -95,12 +100,14 @@ def build_standalone_filter(
         )
         filt.insert_many(keys)
         fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
+            range_many=filt.contains_range_many,
         )
     elif name == "surf":
         filt = SuRF.tuned_uint64(keys, bits_per_key=bits_per_key, seed=seed)
         fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0
+            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
+            range_many=filt.contains_range_many,
         )
     elif name == "bloom":
         filt = BloomFilter(n_keys=n, bits_per_key=bits_per_key, seed=seed)
@@ -138,13 +145,27 @@ class MeasuredFpr:
         return self.queries / self.probe_seconds
 
 
-def measure_range_fpr(fut: FilterUnderTest, workload: QueryWorkload) -> MeasuredFpr:
-    """FPR + probe latency over an all-empty range workload."""
-    positives = 0
-    start = time.perf_counter()
-    for lo, hi in workload:
-        positives += fut.range_(lo, hi)
-    elapsed = time.perf_counter() - start
+def measure_range_fpr(
+    fut: FilterUnderTest, workload: QueryWorkload, batch: bool = True
+) -> MeasuredFpr:
+    """FPR + probe latency over an all-empty range workload.
+
+    Uses the filter's bulk range interface when it has one (the default;
+    results are bit-identical to the scalar loop), so the measurement
+    exercises the batched engine exactly like a batched production caller.
+    Pass ``batch=False`` to force the scalar per-query loop.
+    """
+    if batch and fut.range_many is not None:
+        start = time.perf_counter()
+        answers = fut.range_many(workload.bounds)
+        elapsed = time.perf_counter() - start
+        positives = int(np.count_nonzero(answers))
+    else:
+        positives = 0
+        start = time.perf_counter()
+        for lo, hi in workload:
+            positives += fut.range_(lo, hi)
+        elapsed = time.perf_counter() - start
     return MeasuredFpr(
         filter_name=fut.name,
         fpr=positives / len(workload),

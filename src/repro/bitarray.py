@@ -160,6 +160,32 @@ class BitArray:
             return bool(np.any(self.words[lo_word + 1 : hi_word]))
         return False
 
+    def any_in_ranges(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`any_in_range` over parallel position arrays.
+
+        Computed as a rank difference over a popcount prefix sum, so the
+        cost is one pass over the storage words plus O(1) work per query —
+        independent of the individual range lengths.
+        """
+        lo = lo.astype(np.int64, copy=False)
+        hi = hi.astype(np.int64, copy=False)
+        if lo.size == 0:
+            return np.zeros(0, dtype=bool)
+        counts = np.bitwise_count(self.words).astype(np.int64)
+        cum = np.zeros(self.words.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=cum[1:])
+
+        def rank(pos: np.ndarray) -> np.ndarray:
+            # Number of set bits strictly below each position.
+            word = pos >> _WORD_SHIFT
+            bit = (pos & _WORD_MASK).astype(np.uint64)
+            safe = np.minimum(word, self.words.size - 1)
+            partial_mask = (np.uint64(1) << bit) - np.uint64(1)
+            partial = np.bitwise_count(self.words[safe] & partial_mask)
+            return cum[word] + np.where(bit != 0, partial.astype(np.int64), 0)
+
+        return (rank(hi + 1) - rank(lo)) > 0
+
     # ------------------------------------------------------------------
     # diagnostics used by the Fig. 5 scatter experiment
     # ------------------------------------------------------------------

@@ -27,8 +27,38 @@ Operations
   :func:`repro.dyadic.two_path_range_lookup`; covering probes test one bit
   per replica and decomposition probes read at most two aligned words per
   path per layer.
-* ``insert_many`` / ``contains_point_many`` are NumPy-vectorized bulk paths
-  computing bit-identical positions to the scalar ones.
+* ``insert_many`` / ``contains_point_many`` / ``contains_range_many`` are
+  NumPy-vectorized bulk paths computing bit-identical answers to the scalar
+  ones (asserted by the tests), including the same domain validation.
+
+Batched range-query engine
+--------------------------
+Bulk range lookups separate *plan compilation* from *probe execution*:
+
+1. :func:`repro.dyadic.compile_range_plan` runs Algorithm 1's two-path walk
+   once per query — pure integer arithmetic, no hashing — and emits a flat
+   :class:`~repro.dyadic.RangePlan`: covering ``(layer, prefix)`` bit probes
+   (phase-1 guards plus the left/right gate chains) and decomposition
+   ``(layer, p_lo, p_hi)`` mask probes with the walk's early-exit/decision
+   structure encoded as guard/gate dependencies.  This is the reference
+   form of the probe program (tested against the callback walk).
+2. ``contains_range_many`` emits that same probe program batch-wide —
+   probe emission is a pure function of ``(lo, hi, levels)``, so one
+   top-down sweep computes each layer's probes for every live query as
+   stacked arrays — and resolves it with vectorized NumPy: one
+   :func:`splitmix64_array` hash + :meth:`BitArray.test_bits` /
+   :meth:`BitArray.read_fields` call per (layer, replica) serves every
+   query probing that layer, guard-flip handling included; the exact-level
+   pseudo-layer resolves through :meth:`BitArray.any_in_ranges`.  Live-set
+   pruning applies the walk's early exits batch-wide, so no per-probe
+   Python callback runs.
+
+``two_path_range_lookup`` remains the scalar reference oracle.  The walk
+therefore exists in three forms (callback, compiled plan, batched sweep);
+the cross-property tests pin them together: plan-vs-callback equivalence
+on randomized oracles and batch-vs-scalar bit-identity across configs.
+Run ``PYTHONPATH=src python benchmarks/bench_ops_rangebatch.py`` for the
+batch-vs-scalar throughput benchmark (``--quick`` for the CI smoke mode).
 
 Thread-safety: mutation happens through single NumPy word-level OR
 operations, which CPython executes atomically under the GIL, so concurrent
@@ -47,7 +77,7 @@ from repro._util import check_key, domain_max
 from repro.bitarray import BitArray
 from repro.core.config import BloomRFConfig
 from repro.dyadic import two_path_range_lookup
-from repro.hashing import splitmix64, splitmix64_array, splitmix64_multi_seed
+from repro.hashing import splitmix64, splitmix64_array
 
 __all__ = ["BloomRF"]
 
@@ -55,6 +85,19 @@ __all__ = ["BloomRF"]
 # far beyond the configured range budget) is cut off conservatively: the
 # filter answers "maybe" — sound, never a false negative.
 _MAX_MASK_GROUPS = 1 << 16
+
+# Scalar mask probes spanning more groups than this resolve through the
+# vectorized field reader instead of the per-group Python loop.
+_SCALAR_MASK_GROUPS = 4
+
+_U64_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _concat(a: np.ndarray | None, b: np.ndarray) -> np.ndarray:
+    """Concatenate two optional probe-accumulator arrays."""
+    if a is None or a.size == 0:
+        return b
+    return np.concatenate((a, b))
 
 
 class _Layer:
@@ -70,6 +113,13 @@ class _Layer:
         "seg_base",
         "num_words",
         "seeds",
+        "guard_seed",
+        "u_level",
+        "u_offset_bits",
+        "u_offset_mask",
+        "u_word_bits",
+        "u_num_words",
+        "u_seg_base",
     )
 
     def __init__(
@@ -90,6 +140,15 @@ class _Layer:
         self.seg_base = seg_base
         self.num_words = seg_bits // self.word_bits
         self.seeds = list(seeds)
+        # Guard hash seed is per layer, not per replica.
+        self.guard_seed = self.seeds[0] ^ 0xA5A5
+        # np.uint64 constants hoisted out of the vectorized inner loops.
+        self.u_level = np.uint64(level)
+        self.u_offset_bits = np.uint64(self.offset_bits)
+        self.u_offset_mask = np.uint64(self.offset_mask)
+        self.u_word_bits = np.uint64(self.word_bits)
+        self.u_num_words = np.uint64(self.num_words)
+        self.u_seg_base = np.uint64(self.seg_base)
 
 
 class BloomRF:
@@ -131,9 +190,10 @@ class BloomRF:
         if config.exact_level is not None:
             self._exact = BitArray(config.exact_bitmap_bits)
 
-        # Flattened (layer, replica) geometry so the scalar insert runs one
-        # tight loop without per-layer indirection.
-        self._flat_geometry: list[tuple[int, ...]] = [
+        # Flattened per-layer geometry so the scalar insert runs one tight
+        # loop without attribute lookups; replica seeds stay nested so the
+        # guard hash is computed once per layer, not once per replica.
+        self._flat_geometry: list[tuple] = [
             (
                 layer.level,
                 layer.offset_bits,
@@ -141,11 +201,10 @@ class BloomRF:
                 layer.word_bits,
                 layer.num_words,
                 layer.seg_base,
-                seed,
-                layer.seeds[0] ^ 0xA5A5,  # guard hash is per layer, not replica
+                tuple(layer.seeds),
+                layer.guard_seed,
             )
             for layer in self._layers
-            for seed in layer.seeds
         ]
 
         # Planner layer list: PMHF layers bottom-up, exact bitmap as the
@@ -203,7 +262,7 @@ class BloomRF:
         off = prefix & layer.offset_mask
         if self._guard and layer.offset_bits:
             group = prefix >> layer.offset_bits
-            if splitmix64(group, seed=layer.seeds[0] ^ 0xA5A5) & 1:
+            if splitmix64(group, seed=layer.guard_seed) & 1:
                 off = layer.offset_mask - off
         return off
 
@@ -233,7 +292,7 @@ class BloomRF:
         check_key(key, self._d)
         words = self._bits.words
         guard = self._guard
-        for level, offbits, offmask, wordbits, numwords, segbase, seed, gseed in (
+        for level, offbits, offmask, wordbits, numwords, segbase, seeds, gseed in (
             self._flat_geometry
         ):
             prefix = key >> level
@@ -241,47 +300,80 @@ class BloomRF:
             offset = prefix & offmask
             if guard and offbits and splitmix64(group, seed=gseed) & 1:
                 offset = offmask - offset
-            pos = segbase + splitmix64(group, seed=seed) % numwords * wordbits + offset
-            words[pos >> 6] |= np.uint64(1 << (pos & 63))
+            base = segbase + offset
+            for seed in seeds:
+                pos = base + splitmix64(group, seed=seed) % numwords * wordbits
+                words[pos >> 6] |= np.uint64(1 << (pos & 63))
         if self._exact is not None:
             self._exact.set_bit(key >> self.config.exact_level)
         self._num_keys += 1
 
     def insert_many(self, keys: np.ndarray) -> None:
-        """Vectorized bulk insert of a ``uint64`` key array."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        """Vectorized bulk insert; enforces the same domain check as insert."""
+        keys = self._validated_keys(keys)
         if keys.size == 0:
             return
         for layer in self._layers:
-            prefix = keys >> np.uint64(layer.level)
-            group = prefix >> np.uint64(layer.offset_bits)
+            prefix = keys >> layer.u_level
+            group = prefix >> layer.u_offset_bits
             offset = self._offsets_array(layer, prefix, group)
+            base = layer.u_seg_base + offset
             for seed in layer.seeds:
-                word_index = splitmix64_array(group, seed=seed) % np.uint64(
-                    layer.num_words
-                )
-                pos = (
-                    np.uint64(layer.seg_base)
-                    + word_index * np.uint64(layer.word_bits)
-                    + offset
-                )
-                self._bits.set_bits(pos)
+                word_index = splitmix64_array(group, seed=seed) % layer.u_num_words
+                self._bits.set_bits(base + word_index * layer.u_word_bits)
         if self._exact is not None:
             self._exact.set_bits(keys >> np.uint64(self.config.exact_level))
         self._num_keys += int(keys.size)
 
+    def _validated_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`check_key`: uint64 view of in-domain keys."""
+        arr = np.asarray(keys)
+        if arr.size == 0:
+            return arr.astype(np.uint64)
+        if arr.dtype == object:
+            for key in arr.ravel():
+                check_key(int(key), self._d)
+            return arr.astype(np.uint64)
+        if arr.dtype.kind not in "iub":
+            raise TypeError(f"keys must be integers, got dtype {arr.dtype}")
+        if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+            raise ValueError(
+                f"key {int(arr.min())} outside the {self._d}-bit unsigned domain"
+            )
+        arr = arr.astype(np.uint64, copy=False)
+        if self._d < 64 and arr.size:
+            top = int(arr.max())
+            if top > domain_max(self._d):
+                raise ValueError(
+                    f"key {top} outside the {self._d}-bit unsigned domain"
+                )
+        return arr
+
+    def _validated_bounds(self, bounds: np.ndarray) -> np.ndarray:
+        """Validate an ``(n, 2)`` inclusive-bounds array (vectorized)."""
+        arr = np.asarray(bounds)
+        if arr.size == 0:
+            return np.zeros((0, 2), dtype=np.uint64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"bounds must have shape (n, 2), got {arr.shape}")
+        arr = self._validated_keys(arr)
+        inverted = arr[:, 0] > arr[:, 1]
+        if np.any(inverted):
+            i = int(np.argmax(inverted))
+            raise ValueError(
+                f"empty query range [{int(arr[i, 0])}, {int(arr[i, 1])}]"
+            )
+        return arr
+
     def _offsets_array(
         self, layer: _Layer, prefix: np.ndarray, group: np.ndarray
     ) -> np.ndarray:
-        offset = prefix & np.uint64(layer.offset_mask)
+        offset = prefix & layer.u_offset_mask
         if self._guard and layer.offset_bits:
             flip = (
-                splitmix64_array(group, seed=layer.seeds[0] ^ 0xA5A5)
-                & np.uint64(1)
+                splitmix64_array(group, seed=layer.guard_seed) & np.uint64(1)
             ).astype(bool)
-            offset = np.where(
-                flip, np.uint64(layer.offset_mask) - offset, offset
-            )
+            offset = np.where(flip, layer.u_offset_mask - offset, offset)
         return offset
 
     # ------------------------------------------------------------------
@@ -301,7 +393,7 @@ class BloomRF:
 
     def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized point lookup: boolean array per key."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = self._validated_keys(keys)
         result = np.ones(keys.size, dtype=bool)
         if self._exact is not None:
             result &= self._exact.test_bits(
@@ -310,19 +402,13 @@ class BloomRF:
         for layer in self._layers:
             if not result.any():
                 break
-            prefix = keys >> np.uint64(layer.level)
-            group = prefix >> np.uint64(layer.offset_bits)
+            prefix = keys >> layer.u_level
+            group = prefix >> layer.u_offset_bits
             offset = self._offsets_array(layer, prefix, group)
+            base = layer.u_seg_base + offset
             for seed in layer.seeds:
-                word_index = splitmix64_array(group, seed=seed) % np.uint64(
-                    layer.num_words
-                )
-                pos = (
-                    np.uint64(layer.seg_base)
-                    + word_index * np.uint64(layer.word_bits)
-                    + offset
-                )
-                result &= self._bits.test_bits(pos)
+                word_index = splitmix64_array(group, seed=seed) % layer.u_num_words
+                result &= self._bits.test_bits(base + word_index * layer.u_word_bits)
         return result
 
     __contains__ = contains_point
@@ -346,16 +432,274 @@ class BloomRF:
         )
 
     def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
-        """Range lookup over an ``(n, 2)`` array of inclusive bounds."""
-        bounds = np.asarray(bounds)
-        return np.fromiter(
-            (
-                self.contains_range(int(lo), int(hi))
-                for lo, hi in zip(bounds[:, 0], bounds[:, 1])
-            ),
-            dtype=bool,
-            count=bounds.shape[0],
+        """Batched range lookup over an ``(n, 2)`` array of inclusive bounds.
+
+        Emits the same probe program :func:`~repro.dyadic.compile_range_plan`
+        reifies per query, but batch-wide: one top-down sweep over the layers
+        where each step computes the layer's covering/decomposition probes
+        for every live query as stacked arrays and resolves them with the
+        vectorized executors.  Bit-identical to calling
+        :meth:`contains_range` per row (asserted by the tests) but without
+        per-probe Python callbacks or scalar hashing, and with the walk's
+        early exits applied batch-wide (dead or decided queries leave the
+        live sets).
+        """
+        bounds = self._validated_bounds(bounds)
+        n = bounds.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+
+        levels = self._planner_levels
+        top = len(levels) - 1
+        lo_arr = bounds[:, 0]
+        hi_arr = bounds[:, 1]
+        u0 = np.uint64(0)
+        u1 = np.uint64(1)
+
+        # The walk's per-query state, batched.  Probe *emission* is a pure
+        # function of (lo, hi, levels), so every query advances through the
+        # same top-down layer sweep; pruning the live sets reproduces the
+        # scalar walk's early exits batch-wide (dead queries stop probing,
+        # resolved queries stop descending).
+        result = np.zeros(n, dtype=bool)
+        open_q = np.ones(n, dtype=bool)  # phase 1: one DI covers the query
+        lactive = np.zeros(n, dtype=bool)  # left path open, chain intact
+        ractive = np.zeros(n, dtype=bool)  # right path open, chain intact
+
+        for li in range(top, -1, -1):
+            level = levels[li]
+            shift = np.uint64(min(level, 63))
+            low_mask = np.uint64(((1 << level) - 1) & ((1 << 64) - 1))
+            # Per-layer probe accumulators: (query index, prefix) for
+            # covering bits, (query index, p_lo, p_hi) for mask probes.
+            guard_idx = chain_l_idx = chain_r_idx = None
+            guard_pref = chain_l_pref = chain_r_pref = None
+            mask_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+            # ---- phase-2 descent (queries that split on a layer above) ----
+            if li < top and lactive.any():
+                idx = np.nonzero(lactive)[0]
+                lo = lo_arr[idx]
+                parent_mask = np.uint64(
+                    ((1 << levels[li + 1]) - 1) & ((1 << 64) - 1)
+                )
+                p_lo = lo >> shift
+                p_j = (lo | parent_mask) >> shift  # end of covering J
+                aligned = (lo & low_mask) == u0
+                if aligned.any():
+                    # [l_key, j_hi] lies fully inside the query.
+                    mask_parts.append(
+                        (idx[aligned], p_lo[aligned], p_j[aligned])
+                    )
+                    lactive[idx[aligned]] = False
+                walk = ~aligned
+                masked = walk & (p_lo < p_j)
+                if masked.any():
+                    mask_parts.append(
+                        (idx[masked], p_lo[masked] + u1, p_j[masked])
+                    )
+                chain_l_idx = idx[walk]
+                chain_l_pref = p_lo[walk]
+            if li < top and ractive.any():
+                idx = np.nonzero(ractive)[0]
+                hi = hi_arr[idx]
+                parent_mask = np.uint64(
+                    ((1 << levels[li + 1]) - 1) & ((1 << 64) - 1)
+                )
+                p_hi = hi >> shift
+                p_j = (hi & ~parent_mask) >> shift  # start of covering J
+                aligned = (hi & low_mask) == low_mask
+                if aligned.any():
+                    mask_parts.append(
+                        (idx[aligned], p_j[aligned], p_hi[aligned])
+                    )
+                    ractive[idx[aligned]] = False
+                walk = ~aligned
+                masked = walk & (p_j < p_hi)
+                if masked.any():
+                    mask_parts.append(
+                        (idx[masked], p_j[masked], p_hi[masked] - u1)
+                    )
+                chain_r_idx = idx[walk]
+                chain_r_pref = p_hi[walk]
+
+            # ---- phase 1: covering descent / split ------------------------
+            if open_q.any():
+                idx = np.nonzero(open_q)[0]
+                lo = lo_arr[idx]
+                hi = hi_arr[idx]
+                if level >= 64:
+                    p_lo = np.zeros(idx.size, dtype=np.uint64)
+                    p_hi = p_lo
+                    eq = np.ones(idx.size, dtype=bool)
+                    di = (lo == u0) & (hi == _U64_ONES)
+                else:
+                    p_lo = lo >> shift
+                    p_hi = hi >> shift
+                    eq = p_lo == p_hi
+                    di = (
+                        eq
+                        & ((lo & low_mask) == u0)
+                        & ((hi & low_mask) == low_mask)
+                    )
+                if di.any():
+                    # The query *is* this DI: one decomposition probe decides.
+                    mask_parts.append((idx[di], p_lo[di], p_lo[di]))
+                    open_q[idx[di]] = False
+                guard = eq & ~di
+                if guard.any():
+                    guard_idx = idx[guard]
+                    guard_pref = p_lo[guard]
+                split = ~eq
+                if split.any():
+                    # Phase 2 starts: the covering path splits (Fig. 7).
+                    s_idx = idx[split]
+                    s_lo = lo[split]
+                    s_hi = hi[split]
+                    sp_lo = p_lo[split]
+                    sp_hi = p_hi[split]
+                    lalign = (s_lo & low_mask) == u0
+                    ralign = (s_hi & low_mask) == low_mask
+                    m_lo = np.where(lalign, sp_lo, sp_lo + u1)
+                    m_hi = np.where(ralign, sp_hi, sp_hi - u1)
+                    emit = m_lo <= m_hi
+                    if emit.any():
+                        mask_parts.append((s_idx[emit], m_lo[emit], m_hi[emit]))
+                    unl = ~lalign
+                    if unl.any():
+                        chain_l_idx = _concat(chain_l_idx, s_idx[unl])
+                        chain_l_pref = _concat(chain_l_pref, sp_lo[unl])
+                        lactive[s_idx[unl]] = True
+                    unr = ~ralign
+                    if unr.any():
+                        chain_r_idx = _concat(chain_r_idx, s_idx[unr])
+                        chain_r_pref = _concat(chain_r_pref, sp_hi[unr])
+                        ractive[s_idx[unr]] = True
+                    open_q[s_idx] = False
+
+            # ---- resolve this layer's probes in two vector rounds ---------
+            n_guard = 0 if guard_idx is None else guard_idx.size
+            n_chain_l = 0 if chain_l_idx is None else chain_l_idx.size
+            bit_idx = [
+                part
+                for part in (guard_idx, chain_l_idx, chain_r_idx)
+                if part is not None and part.size
+            ]
+            if bit_idx:
+                prefs = np.concatenate(
+                    [
+                        part
+                        for part in (guard_pref, chain_l_pref, chain_r_pref)
+                        if part is not None and part.size
+                    ]
+                )
+                ans = self._resolve_bits_layer(li, prefs)
+                g_ans = ans[:n_guard]
+                l_ans = ans[n_guard : n_guard + n_chain_l]
+                r_ans = ans[n_guard + n_chain_l :]
+                if n_guard:
+                    open_q[guard_idx[~g_ans]] = False  # covering empty
+                if l_ans.size:
+                    lactive[chain_l_idx[~l_ans]] = False
+                if r_ans.size:
+                    ractive[chain_r_idx[~r_ans]] = False
+            if mask_parts:
+                m_idx = np.concatenate([part[0] for part in mask_parts])
+                m_lo = np.concatenate([part[1] for part in mask_parts])
+                m_hi = np.concatenate([part[2] for part in mask_parts])
+                hit_q = m_idx[self._resolve_masks_layer(li, m_lo, m_hi)]
+                if hit_q.size:
+                    # Filter says "may contain a key": the query is decided.
+                    result[hit_q] = True
+                    lactive[hit_q] = False
+                    ractive[hit_q] = False
+
+            if not (open_q.any() or lactive.any() or ractive.any()):
+                break
+
+        return result
+
+    # -- vectorized probe executors (shared by the batch engine) -------
+    def _resolve_bits_layer(self, li: int, prefixes: np.ndarray) -> np.ndarray:
+        """Resolve one layer's covering probes: AND over replicas.
+
+        One ``splitmix64_array`` + ``test_bits`` round per replica serves
+        every probe of the layer across the whole query batch.
+        """
+        if li == self._exact_layer_index:
+            return self._exact.test_bits(prefixes)
+        layer = self._layers[li]
+        group = prefixes >> layer.u_offset_bits
+        base = layer.u_seg_base + self._offsets_array(layer, prefixes, group)
+        hit = np.ones(prefixes.size, dtype=bool)
+        for seed in layer.seeds:
+            word_index = splitmix64_array(group, seed=seed) % layer.u_num_words
+            hit &= self._bits.test_bits(base + word_index * layer.u_word_bits)
+        return hit
+
+    def _resolve_masks_layer(
+        self, li: int, p_lo: np.ndarray, p_hi: np.ndarray
+    ) -> np.ndarray:
+        """Resolve one layer's decomposition probes (word-mask reads).
+
+        Each probe expands into its covered prefix groups; one
+        ``splitmix64_array`` + ``read_fields`` round per replica resolves
+        every group of every probe, and per-probe answers are the OR over
+        their groups (AND over replicas within a group).
+        """
+        ans = np.zeros(p_lo.size, dtype=bool)
+        if p_lo.size == 0:
+            return ans
+        if li == self._exact_layer_index:
+            return self._exact.any_in_ranges(p_lo, p_hi)
+        layer = self._layers[li]
+        idx = np.arange(p_lo.size)
+        lo = p_lo
+        hi = p_hi
+        g_lo = lo >> layer.u_offset_bits
+        g_hi = hi >> layer.u_offset_bits
+        wide = (g_hi - g_lo) >= np.uint64(_MAX_MASK_GROUPS)
+        if wide.any():
+            # Beyond the rated range budget: sound "maybe".
+            ans[idx[wide]] = True
+            narrow = ~wide
+            idx, lo, hi = idx[narrow], lo[narrow], hi[narrow]
+            g_lo, g_hi = g_lo[narrow], g_hi[narrow]
+            if idx.size == 0:
+                return ans
+        counts = (g_hi - g_lo).astype(np.int64) + 1
+        total = int(counts.sum())
+        probe_of_group = np.repeat(np.arange(idx.size), counts)
+        starts = np.cumsum(counts) - counts
+        intra = (np.arange(total) - starts[probe_of_group]).astype(np.uint64)
+        groups = g_lo[probe_of_group] + intra
+        base_prefix = groups << layer.u_offset_bits
+        off_lo = np.maximum(lo[probe_of_group], base_prefix) - base_prefix
+        off_hi = (
+            np.minimum(hi[probe_of_group], base_prefix + layer.u_offset_mask)
+            - base_prefix
         )
+        if self._guard and layer.offset_bits:
+            flip = (
+                splitmix64_array(groups, seed=layer.guard_seed) & np.uint64(1)
+            ).astype(bool)
+            flipped_lo = np.where(flip, layer.u_offset_mask - off_hi, off_lo)
+            off_hi = np.where(flip, layer.u_offset_mask - off_lo, off_hi)
+            off_lo = flipped_lo
+        width = off_hi - off_lo + np.uint64(1)
+        field_mask = (_U64_ONES >> (np.uint64(64) - width)) << off_lo
+        hit = np.ones(total, dtype=bool)
+        for seed in layer.seeds:
+            word_index = splitmix64_array(groups, seed=seed) % layer.u_num_words
+            words = self._bits.read_fields(
+                layer.u_seg_base + word_index * layer.u_word_bits,
+                layer.word_bits,
+            )
+            hit &= (words & field_mask) != np.uint64(0)
+        probe_hit = np.zeros(idx.size, dtype=bool)
+        probe_hit[probe_of_group[hit]] = True
+        ans[idx] = probe_hit
+        return ans
 
     # -- probe oracles consumed by the planner -------------------------
     def _probe_bit(self, layer_index: int, prefix: int) -> bool:
@@ -377,12 +721,21 @@ class BloomRF:
         g_hi = p_hi >> layer.offset_bits
         if g_hi - g_lo >= _MAX_MASK_GROUPS:
             return True  # beyond the rated range budget: sound "maybe"
+        if g_hi - g_lo >= _SCALAR_MASK_GROUPS:
+            # Wide probes resolve through the vectorized field reader.
+            return bool(
+                self._resolve_masks_layer(
+                    layer_index,
+                    np.array([p_lo], dtype=np.uint64),
+                    np.array([p_hi], dtype=np.uint64),
+                )[0]
+            )
         for group in range(g_lo, g_hi + 1):
             base = group << layer.offset_bits
             off_lo = max(p_lo, base) - base
             off_hi = min(p_hi, base + layer.offset_mask) - base
             if self._guard and layer.offset_bits:
-                if splitmix64(group, seed=layer.seeds[0] ^ 0xA5A5) & 1:
+                if splitmix64(group, seed=layer.guard_seed) & 1:
                     off_lo, off_hi = (
                         layer.offset_mask - off_hi,
                         layer.offset_mask - off_lo,

@@ -17,6 +17,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro._util import bulk_range_eval
 from repro.baselines.bloom import BloomFilter
 from repro.baselines.prefix_bloom import PrefixBloomFilter
 from repro.baselines.rosetta import Rosetta
@@ -43,6 +44,8 @@ class FilterHandle(Protocol):
 
     def probe_range(self, l_key: int, r_key: int) -> bool: ...
 
+    def probe_range_many(self, bounds: np.ndarray) -> np.ndarray: ...
+
     @property
     def size_bits(self) -> int: ...
 
@@ -60,12 +63,13 @@ class FilterPolicy(Protocol):
 class _Handle:
     """Adapter turning any filter object into a :class:`FilterHandle`."""
 
-    __slots__ = ("_filter", "_point", "_range", "_serialize")
+    __slots__ = ("_filter", "_point", "_range", "_range_many", "_serialize")
 
-    def __init__(self, filt, point, range_, serialize) -> None:
+    def __init__(self, filt, point, range_, serialize, range_many=None) -> None:
         self._filter = filt
         self._point = point
         self._range = range_
+        self._range_many = range_many
         self._serialize = serialize
 
     def probe_point(self, key: int) -> bool:
@@ -73,6 +77,13 @@ class _Handle:
 
     def probe_range(self, l_key: int, r_key: int) -> bool:
         return self._range(l_key, r_key)
+
+    def probe_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Batched range probe; falls back to a scalar loop when the
+        underlying filter has no bulk interface."""
+        if self._range_many is not None:
+            return np.asarray(self._range_many(bounds), dtype=bool)
+        return bulk_range_eval(self._range, bounds)
 
     @property
     def size_bits(self) -> int:
@@ -119,7 +130,13 @@ class BloomRFPolicy:
 
     @staticmethod
     def _wrap(filt: BloomRF) -> FilterHandle:
-        return _Handle(filt, filt.contains_point, filt.contains_range, filt.to_bytes)
+        return _Handle(
+            filt,
+            filt.contains_point,
+            filt.contains_range,
+            filt.to_bytes,
+            range_many=filt.contains_range_many,
+        )
 
 
 class BloomPolicy:
@@ -141,14 +158,19 @@ class BloomPolicy:
             seed=self.seed,
         )
         filt.insert_many(np.asarray(keys, dtype=np.uint64))
-        return _Handle(
-            filt, filt.contains_point, lambda lo, hi: True, filt.to_bytes
-        )
+        return self._wrap(filt)
 
     def deserialize(self, data: bytes) -> FilterHandle:
-        filt = BloomFilter.from_bytes(data)
+        return self._wrap(BloomFilter.from_bytes(data))
+
+    @staticmethod
+    def _wrap(filt: BloomFilter) -> FilterHandle:
         return _Handle(
-            filt, filt.contains_point, lambda lo, hi: True, filt.to_bytes
+            filt,
+            filt.contains_point,
+            lambda lo, hi: True,
+            filt.to_bytes,
+            range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
         )
 
 
@@ -176,6 +198,7 @@ class PrefixBloomPolicy:
             filt.contains_point,
             lambda lo, hi: filt.contains_range(lo, hi)[0],
             lambda: b"",
+            range_many=filt.contains_range_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -202,7 +225,11 @@ class RosettaPolicy:
         )
         filt.insert_many(np.asarray(keys, dtype=np.uint64))
         return _Handle(
-            filt, filt.contains_point, filt.contains_range, lambda: b""
+            filt,
+            filt.contains_point,
+            filt.contains_range,
+            lambda: b"",
+            range_many=filt.contains_range_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -231,7 +258,11 @@ class SuRFPolicy:
             seed=self.seed,
         )
         return _Handle(
-            filt, filt.contains_point, filt.contains_range, lambda: b""
+            filt,
+            filt.contains_point,
+            filt.contains_range,
+            lambda: b"",
+            range_many=filt.contains_range_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -245,7 +276,11 @@ class NoFilterPolicy:
 
     def build(self, keys: np.ndarray) -> FilterHandle:
         return _Handle(
-            _ZeroSize(), lambda key: True, lambda lo, hi: True, lambda: b""
+            _ZeroSize(),
+            lambda key: True,
+            lambda lo, hi: True,
+            lambda: b"",
+            range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:

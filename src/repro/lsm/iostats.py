@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["IOStats", "SimulatedDevice"]
 
 
@@ -55,6 +57,20 @@ class IOStats:
             self.filter_true_negatives += 1
         # A negative on a truly-present key would be a false negative; every
         # filter in this package guarantees none, and the DB asserts it.
+
+    def record_probes(self, positives, truths) -> None:
+        """Vectorized :meth:`record_probe` over parallel boolean arrays."""
+        positives = np.asarray(positives, dtype=bool)
+        truths = np.asarray(truths, dtype=bool)
+        n_pos = int(np.count_nonzero(positives))
+        n_tp = int(np.count_nonzero(positives & truths))
+        self.filter_probes += int(positives.size)
+        self.filter_positives += n_pos
+        self.filter_true_positives += n_tp
+        self.filter_false_positives += n_pos - n_tp
+        self.filter_true_negatives += int(
+            np.count_nonzero(~positives & ~truths)
+        )
 
     @property
     def fpr(self) -> float:

@@ -1,0 +1,38 @@
+"""Perf smoke for the batched range-query engine (CI tooling).
+
+Runs ``benchmarks/bench_ops_rangebatch.py --quick``: asserts batch
+throughput is at least scalar throughput and that the results are
+bit-identical.  Writes its JSON to a temp path so it never clobbers the
+repo-root ``BENCH_rangebatch.json`` (that trajectory artifact holds the
+*full*-mode run; refresh it with
+``PYTHONPATH=src python benchmarks/bench_ops_rangebatch.py``).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_rangebatch.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_ops_rangebatch", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mode_batch_beats_scalar(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_rangebatch.json"
+    exit_code = bench.main(["--quick", "--output", str(out)])
+    assert exit_code == 0, "quick perf smoke failed (batch < scalar or mismatch)"
+    result = json.loads(out.read_text())
+    assert result["bit_identical"] is True
+    assert result["batch_qps"] >= result["scalar_qps"]
+    assert result["mode"] == "quick"

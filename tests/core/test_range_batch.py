@@ -1,0 +1,224 @@
+"""Tests for the batched range-query engine (`contains_range_many`).
+
+The central contract: batch results are **bit-identical** to the scalar
+`contains_range` reference (the two-path callback walk) on every
+configuration — basic, advisor-tuned with an exact level, degenerate-guard —
+and the bulk paths enforce the same domain validation as the scalar ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+
+U64 = (1 << 64) - 1
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def batch_equals_scalar(filt: BloomRF, bounds: np.ndarray) -> None:
+    scalar = np.fromiter(
+        (
+            filt.contains_range(int(lo), int(hi))
+            for lo, hi in zip(bounds[:, 0], bounds[:, 1])
+        ),
+        dtype=bool,
+        count=bounds.shape[0],
+    )
+    batch = filt.contains_range_many(bounds)
+    assert batch.dtype == np.bool_
+    assert np.array_equal(batch, scalar), (
+        f"batch/scalar mismatch at rows "
+        f"{np.nonzero(batch != scalar)[0][:5].tolist()}"
+    )
+
+
+def guarded_config(base: BloomRFConfig) -> BloomRFConfig:
+    return BloomRFConfig.from_dict(
+        {**base.to_dict(), "degenerate_guard": True}
+    )
+
+
+def exact_level_filter() -> BloomRF:
+    return BloomRF(
+        BloomRFConfig(
+            domain_bits=16,
+            deltas=(4, 4),
+            replicas=(2, 1),
+            segment_of=(0, 0),
+            segment_bits=(2048,),
+            exact_level=8,
+        )
+    )
+
+
+class TestBatchMatchesScalar:
+    """Randomized cross-config property: batch == scalar, bit for bit."""
+
+    @given(
+        st.sets(u16, min_size=1, max_size=150),
+        st.lists(st.tuples(u16, u16), min_size=1, max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_basic_small_domain(self, keys, raw_queries):
+        filt = BloomRF.basic(
+            n_keys=len(keys), bits_per_key=12, domain_bits=16, delta=4
+        )
+        filt.insert_many(np.fromiter(keys, dtype=np.uint64, count=len(keys)))
+        bounds = np.array(
+            [[min(a, b), max(a, b)] for a, b in raw_queries], dtype=np.uint64
+        )
+        batch_equals_scalar(filt, bounds)
+
+    @given(
+        st.sets(u16, min_size=1, max_size=150),
+        st.lists(st.tuples(u16, u16), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_degenerate_guard(self, keys, raw_queries):
+        filt = BloomRF(
+            guarded_config(
+                BloomRFConfig.basic(len(keys), 12, domain_bits=16, delta=4)
+            )
+        )
+        filt.insert_many(np.fromiter(keys, dtype=np.uint64, count=len(keys)))
+        bounds = np.array(
+            [[min(a, b), max(a, b)] for a, b in raw_queries], dtype=np.uint64
+        )
+        batch_equals_scalar(filt, bounds)
+
+    @given(
+        st.sets(u16, min_size=1, max_size=100),
+        st.lists(st.tuples(u16, u16), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_level(self, keys, raw_queries):
+        filt = exact_level_filter()
+        filt.insert_many(np.fromiter(keys, dtype=np.uint64, count=len(keys)))
+        bounds = np.array(
+            [[min(a, b), max(a, b)] for a, b in raw_queries], dtype=np.uint64
+        )
+        batch_equals_scalar(filt, bounds)
+
+    @pytest.mark.parametrize("bits_per_key", [12, 22])
+    def test_tuned_full_domain_mixed_widths(self, bits_per_key):
+        rng = np.random.default_rng(bits_per_key)
+        keys = rng.integers(0, 1 << 64, 3000, dtype=np.uint64)
+        filt = BloomRF.tuned(
+            n_keys=3000, bits_per_key=bits_per_key, max_range=1 << 28
+        )
+        filt.insert_many(keys)
+        lo = rng.integers(0, 1 << 63, 3000, dtype=np.uint64)
+        width = np.uint64(1) << rng.integers(0, 40, 3000, dtype=np.uint64)
+        hi = np.maximum(np.minimum(lo + width, np.uint64(U64)), lo)
+        # Anchor a slice on inserted keys so positives are exercised.
+        lo[:600] = keys[:600] - np.minimum(keys[:600], np.uint64(512))
+        hi[:600] = np.minimum(keys[:600] + np.uint64(512), np.uint64(U64))
+        batch_equals_scalar(filt, np.stack([lo, hi], axis=1))
+
+    def test_basic_full_domain(self):
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 1 << 64, 2000, dtype=np.uint64)
+        filt = BloomRF.basic(n_keys=2000, bits_per_key=14)
+        filt.insert_many(keys)
+        lo = rng.integers(0, 1 << 63, 2000, dtype=np.uint64)
+        width = np.uint64(1) << rng.integers(0, 34, 2000, dtype=np.uint64)
+        hi = np.maximum(np.minimum(lo + width, np.uint64(U64)), lo)
+        batch_equals_scalar(filt, np.stack([lo, hi], axis=1))
+
+    def test_domain_edges(self):
+        filt = BloomRF.basic(n_keys=10, bits_per_key=12)
+        filt.insert_many(np.array([0, 1, U64 - 1, U64], dtype=np.uint64))
+        bounds = np.array(
+            [[0, U64], [0, 0], [U64, U64], [5, 5], [0, 1 << 32]],
+            dtype=np.uint64,
+        )
+        batch_equals_scalar(filt, bounds)
+
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 1 << 64, 500, dtype=np.uint64)
+        filt = BloomRF.tuned(n_keys=500, bits_per_key=18, max_range=1 << 20)
+        filt.insert_many(keys)
+        pad = np.uint64(17)
+        bounds = np.stack(
+            [keys - np.minimum(keys, pad), np.minimum(keys + pad, np.uint64(U64))],
+            axis=1,
+        )
+        assert filt.contains_range_many(bounds).all()
+
+
+class TestBatchApiContracts:
+    def test_empty_bounds_array(self):
+        """A (0, 2) bounds array returns an empty bool array (the seed
+        implementation crashed on this)."""
+        filt = BloomRF.basic(n_keys=10, bits_per_key=10)
+        for empty in (
+            np.empty((0, 2), dtype=np.uint64),
+            np.empty((0, 2), dtype=np.int64),
+            [],
+        ):
+            got = filt.contains_range_many(empty)
+            assert got.dtype == np.bool_ and got.shape == (0,)
+
+    def test_rejects_bad_shape(self):
+        filt = BloomRF.basic(n_keys=10, bits_per_key=10)
+        with pytest.raises(ValueError):
+            filt.contains_range_many(np.array([1, 2, 3], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            filt.contains_range_many(np.zeros((2, 3), dtype=np.uint64))
+
+    def test_rejects_inverted_range(self):
+        filt = BloomRF.basic(n_keys=10, bits_per_key=10)
+        with pytest.raises(ValueError):
+            filt.contains_range_many(np.array([[10, 9]], dtype=np.uint64))
+
+
+class TestVectorizedDomainValidation:
+    """The bulk paths enforce the same domain check as the scalar ones."""
+
+    def make(self):
+        return BloomRF.basic(n_keys=10, bits_per_key=12, domain_bits=16, delta=4)
+
+    def test_out_of_domain_raises_in_both_paths(self):
+        filt = self.make()
+        too_big = 1 << 16
+        with pytest.raises(ValueError):
+            filt.insert(too_big)
+        with pytest.raises(ValueError):
+            filt.insert_many(np.array([1, too_big], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            filt.contains_point(too_big)
+        with pytest.raises(ValueError):
+            filt.contains_point_many(np.array([1, too_big], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            filt.contains_range(0, too_big)
+        with pytest.raises(ValueError):
+            filt.contains_range_many(np.array([[0, too_big]], dtype=np.uint64))
+
+    def test_negative_keys_raise_in_both_paths(self):
+        filt = self.make()
+        with pytest.raises(ValueError):
+            filt.insert(-1)
+        with pytest.raises(ValueError):
+            filt.insert_many(np.array([3, -1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            filt.contains_point_many(np.array([-5], dtype=np.int64))
+        with pytest.raises(ValueError):
+            filt.contains_range_many(np.array([[-2, 4]], dtype=np.int64))
+
+    def test_in_domain_signed_dtype_accepted(self):
+        filt = self.make()
+        filt.insert_many(np.array([5, 100], dtype=np.int64))
+        assert filt.contains_point(5) and filt.contains_point(100)
+        got = filt.contains_point_many(np.array([5, 100], dtype=np.int32))
+        assert got.all()
+
+    def test_non_integer_dtype_rejected(self):
+        filt = self.make()
+        with pytest.raises(TypeError):
+            filt.insert_many(np.array([1.5, 2.0]))
+        with pytest.raises(TypeError):
+            filt.contains_range_many(np.array([[1.0, 2.0]]))

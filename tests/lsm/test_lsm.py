@@ -430,3 +430,100 @@ class TestKvSemantics:
             assert db.get_value(key) == model.get(key), key
         assert db.scan(0, 40) == sorted(model.items())
         assert db.scan_nonempty(0, 40) == bool(model)
+
+
+class TestBatchedScans:
+    """scan_nonempty_many / scan_may_contain mirror the scalar scan path:
+    identical answers and identical filter-stats accounting."""
+
+    def build_db(self, policy, n_keys=6_000, num_sstables=3, seed=21):
+        rng = np.random.default_rng(seed)
+        keys = np.unique(rng.integers(0, 1 << 48, n_keys, dtype=np.uint64))
+        db = LsmDB(policy=policy)
+        db.bulk_load(rng.permutation(keys), num_sstables=num_sstables)
+        return db, keys
+
+    def mixed_bounds(self, keys, seed=5, n_empty=150, n_pos=50):
+        rng = np.random.default_rng(seed)
+        lo = rng.integers(0, 1 << 48, n_empty, dtype=np.uint64)
+        hi = lo + rng.integers(1, 1 << 16, n_empty, dtype=np.uint64)
+        anchors = keys[rng.integers(0, keys.size, n_pos)]
+        pad = np.uint64(3)
+        pos = np.stack(
+            [anchors - np.minimum(anchors, pad), anchors + pad], axis=1
+        )
+        return np.concatenate([np.stack([lo, hi], axis=1), pos])
+
+    @pytest.mark.parametrize(
+        "policy_name", ["bloomrf", "rosetta", "surf", "bloom", "none"]
+    )
+    def test_batch_matches_scalar_scan(self, policy_name):
+        db, keys = self.build_db(policy_by_name(policy_name, 16, 1 << 16))
+        bounds = self.mixed_bounds(keys)
+        db.reset_stats()
+        scalar = np.array(
+            [db.scan_nonempty(int(lo), int(hi)) for lo, hi in bounds]
+        )
+        scalar_stats = db.reset_stats()
+        batch = db.scan_nonempty_many(bounds)
+        batch_stats = db.reset_stats()
+        assert np.array_equal(batch, scalar)
+        assert batch_stats.filter_probes == scalar_stats.filter_probes
+        assert (
+            batch_stats.filter_false_positives
+            == scalar_stats.filter_false_positives
+        )
+        assert batch_stats.blocks_read == scalar_stats.blocks_read
+
+    def test_scan_may_contain_is_sound(self):
+        db, keys = self.build_db(BloomRFPolicy(bits_per_key=16))
+        bounds = self.mixed_bounds(keys)
+        may = db.scan_may_contain(bounds)
+        truth = db.scan_nonempty_many(bounds)
+        assert np.all(may[truth]), "may-contain must never miss a non-empty range"
+
+    def test_scan_may_contain_sees_memtable(self):
+        db = LsmDB(policy=BloomRFPolicy(bits_per_key=16), memtable_capacity=64)
+        db.put(1000)
+        got = db.scan_may_contain(
+            np.array([[990, 1010], [2000, 2100]], dtype=np.uint64)
+        )
+        assert got.tolist() == [True, False]
+
+    def test_empty_batch(self):
+        db, _ = self.build_db(NoFilterPolicy())
+        got = db.scan_nonempty_many(np.empty((0, 2), dtype=np.uint64))
+        assert got.shape == (0,)
+        assert db.scan_may_contain(np.empty((0, 2), dtype=np.uint64)).shape == (0,)
+
+    def test_sstable_scan_many_accounting(self):
+        keys = np.arange(0, 4_000, 4, dtype=np.uint64)
+        sst = SSTable(keys, policy=BloomRFPolicy(bits_per_key=16))
+        stats = IOStats()
+        device = SimulatedDevice()
+        bounds = np.array(
+            [[0, 10], [1, 3], [4001, 4100], [3996, 3996]], dtype=np.uint64
+        )
+        got = sst.scan_many(bounds, stats, device)
+        expected = [
+            sst.scan(int(lo), int(hi), IOStats(), device) for lo, hi in bounds
+        ]
+        assert got.tolist() == expected
+        assert stats.filter_probes == 4
+
+    def test_batch_rejects_inverted_and_negative_bounds(self):
+        db, _ = self.build_db(NoFilterPolicy())
+        with pytest.raises(ValueError):
+            db.scan_nonempty_many(np.array([[5, 4]], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            db.scan_may_contain(np.array([[-1, 4]], dtype=np.int64))
+        with pytest.raises(ValueError):
+            db.scan_nonempty_many(np.array([1, 2, 3], dtype=np.uint64))
+
+    def test_scan_may_contain_charges_no_io(self):
+        db, keys = self.build_db(BloomRFPolicy(bits_per_key=16))
+        db.reset_stats()
+        db.scan_may_contain(self.mixed_bounds(keys))
+        stats = db.reset_stats()
+        assert stats.blocks_read == 0 and stats.io_wait_s == 0.0
+        assert stats.filter_probes > 0

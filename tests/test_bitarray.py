@@ -151,6 +151,49 @@ class TestAnyInRange:
         assert ba.any_in_range(lo, hi) == expected
 
 
+class TestAnyInRanges:
+    """Vectorized any_in_range (rank-based) matches the scalar one."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=299), max_size=12),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=299),
+                st.integers(min_value=0, max_value=299),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_matches_scalar(self, positions, raw_ranges):
+        ba = BitArray(300)
+        for pos in positions:
+            ba.set_bit(pos)
+        ranges = [(min(a, b), max(a, b)) for a, b in raw_ranges]
+        lo = np.array([r[0] for r in ranges], dtype=np.uint64)
+        hi = np.array([r[1] for r in ranges], dtype=np.uint64)
+        got = ba.any_in_ranges(lo, hi)
+        expected = [ba.any_in_range(a, b) for a, b in ranges]
+        assert got.tolist() == expected
+
+    def test_empty_input(self):
+        ba = BitArray(64)
+        got = ba.any_in_ranges(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint64)
+        )
+        assert got.shape == (0,) and got.dtype == np.bool_
+
+    def test_last_bit_boundary(self):
+        ba = BitArray(192)
+        ba.set_bit(191)
+        got = ba.any_in_ranges(
+            np.array([0, 191, 0], dtype=np.uint64),
+            np.array([190, 191, 191], dtype=np.uint64),
+        )
+        assert got.tolist() == [False, True, True]
+
+
 class TestRunLengths:
     def test_zero_runs(self):
         ba = BitArray(16)
