@@ -31,11 +31,6 @@ from repro.workloads import (
     empty_point_queries,
     empty_range_queries,
 )
-from repro.workloads.distributions import (
-    normal_keys,
-    uniform_keys,
-    zipfian_keys,
-)
 
 __all__ = [
     "SCALE",

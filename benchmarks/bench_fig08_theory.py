@@ -16,7 +16,6 @@ from repro.bench.theory import (
     goswami_range_lower_bound,
     rosetta_first_cut_bits,
 )
-from repro.core.model import basic_point_fpr
 
 N_KEYS = 10**7
 FPR_GRID = (0.0025, 0.005, 0.01, 0.015, 0.02, 0.025, 0.03)

@@ -12,7 +12,7 @@ import time
 import numpy as np
 import pytest
 
-from _common import keyset, print_table, scaled, write_result
+from _common import print_table, scaled, write_result
 from repro.core.bloomrf import BloomRF
 
 N_OPS = scaled(40_000, 5_000)

@@ -10,7 +10,6 @@ import pytest
 
 from _common import (
     filter_cached,
-    keyset,
     measure_point_fpr,
     point_queries_cached,
     print_table,

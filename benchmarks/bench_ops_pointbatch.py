@@ -1,0 +1,199 @@
+"""Batched point-lookup engine throughput: ``LsmDB.get_many`` vs scalar loop.
+
+The point counterpart of ``bench_ops_rangebatch.py``: a bulk-loaded LSM
+(bloomRF filter blocks, overlapping L0 runs) is probed with a mixed workload
+of present and absent keys, once through the seed-style scalar loop
+(``db.get`` per key) and once through the batched path (``db.get_many``,
+which consults every run's filter block once per batch and prunes settled
+keys from older runs).  Results — and the bit-identity + accounting-identity
+checks — land in ``BENCH_pointbatch.json`` at the repo root so future PRs
+can track the trajectory.
+
+A second section measures the standalone filter: ``BloomRF.contains_point_many``
+against the scalar ``contains_point`` loop, plus a ``ShardedBloomRF``
+dispatch of the same batch (shard speedup needs multiple cores; the recorded
+quantity is throughput, the asserted one is answer soundness).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops_pointbatch.py          # full
+    PYTHONPATH=src python benchmarks/bench_ops_pointbatch.py --quick  # CI smoke
+
+The full run uses a 10k-lookup workload and records the headline speedup
+(target: >= 10x).  ``--quick`` shrinks the workload and only asserts that
+batch throughput beats the scalar loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bloomrf import BloomRF
+from repro.lsm import BloomRFPolicy, LsmDB
+from repro.shard import ShardedBloomRF
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_pointbatch.json"
+
+
+def build_workload(
+    keys: np.ndarray, n_lookups: int, present_share: float, seed: int
+) -> np.ndarray:
+    """Shuffled lookup keys: ``present_share`` hits, the rest absent.
+
+    Absent keys are uniform draws re-rejected against the key set — with
+    64-bit keys a collision is effectively impossible, but we reject anyway
+    so the present share is exact.
+    """
+    rng = np.random.default_rng(seed)
+    n_present = int(n_lookups * present_share)
+    present = keys[rng.integers(0, keys.size, n_present)]
+    absent = rng.integers(0, 1 << 64, n_lookups - n_present, dtype=np.uint64)
+    absent = absent[~np.isin(absent, keys)]
+    while absent.size < n_lookups - n_present:
+        extra = rng.integers(
+            0, 1 << 64, n_lookups - n_present - absent.size, dtype=np.uint64
+        )
+        absent = np.concatenate([absent, extra[~np.isin(extra, keys)]])
+    lookups = np.concatenate([present, absent])
+    return lookups[rng.permutation(lookups.size)]
+
+
+def scalar_loop(db: LsmDB, lookups: np.ndarray) -> np.ndarray:
+    """The seed read path: one Python-level ``get`` walk per key."""
+    return np.fromiter(
+        (db.get(int(key)) for key in lookups), dtype=bool, count=lookups.size
+    )
+
+
+def run(quick: bool) -> dict:
+    n_keys = 20_000 if quick else 100_000
+    n_lookups = 2_000 if quick else 10_000
+    num_sstables = 8
+    rng = np.random.default_rng(23)
+    keys = np.unique(rng.integers(0, 1 << 64, n_keys, dtype=np.uint64))
+    db = LsmDB(policy=BloomRFPolicy(bits_per_key=18, max_range=1 << 20))
+    db.bulk_load(rng.permutation(keys), num_sstables=num_sstables)
+    lookups = build_workload(keys, n_lookups, present_share=0.2, seed=29)
+
+    db.get_many(lookups[:64])  # warm both paths
+    scalar_loop(db, lookups[:64])
+    db.reset_stats()
+    start = time.perf_counter()
+    scalar = scalar_loop(db, lookups)
+    scalar_s = time.perf_counter() - start
+    scalar_stats = db.reset_stats()
+    start = time.perf_counter()
+    batch = db.get_many(lookups)
+    batch_s = time.perf_counter() - start
+    batch_stats = db.reset_stats()
+
+    identical = bool(np.array_equal(scalar, batch))
+    accounting_identical = bool(
+        scalar_stats.filter_probes == batch_stats.filter_probes
+        and scalar_stats.filter_false_positives
+        == batch_stats.filter_false_positives
+        and scalar_stats.blocks_read == batch_stats.blocks_read
+    )
+
+    # Standalone filter section: batched + sharded probes of one filter.
+    filt = BloomRF.tuned(n_keys=keys.size, bits_per_key=18, max_range=1 << 20)
+    filt.insert_many(keys)
+    start = time.perf_counter()
+    filter_scalar = np.fromiter(
+        (filt.contains_point(int(key)) for key in lookups),
+        dtype=bool,
+        count=lookups.size,
+    )
+    filter_scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    filter_batch = filt.contains_point_many(lookups)
+    filter_batch_s = time.perf_counter() - start
+    with ShardedBloomRF(filt.config, num_shards=4) as sharded:
+        sharded.insert_many(keys)
+        sharded.contains_point_many(lookups[:64])  # warm the pool
+        start = time.perf_counter()
+        sharded_batch = sharded.contains_point_many(lookups)
+        sharded_s = time.perf_counter() - start
+        no_false_negatives = bool(sharded.contains_point_many(keys[:1000]).all())
+    sharded_sound = bool(
+        np.array_equal(filter_scalar, filter_batch)
+        # Sharded positives are a subset of the unsharded filter's (fewer
+        # cross-partition collisions) and must cover every present key.
+        and not np.any(sharded_batch & ~filter_batch)
+        and no_false_negatives
+    )
+
+    return {
+        "benchmark": "pointbatch",
+        "mode": "quick" if quick else "full",
+        "n_keys": int(keys.size),
+        "n_lookups": int(n_lookups),
+        "num_sstables": num_sstables,
+        "present_fraction": float(np.mean(scalar)),
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "scalar_qps": n_lookups / scalar_s,
+        "batch_qps": n_lookups / batch_s,
+        "speedup": scalar_s / batch_s,
+        "bit_identical": identical,
+        "accounting_identical": accounting_identical,
+        "filter_scalar_qps": n_lookups / filter_scalar_s,
+        "filter_batch_qps": n_lookups / filter_batch_s,
+        "filter_speedup": filter_scalar_s / filter_batch_s,
+        "sharded_qps": n_lookups / sharded_s,
+        "sharded_sound": sharded_sound,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller workload, asserts batch >= scalar",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"[pointbatch {result['mode']}] {result['n_lookups']} lookups "
+        f"({result['present_fraction']:.0%} present) over "
+        f"{result['num_sstables']} runs: "
+        f"scalar {result['scalar_qps']:,.0f} q/s | "
+        f"batch {result['batch_qps']:,.0f} q/s | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"filter-only {result['filter_speedup']:.1f}x | "
+        f"sharded {result['sharded_qps']:,.0f} q/s -> {args.output}"
+    )
+
+    if not result["bit_identical"]:
+        print("FAIL: batch results differ from scalar get loop")
+        return 1
+    if not result["accounting_identical"]:
+        print("FAIL: batch probe/IO accounting differs from the scalar loop")
+        return 1
+    if not result["sharded_sound"]:
+        print("FAIL: sharded answers unsound vs the unsharded filter")
+        return 1
+    floor = 1.0 if args.quick else 10.0
+    if result["speedup"] < floor:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below the {floor}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,6 @@ Regenerated analytically from both space models plus a *measured*
 confirmation of the two bloomRF claims on a scaled key set.
 """
 
-import numpy as np
 import pytest
 
 from _common import (
@@ -63,7 +62,7 @@ def measured(claims):
         queries = range_queries_cached("uniform", n, scaled(1_500, 300), 1 << exp, "uniform")
         fpr = sum(filt.contains_range(lo, hi) for lo, hi in queries) / len(queries)
         rows.append([f"2^{exp}", bits, fpr])
-    text = print_table(
+    print_table(
         "Sect 6 measured (scaled): basic bloomRF range FPR",
         ["range", "bits/key", "measured_fpr"],
         rows,

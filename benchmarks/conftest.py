@@ -1,10 +1,24 @@
 """Benchmark suite configuration.
 
-Makes the sibling ``_common`` module importable from every bench file and
-keeps pytest-benchmark output compact.
+Makes the sibling ``_common`` module importable from every bench file,
+keeps pytest-benchmark output compact, and tags every benchmark-derived
+test ``bench`` + ``slow`` so the tier-1 selection (``-m "not slow"``) never
+pays for a figure regeneration.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCH_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)

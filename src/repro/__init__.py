@@ -40,12 +40,14 @@ from repro.core import (
     string_range_keys,
     string_to_point_key,
 )
+from repro.shard import ShardedBloomRF
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BloomRF",
     "BloomRFConfig",
+    "ShardedBloomRF",
     "TuningAdvisor",
     "AdvisorReport",
     "FprProfile",

@@ -34,6 +34,24 @@ def bulk_range_eval(
     )
 
 
+def bulk_point_eval(
+    scalar_fn: Callable[[int], bool], keys: np.ndarray
+) -> np.ndarray:
+    """Evaluate a scalar ``key -> bool`` point probe over a key array.
+
+    The point-probe counterpart of :func:`bulk_range_eval`: the uniform
+    bulk interface for filters whose point lookup is inherently sequential
+    (SuRF's trie walk, the cuckoo table): one scalar probe per key,
+    boolean array out.
+    """
+    keys = np.asarray(keys)
+    return np.fromiter(
+        (scalar_fn(int(key)) for key in keys.ravel()),
+        dtype=bool,
+        count=keys.size,
+    )
+
+
 def mask(bits: int) -> int:
     """Return an all-ones mask of ``bits`` bits (``mask(3) == 0b111``)."""
     return (1 << bits) - 1

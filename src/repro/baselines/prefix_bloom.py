@@ -84,6 +84,11 @@ class PrefixBloomFilter:
         """Point probe — answers at prefix granularity (high FPR by design)."""
         return self._bloom.contains_point(key >> self.prefix_level)
 
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk point probe: one vectorized pass over the prefix filter."""
+        prefixes = np.asarray(keys, dtype=np.uint64) >> np.uint64(self.prefix_level)
+        return self._bloom.contains_point_many(prefixes)
+
     def contains_range(self, l_key: int, r_key: int) -> tuple[bool, int]:
         """Range probe; returns ``(answer, probes)`` — probes drive latency.
 

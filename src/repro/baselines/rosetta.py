@@ -168,6 +168,12 @@ class Rosetta:
         """Point probe: the precise bottom filter decides."""
         return self._filters[0].contains_point(key)
 
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk point probe: one vectorized pass over the bottom filter."""
+        return self._filters[0].contains_point_many(
+            np.asarray(keys, dtype=np.uint64)
+        )
+
     __contains__ = contains_point
 
     # ------------------------------------------------------------------

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import bulk_range_eval
+from repro._util import bulk_point_eval, bulk_range_eval
 from repro.baselines.surf.builder import (
     SUFFIX_HASH,
     SUFFIX_NONE,
@@ -281,6 +281,14 @@ class SuRF:
                     )
                 kind, node = self._sparse_child(pos)
                 depth += 1
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk point probe over a uint64 key array.
+
+        The trie walk is pointer-chasing, so this is a uniform bulk
+        interface (one scalar probe per key), not a fast path.
+        """
+        return bulk_point_eval(self.contains_point, keys)
 
     __contains__ = contains_point
 

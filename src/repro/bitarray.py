@@ -76,6 +76,20 @@ class BitArray:
         """Reset every bit to zero."""
         self.words[:] = 0
 
+    def union_with(self, other: "BitArray") -> None:
+        """OR every bit of ``other`` into this array (sizes must match).
+
+        One vectorized word-level OR — the primitive behind filter merging:
+        because inserts only ever OR bits in, the union of two bit arrays
+        equals the array produced by replaying both insert streams.
+        """
+        if self._num_bits != other._num_bits:
+            raise ValueError(
+                f"cannot union bit arrays of different sizes "
+                f"({self._num_bits} vs {other._num_bits} bits)"
+            )
+        np.bitwise_or(self.words, other.words, out=self.words)
+
     # ------------------------------------------------------------------
     # single-bit access (scalar)
     # ------------------------------------------------------------------

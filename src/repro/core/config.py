@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro._util import ceil_div, floor_log2, round_up
+from repro._util import ceil_div, round_up
 
 __all__ = ["BloomRFConfig", "MAX_DELTA", "MIN_DELTA"]
 

@@ -137,9 +137,9 @@ def extended_fpr_profile(
     d = config.domain_bits
     n = n_keys
     if tp_mode == "expected":
-        tp = [expected_occupied(2.0 ** (d - l), n) for l in range(d + 1)]
+        tp = [expected_occupied(2.0 ** (d - lvl), n) for lvl in range(d + 1)]
     elif tp_mode == "min":
-        tp = [min(float(n), 2.0 ** (d - l)) for l in range(d + 1)]
+        tp = [min(float(n), 2.0 ** (d - lvl)) for lvl in range(d + 1)]
     else:
         raise ValueError(f"unknown tp_mode {tp_mode!r}")
 

@@ -80,7 +80,9 @@ class LsmDB:
 
         Mirrors how sequential memtable flushes partition a write stream:
         each chunk is sorted on flush, chunks overlap arbitrarily in key
-        space (the L0 shape that makes filters matter).
+        space (the L0 shape that makes filters matter).  Each run's filter
+        block is built through the policy's bulk path — one ``insert_many``
+        per-layer sweep over the whole chunk, never per-key scalar inserts.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if num_sstables <= 0:
@@ -92,10 +94,24 @@ class LsmDB:
             self.sstables.insert(0, self._make_sstable(sorted_chunk, None, None))
 
     def compact(self) -> None:
-        """Merge every run into one, dropping shadowed versions/tombstones."""
+        """Merge every run into one, dropping shadowed versions/tombstones.
+
+        When every run's filter block is word-unionable (same-config
+        bloomRF/Bloom blocks; see ``merge_handles`` on the policy), the
+        merged run reuses the union instead of re-hashing every key — the
+        union still indexes dropped versions and tombstones, so it is a
+        sound superset (extra false positives at most, never a false
+        negative).  Otherwise the filter is rebuilt from the merged keys.
+        """
         self.flush()
         if not self.sstables:
             return
+        merge_handles = getattr(self.policy, "merge_handles", None)
+        merged_filter = (
+            merge_handles([sst.filter for sst in self.sstables])
+            if merge_handles is not None
+            else None
+        )
         merged: dict[int, tuple[bytes, bool]] = {}
         for sst in reversed(self.sstables):  # oldest first; newer overwrite
             for idx in range(sst.num_keys):
@@ -110,13 +126,16 @@ class LsmDB:
             return
         keys = np.fromiter((k for k, _ in live), dtype=np.uint64, count=len(live))
         values = [v for _, v in live] if self.store_values else None
-        self.sstables.append(self._make_sstable(keys, values, None))
+        self.sstables.append(
+            self._make_sstable(keys, values, None, prebuilt_filter=merged_filter)
+        )
 
     def _make_sstable(
         self,
         sorted_keys: np.ndarray,
         values: list[bytes] | None,
         tombstones: np.ndarray | None,
+        prebuilt_filter=None,
     ) -> SSTable:
         return SSTable(
             sorted_keys,
@@ -125,6 +144,7 @@ class LsmDB:
             tombstones=tombstones,
             value_bytes=self.value_bytes,
             block_bytes=self.block_bytes,
+            prebuilt_filter=prebuilt_filter,
         )
 
     # ------------------------------------------------------------------
@@ -144,6 +164,72 @@ class LsmDB:
             if found:
                 return None if is_tombstone else value
         return None
+
+    @staticmethod
+    def _validated_keys(keys: np.ndarray) -> np.ndarray:
+        """Shared key validation for the batched point paths: refuses
+        negative keys instead of silently wrapping them into uint64."""
+        arr = np.asarray(keys)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        if arr.ndim != 1:
+            raise ValueError(f"keys must be one-dimensional, got shape {arr.shape}")
+        if arr.dtype.kind not in "iu":
+            raise TypeError(f"keys must be integers, got dtype {arr.dtype}")
+        if arr.dtype.kind == "i" and int(arr.min()) < 0:
+            raise ValueError(f"negative key {int(arr.min())}")
+        return arr.astype(np.uint64, copy=False)
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched :meth:`get`: one boolean per key (newest version live?).
+
+        Bit-identical to looping :meth:`get` (asserted by the tests), with
+        identical filter-stats and I/O accounting, but every run's filter
+        block is consulted once per batch through its bulk interface.
+        Batch-wide pruning mirrors the scalar walk's early exit: a key
+        settled by the memtable or an earlier (newer) run stops probing
+        older runs, so each run only sees its still-unresolved keys.
+        """
+        keys = self._validated_keys(keys)
+        n = keys.size
+        result = np.zeros(n, dtype=bool)
+        if n == 0:
+            return result
+        unresolved = np.ones(n, dtype=bool)
+        if len(self.memtable):
+            known, live = self.memtable.lookup_many(keys)
+            result[known] = live[known]
+            unresolved &= ~known
+        for sst in self.sstables:
+            if not unresolved.any():
+                break
+            idx = np.nonzero(unresolved)[0]
+            found, tombstone = sst.get_many(keys[idx], self.stats, self.device)
+            settled = idx[found]
+            result[settled] = ~tombstone[found]
+            unresolved[settled] = False
+        return result
+
+    def may_contain_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched filter-level membership probe: may ``key`` be present?
+
+        The point counterpart of :meth:`scan_may_contain`: every run's
+        filter block is consulted through its bulk interface (one batch
+        probe per SST), then the memtable.  Pure filter CPU — no fence
+        lookups and no block reads are charged, and tombstones are *not*
+        resolved (a filter cannot un-insert).  A True is a *may-contain* —
+        resolve with :meth:`get_many` when the exact answer matters.
+        """
+        keys = self._validated_keys(keys)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        result = np.zeros(keys.size, dtype=bool)
+        for sst in self.sstables:
+            result |= sst.probe_filter_points_many(keys, self.stats)
+        if len(self.memtable):
+            known, _ = self.memtable.lookup_many(keys)
+            result |= known
+        return result
 
     def scan_nonempty(self, l_key: int, r_key: int) -> bool:
         """Does ``[l_key, r_key]`` hold any live key? (Exp. 1's probe shape).
@@ -175,7 +261,7 @@ class LsmDB:
             return np.zeros((0, 2), dtype=np.uint64)
         if arr.ndim != 2 or arr.shape[1] != 2:
             raise ValueError(f"bounds must have shape (n, 2), got {arr.shape}")
-        if arr.dtype.kind not in "iub":
+        if arr.dtype.kind not in "iu":
             raise TypeError(f"bounds must be integers, got dtype {arr.dtype}")
         if arr.dtype.kind == "i" and int(arr.min()) < 0:
             raise ValueError(f"negative query bound {int(arr.min())}")

@@ -5,6 +5,13 @@ builds one full-filter block per SST from the SST's keys, (de)serializes it,
 and answers point probes — extended here (as in the paper) with range probes
 carrying the query's lower/upper bounds.
 
+Every handle exposes bulk probe interfaces (``probe_point_many`` /
+``probe_range_many``): policies whose filter has a vectorized path wire it
+through; the rest fall back to a uniform scalar loop, so the DB's batched
+read paths work against every policy.  Policies whose filters support
+word-level union (bloomRF, Bloom) additionally expose ``merge_handles`` so
+compaction can union same-config filter blocks instead of re-hashing keys.
+
 Policies exist for every baseline so the same DB harness runs the whole
 comparison: bloomRF (basic/tuned), Bloom, Prefix-Bloom, Rosetta, SuRF, and
 "none" (fence pointers only).
@@ -12,12 +19,11 @@ comparison: bloomRF (basic/tuned), Bloom, Prefix-Bloom, Rosetta, SuRF, and
 
 from __future__ import annotations
 
-import math
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
-from repro._util import bulk_range_eval
+from repro._util import bulk_point_eval, bulk_range_eval
 from repro.baselines.bloom import BloomFilter
 from repro.baselines.prefix_bloom import PrefixBloomFilter
 from repro.baselines.rosetta import Rosetta
@@ -42,6 +48,8 @@ class FilterHandle(Protocol):
 
     def probe_point(self, key: int) -> bool: ...
 
+    def probe_point_many(self, keys: np.ndarray) -> np.ndarray: ...
+
     def probe_range(self, l_key: int, r_key: int) -> bool: ...
 
     def probe_range_many(self, bounds: np.ndarray) -> np.ndarray: ...
@@ -63,17 +71,34 @@ class FilterPolicy(Protocol):
 class _Handle:
     """Adapter turning any filter object into a :class:`FilterHandle`."""
 
-    __slots__ = ("_filter", "_point", "_range", "_range_many", "_serialize")
+    __slots__ = (
+        "_filter",
+        "_point",
+        "_point_many",
+        "_range",
+        "_range_many",
+        "_serialize",
+    )
 
-    def __init__(self, filt, point, range_, serialize, range_many=None) -> None:
+    def __init__(
+        self, filt, point, range_, serialize, range_many=None, point_many=None
+    ) -> None:
         self._filter = filt
         self._point = point
+        self._point_many = point_many
         self._range = range_
         self._range_many = range_many
         self._serialize = serialize
 
     def probe_point(self, key: int) -> bool:
         return self._point(key)
+
+    def probe_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched point probe; falls back to a scalar loop when the
+        underlying filter has no bulk interface."""
+        if self._point_many is not None:
+            return np.asarray(self._point_many(keys), dtype=bool)
+        return bulk_point_eval(self._point, keys)
 
     def probe_range(self, l_key: int, r_key: int) -> bool:
         return self._range(l_key, r_key)
@@ -129,6 +154,24 @@ class BloomRFPolicy:
         return self._wrap(BloomRF.from_bytes(data))
 
     @staticmethod
+    def merge_handles(handles: Sequence[FilterHandle]) -> FilterHandle | None:
+        """Union same-config filter blocks into one (compaction fast path).
+
+        Returns None when the blocks are not mergeable (different configs —
+        e.g. runs of different sizes were tuned differently), in which case
+        the caller rebuilds from keys.  The union indexes every key any
+        operand indexed, so it stays sound for the merged run (it may keep
+        bits of dropped versions — a few extra false positives, never a
+        false negative).
+        """
+        filters = [getattr(h, "_filter", None) for h in handles]
+        if not filters or any(not isinstance(f, BloomRF) for f in filters):
+            return None
+        if any(f.config != filters[0].config for f in filters[1:]):
+            return None
+        return BloomRFPolicy._wrap(BloomRF.merge(filters))
+
+    @staticmethod
     def _wrap(filt: BloomRF) -> FilterHandle:
         return _Handle(
             filt,
@@ -136,6 +179,7 @@ class BloomRFPolicy:
             filt.contains_range,
             filt.to_bytes,
             range_many=filt.contains_range_many,
+            point_many=filt.contains_point_many,
         )
 
 
@@ -164,6 +208,30 @@ class BloomPolicy:
         return self._wrap(BloomFilter.from_bytes(data))
 
     @staticmethod
+    def merge_handles(handles: Sequence[FilterHandle]) -> FilterHandle | None:
+        """Union same-geometry Bloom blocks (see BloomRFPolicy.merge_handles)."""
+        filters = [getattr(h, "_filter", None) for h in handles]
+        if not filters or any(not isinstance(f, BloomFilter) for f in filters):
+            return None
+        head = filters[0]
+        if any(
+            (f.num_bits, f.num_hashes, f.seed)
+            != (head.num_bits, head.num_hashes, head.seed)
+            for f in filters[1:]
+        ):
+            return None
+        merged = BloomFilter(
+            n_keys=1,
+            bits_per_key=head.num_bits,
+            num_hashes=head.num_hashes,
+            seed=head.seed,
+        )
+        assert merged.num_bits == head.num_bits  # round_up(m, 64) is idempotent
+        for f in filters:
+            f.union_into(merged)
+        return BloomPolicy._wrap(merged)
+
+    @staticmethod
     def _wrap(filt: BloomFilter) -> FilterHandle:
         return _Handle(
             filt,
@@ -171,6 +239,7 @@ class BloomPolicy:
             lambda lo, hi: True,
             filt.to_bytes,
             range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
+            point_many=filt.contains_point_many,
         )
 
 
@@ -199,6 +268,7 @@ class PrefixBloomPolicy:
             lambda lo, hi: filt.contains_range(lo, hi)[0],
             lambda: b"",
             range_many=filt.contains_range_many,
+            point_many=filt.contains_point_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -230,6 +300,7 @@ class RosettaPolicy:
             filt.contains_range,
             lambda: b"",
             range_many=filt.contains_range_many,
+            point_many=filt.contains_point_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -263,6 +334,7 @@ class SuRFPolicy:
             filt.contains_range,
             lambda: b"",
             range_many=filt.contains_range_many,
+            point_many=filt.contains_point_many,
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:
@@ -281,6 +353,7 @@ class NoFilterPolicy:
             lambda lo, hi: True,
             lambda: b"",
             range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
+            point_many=lambda keys: np.ones(len(keys), dtype=bool),
         )
 
     def deserialize(self, data: bytes) -> FilterHandle:

@@ -66,6 +66,27 @@ class MemTable:
         value = self._entries.get(key)
         return value is not None and value is not TOMBSTONE
 
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk :meth:`get` status: ``(known, live)`` boolean arrays.
+
+        ``known[i]`` — the memtable holds *some* version of ``keys[i]``
+        (live or tombstone) and therefore settles the lookup; ``live[i]`` —
+        that version is not a tombstone.  Memtables answer exactly, so this
+        is plain dict probing, vector-shaped for the DB's batched reads.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        known = np.zeros(keys.size, dtype=bool)
+        live = np.zeros(keys.size, dtype=bool)
+        if not self._entries:
+            return known, live
+        entries = self._entries
+        for i, key in enumerate(keys.tolist()):
+            value = entries.get(key)
+            if value is not None:
+                known[i] = True
+                live[i] = value is not TOMBSTONE
+        return known, live
+
     def contains_range(self, l_key: int, r_key: int) -> bool:
         """Exact live-key range check (memtables answer precisely)."""
         if not self._entries:

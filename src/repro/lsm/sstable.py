@@ -38,6 +38,7 @@ class SSTable:
         tombstones: np.ndarray | None = None,
         value_bytes: int = 512,
         block_bytes: int = 4096,
+        prebuilt_filter: FilterHandle | None = None,
     ) -> None:
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
@@ -60,7 +61,13 @@ class SSTable:
         self.entries_per_block = max(1, block_bytes // (_KEY_BYTES + value_bytes))
         self.fences = FencePointers.build(keys, block_size=self.entries_per_block)
         start = time.perf_counter()
-        self.filter: FilterHandle = policy.build(keys)
+        if prebuilt_filter is not None:
+            # Compaction hands over a merged (word-unioned) filter block: it
+            # indexes a superset of ``keys``, so soundness is preserved and
+            # no key is re-hashed.  Build time only covers the hand-off.
+            self.filter: FilterHandle = prebuilt_filter
+        else:
+            self.filter = policy.build(keys)
         self.build_time_s = time.perf_counter() - start
         start = time.perf_counter()
         self.filter_block = self.filter.serialize()
@@ -135,6 +142,72 @@ class SSTable:
         stats.blocks_read += len(blocks)
         stats.io_wait_s += len(blocks) * device.read_latency_s
         return truly_present
+
+    def get_many(
+        self, keys: np.ndarray, stats: IOStats, device: SimulatedDevice
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`get` presence check: one filter probe batch per SST.
+
+        Returns ``(found, tombstone)`` boolean arrays — ``found[i]`` says
+        this SST holds *some* version of ``keys[i]``; value retrieval stays
+        on the scalar path.  The filter block is consulted once for the
+        whole batch through its bulk interface; fences and block reads are
+        charged per filter-positive key with the same accounting as the
+        scalar :meth:`get` (asserted by the tests).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = keys.size
+        found = np.zeros(n, dtype=bool)
+        tombstone = np.zeros(n, dtype=bool)
+        if n == 0:
+            return found, tombstone
+        positive, idx, truly_present = self._probe_filter_points(keys, stats)
+        for i in np.nonzero(positive)[0]:
+            blocks = self.fences.blocks_for_point(int(keys[i]))
+            if not blocks:
+                continue  # fences prune the FP without I/O
+            stats.blocks_read += len(blocks)
+            stats.io_wait_s += len(blocks) * device.read_latency_s
+            if truly_present[i]:
+                found[i] = True
+                tombstone[i] = self.tombstones[idx[i]]
+        return found, tombstone
+
+    def probe_filter_points_many(
+        self, keys: np.ndarray, stats: IOStats
+    ) -> np.ndarray:
+        """Batched filter-block point probe: pure filter CPU, no I/O.
+
+        The point counterpart of :meth:`probe_filter_many` — consults the
+        filter once for the whole key batch and records the probe outcomes
+        against ground truth; fences and block reads are left to the caller.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        positive, _, _ = self._probe_filter_points(keys, stats)
+        return positive
+
+    def _probe_filter_points(
+        self, keys: np.ndarray, stats: IOStats
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared stats-charged bulk point probe.
+
+        Returns ``(positive, sorted_index, truly_present)`` where
+        ``sorted_index[i]`` locates ``keys[i]`` in the sorted key array when
+        ``truly_present[i]``.
+        """
+        idx = np.searchsorted(self.keys, keys)
+        safe = np.minimum(idx, self.keys.size - 1)
+        truly_present = (idx < self.keys.size) & (self.keys[safe] == keys)
+        start = time.perf_counter()
+        positive = self.filter.probe_point_many(keys)
+        stats.filter_cpu_s += time.perf_counter() - start
+        stats.record_probes(positive, truly_present)
+        assert not np.any(truly_present & ~positive), (
+            "filter produced a false negative"
+        )
+        return positive, idx, truly_present
 
     def probe_filter_many(
         self, bounds: np.ndarray, stats: IOStats

@@ -1,0 +1,329 @@
+"""ShardedBloomRF — keyspace-partitioned parallel execution of bloomRF.
+
+The paper's concurrency result (Fig. 12.B) rests on bloomRF being a parallel
+data structure: inserts are plain word-level ORs, probes are reads, nothing
+locks.  Partitioned filter designs (partitioned Bloom filters, Bloofi's
+tree-of-filters) take the next step for scale-out: split one logical filter
+into N independent shards so batches execute in parallel.  This module does
+that on top of the batch engines from PR 1 and this PR: every shard is a
+*same-config* :class:`~repro.core.bloomrf.BloomRF`, batches are grouped by
+shard and dispatched through a ``ThreadPoolExecutor`` — the per-shard sweeps
+are NumPy kernels that release the GIL, so shards genuinely overlap on
+multi-core hosts.
+
+Partition schemes
+-----------------
+* ``"hash"`` — a key's shard is ``splitmix64(key) mod N``.  Point batches
+  touch exactly one shard per key; range queries scatter over the keyspace,
+  so every shard probes the full range and the answers are OR-ed (each
+  shard has no false negatives on its own keys, so the OR has none).
+* ``"range"`` — the domain is split into N equal contiguous sub-ranges.
+  Point batches touch one shard per key; a range query is clipped to each
+  overlapping shard, so narrow queries touch one shard and only domain-wide
+  scans fan out.
+
+Exactness
+---------
+Shards share one ``(config, seed)``, and a bloomRF insert is a
+deterministic OR of bit positions — so :meth:`ShardedBloomRF.merge`
+(word-level union of all shards) reconstructs *bit for bit* the unsharded
+filter built from the same keys (asserted by the tests).  Per-query answers
+are at least as precise: a shard sees only its partition's bits, so the
+sharded answer implies the unsharded one and false negatives remain
+impossible.  With ``num_shards=1`` the structure *is* the unsharded filter
+and every answer matches it exactly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+from repro.hashing import splitmix64_array
+
+__all__ = ["ShardedBloomRF"]
+
+_PARTITIONS = ("hash", "range")
+# Seed for the hash-partition dispatch; independent of the filter seeds so
+# shard routing never correlates with in-shard probe positions.
+_DISPATCH_SEED = 0x5AAD
+
+
+class ShardedBloomRF:
+    """N same-config bloomRF shards behind the one-filter batch API.
+
+    Exposes the same ``insert_many`` / ``contains_point_many`` /
+    ``contains_range_many`` (plus their scalar forms) as
+    :class:`~repro.core.bloomrf.BloomRF`; batches are partitioned per shard
+    and executed concurrently.  Use as a context manager (or call
+    :meth:`close`) to release the worker pool deterministically.
+    """
+
+    def __init__(
+        self,
+        config: BloomRFConfig,
+        num_shards: int,
+        partition: str = "hash",
+        max_workers: int | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if num_shards > (1 << config.domain_bits):
+            # More shards than keys in the domain would leave some shards
+            # with an empty (inverted) sub-range.
+            raise ValueError(
+                f"num_shards {num_shards} exceeds the "
+                f"{config.domain_bits}-bit domain size"
+            )
+        if partition not in _PARTITIONS:
+            raise ValueError(
+                f"partition must be one of {_PARTITIONS}, got {partition!r}"
+            )
+        self.config = config
+        self.num_shards = num_shards
+        self.partition = partition
+        self.shards: list[BloomRF] = [BloomRF(config) for _ in range(num_shards)]
+        self._d = config.domain_bits
+        # Range partition: boundaries[s] is shard s's first key; equal-width
+        # contiguous sub-domains (last shard absorbs the rounding remainder).
+        domain = 1 << self._d
+        self._boundaries = np.array(
+            [(s * domain) // num_shards for s in range(num_shards)],
+            dtype=np.uint64,
+        )
+        self._executor: ThreadPoolExecutor | None = None
+        self._max_workers = max_workers if max_workers is not None else num_shards
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="bloomrf-shard",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedBloomRF":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_keys
+
+    @property
+    def num_keys(self) -> int:
+        return sum(shard.num_keys for shard in self.shards)
+
+    @property
+    def size_bits(self) -> int:
+        return sum(shard.size_bits for shard in self.shards)
+
+    @property
+    def domain_bits(self) -> int:
+        return self._d
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def shard_of_many(self, keys: np.ndarray) -> np.ndarray:
+        """Owning shard index per key (vectorized dispatch function)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if self.num_shards == 1:
+            return np.zeros(keys.size, dtype=np.int64)
+        if self.partition == "hash":
+            return (
+                splitmix64_array(keys, seed=_DISPATCH_SEED)
+                % np.uint64(self.num_shards)
+            ).astype(np.int64)
+        side = np.searchsorted(self._boundaries, keys, side="right") - 1
+        return side.astype(np.int64)
+
+    def shard_of(self, key: int) -> int:
+        return int(self.shard_of_many(np.array([key], dtype=np.uint64))[0])
+
+    def _run_per_shard(self, jobs: list[tuple[int, object]], fn) -> list:
+        """Execute ``fn(shard, payload)`` for each (shard index, payload).
+
+        One thread per involved shard; a single job runs inline (no pool
+        round-trip for the common narrow-query case).
+        """
+        if len(jobs) == 1:
+            s, payload = jobs[0]
+            return [fn(self.shards[s], payload)]
+        pool = self._pool()
+        futures = [pool.submit(fn, self.shards[s], payload) for s, payload in jobs]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        self.shards[self.shard_of(key)].insert(key)
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        """Bulk insert: partition the batch, one parallel sweep per shard."""
+        keys = self.shards[0]._validated_keys(keys)
+        if keys.size == 0:
+            return
+        owner = self.shard_of_many(keys)
+        jobs = [
+            (s, keys[owner == s])
+            for s in np.unique(owner).tolist()
+        ]
+        self._run_per_shard(jobs, lambda shard, chunk: shard.insert_many(chunk))
+
+    # ------------------------------------------------------------------
+    # point lookups
+    # ------------------------------------------------------------------
+    def contains_point(self, key: int) -> bool:
+        return self.shards[self.shard_of(key)].contains_point(key)
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk point lookup: each key probes exactly its owning shard."""
+        keys = self.shards[0]._validated_keys(keys)
+        result = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return result
+        owner = self.shard_of_many(keys)
+        involved = np.unique(owner).tolist()
+        jobs = [(s, np.nonzero(owner == s)[0]) for s in involved]
+        answers = self._run_per_shard(
+            jobs, lambda shard, idx: shard.contains_point_many(keys[idx])
+        )
+        for (s, idx), ans in zip(jobs, answers):
+            result[idx] = ans
+        return result
+
+    __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    # range lookups
+    # ------------------------------------------------------------------
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        return bool(
+            self.contains_range_many(
+                np.array([[l_key, r_key]], dtype=np.uint64)
+            )[0]
+        )
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk range lookup over ``(n, 2)`` inclusive bounds.
+
+        Hash partition: keys of a range scatter over every shard, so each
+        shard probes the full batch and the per-query answers are OR-ed.
+        Range partition: each query is clipped to its overlapping shards,
+        so only those probe it.  Both ways the OR over shards preserves
+        no-false-negatives (the key witnessing a non-empty range lives in
+        exactly one shard, and that shard cannot miss it).
+        """
+        bounds = self.shards[0]._validated_bounds(bounds)
+        n = bounds.shape[0]
+        result = np.zeros(n, dtype=bool)
+        if n == 0:
+            return result
+        if self.partition == "hash" and self.num_shards > 1:
+            jobs = [(s, bounds) for s in range(self.num_shards)]
+            answers = self._run_per_shard(
+                jobs, lambda shard, b: shard.contains_range_many(b)
+            )
+            for ans in answers:
+                result |= ans
+            return result
+        # Range partition: split each query across its overlapping shards.
+        lo_shard = self.shard_of_many(bounds[:, 0])
+        hi_shard = self.shard_of_many(bounds[:, 1])
+        domain_max = np.uint64(((1 << self._d) - 1) & 0xFFFFFFFFFFFFFFFF)
+        jobs: list[tuple[int, tuple[np.ndarray, np.ndarray]]] = []
+        for s in range(self.num_shards):
+            overlap = np.nonzero((lo_shard <= s) & (hi_shard >= s))[0]
+            if overlap.size == 0:
+                continue
+            shard_lo = self._boundaries[s]
+            shard_hi = (
+                self._boundaries[s + 1] - np.uint64(1)
+                if s + 1 < self.num_shards
+                else domain_max
+            )
+            clipped = np.stack(
+                [
+                    np.maximum(bounds[overlap, 0], shard_lo),
+                    np.minimum(bounds[overlap, 1], shard_hi),
+                ],
+                axis=1,
+            )
+            jobs.append((s, (overlap, clipped)))
+        answers = self._run_per_shard(
+            jobs, lambda shard, job: shard.contains_range_many(job[1])
+        )
+        for (s, (overlap, _)), ans in zip(jobs, answers):
+            result[overlap] |= ans
+        return result
+
+    # ------------------------------------------------------------------
+    # merging back to the unsharded filter
+    # ------------------------------------------------------------------
+    def merge(self) -> BloomRF:
+        """Union every shard into one filter.
+
+        Bit-identical to the unsharded :class:`BloomRF` built from the same
+        insert stream (same config, same seed, inserts are deterministic
+        ORs) — the bridge between scale-out shards and single-filter
+        serialization, and the exactness witness the tests pin down.
+        """
+        return BloomRF.merge(self.shards)
+
+    @classmethod
+    def from_keys(
+        cls,
+        keys: np.ndarray,
+        num_shards: int,
+        partition: str = "hash",
+        n_keys: int | None = None,
+        bits_per_key: float = 16.0,
+        max_range: int = 1 << 20,
+        domain_bits: int = 64,
+        seed: int = 0x5EED,
+    ) -> "ShardedBloomRF":
+        """Convenience constructor: tune one shared config, shard, insert.
+
+        The config is tuned for the *total* key count so :meth:`merge`
+        reproduces the unsharded filter bit for bit.  Each shard then runs
+        under-filled (lower per-shard FPR); the price is space —
+        ``num_shards`` full-size shards.  Pass a smaller ``n_keys`` to size
+        shards for their share of the keys instead, trading the exact-merge
+        property's space for a tighter footprint.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        total = int(n_keys if n_keys is not None else max(keys.size, 1))
+        template = BloomRF.tuned(
+            n_keys=total,
+            bits_per_key=bits_per_key,
+            max_range=max_range,
+            domain_bits=domain_bits,
+            seed=seed,
+        )
+        sharded = cls(template.config, num_shards, partition=partition)
+        sharded.insert_many(keys)
+        return sharded
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedBloomRF(shards={self.num_shards}, partition={self.partition!r}, "
+            f"keys={self.num_keys}, {self.config.describe()})"
+        )

@@ -10,7 +10,6 @@ structures can binary-search them directly.
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np

@@ -39,7 +39,6 @@ class TestBuilder:
         """Stored entries stay near n even for long shared-prefix keys."""
         keys = [b"averylongcommonprefix" + bytes([i]) for i in range(200)]
         trie = build_trie(keys)
-        total_entries = trie.num_dense_nodes * 256 + trie.s_labels.size
         # The chain of the shared prefix is walked once, not per key.
         assert trie.nominal_bits < 200 * 64 * 4
 

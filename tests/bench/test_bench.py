@@ -1,10 +1,8 @@
 """Tests for the bench harness and the Fig. 8 theory curves."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import (
-    FilterUnderTest,
     build_standalone_filter,
     measure_point_fpr,
     measure_range_fpr,
@@ -102,6 +100,18 @@ class TestHarness:
         points = empty_point_queries(keys, 300, seed=23)
         measured = measure_point_fpr(fut, points)
         assert measured.fpr < 0.1
+
+    @pytest.mark.parametrize("name", ["bloomrf", "rosetta", "bloom"])
+    def test_measure_point_fpr_batch_matches_scalar(self, keys, name):
+        """The default batched measurement counts exactly what the scalar
+        loop counts (the bulk interfaces are bit-identical)."""
+        fut = build_standalone_filter(name, keys, 14, 1 << 10)
+        assert fut.point_many is not None
+        points = empty_point_queries(keys, 400, seed=24)
+        batched = measure_point_fpr(fut, points)
+        scalar = measure_point_fpr(fut, points, batch=False)
+        assert batched.positives == scalar.positives
+        assert batched.queries == scalar.queries == 400
 
     def test_measure_throughput(self):
         counter = []

@@ -1,11 +1,11 @@
-"""Perf smoke for the batched range-query engine (CI tooling).
+"""Perf smoke for the batched point-lookup engine (CI tooling).
 
-Runs ``benchmarks/bench_ops_rangebatch.py --quick``: asserts batch
-throughput is at least scalar throughput and that the results are
-bit-identical.  Writes its JSON to a temp path so it never clobbers the
-repo-root ``BENCH_rangebatch.json`` (that trajectory artifact holds the
-*full*-mode run; refresh it with
-``PYTHONPATH=src python benchmarks/bench_ops_rangebatch.py``).
+Runs ``benchmarks/bench_ops_pointbatch.py --quick``: asserts batch
+throughput is at least scalar throughput and that answers *and stats
+accounting* are identical to the scalar ``get`` loop.  Writes its JSON to a
+temp path so it never clobbers the repo-root ``BENCH_pointbatch.json``
+(that trajectory artifact holds the *full*-mode run; refresh it with
+``PYTHONPATH=src python benchmarks/bench_ops_pointbatch.py``).
 """
 
 import importlib.util
@@ -18,12 +18,12 @@ import pytest
 pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_rangebatch.py"
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_pointbatch.py"
 
 
 def _load_bench_module():
     spec = importlib.util.spec_from_file_location(
-        "bench_ops_rangebatch", BENCH_PATH
+        "bench_ops_pointbatch", BENCH_PATH
     )
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
@@ -33,10 +33,12 @@ def _load_bench_module():
 
 def test_quick_mode_batch_beats_scalar(tmp_path):
     bench = _load_bench_module()
-    out = tmp_path / "BENCH_rangebatch.json"
+    out = tmp_path / "BENCH_pointbatch.json"
     exit_code = bench.main(["--quick", "--output", str(out)])
     assert exit_code == 0, "quick perf smoke failed (batch < scalar or mismatch)"
     result = json.loads(out.read_text())
     assert result["bit_identical"] is True
+    assert result["accounting_identical"] is True
+    assert result["sharded_sound"] is True
     assert result["batch_qps"] >= result["scalar_qps"]
     assert result["mode"] == "quick"

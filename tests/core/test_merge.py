@@ -1,0 +1,155 @@
+"""Filter merging: word-level union == rebuild from the union of inserts.
+
+The contract behind union-based compaction (``LsmDB.compact``) and shard
+merging (``ShardedBloomRF.merge``): inserts are deterministic ORs, so
+unioning same-config filters is bit-identical to replaying every operand's
+insert stream into a fresh filter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import BloomFilter
+from repro.bitarray import BitArray
+from repro.core.bloomrf import BloomRF
+from repro.core.config import BloomRFConfig
+
+
+def tuned_config(seed=0x5EED):
+    return BloomRF.tuned(
+        n_keys=4_000, bits_per_key=16, max_range=1 << 20, seed=seed
+    ).config
+
+
+def basic_config():
+    return BloomRFConfig.basic(n_keys=4_000, bits_per_key=14)
+
+
+CONFIGS = [
+    pytest.param(tuned_config, id="tuned-with-exact-level"),
+    pytest.param(basic_config, id="basic"),
+]
+
+
+class TestBitArrayUnion:
+    def test_union_is_bitwise_or(self):
+        a, b = BitArray(256), BitArray(256)
+        a.set_bits(np.array([0, 64, 100], dtype=np.uint64))
+        b.set_bits(np.array([1, 100, 255], dtype=np.uint64))
+        b.union_with(a)
+        assert [b.test_bit(i) for i in (0, 1, 64, 100, 255)] == [True] * 5
+        assert b.count_ones() == 5
+        # The source operand is untouched.
+        assert a.count_ones() == 3
+
+    def test_union_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            BitArray(128).union_with(BitArray(192))
+
+
+class TestBloomRFMerge:
+    @pytest.mark.parametrize("make_config", CONFIGS)
+    def test_merge_equals_rebuild_from_union(self, make_config):
+        config = make_config()
+        rng = np.random.default_rng(7)
+        streams = [
+            rng.integers(0, 1 << 64, 1_500, dtype=np.uint64) for _ in range(3)
+        ]
+        parts = []
+        for stream in streams:
+            filt = BloomRF(config)
+            filt.insert_many(stream)
+            parts.append(filt)
+        merged = BloomRF.merge(parts)
+        rebuilt = BloomRF(config)
+        rebuilt.insert_many(np.concatenate(streams))
+        assert merged._bits == rebuilt._bits
+        if config.exact_level is not None:
+            assert merged._exact == rebuilt._exact
+        assert merged.num_keys == rebuilt.num_keys
+        probes = rng.integers(0, 1 << 64, 2_000, dtype=np.uint64)
+        assert np.array_equal(
+            merged.contains_point_many(probes),
+            rebuilt.contains_point_many(probes),
+        )
+
+    def test_union_into_accumulates_in_place(self):
+        config = basic_config()
+        a, b = BloomRF(config), BloomRF(config)
+        a.insert_many(np.arange(100, dtype=np.uint64))
+        b.insert_many(np.arange(100, 200, dtype=np.uint64))
+        out = a.union_into(b)
+        assert out is b
+        assert b.num_keys == 200
+        assert b.contains_point_many(np.arange(200, dtype=np.uint64)).all()
+
+    def test_merge_rejects_config_mismatch(self):
+        a = BloomRF(tuned_config())
+        b = BloomRF(tuned_config(seed=0xBAD))
+        with pytest.raises(ValueError):
+            a.union_into(b)
+        with pytest.raises(ValueError):
+            BloomRF.merge([a, b])
+
+    def test_merge_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            BloomRF.merge([])
+
+    def test_merge_of_one_is_a_copy(self):
+        filt = BloomRF(basic_config())
+        filt.insert_many(np.arange(50, dtype=np.uint64))
+        snapshot = filt._bits.words.copy()
+        merged = BloomRF.merge([filt])
+        assert merged._bits == filt._bits
+        merged.insert_many(np.arange(10_000, 10_200, dtype=np.uint64))
+        # The merge owns its storage: mutating it leaves the operand alone.
+        assert np.array_equal(filt._bits.words, snapshot)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << 64) - 1),
+                max_size=60,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_rebuild_property(self, streams):
+        config = BloomRFConfig.basic(n_keys=64, bits_per_key=12)
+        parts = []
+        for stream in streams:
+            filt = BloomRF(config)
+            filt.insert_many(np.array(stream, dtype=np.uint64))
+            parts.append(filt)
+        merged = BloomRF.merge(parts)
+        rebuilt = BloomRF(config)
+        rebuilt.insert_many(
+            np.array([k for s in streams for k in s], dtype=np.uint64)
+        )
+        assert merged._bits == rebuilt._bits
+        assert merged.num_keys == rebuilt.num_keys
+
+
+class TestBloomFilterUnion:
+    def test_union_equals_rebuild(self):
+        a = BloomFilter(n_keys=1_000, bits_per_key=12, seed=3)
+        b = BloomFilter(n_keys=1_000, bits_per_key=12, seed=3)
+        rebuilt = BloomFilter(n_keys=1_000, bits_per_key=12, seed=3)
+        ka = np.arange(0, 500, dtype=np.uint64)
+        kb = np.arange(500, 1_000, dtype=np.uint64)
+        a.insert_many(ka)
+        b.insert_many(kb)
+        rebuilt.insert_many(np.concatenate([ka, kb]))
+        a.union_into(b)
+        assert b._bits == rebuilt._bits
+        assert len(b) == len(rebuilt)
+
+    def test_union_rejects_geometry_mismatch(self):
+        a = BloomFilter(n_keys=1_000, bits_per_key=12, seed=3)
+        b = BloomFilter(n_keys=1_000, bits_per_key=12, seed=4)
+        with pytest.raises(ValueError):
+            a.union_into(b)

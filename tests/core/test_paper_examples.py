@@ -6,7 +6,6 @@ Fig. 7 two-path decomposition, Sect. 7's extended-model example, and the
 tuning-advisor example (n=50M, 14 bits/key, d=64).
 """
 
-import math
 
 import pytest
 
@@ -128,7 +127,7 @@ class TestFig4Pmhf:
 
 class TestFig7Decomposition:
     def test_pieces(self):
-        pieces = [di_bounds(p, l) for l, p in dyadic_decompose(45, 60)]
+        pieces = [di_bounds(p, lvl) for lvl, p in dyadic_decompose(45, 60)]
         assert pieces == [(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]
 
 

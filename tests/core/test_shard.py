@@ -1,0 +1,220 @@
+"""ShardedBloomRF: partitioned parallel execution must not change answers.
+
+The exactness ladder the sharding subsystem guarantees, from strongest to
+weakest (see the module docstring of :mod:`repro.shard`):
+
+* ``merge()`` reconstructs the unsharded filter *bit for bit*;
+* with one shard, every answer equals the unsharded filter's exactly;
+* with N shards, batches equal the scalar per-query dispatch exactly,
+  positives are a subset of the unsharded filter's, and false negatives
+  remain impossible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bloomrf import BloomRF
+from repro.shard import ShardedBloomRF
+
+U64 = (1 << 64) - 1
+
+
+@pytest.fixture(scope="module")
+def shard_keys():
+    rng = np.random.default_rng(31)
+    return np.unique(rng.integers(0, 1 << 64, 12_000, dtype=np.uint64))
+
+
+@pytest.fixture(scope="module")
+def reference(shard_keys):
+    filt = BloomRF.tuned(
+        n_keys=shard_keys.size, bits_per_key=16, max_range=1 << 20
+    )
+    filt.insert_many(shard_keys)
+    return filt
+
+
+def probe_workload(seed=5, n=3_000):
+    rng = np.random.default_rng(seed)
+    points = rng.integers(0, 1 << 64, n, dtype=np.uint64)
+    lo = rng.integers(0, 1 << 63, n, dtype=np.uint64)
+    width = np.uint64(1) << rng.integers(1, 24, n, dtype=np.uint64)
+    bounds = np.stack([lo, np.minimum(lo + width, np.uint64(U64))], axis=1)
+    return points, bounds
+
+
+def build_sharded(reference, shard_keys, num_shards, partition):
+    sharded = ShardedBloomRF(reference.config, num_shards, partition=partition)
+    sharded.insert_many(shard_keys)
+    return sharded
+
+
+@pytest.mark.parametrize("partition", ["hash", "range"])
+@pytest.mark.parametrize("num_shards", [1, 3, 4])
+class TestShardedEquivalence:
+    def test_no_false_negatives(self, reference, shard_keys, num_shards, partition):
+        with build_sharded(reference, shard_keys, num_shards, partition) as sh:
+            assert sh.contains_point_many(shard_keys[:2_000]).all()
+            anchors = shard_keys[:1_000]
+            pad = np.uint64(7)
+            bounds = np.stack(
+                [
+                    anchors - np.minimum(anchors, pad),
+                    np.minimum(anchors + pad, np.uint64(U64)),
+                ],
+                axis=1,
+            )
+            assert sh.contains_range_many(bounds).all()
+
+    def test_batch_equals_scalar_dispatch(
+        self, reference, shard_keys, num_shards, partition
+    ):
+        points, bounds = probe_workload()
+        with build_sharded(reference, shard_keys, num_shards, partition) as sh:
+            batch_points = sh.contains_point_many(points)
+            assert np.array_equal(
+                batch_points,
+                np.array([sh.contains_point(int(k)) for k in points]),
+            )
+            batch_ranges = sh.contains_range_many(bounds)
+            assert np.array_equal(
+                batch_ranges,
+                np.array([sh.contains_range(int(a), int(b)) for a, b in bounds]),
+            )
+
+    def test_positives_subset_of_unsharded(
+        self, reference, shard_keys, num_shards, partition
+    ):
+        points, bounds = probe_workload()
+        with build_sharded(reference, shard_keys, num_shards, partition) as sh:
+            assert not np.any(
+                sh.contains_point_many(points)
+                & ~reference.contains_point_many(points)
+            )
+            assert not np.any(
+                sh.contains_range_many(bounds)
+                & ~reference.contains_range_many(bounds)
+            )
+
+    def test_merge_reconstructs_unsharded_bit_for_bit(
+        self, reference, shard_keys, num_shards, partition
+    ):
+        with build_sharded(reference, shard_keys, num_shards, partition) as sh:
+            merged = sh.merge()
+        assert merged._bits == reference._bits
+        if reference.config.exact_level is not None:
+            assert merged._exact == reference._exact
+        assert merged.num_keys == reference.num_keys
+
+    def test_keys_land_on_their_owning_shard_only(
+        self, reference, shard_keys, num_shards, partition
+    ):
+        with build_sharded(reference, shard_keys, num_shards, partition) as sh:
+            owner = sh.shard_of_many(shard_keys)
+            assert sh.num_keys == shard_keys.size
+            for s, shard in enumerate(sh.shards):
+                assert shard.num_keys == int(np.count_nonzero(owner == s))
+
+
+class TestSingleShardExactness:
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_single_shard_answers_equal_unsharded(
+        self, reference, shard_keys, partition
+    ):
+        points, bounds = probe_workload(seed=9)
+        with build_sharded(reference, shard_keys, 1, partition) as sh:
+            assert np.array_equal(
+                sh.contains_point_many(points),
+                reference.contains_point_many(points),
+            )
+            assert np.array_equal(
+                sh.contains_range_many(bounds),
+                reference.contains_range_many(bounds),
+            )
+
+
+class TestRangePartitionDispatch:
+    def test_narrow_queries_touch_one_shard(self, reference, shard_keys):
+        with build_sharded(reference, shard_keys, 4, "range") as sh:
+            # A query strictly inside shard 2's sub-domain involves only it.
+            lo = int(sh._boundaries[2]) + 100
+            assert sh.shard_of(lo) == 2
+            assert sh.shard_of(lo + 1_000) == 2
+            # Equivalent to probing shard 2 directly with the same bounds.
+            expected = sh.shards[2].contains_range(lo, lo + 1_000)
+            assert sh.contains_range(lo, lo + 1_000) == expected
+
+    def test_domain_wide_scan_fans_out_and_hits(self, reference, shard_keys):
+        with build_sharded(reference, shard_keys, 4, "range") as sh:
+            assert sh.contains_range(0, U64)
+
+    def test_range_boundaries_cover_domain(self, reference, shard_keys):
+        with build_sharded(reference, shard_keys, 5, "range") as sh:
+            owner = sh.shard_of_many(
+                np.array([0, 1, U64 // 2, U64 - 1, U64], dtype=np.uint64)
+            )
+            assert owner.min() >= 0 and owner.max() <= 4
+            assert sh.shard_of(0) == 0
+            assert sh.shard_of(U64) == 4
+
+
+class TestShardedValidation:
+    def test_rejects_bad_shard_count(self, reference):
+        with pytest.raises(ValueError):
+            ShardedBloomRF(reference.config, 0)
+
+    def test_rejects_unknown_partition(self, reference):
+        with pytest.raises(ValueError):
+            ShardedBloomRF(reference.config, 2, partition="modulo")
+
+    def test_rejects_more_shards_than_domain_keys(self):
+        from repro.core.config import BloomRFConfig
+
+        small = BloomRFConfig.basic(n_keys=16, bits_per_key=12, domain_bits=8)
+        with pytest.raises(ValueError):
+            ShardedBloomRF(small, 512, partition="range")
+        # At the limit every shard owns exactly one key and ranges still work.
+        with ShardedBloomRF(small, 256, partition="range") as sh:
+            sh.insert_many(np.arange(0, 256, 3, dtype=np.uint64))
+            assert sh.contains_range(0, 255)
+            assert sh.contains_point_many(
+                np.arange(0, 256, 3, dtype=np.uint64)
+            ).all()
+
+    def test_rejects_out_of_domain_keys(self, reference):
+        with ShardedBloomRF(reference.config, 2) as sh:
+            with pytest.raises(ValueError):
+                sh.insert_many(np.array([-1], dtype=np.int64))
+            with pytest.raises(ValueError):
+                sh.contains_range_many(np.array([[5, 4]], dtype=np.uint64))
+
+    def test_empty_batches(self, reference):
+        with ShardedBloomRF(reference.config, 2) as sh:
+            assert sh.contains_point_many(np.array([], dtype=np.uint64)).size == 0
+            assert (
+                sh.contains_range_many(np.empty((0, 2), dtype=np.uint64)).size == 0
+            )
+            sh.insert_many(np.array([], dtype=np.uint64))
+            assert sh.num_keys == 0
+
+    def test_close_is_idempotent_and_reopens(self, reference):
+        sh = ShardedBloomRF(reference.config, 3)
+        sh.insert_many(np.arange(1_000, dtype=np.uint64))
+        sh.close()
+        sh.close()
+        # Probing after close lazily recreates the pool.
+        assert sh.contains_point_many(np.arange(1_000, dtype=np.uint64)).all()
+        sh.close()
+
+    def test_from_keys_roundtrip(self, shard_keys):
+        sharded = ShardedBloomRF.from_keys(
+            shard_keys, num_shards=3, bits_per_key=16, max_range=1 << 20
+        )
+        with sharded:
+            assert sharded.num_keys == shard_keys.size
+            assert sharded.contains_point_many(shard_keys[:500]).all()
+            unsharded = BloomRF.tuned(
+                n_keys=shard_keys.size, bits_per_key=16, max_range=1 << 20
+            )
+            unsharded.insert_many(shard_keys)
+            assert sharded.merge()._bits == unsharded._bits

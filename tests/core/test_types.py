@@ -1,7 +1,6 @@
 """Tests for datatype support (Sect. 8): floats, strings, multi-attribute."""
 
 import math
-import struct
 
 import numpy as np
 import pytest

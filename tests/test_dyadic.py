@@ -45,7 +45,7 @@ class TestDecompose:
     def test_paper_example(self):
         """I=[45,60] decomposes as in Fig. 7."""
         pieces = dyadic_decompose(45, 60)
-        intervals = [di_bounds(p, l) for l, p in pieces]
+        intervals = [di_bounds(p, lvl) for lvl, p in pieces]
         assert intervals == [(45, 45), (46, 47), (48, 55), (56, 59), (60, 60)]
 
     def test_single_point(self):

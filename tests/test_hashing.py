@@ -99,14 +99,18 @@ class TestPmhfPosition:
     check the structural PMHF properties on arbitrary hash functions."""
 
     def test_monotone_within_word(self):
-        h = lambda x: x * 2654435761 % 97
+        def h(x):
+            return x * 2654435761 % 97
+
         base = pmhf_position(h, 0b1010000, level=0, delta=5, num_words=97)
         for offset in range(16):
             pos = pmhf_position(h, 0b1010000 + offset, level=0, delta=5, num_words=97)
             assert pos == base + offset
 
     def test_word_aligned(self):
-        h = lambda x: x + 13
+        def h(x):
+            return x + 13
+
         pos = pmhf_position(h, 0, level=0, delta=4, num_words=11)
         assert pos % 8 == pos % 8  # trivially true; check alignment of base
         assert (pos - (0 & 7)) % 8 == 0
@@ -114,7 +118,9 @@ class TestPmhfPosition:
     @given(u64, st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=40))
     @settings(max_examples=100)
     def test_offset_preserved(self, key, delta, level):
-        h = lambda x: splitmix64(x)
+        def h(x):
+            return splitmix64(x)
+
         word_bits = 1 << (delta - 1)
         pos = pmhf_position(h, key, level=level, delta=delta, num_words=64)
         assert pos % word_bits == (key >> level) % word_bits
@@ -123,7 +129,9 @@ class TestPmhfPosition:
     @settings(max_examples=100)
     def test_adjacent_prefixes_adjacent_bits(self, key, delta):
         """Keys sharing all but the lowest delta-1 prefix bits land in one word."""
-        h = lambda x: splitmix64(x)
+        def h(x):
+            return splitmix64(x)
+
         word_bits = 1 << (delta - 1)
         group_base = (key >> (delta - 1)) << (delta - 1)
         positions = [
