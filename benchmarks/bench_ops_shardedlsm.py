@@ -1,0 +1,244 @@
+"""Sharded LSM engine throughput: ``ShardedLsmDB`` vs unsharded ``LsmDB``.
+
+The Fig. 12.B scaling experiment one layer up: the same bulk write + mixed
+read workload is driven through the unsharded store and through
+:class:`~repro.lsm.sharded.ShardedLsmDB` at increasing shard counts.  Both
+use the batched engines from PRs 1-2; what sharding adds is *partitioned run
+sequences* — each shard flushes its own, ``~N``-fold shorter L0 run list, so
+a point lookup consults ``~L/N`` filter blocks instead of ``L`` — plus
+thread-pool overlap of the per-shard NumPy sweeps on multi-core hosts (the
+run-list cut is what shows on single-core CI boxes).
+
+Workload: a bulk ingest of the key set through ``put_many`` (chunked
+memtable fills, ``insert_many``-built filter blocks), then a mixed batch of
+point lookups (20% present), empty-range scans, and fresh-key puts.  The
+exactness ladder is asserted on every shard count — sharded answers must be
+bit-identical to the unsharded store's, merged ``IOStats`` must equal the
+per-shard sum — plus a serialization round-trip of a live filter block
+(words reconstructed bit for bit).  Results land in
+``BENCH_shardedlsm.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops_shardedlsm.py          # full
+    PYTHONPATH=src python benchmarks/bench_ops_shardedlsm.py --quick  # CI smoke
+
+The full run uses a 10k-op mixed workload and requires >1x throughput vs
+unsharded at >= 4 shards; ``--quick`` shrinks the workload and asserts the
+exactness ladder plus a soft speedup floor (CI boxes may have one core).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.lsm import BloomRFPolicy, IOStats, LsmDB, ShardedLsmDB
+from repro.lsm.filter_policy import handle_from_bytes
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_shardedlsm.json"
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def make_policy():
+    return BloomRFPolicy(bits_per_key=18, max_range=1 << 20)
+
+
+def build_mixed_workload(keys: np.ndarray, n_ops: int, seed: int):
+    """60% point lookups (20% present), 20% empty-range scans, 20% puts."""
+    rng = np.random.default_rng(seed)
+    n_points = int(n_ops * 0.6)
+    n_scans = int(n_ops * 0.2)
+    n_puts = n_ops - n_points - n_scans
+    n_present = int(n_points * 0.2)
+    present = keys[rng.integers(0, keys.size, n_present)]
+    absent = rng.integers(0, 1 << 64, n_points - n_present, dtype=np.uint64)
+    points = np.concatenate([present, absent])
+    points = points[rng.permutation(points.size)]
+    lo = rng.integers(0, 1 << 63, n_scans, dtype=np.uint64)
+    width = np.uint64(1) << rng.integers(4, 20, n_scans, dtype=np.uint64)
+    bounds = np.stack(
+        [lo, np.minimum(lo + width, np.uint64((1 << 64) - 1))], axis=1
+    )
+    fresh = rng.integers(0, 1 << 64, n_puts, dtype=np.uint64)
+    return points, bounds, fresh
+
+
+def drive(db, keys, points, bounds, fresh, repeats: int = 3):
+    """Ingest + mixed phase through the batched APIs; returns timings.
+
+    The read-only portion is repeated and the best time kept (single-run
+    wall clocks on shared CI boxes are noisy); the put churn — which
+    mutates state — is timed once at the end.
+    """
+    start = time.perf_counter()
+    db.put_many(keys)
+    ingest_s = time.perf_counter() - start
+    db.get_many(points[:64])  # warm pools and caches
+    read_s = None
+    for _ in range(repeats):
+        db.reset_stats()
+        start = time.perf_counter()
+        got = db.get_many(points)
+        scanned = db.scan_nonempty_many(bounds)
+        elapsed = time.perf_counter() - start
+        read_s = elapsed if read_s is None else min(read_s, elapsed)
+    stats = db.reset_stats()
+    start = time.perf_counter()
+    db.put_many(fresh)
+    put_s = time.perf_counter() - start
+    return ingest_s, read_s + put_s, got, scanned, stats
+
+
+def roundtrip_bit_exact(db: ShardedLsmDB) -> bool:
+    """A live filter block survives serialize -> load words-identical."""
+    db.flush()  # guarantee at least one run per non-empty shard
+    for shard in db.shards:
+        if shard.sstables:
+            handle = shard.sstables[0].filter
+            blob = handle.serialize()
+            restored = handle_from_bytes(blob)
+            return (
+                restored.serialize() == blob
+                and restored._filter._bits == handle._filter._bits
+            )
+    return False
+
+
+def run(quick: bool) -> dict:
+    n_keys = 12_000 if quick else 60_000
+    n_ops = 2_000 if quick else 10_000
+    # Sized so the unsharded store accumulates ~25-30 overlapping L0 runs:
+    # the shape where per-shard run lists (and their N-fold cut in filter
+    # probes per key) dominate the read path.
+    capacity = 1 << 9 if quick else 1 << 11
+    rng = np.random.default_rng(31)
+    keys = rng.integers(0, 1 << 64, n_keys, dtype=np.uint64)
+    points, bounds, fresh = build_mixed_workload(keys, n_ops, seed=37)
+
+    baseline = LsmDB(policy=make_policy(), memtable_capacity=capacity)
+    base_ingest, base_mixed, base_got, base_scanned, _ = drive(
+        baseline, keys, points, bounds, fresh
+    )
+
+    shard_rows = []
+    exact = True
+    stats_merged_ok = True
+    roundtrip_ok = True
+    for num_shards in SHARD_COUNTS:
+        with ShardedLsmDB(
+            policy=make_policy(),
+            num_shards=num_shards,
+            # Range dispatch: point batches and narrow scans each touch
+            # exactly one shard, so the whole mixed workload partitions
+            # cleanly (hash dispatch would fan every scan to all shards).
+            partition="range",
+            memtable_capacity=capacity,
+        ) as db:
+            ingest_s, mixed_s, got, scanned, stats = drive(
+                db, keys, points, bounds, fresh
+            )
+            exact &= bool(
+                np.array_equal(got, base_got)
+                and np.array_equal(scanned, base_scanned)
+            )
+            total = IOStats.merged([shard.stats for shard in db.shards])
+            stats_merged_ok &= db.stats.counters() == total.counters()
+            runs_per_shard = [len(shard.sstables) for shard in db.shards]
+            if num_shards == max(SHARD_COUNTS):
+                roundtrip_ok = roundtrip_bit_exact(db)
+        shard_rows.append(
+            {
+                "num_shards": num_shards,
+                "ingest_seconds": ingest_s,
+                "mixed_seconds": mixed_s,
+                "mixed_qps": n_ops / mixed_s,
+                "speedup_vs_unsharded": base_mixed / mixed_s,
+                "runs_per_shard": runs_per_shard,
+                "filter_probes": stats.filter_probes,
+            }
+        )
+
+    return {
+        "benchmark": "shardedlsm",
+        "mode": "quick" if quick else "full",
+        "n_keys": int(n_keys),
+        "n_ops": int(n_ops),
+        "memtable_capacity": capacity,
+        "partition": "range",
+        "workload": {
+            "point_lookups": int(points.size),
+            "range_scans": int(bounds.shape[0]),
+            "puts": int(fresh.size),
+        },
+        "unsharded": {
+            "ingest_seconds": base_ingest,
+            "mixed_seconds": base_mixed,
+            "mixed_qps": n_ops / base_mixed,
+            "num_runs": len(baseline.sstables),
+        },
+        "sharded": shard_rows,
+        "bit_identical": exact,
+        "stats_merged_identical": stats_merged_ok,
+        "serialization_roundtrip_bit_exact": roundtrip_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller workload, soft speedup floor",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    by_shards = {row["num_shards"]: row for row in result["sharded"]}
+    best = max(row["speedup_vs_unsharded"] for row in result["sharded"])
+    print(
+        f"[shardedlsm {result['mode']}] {result['n_ops']} mixed ops over "
+        f"{result['n_keys']} keys: unsharded "
+        f"{result['unsharded']['mixed_qps']:,.0f} ops/s | "
+        + " | ".join(
+            f"{s}sh {by_shards[s]['speedup_vs_unsharded']:.2f}x"
+            for s in sorted(by_shards)
+        )
+        + f" -> {args.output}"
+    )
+
+    if not result["bit_identical"]:
+        print("FAIL: sharded answers differ from the unsharded store")
+        return 1
+    if not result["stats_merged_identical"]:
+        print("FAIL: merged IOStats differ from the per-shard sum")
+        return 1
+    if not result["serialization_roundtrip_bit_exact"]:
+        print("FAIL: filter-block serialization round-trip not bit-exact")
+        return 1
+    at4 = by_shards[4]["speedup_vs_unsharded"]
+    floor = 0.5 if args.quick else 1.0
+    if at4 < floor:
+        print(
+            f"FAIL: {at4:.2f}x at 4 shards below the {floor}x floor "
+            f"(best {best:.2f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

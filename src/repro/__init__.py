@@ -40,14 +40,16 @@ from repro.core import (
     string_range_keys,
     string_to_point_key,
 )
+from repro.lsm.sharded import ShardedLsmDB
 from repro.shard import ShardedBloomRF
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BloomRF",
     "BloomRFConfig",
     "ShardedBloomRF",
+    "ShardedLsmDB",
     "TuningAdvisor",
     "AdvisorReport",
     "FprProfile",

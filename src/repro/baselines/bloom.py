@@ -151,23 +151,38 @@ class BloomFilter:
 
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        header = np.array(
-            [self.num_bits, self.num_hashes, self.seed, self._num_keys],
-            dtype=np.uint64,
-        ).tobytes()
-        return header + self._bits.to_bytes()
+        """Serialize to the shared framed format (see :mod:`repro.serial`)."""
+        from repro import serial
+
+        return serial.pack_frame(
+            serial.KIND_BLOOM,
+            {
+                "num_bits": self.num_bits,
+                "num_hashes": self.num_hashes,
+                "seed": self.seed,
+                "num_keys": self._num_keys,
+            },
+            self._bits.to_bytes(),
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BloomFilter":
-        num_bits, num_hashes, seed, num_keys = np.frombuffer(
-            data[:32], dtype=np.uint64
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_BLOOM
         )
+        if len(payloads) != 1:
+            raise ValueError(
+                f"Bloom frame carries {len(payloads)} payloads, expected 1"
+            )
         filt = cls.__new__(cls)
-        filt.num_bits = int(num_bits)
-        filt.num_hashes = int(num_hashes)
-        filt.seed = int(seed)
-        filt._num_keys = int(num_keys)
-        filt._bits = BitArray.from_bytes(data[32:], int(num_bits))
+        filt.num_bits = int(header["num_bits"])
+        filt.num_hashes = int(header["num_hashes"])
+        filt.seed = int(header["seed"])
+        filt._num_keys = int(header["num_keys"])
+        filt._bits = BitArray.from_bytes(payloads[0], filt.num_bits)
         return filt
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -73,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("output", help="where to write the serialized filter")
     save.add_argument("--bits-per-key", type=float, default=16)
     save.add_argument("--max-range", type=_int_ish, default=1 << 20)
+    save.add_argument(
+        "--filter", choices=("bloomrf", "bloom"), default="bloomrf",
+        help="which filter to build (default: bloomrf)",
+    )
+    save.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the filter over N partitions (bloomrf only; writes one "
+        "blob holding every shard — merge-compatible with the unsharded "
+        "filter)",
+    )
+    save.add_argument(
+        "--partition", choices=("hash", "range"), default="hash",
+        help="shard dispatch scheme when --shards > 1",
+    )
 
     return parser
 
@@ -154,16 +168,41 @@ def _cmd_measure(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    """Summarize any serialized filter, dispatching on the frame's kind."""
     from pathlib import Path
 
+    from repro import serial
+    from repro.baselines.bloom import BloomFilter
     from repro.core.bloomrf import BloomRF
 
     data = Path(args.path).read_bytes()
-    filt = BloomRF.from_bytes(data)
-    print(filt.config.describe())
-    print(f"keys inserted: {filt.num_keys}")
-    print(f"size: {filt.size_bits} bits ({filt.size_bits / 8 / 1024:.1f} KiB)")
-    print(f"PMHF fill ratio: {filt.fill_ratio():.4f}")
+    try:
+        filt = serial.load_filter(data)
+    except ValueError as exc:
+        print(f"cannot inspect {args.path}: {exc}")
+        return 2
+    kind = serial.KIND_NAMES[serial.peek_kind(data)]
+    print(f"kind: {kind} (format v{serial.FORMAT_VERSION}, "
+          f"{len(data) / 1024:.1f} KiB on disk)")
+    if isinstance(filt, BloomRF):
+        print(filt.config.describe())
+        print(f"keys inserted: {filt.num_keys}")
+        print(f"size: {filt.size_bits} bits ({filt.size_bits / 8 / 1024:.1f} KiB)")
+        print(f"PMHF fill ratio: {filt.fill_ratio():.4f}")
+    elif isinstance(filt, BloomFilter):
+        print(f"BloomFilter(bits={filt.num_bits}, k={filt.num_hashes}, "
+              f"seed={filt.seed:#x})")
+        print(f"keys inserted: {len(filt)}")
+        print(f"fill ratio: {filt.fill_ratio():.4f}")
+    else:  # ShardedBloomRF
+        with filt:
+            print(filt.config.describe())
+            print(f"shards: {filt.num_shards} ({filt.partition} partition)")
+            print(f"keys inserted: {filt.num_keys} "
+                  f"(per shard: {[s.num_keys for s in filt.shards]})")
+            print(f"size: {filt.size_bits} bits "
+                  f"({filt.size_bits / 8 / 1024:.1f} KiB across shards)")
+            print(f"merged fill ratio: {filt.merge().fill_ratio():.4f}")
     return 0
 
 
@@ -172,18 +211,47 @@ def _cmd_build(args) -> int:
 
     import numpy as np
 
+    from repro.baselines.bloom import BloomFilter
     from repro.core.bloomrf import BloomRF
+    from repro.shard import ShardedBloomRF
 
+    if args.shards < 1:
+        print("--shards must be >= 1")
+        return 2
+    if args.filter == "bloom" and args.shards > 1:
+        print("--shards applies to the bloomrf filter only")
+        return 2
     lines = Path(args.keyfile).read_text().split()
     keys = np.array([int(line) for line in lines], dtype=np.uint64)
-    filt = BloomRF.tuned(
-        n_keys=max(keys.size, 1),
-        bits_per_key=args.bits_per_key,
-        max_range=args.max_range,
-    )
-    filt.insert_many(keys)
+    if args.filter == "bloom":
+        filt = BloomFilter(
+            n_keys=max(int(keys.size), 1), bits_per_key=args.bits_per_key
+        )
+        filt.insert_many(keys)
+        described = repr(filt)
+    elif args.shards > 1:
+        filt = ShardedBloomRF.from_keys(
+            keys,
+            num_shards=args.shards,
+            partition=args.partition,
+            bits_per_key=args.bits_per_key,
+            max_range=args.max_range,
+        )
+        filt.close()
+        described = (
+            f"{filt.config.describe()} x {args.shards} "
+            f"{args.partition}-partitioned shards"
+        )
+    else:
+        filt = BloomRF.tuned(
+            n_keys=max(keys.size, 1),
+            bits_per_key=args.bits_per_key,
+            max_range=args.max_range,
+        )
+        filt.insert_many(keys)
+        described = filt.config.describe()
     Path(args.output).write_bytes(filt.to_bytes())
-    print(f"built {filt.config.describe()}")
+    print(f"built {described}")
     print(f"wrote {args.output} ({filt.size_bits / 8 / 1024:.1f} KiB, "
           f"{keys.size} keys)")
     return 0

@@ -68,7 +68,6 @@ like the paper's parallel filter).
 
 from __future__ import annotations
 
-import json
 from typing import Sequence
 
 import numpy as np
@@ -792,39 +791,49 @@ class BloomRF:
     # serialization (the paper persists filters as SST filter blocks)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize config + bit arrays to a self-describing byte string."""
-        header = json.dumps(
-            {"config": self.config.to_dict(), "num_keys": self._num_keys}
-        ).encode()
-        body = self._bits.to_bytes()
-        exact = self._exact.to_bytes() if self._exact is not None else b""
-        return (
-            len(header).to_bytes(4, "little")
-            + header
-            + len(body).to_bytes(8, "little")
-            + body
-            + exact
+        """Serialize to a framed byte string (see :mod:`repro.serial`).
+
+        The versioned frame carries the config + insert count as its JSON
+        header and the raw PMHF/exact bit-array words as payloads, so a
+        round-trip reconstructs the filter bit for bit.
+        """
+        from repro import serial
+
+        payloads = [self._bits.to_bytes()]
+        if self._exact is not None:
+            payloads.append(self._exact.to_bytes())
+        return serial.pack_frame(
+            serial.KIND_BLOOMRF,
+            {"config": self.config.to_dict(), "num_keys": self._num_keys},
+            *payloads,
         )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BloomRF":
-        """Reconstruct a filter serialized with :meth:`to_bytes`."""
-        header_len = int.from_bytes(data[:4], "little")
-        header = json.loads(data[4 : 4 + header_len].decode())
-        config = BloomRFConfig.from_dict(header["config"])
-        cursor = 4 + header_len
-        body_len = int.from_bytes(data[cursor : cursor + 8], "little")
-        cursor += 8
-        filt = cls(config)
-        filt._bits = BitArray.from_bytes(
-            data[cursor : cursor + body_len], filt._bits.num_bits
+        """Reconstruct a filter serialized with :meth:`to_bytes`.
+
+        Raises :class:`ValueError` on a bad magic, an unsupported format
+        version, truncation, or payload/config size disagreement.
+        """
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_BLOOMRF
         )
-        cursor += body_len
+        config = BloomRFConfig.from_dict(header["config"])
+        filt = cls(config)
+        expected = 2 if filt._exact is not None else 1
+        if len(payloads) != expected:
+            raise ValueError(
+                f"bloomRF frame carries {len(payloads)} payloads, "
+                f"expected {expected} for this config"
+            )
+        filt._bits = BitArray.from_bytes(payloads[0], filt._bits.num_bits)
         if filt._exact is not None:
             filt._exact = BitArray.from_bytes(
-                data[cursor:], config.exact_bitmap_bits
+                payloads[1], config.exact_bitmap_bits
             )
-        filt._num_keys = header["num_keys"]
+        filt._num_keys = int(header["num_keys"])
         return filt
 
     # ------------------------------------------------------------------

@@ -13,14 +13,19 @@ from repro.lsm.filter_policy import (
     PrefixBloomPolicy,
     RosettaPolicy,
     SuRFPolicy,
+    handle_from_bytes,
+    load_handle,
     policy_by_name,
+    save_handle,
 )
 from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.lsm.memtable import MemTable
+from repro.lsm.sharded import ShardedLsmDB
 from repro.lsm.sstable import SSTable
 
 __all__ = [
     "LsmDB",
+    "ShardedLsmDB",
     "MemTable",
     "SSTable",
     "IOStats",
@@ -32,4 +37,7 @@ __all__ = [
     "SuRFPolicy",
     "NoFilterPolicy",
     "policy_by_name",
+    "save_handle",
+    "load_handle",
+    "handle_from_bytes",
 ]

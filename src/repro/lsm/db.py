@@ -61,6 +61,54 @@ class LsmDB:
         if self.memtable.is_full:
             self.flush()
 
+    def put_many(
+        self, keys: np.ndarray, values: list[bytes] | None = None
+    ) -> None:
+        """Bulk :meth:`put`: chunked memtable fills with flushes in between.
+
+        Each chunk fills the memtable to capacity through
+        :meth:`MemTable.put_many` (one dict update, no per-key Python), then
+        flushes — so for distinct keys the resulting run layout is identical
+        to the scalar ``put`` loop's (asserted by the tests).  Duplicate
+        keys within a batch overwrite exactly like sequential puts; only
+        the flush boundaries may then differ (the memtable holds fewer
+        entries than keys consumed), which changes no answer.
+        """
+        keys = self._validated_keys(keys)
+        if values is not None and len(values) != keys.size:
+            raise ValueError("values must align with keys")
+        n = keys.size
+        start = 0
+        while start < n:
+            room = self.memtable.capacity - len(self.memtable)
+            if room <= 0:
+                self.flush()
+                continue
+            stop = min(start + room, n)
+            self.memtable.put_many(
+                keys[start:stop],
+                values[start:stop] if values is not None else None,
+            )
+            start = stop
+            if self.memtable.is_full:
+                self.flush()
+
+    def delete_many(self, keys: np.ndarray) -> None:
+        """Bulk :meth:`delete`: chunked tombstone writes, same flush rule."""
+        keys = self._validated_keys(keys)
+        n = keys.size
+        start = 0
+        while start < n:
+            room = self.memtable.capacity - len(self.memtable)
+            if room <= 0:
+                self.flush()
+                continue
+            stop = min(start + room, n)
+            self.memtable.delete_many(keys[start:stop])
+            start = stop
+            if self.memtable.is_full:
+                self.flush()
+
     def flush(self) -> None:
         """Flush the memtable into a new L0 SSTable (newest first)."""
         if len(self.memtable) == 0:
@@ -112,22 +160,33 @@ class LsmDB:
             if merge_handles is not None
             else None
         )
-        merged: dict[int, tuple[bytes, bool]] = {}
-        for sst in reversed(self.sstables):  # oldest first; newer overwrite
-            for idx in range(sst.num_keys):
-                key = int(sst.keys[idx])
-                value = sst.values[idx] if sst.values is not None else b""
-                merged[key] = (value, bool(sst.tombstones[idx]))
-        live = sorted(
-            (k, v) for k, (v, dead) in merged.items() if not dead
-        )
-        self.sstables.clear()
-        if not live:
+        # Newest-wins version merge, vectorized: concatenate runs newest
+        # first, then ``np.unique`` keeps the *first* occurrence of every
+        # key — its newest version — already sorted ascending.  No per-key
+        # Python loop; the merged run's filter comes from the word-level
+        # union above or one bulk ``policy.build`` over the merged keys.
+        old_tables = self.sstables
+        all_keys = np.concatenate([sst.keys for sst in old_tables])
+        all_tombstones = np.concatenate([sst.tombstones for sst in old_tables])
+        unique_keys, newest = np.unique(all_keys, return_index=True)
+        live = ~all_tombstones[newest]
+        self.sstables = []
+        if not np.any(live):
             return
-        keys = np.fromiter((k for k, _ in live), dtype=np.uint64, count=len(live))
-        values = [v for _, v in live] if self.store_values else None
+        values = None
+        if self.store_values:
+            combined: list[bytes] = []
+            for sst in old_tables:
+                combined.extend(
+                    sst.values
+                    if sst.values is not None
+                    else [b""] * sst.num_keys
+                )
+            values = [combined[i] for i in newest[live].tolist()]
         self.sstables.append(
-            self._make_sstable(keys, values, None, prebuilt_filter=merged_filter)
+            self._make_sstable(
+                unique_keys[live], values, None, prebuilt_filter=merged_filter
+            )
         )
 
     def _make_sstable(
@@ -291,9 +350,7 @@ class LsmDB:
         for sst in self.sstables:
             result |= sst.probe_filter_many(bounds, self.stats)
         if len(self.memtable):
-            for i, (lo, hi) in enumerate(bounds):
-                if not result[i] and self.memtable.contains_range(int(lo), int(hi)):
-                    result[i] = True
+            result |= self.memtable.contains_range_many(bounds)
         return result
 
     def scan_nonempty_many(self, bounds: np.ndarray) -> np.ndarray:
@@ -312,11 +369,9 @@ class LsmDB:
             hits = sst.scan_many(bounds, self.stats, self.device)
             for i in np.nonzero(hits)[0]:
                 candidates[i].append(sst)
-        out = np.zeros(n, dtype=bool)
+        out = self.memtable.contains_range_many(bounds)
         for i, (lo, hi) in enumerate(zip(bounds[:, 0].tolist(), bounds[:, 1].tolist())):
-            if self.memtable.contains_range(lo, hi):
-                out[i] = True
-            elif candidates[i]:
+            if not out[i] and candidates[i]:
                 out[i] = bool(self._merge_scan(lo, hi, candidates[i], limit=1))
         return out
 

@@ -19,6 +19,7 @@ comparison: bloomRF (basic/tuned), Bloom, Prefix-Bloom, Rosetta, SuRF, and
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -40,6 +41,9 @@ __all__ = [
     "SuRFPolicy",
     "NoFilterPolicy",
     "policy_by_name",
+    "save_handle",
+    "load_handle",
+    "handle_from_bytes",
 ]
 
 
@@ -116,6 +120,20 @@ class _Handle:
 
     def serialize(self) -> bytes:
         return self._serialize()
+
+    # Lifecycle: most filters hold no resources, but a sharded block owns
+    # a worker pool — close releases it (no-op otherwise).  Usable as a
+    # context manager for the load-probe-discard pattern.
+    def close(self) -> None:
+        close = getattr(self._filter, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "_Handle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class BloomRFPolicy:
@@ -362,6 +380,60 @@ class NoFilterPolicy:
 
 class _ZeroSize:
     size_bits = 0
+
+
+# ----------------------------------------------------------------------
+# handle-level persistence (SST filter blocks on disk)
+# ----------------------------------------------------------------------
+def save_handle(handle: FilterHandle, path: str | Path) -> Path:
+    """Write a built filter block to ``path`` in the framed format.
+
+    Only policies with a persisted format (bloomRF, Bloom, sharded
+    bloomRF) produce loadable blocks; the rest serialize to an empty
+    string, which is rejected here rather than written as a 0-byte file.
+    """
+    data = handle.serialize()
+    if not data:
+        raise ValueError(
+            "this filter block has no persisted serialization format"
+        )
+    path = Path(path)
+    path.write_bytes(data)
+    return path
+
+
+def handle_from_bytes(data: bytes) -> FilterHandle:
+    """Rehydrate a serialized filter block into a probe-ready handle.
+
+    Dispatches on the frame's kind (see :mod:`repro.serial`), so one loader
+    serves bloomRF, Bloom, and sharded-bloomRF blocks — the reader side of
+    RocksDB's ``FilterPolicy`` contract where a block is handed back as raw
+    bytes and must answer probes again.
+    """
+    from repro import serial
+
+    filt = serial.load_filter(data)
+    if isinstance(filt, BloomRF):
+        return BloomRFPolicy._wrap(filt)
+    if isinstance(filt, BloomFilter):
+        return BloomPolicy._wrap(filt)
+    # ShardedBloomRF exposes the same probe surface as BloomRF, so the
+    # generic adapter serves it directly.  A sharded block owns a worker
+    # pool: call ``close()`` on the handle (or use it as a context
+    # manager) when done, exactly like the filter itself.
+    return _Handle(
+        filt,
+        filt.contains_point,
+        filt.contains_range,
+        filt.to_bytes,
+        range_many=filt.contains_range_many,
+        point_many=filt.contains_point_many,
+    )
+
+
+def load_handle(path: str | Path) -> FilterHandle:
+    """Read a filter block written by :func:`save_handle`."""
+    return handle_from_bytes(Path(path).read_bytes())
 
 
 def policy_by_name(

@@ -90,7 +90,12 @@ class IOStats:
         )
 
     def merge(self, other: "IOStats") -> None:
-        """Accumulate another stats object into this one."""
+        """Accumulate another stats object into this one.
+
+        Counters and time buckets are plain sums, so merging the per-shard
+        stats of a sharded run yields the same aggregate accounting as one
+        unsharded run over the same probes (order never matters).
+        """
         for name in (
             "filter_probes",
             "filter_positives",
@@ -107,6 +112,30 @@ class IOStats:
             "io_wait_s",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __iadd__(self, other: "IOStats") -> "IOStats":
+        """``stats += other`` — operator form of :meth:`merge`."""
+        self.merge(other)
+        return self
+
+    @classmethod
+    def merged(cls, parts: "list[IOStats] | tuple[IOStats, ...]") -> "IOStats":
+        """Fresh stats equal to the sum of ``parts`` (inputs untouched)."""
+        total = cls()
+        for part in parts:
+            total += part
+        return total
+
+    def counters(self) -> dict[str, int]:
+        """Probe/IO counters as a dict (exactness tests compare these)."""
+        return {
+            "filter_probes": self.filter_probes,
+            "filter_positives": self.filter_positives,
+            "filter_true_positives": self.filter_true_positives,
+            "filter_false_positives": self.filter_false_positives,
+            "filter_true_negatives": self.filter_true_negatives,
+            "blocks_read": self.blocks_read,
+        }
 
     def breakdown(self) -> dict[str, float]:
         """Fig. 12.G-style buckets (seconds)."""

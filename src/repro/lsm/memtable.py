@@ -52,9 +52,32 @@ class MemTable:
     def put(self, key: int, value: bytes = b"") -> None:
         self._entries[key] = value
 
+    def put_many(
+        self, keys: np.ndarray, values: list[bytes] | None = None
+    ) -> None:
+        """Bulk :meth:`put`: one dict update for the whole batch.
+
+        ``values`` aligns with ``keys`` when given (later duplicates win,
+        exactly like the scalar loop); without it every key stores ``b""``
+        — the benchmark-mode write shape, which skips per-key Python
+        bookkeeping entirely.
+        """
+        keys = np.asarray(keys, dtype=np.uint64).tolist()
+        if values is None:
+            self._entries.update(dict.fromkeys(keys, b""))
+            return
+        if len(values) != len(keys):
+            raise ValueError("values must align with keys")
+        self._entries.update(zip(keys, values))
+
     def delete(self, key: int) -> None:
         """Record a tombstone (shadows older versions on lower levels)."""
         self._entries[key] = TOMBSTONE
+
+    def delete_many(self, keys: np.ndarray) -> None:
+        """Bulk :meth:`delete`: tombstone every key in one dict update."""
+        keys = np.asarray(keys, dtype=np.uint64).tolist()
+        self._entries.update(dict.fromkeys(keys, TOMBSTONE))
 
     # ------------------------------------------------------------------
     def get(self, key: int) -> bytes | _Tombstone | None:
@@ -99,6 +122,30 @@ class MemTable:
             for key, value in self._entries.items()
         )
 
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains_range` over ``(n, 2)`` inclusive bounds.
+
+        One sorted snapshot of the live keys serves the whole batch — a
+        ``searchsorted`` per query instead of an O(entries) Python scan per
+        query, which is what the batched DB scan paths were paying per run
+        *and per shard* before this existed.
+        """
+        bounds = np.asarray(bounds, dtype=np.uint64)
+        n = bounds.shape[0]
+        result = np.zeros(n, dtype=bool)
+        if not self._entries or n == 0:
+            return result
+        live = np.fromiter(
+            (k for k, v in self._entries.items() if v is not TOMBSTONE),
+            dtype=np.uint64,
+        )
+        if live.size == 0:
+            return result
+        live.sort()
+        idx = np.searchsorted(live, bounds[:, 0])
+        safe = np.minimum(idx, live.size - 1)
+        return (idx < live.size) & (live[safe] <= bounds[:, 1])
+
     def entries_in_range(self, l_key: int, r_key: int) -> list[tuple[int, object]]:
         """All buffered entries (incl. tombstones) in [l_key, r_key], sorted."""
         return sorted(
@@ -111,12 +158,19 @@ class MemTable:
 
         ``keys`` is a uint64 array; ``values`` a list aligned with it;
         tombstoned slots carry ``b""`` in values and True in the flag array.
+        The sort runs as one NumPy ``argsort`` over the key array (keys are
+        dict keys, hence distinct) instead of a Python-level item sort.
         """
-        items = sorted(self._entries.items())
+        n = len(self._entries)
+        keys = np.fromiter(self._entries.keys(), dtype=np.uint64, count=n)
+        raw = list(self._entries.values())
         self._entries.clear()
-        keys = np.fromiter((k for k, _ in items), dtype=np.uint64, count=len(items))
+        order = np.argsort(keys)
+        keys = keys[order]
         tombstones = np.fromiter(
-            (v is TOMBSTONE for _, v in items), dtype=bool, count=len(items)
-        )
-        values = [b"" if v is TOMBSTONE else v for _, v in items]
+            (v is TOMBSTONE for v in raw), dtype=bool, count=n
+        )[order]
+        values = [
+            b"" if raw[i] is TOMBSTONE else raw[i] for i in order.tolist()
+        ]
         return keys, values, tombstones

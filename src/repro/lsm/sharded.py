@@ -1,0 +1,353 @@
+"""ShardedLsmDB — a shard-aware LSM engine: N per-shard stores, one API.
+
+The scale-out counterpart of :class:`~repro.shard.ShardedBloomRF` one layer
+up: instead of sharding a single filter, the whole LSM engine is partitioned
+into N independent :class:`~repro.lsm.db.LsmDB` instances — each with its own
+memtable, SSTable set, filter blocks, and :class:`~repro.lsm.iostats.IOStats`
+— behind the batch API of the unsharded store.  Batches are partitioned and
+dispatched through the shared layer in :mod:`repro.parallel` and the answers
+are scattered back into input order, so callers cannot tell the difference
+(the exactness-ladder tests pin this down).
+
+Why shard the *engine* and not just the filter
+----------------------------------------------
+Partitioning the write stream means each shard flushes its own, smaller run
+sequence: a store that would accumulate ``L`` overlapping L0 runs unsharded
+accumulates ``~L/N`` runs *per shard*, and a point lookup consults only its
+owning shard's runs — an ``N``-fold cut in filter probes and fence checks
+per key before any parallelism, on top of the thread-pool overlap of the
+per-shard NumPy sweeps (which release the GIL).  This is the move RocksDB
+deployments make with column-family/key-range sharding, and what the
+ROADMAP's Fig. 12.B scale-out direction asks for.
+
+Exactness
+---------
+Every read path resolves exactly (filters only accelerate; the merging scan
+reconciles versions), and the partitioner routes each key to exactly one
+shard — so ``get_many`` / ``scan_nonempty_many`` / ``scan`` answers are
+bit-identical to an unsharded :class:`LsmDB` fed the same operations, and
+:attr:`stats` (the word-level merge of the per-shard ``IOStats``) reports
+the aggregate probe/block accounting of the shards exactly (``IOStats``
+merging is a plain counter sum, so order never matters).  Filter-level
+*maybe* answers (``may_contain_many`` / ``scan_may_contain``) stay sound —
+no false negatives — but probe different run partitions than the unsharded
+store, so their false-positive sets may differ.
+
+Range queries follow the partition scheme: with ``"hash"`` dispatch the
+keys of a range scatter over every shard, so all shards probe it and the
+answers are OR-ed; with ``"range"`` dispatch a query is clipped to its
+overlapping shards only, so narrow scans touch one shard.
+
+Lifecycle: use as a context manager (or call :meth:`close`) to release the
+worker pool deterministically, exactly like :class:`ShardedBloomRF`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsm.db import LsmDB
+from repro.lsm.filter_policy import FilterPolicy
+from repro.lsm.iostats import IOStats, SimulatedDevice
+from repro.parallel import (
+    ShardPool,
+    group_by_owner,
+    make_partitioner,
+    run_bounds_batch,
+    run_point_batch,
+)
+
+__all__ = ["ShardedLsmDB"]
+
+
+class ShardedLsmDB:
+    """N per-shard :class:`LsmDB` engines behind the one-store batch API."""
+
+    def __init__(
+        self,
+        policy: FilterPolicy | None = None,
+        num_shards: int = 4,
+        partition: str = "hash",
+        memtable_capacity: int = 1 << 16,
+        value_bytes: int = 512,
+        block_bytes: int = 4096,
+        device: SimulatedDevice | None = None,
+        store_values: bool = False,
+        max_workers: int | None = None,
+        domain_bits: int = 64,
+    ) -> None:
+        self._partitioner = make_partitioner(partition, num_shards, domain_bits)
+        self.num_shards = num_shards
+        self.partition = partition
+        self.device = device if device is not None else SimulatedDevice()
+        # ``memtable_capacity`` is per shard: each shard flushes after its
+        # own ``capacity`` writes, so a sharded store builds N interleaved
+        # sequences of same-size runs (each run's filter is sized for the
+        # keys it actually holds — per-shard sizing for free).
+        self.shards: list[LsmDB] = [
+            LsmDB(
+                policy=policy,
+                memtable_capacity=memtable_capacity,
+                value_bytes=value_bytes,
+                block_bytes=block_bytes,
+                device=self.device,
+                store_values=store_values,
+            )
+            for _ in range(num_shards)
+        ]
+        self.store_values = store_values
+        self._pool = ShardPool(
+            max_workers if max_workers is not None else num_shards,
+            name="lsm-shard",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedLsmDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def shard_of(self, key: int) -> int:
+        return self._partitioner.owner_of(key)
+
+    def shard_of_many(self, keys: np.ndarray) -> np.ndarray:
+        """Owning shard index per key (vectorized dispatch function)."""
+        return self._partitioner.owner_of_many(keys)
+
+    def _run_per_shard(self, jobs: list[tuple[int, object]], fn) -> list:
+        return self._pool.run(jobs, lambda s, payload: fn(self.shards[s], payload))
+
+    def _fan_out_all(self, fn) -> list:
+        """Run ``fn(shard)`` on every shard through the pool."""
+        return self._pool.run(
+            [(s, None) for s in range(self.num_shards)],
+            lambda s, _: fn(self.shards[s]),
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes = b"") -> None:
+        """Insert or overwrite one key on its owning shard."""
+        self.shards[self.shard_of(key)].put(key, value)
+
+    def delete(self, key: int) -> None:
+        """Tombstone one key on its owning shard."""
+        self.shards[self.shard_of(key)].delete(key)
+
+    def put_many(
+        self, keys: np.ndarray, values: list[bytes] | None = None
+    ) -> None:
+        """Bulk ingest: partition the batch, parallel per-shard ``put_many``.
+
+        Each shard absorbs its sub-batch through the chunked bulk write
+        path (memtable fills + flushes with ``insert_many``-built filter
+        blocks); later duplicates win exactly like sequential puts because
+        partitioning is order-preserving within a shard.
+        """
+        keys = LsmDB._validated_keys(keys)
+        if values is not None and len(values) != keys.size:
+            raise ValueError("values must align with keys")
+        if keys.size == 0:
+            return
+        owner = self.shard_of_many(keys)
+        jobs = []
+        for s, idx in group_by_owner(owner):
+            shard_values = (
+                [values[i] for i in idx.tolist()] if values is not None else None
+            )
+            jobs.append((s, (keys[idx], shard_values)))
+        self._run_per_shard(
+            jobs, lambda shard, job: shard.put_many(job[0], job[1])
+        )
+
+    def delete_many(self, keys: np.ndarray) -> None:
+        """Bulk delete: partition the batch, parallel per-shard tombstones."""
+        keys = LsmDB._validated_keys(keys)
+        if keys.size == 0:
+            return
+        owner = self.shard_of_many(keys)
+        jobs = [(s, keys[idx]) for s, idx in group_by_owner(owner)]
+        self._run_per_shard(jobs, lambda shard, chunk: shard.delete_many(chunk))
+
+    def flush(self) -> None:
+        """Flush every shard's memtable into a new per-shard L0 run."""
+        self._fan_out_all(lambda shard: shard.flush())
+
+    def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
+        """Load an insertion-ordered stream into ``num_sstables`` runs *per
+        shard*: the stream is partitioned first, then each shard chunks its
+        share exactly like :meth:`LsmDB.bulk_load` (filters built through
+        the bulk ``insert_many`` path)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        owner = self.shard_of_many(keys)
+        jobs = [(s, keys[idx]) for s, idx in group_by_owner(owner)]
+        self._run_per_shard(
+            jobs, lambda shard, chunk: shard.bulk_load(chunk, num_sstables)
+        )
+
+    def compact(self) -> None:
+        """Compact every shard (vectorized newest-wins merge per shard)."""
+        self._fan_out_all(lambda shard: shard.compact())
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bool:
+        """Is a live version of ``key`` present? (owning shard only)."""
+        return self.shards[self.shard_of(key)].get(key)
+
+    def get_value(self, key: int) -> bytes | None:
+        """Newest live value of ``key``, or None (absent or deleted)."""
+        return self.shards[self.shard_of(key)].get_value(key)
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched :meth:`get`: each key probes exactly its owning shard.
+
+        Bit-identical to the unsharded :meth:`LsmDB.get_many` over the same
+        operation stream (asserted by the exactness-ladder tests); each
+        shard walks only its own — ``~N``-fold shorter — run list.
+        """
+        keys = LsmDB._validated_keys(keys)
+        result = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return result
+        return run_point_batch(
+            self._pool, self.shards, self._partitioner, keys,
+            LsmDB.get_many, result,
+        )
+
+    def may_contain_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched filter-level membership probe (pure filter CPU).
+
+        Sound — a present key always answers True — but the false-positive
+        set may differ from the unsharded store's: each key consults its
+        shard's filter blocks, which index a different run partitioning.
+        """
+        keys = LsmDB._validated_keys(keys)
+        result = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0:
+            return result
+        return run_point_batch(
+            self._pool, self.shards, self._partitioner, keys,
+            LsmDB.may_contain_many, result,
+        )
+
+    def scan_nonempty(self, l_key: int, r_key: int) -> bool:
+        """Does ``[l_key, r_key]`` hold any live key? (exact answer)."""
+        return bool(
+            self.scan_nonempty_many(
+                np.array([[l_key, r_key]], dtype=np.uint64)
+            )[0]
+        )
+
+    def scan_nonempty_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Batched range-emptiness: per-shard probes OR-ed per query.
+
+        See :func:`repro.parallel.run_bounds_batch`: the full batch on
+        every shard for hash dispatch, clipped overlap-only queries for
+        range dispatch.  Each shard answers exactly for its partition, so
+        the OR equals the unsharded answer bit for bit.
+        """
+        bounds = LsmDB._validated_bounds(bounds)
+        n = bounds.shape[0]
+        result = np.zeros(n, dtype=bool)
+        if n == 0:
+            return result
+        return run_bounds_batch(
+            self._pool, self.shards, self._partitioner, bounds,
+            LsmDB.scan_nonempty_many, result,
+        )
+
+    def scan_may_contain(self, bounds: np.ndarray) -> np.ndarray:
+        """Batched filter-level emptiness probe (sound *maybe* answers)."""
+        bounds = LsmDB._validated_bounds(bounds)
+        n = bounds.shape[0]
+        result = np.zeros(n, dtype=bool)
+        if n == 0:
+            return result
+        return run_bounds_batch(
+            self._pool, self.shards, self._partitioner, bounds,
+            LsmDB.scan_may_contain, result,
+        )
+
+    def scan(self, l_key: int, r_key: int, limit: int | None = None):
+        """Merged live entries in range, newest version wins, sorted by key.
+
+        Each key lives in exactly one shard, so there are no cross-shard
+        version conflicts: the per-shard merge scans concatenate into one
+        key-sorted result (identical to the unsharded scan's).
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        bounds = np.array([[l_key, r_key]], dtype=np.uint64)
+        jobs = [
+            (s, clipped)
+            for s, _, clipped in self._partitioner.split_bounds(bounds)
+        ]
+        answers = self._run_per_shard(
+            jobs,
+            lambda shard, clipped: shard.scan(
+                int(clipped[0, 0]), int(clipped[0, 1]), limit
+            ),
+        )
+        merged = sorted(entry for part in answers for entry in part)
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IOStats:
+        """Merged per-shard stats: aggregate accounting of the whole store."""
+        return IOStats.merged([shard.stats for shard in self.shards])
+
+    def reset_stats(self) -> IOStats:
+        """Reset every shard's stats; returns the merged old aggregate."""
+        return IOStats.merged([shard.reset_stats() for shard in self.shards])
+
+    @property
+    def num_keys(self) -> int:
+        return sum(shard.num_keys for shard in self.shards)
+
+    @property
+    def num_sstables(self) -> int:
+        """Total runs across all shards (per-shard lists stay separate)."""
+        return sum(len(shard.sstables) for shard in self.shards)
+
+    @property
+    def filter_bits(self) -> int:
+        return sum(shard.filter_bits for shard in self.shards)
+
+    def filter_bits_per_key(self) -> float:
+        stored = sum(
+            sst.num_keys for shard in self.shards for sst in shard.sstables
+        )
+        return self.filter_bits / stored if stored else 0.0
+
+    def construction_times(self) -> tuple[float, float]:
+        """(total filter build seconds, total serialization seconds)."""
+        totals = [shard.construction_times() for shard in self.shards]
+        return (
+            sum(t[0] for t in totals),
+            sum(t[1] for t in totals),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedLsmDB(shards={self.num_shards}, "
+            f"partition={self.partition!r}, keys={self.num_keys}, "
+            f"sstables={self.num_sstables})"
+        )

@@ -1,0 +1,185 @@
+"""Versioned on-disk format for filter blocks (the ``.brf`` frame).
+
+The paper's Sect. 9 integration persists every filter as an SST *filter
+block*: a self-describing byte string the DB can write at flush time and
+deserialize on read.  This module defines that format once for the whole
+package — a single framed layout shared by :class:`~repro.core.bloomrf.BloomRF`,
+the Bloom baseline, and :class:`~repro.shard.ShardedBloomRF` shard sets —
+so every serialized artifact starts with the same versioned magic and fails
+loudly (never silently mis-answers) on corruption or version skew.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic          b"BRF1"
+    4       2     format version (currently 1)
+    6       2     kind           (what the payloads encode; see KIND_*)
+    8       4     header length  H
+    12      H     header         UTF-8 JSON (config / geometry / key counts)
+    12+H    4     payload count  P
+    ...           P x (8-byte length + raw bytes) payload sections
+
+Headers carry the *shape* (configs, counts) as JSON for forward
+compatibility and debuggability; payloads carry the raw little-endian
+bit-array words, so a round-trip reconstructs every word bit for bit.
+The format deliberately has no checksum — matching RocksDB filter blocks,
+where block-level checksums live a layer below — so a bit flip in a payload
+yields a *different but functioning* filter while any damage to the frame
+itself (magic, version, lengths, header) raises :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "KIND_BLOOMRF",
+    "KIND_BLOOM",
+    "KIND_SHARDED_BLOOMRF",
+    "KIND_NAMES",
+    "pack_frame",
+    "unpack_frame",
+    "peek_kind",
+    "dump_filter",
+    "load_filter",
+]
+
+MAGIC = b"BRF1"
+FORMAT_VERSION = 1
+
+KIND_BLOOMRF = 1
+KIND_BLOOM = 2
+KIND_SHARDED_BLOOMRF = 3
+
+KIND_NAMES = {
+    KIND_BLOOMRF: "bloomrf",
+    KIND_BLOOM: "bloom",
+    KIND_SHARDED_BLOOMRF: "sharded-bloomrf",
+}
+
+_PREFIX_LEN = 12  # magic + version + kind + header length
+
+
+def pack_frame(kind: int, header: dict, *payloads: bytes) -> bytes:
+    """Assemble one frame: magic, version, kind, JSON header, payloads."""
+    if kind not in KIND_NAMES:
+        raise ValueError(f"unknown serialization kind {kind}")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    parts = [
+        MAGIC,
+        FORMAT_VERSION.to_bytes(2, "little"),
+        kind.to_bytes(2, "little"),
+        len(header_bytes).to_bytes(4, "little"),
+        header_bytes,
+        len(payloads).to_bytes(4, "little"),
+    ]
+    for payload in payloads:
+        parts.append(len(payload).to_bytes(8, "little"))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def _take(data: bytes, cursor: int, size: int, what: str) -> tuple[bytes, int]:
+    if cursor + size > len(data):
+        raise ValueError(
+            f"truncated filter frame: expected {size} more bytes for {what}, "
+            f"have {len(data) - cursor}"
+        )
+    return data[cursor : cursor + size], cursor + size
+
+
+def unpack_frame(
+    data: bytes, expect_kind: int | None = None
+) -> tuple[dict, list[bytes]]:
+    """Parse a frame back into ``(header, payloads)``.
+
+    Raises :class:`ValueError` on a bad magic, an unsupported format
+    version, a kind mismatch, truncation, or a malformed header.
+    """
+    kind, header, payloads = _unpack_any(data)
+    if expect_kind is not None and kind != expect_kind:
+        raise ValueError(
+            f"serialized object is a {KIND_NAMES.get(kind, kind)!r} frame, "
+            f"expected {KIND_NAMES[expect_kind]!r}"
+        )
+    return header, payloads
+
+
+def peek_kind(data: bytes) -> int:
+    """Kind of a frame without parsing payloads (CLI/inspect dispatch)."""
+    prefix, _ = _take(data, 0, _PREFIX_LEN, "frame prefix")
+    _check_prefix(prefix)
+    return int.from_bytes(prefix[6:8], "little")
+
+
+def _check_prefix(prefix: bytes) -> None:
+    if prefix[:4] != MAGIC:
+        raise ValueError(
+            f"not a serialized repro filter (bad magic {prefix[:4]!r}, "
+            f"expected {MAGIC!r})"
+        )
+    version = int.from_bytes(prefix[4:6], "little")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported filter format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+
+def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
+    prefix, cursor = _take(data, 0, _PREFIX_LEN, "frame prefix")
+    _check_prefix(prefix)
+    kind = int.from_bytes(prefix[6:8], "little")
+    if kind not in KIND_NAMES:
+        raise ValueError(f"unknown serialization kind {kind}")
+    header_len = int.from_bytes(prefix[8:12], "little")
+    header_bytes, cursor = _take(data, cursor, header_len, "header")
+    try:
+        header = json.loads(header_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupt filter frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ValueError("corrupt filter frame header: not a JSON object")
+    count_bytes, cursor = _take(data, cursor, 4, "payload count")
+    payloads = []
+    for i in range(int.from_bytes(count_bytes, "little")):
+        size_bytes, cursor = _take(data, cursor, 8, f"payload {i} length")
+        payload, cursor = _take(
+            data, cursor, int.from_bytes(size_bytes, "little"), f"payload {i}"
+        )
+        payloads.append(payload)
+    if cursor != len(data):
+        raise ValueError(
+            f"trailing garbage after filter frame ({len(data) - cursor} bytes)"
+        )
+    return kind, header, payloads
+
+
+# ----------------------------------------------------------------------
+# kind dispatch (lazy imports keep this module free of filter deps)
+# ----------------------------------------------------------------------
+def dump_filter(filt) -> bytes:
+    """Serialize any supported filter object to its framed bytes."""
+    from repro.baselines.bloom import BloomFilter
+    from repro.core.bloomrf import BloomRF
+    from repro.shard import ShardedBloomRF
+
+    if isinstance(filt, (BloomRF, BloomFilter, ShardedBloomRF)):
+        return filt.to_bytes()
+    raise TypeError(f"cannot serialize {type(filt).__name__} objects")
+
+
+def load_filter(data: bytes):
+    """Reconstruct whatever filter a frame holds, dispatching on its kind."""
+    from repro.baselines.bloom import BloomFilter
+    from repro.core.bloomrf import BloomRF
+    from repro.shard import ShardedBloomRF
+
+    kind = peek_kind(data)
+    if kind == KIND_BLOOMRF:
+        return BloomRF.from_bytes(data)
+    if kind == KIND_BLOOM:
+        return BloomFilter.from_bytes(data)
+    return ShardedBloomRF.from_bytes(data)

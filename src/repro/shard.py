@@ -5,22 +5,24 @@ data structure: inserts are plain word-level ORs, probes are reads, nothing
 locks.  Partitioned filter designs (partitioned Bloom filters, Bloofi's
 tree-of-filters) take the next step for scale-out: split one logical filter
 into N independent shards so batches execute in parallel.  This module does
-that on top of the batch engines from PR 1 and this PR: every shard is a
-*same-config* :class:`~repro.core.bloomrf.BloomRF`, batches are grouped by
-shard and dispatched through a ``ThreadPoolExecutor`` — the per-shard sweeps
-are NumPy kernels that release the GIL, so shards genuinely overlap on
-multi-core hosts.
+that on top of the batch engines from PR 1 and PR 2: every shard is a
+*same-config* :class:`~repro.core.bloomrf.BloomRF`, batches are partitioned
+and dispatched through the shared layer in :mod:`repro.parallel` — the
+per-shard sweeps are NumPy kernels that release the GIL, so shards genuinely
+overlap on multi-core hosts.  :class:`~repro.lsm.sharded.ShardedLsmDB` runs
+whole per-shard LSM engines behind the same partition/dispatch machinery.
 
 Partition schemes
 -----------------
-* ``"hash"`` — a key's shard is ``splitmix64(key) mod N``.  Point batches
-  touch exactly one shard per key; range queries scatter over the keyspace,
-  so every shard probes the full range and the answers are OR-ed (each
-  shard has no false negatives on its own keys, so the OR has none).
-* ``"range"`` — the domain is split into N equal contiguous sub-ranges.
-  Point batches touch one shard per key; a range query is clipped to each
-  overlapping shard, so narrow queries touch one shard and only domain-wide
-  scans fan out.
+* ``"hash"`` — a key's shard is ``splitmix64(key) mod N``
+  (:class:`~repro.parallel.HashPartitioner`).  Point batches touch exactly
+  one shard per key; range queries scatter over the keyspace, so every
+  shard probes the full range and the answers are OR-ed (each shard has no
+  false negatives on its own keys, so the OR has none).
+* ``"range"`` — the domain is split into N equal contiguous sub-ranges
+  (:class:`~repro.parallel.RangePartitioner`).  Point batches touch one
+  shard per key; a range query is clipped to each overlapping shard, so
+  narrow queries touch one shard and only domain-wide scans fan out.
 
 Exactness
 ---------
@@ -32,24 +34,31 @@ are at least as precise: a shard sees only its partition's bits, so the
 sharded answer implies the unsharded one and false negatives remain
 impossible.  With ``num_shards=1`` the structure *is* the unsharded filter
 and every answer matches it exactly.
+
+Lifecycle
+---------
+The worker pool is owned by a :class:`~repro.parallel.ShardPool`: use the
+filter as a context manager (or call :meth:`ShardedBloomRF.close`) so
+benchmark loops that build many sharded filters never leak threads.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.bloomrf import BloomRF
 from repro.core.config import BloomRFConfig
-from repro.hashing import splitmix64_array
+from repro.parallel import (
+    ShardPool,
+    group_by_owner,
+    make_partitioner,
+    run_bounds_batch,
+    run_point_batch,
+)
 
 __all__ = ["ShardedBloomRF"]
-
-_PARTITIONS = ("hash", "range")
-# Seed for the hash-partition dispatch; independent of the filter seeds so
-# shard routing never correlates with in-shard probe positions.
-_DISPATCH_SEED = 0x5AAD
 
 
 class ShardedBloomRF:
@@ -69,50 +78,50 @@ class ShardedBloomRF:
         partition: str = "hash",
         max_workers: int | None = None,
     ) -> None:
-        if num_shards <= 0:
-            raise ValueError(f"num_shards must be positive, got {num_shards}")
-        if num_shards > (1 << config.domain_bits):
-            # More shards than keys in the domain would leave some shards
-            # with an empty (inverted) sub-range.
-            raise ValueError(
-                f"num_shards {num_shards} exceeds the "
-                f"{config.domain_bits}-bit domain size"
-            )
-        if partition not in _PARTITIONS:
-            raise ValueError(
-                f"partition must be one of {_PARTITIONS}, got {partition!r}"
-            )
+        self._init_dispatch(config, num_shards, partition, max_workers)
+        self.shards: list[BloomRF] = [BloomRF(config) for _ in range(num_shards)]
+
+    def _init_dispatch(
+        self,
+        config: BloomRFConfig,
+        num_shards: int,
+        partition: str,
+        max_workers: int | None,
+    ) -> None:
+        self._partitioner = make_partitioner(
+            partition, num_shards, config.domain_bits
+        )
         self.config = config
         self.num_shards = num_shards
         self.partition = partition
-        self.shards: list[BloomRF] = [BloomRF(config) for _ in range(num_shards)]
         self._d = config.domain_bits
-        # Range partition: boundaries[s] is shard s's first key; equal-width
-        # contiguous sub-domains (last shard absorbs the rounding remainder).
-        domain = 1 << self._d
-        self._boundaries = np.array(
-            [(s * domain) // num_shards for s in range(num_shards)],
-            dtype=np.uint64,
+        self._pool = ShardPool(
+            max_workers if max_workers is not None else num_shards,
+            name="bloomrf-shard",
         )
-        self._executor: ThreadPoolExecutor | None = None
-        self._max_workers = max_workers if max_workers is not None else num_shards
+
+    @classmethod
+    def _shell(
+        cls,
+        config: BloomRFConfig,
+        num_shards: int,
+        partition: str,
+        max_workers: int | None,
+    ) -> "ShardedBloomRF":
+        """Dispatch machinery without shard allocation (deserializers fill
+        ``shards`` themselves; building N empty filters first would double
+        the peak memory of a load)."""
+        self = cls.__new__(cls)
+        self._init_dispatch(config, num_shards, partition, max_workers)
+        self.shards = []
+        return self
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _pool(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="bloomrf-shard",
-            )
-        return self._executor
-
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        self._pool.close()
 
     def __enter__(self) -> "ShardedBloomRF":
         return self
@@ -138,37 +147,33 @@ class ShardedBloomRF:
     def domain_bits(self) -> int:
         return self._d
 
+    @property
+    def _boundaries(self) -> np.ndarray:
+        """Equal-width sub-domain boundaries (diagnostics/tests).
+
+        These drive dispatch only under range partitioning, but are
+        derived for any scheme (matching the pre-``repro.parallel``
+        behavior, where they were always computed).
+        """
+        from repro.parallel import RangePartitioner
+
+        if isinstance(self._partitioner, RangePartitioner):
+            return self._partitioner.boundaries
+        return RangePartitioner(self.num_shards, self._d).boundaries
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def shard_of_many(self, keys: np.ndarray) -> np.ndarray:
         """Owning shard index per key (vectorized dispatch function)."""
-        keys = np.asarray(keys, dtype=np.uint64)
-        if self.num_shards == 1:
-            return np.zeros(keys.size, dtype=np.int64)
-        if self.partition == "hash":
-            return (
-                splitmix64_array(keys, seed=_DISPATCH_SEED)
-                % np.uint64(self.num_shards)
-            ).astype(np.int64)
-        side = np.searchsorted(self._boundaries, keys, side="right") - 1
-        return side.astype(np.int64)
+        return self._partitioner.owner_of_many(keys)
 
     def shard_of(self, key: int) -> int:
-        return int(self.shard_of_many(np.array([key], dtype=np.uint64))[0])
+        return self._partitioner.owner_of(key)
 
     def _run_per_shard(self, jobs: list[tuple[int, object]], fn) -> list:
-        """Execute ``fn(shard, payload)`` for each (shard index, payload).
-
-        One thread per involved shard; a single job runs inline (no pool
-        round-trip for the common narrow-query case).
-        """
-        if len(jobs) == 1:
-            s, payload = jobs[0]
-            return [fn(self.shards[s], payload)]
-        pool = self._pool()
-        futures = [pool.submit(fn, self.shards[s], payload) for s, payload in jobs]
-        return [f.result() for f in futures]
+        """Execute ``fn(shard, payload)`` for each (shard index, payload)."""
+        return self._pool.run(jobs, lambda s, payload: fn(self.shards[s], payload))
 
     # ------------------------------------------------------------------
     # writes
@@ -182,10 +187,7 @@ class ShardedBloomRF:
         if keys.size == 0:
             return
         owner = self.shard_of_many(keys)
-        jobs = [
-            (s, keys[owner == s])
-            for s in np.unique(owner).tolist()
-        ]
+        jobs = [(s, keys[idx]) for s, idx in group_by_owner(owner)]
         self._run_per_shard(jobs, lambda shard, chunk: shard.insert_many(chunk))
 
     # ------------------------------------------------------------------
@@ -200,15 +202,14 @@ class ShardedBloomRF:
         result = np.zeros(keys.size, dtype=bool)
         if keys.size == 0:
             return result
-        owner = self.shard_of_many(keys)
-        involved = np.unique(owner).tolist()
-        jobs = [(s, np.nonzero(owner == s)[0]) for s in involved]
-        answers = self._run_per_shard(
-            jobs, lambda shard, idx: shard.contains_point_many(keys[idx])
+        return run_point_batch(
+            self._pool,
+            self.shards,
+            self._partitioner,
+            keys,
+            BloomRF.contains_point_many,
+            result,
         )
-        for (s, idx), ans in zip(jobs, answers):
-            result[idx] = ans
-        return result
 
     __contains__ = contains_point
 
@@ -225,55 +226,24 @@ class ShardedBloomRF:
     def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
         """Bulk range lookup over ``(n, 2)`` inclusive bounds.
 
-        Hash partition: keys of a range scatter over every shard, so each
-        shard probes the full batch and the per-query answers are OR-ed.
-        Range partition: each query is clipped to its overlapping shards,
-        so only those probe it.  Both ways the OR over shards preserves
-        no-false-negatives (the key witnessing a non-empty range lives in
-        exactly one shard, and that shard cannot miss it).
+        See :func:`repro.parallel.run_bounds_batch`: the full batch on
+        every shard for hash dispatch, overlap-only clipped queries for
+        range dispatch, answers OR-ed per query (which preserves
+        no-false-negatives).
         """
         bounds = self.shards[0]._validated_bounds(bounds)
         n = bounds.shape[0]
         result = np.zeros(n, dtype=bool)
         if n == 0:
             return result
-        if self.partition == "hash" and self.num_shards > 1:
-            jobs = [(s, bounds) for s in range(self.num_shards)]
-            answers = self._run_per_shard(
-                jobs, lambda shard, b: shard.contains_range_many(b)
-            )
-            for ans in answers:
-                result |= ans
-            return result
-        # Range partition: split each query across its overlapping shards.
-        lo_shard = self.shard_of_many(bounds[:, 0])
-        hi_shard = self.shard_of_many(bounds[:, 1])
-        domain_max = np.uint64(((1 << self._d) - 1) & 0xFFFFFFFFFFFFFFFF)
-        jobs: list[tuple[int, tuple[np.ndarray, np.ndarray]]] = []
-        for s in range(self.num_shards):
-            overlap = np.nonzero((lo_shard <= s) & (hi_shard >= s))[0]
-            if overlap.size == 0:
-                continue
-            shard_lo = self._boundaries[s]
-            shard_hi = (
-                self._boundaries[s + 1] - np.uint64(1)
-                if s + 1 < self.num_shards
-                else domain_max
-            )
-            clipped = np.stack(
-                [
-                    np.maximum(bounds[overlap, 0], shard_lo),
-                    np.minimum(bounds[overlap, 1], shard_hi),
-                ],
-                axis=1,
-            )
-            jobs.append((s, (overlap, clipped)))
-        answers = self._run_per_shard(
-            jobs, lambda shard, job: shard.contains_range_many(job[1])
+        return run_bounds_batch(
+            self._pool,
+            self.shards,
+            self._partitioner,
+            bounds,
+            BloomRF.contains_range_many,
+            result,
         )
-        for (s, (overlap, _)), ans in zip(jobs, answers):
-            result[overlap] |= ans
-        return result
 
     # ------------------------------------------------------------------
     # merging back to the unsharded filter
@@ -287,6 +257,107 @@ class ShardedBloomRF:
         serialization, and the exactness witness the tests pin down.
         """
         return BloomRF.merge(self.shards)
+
+    # ------------------------------------------------------------------
+    # serialization (single blob and on-disk manifest)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the shard set into one self-describing blob."""
+        from repro import serial
+
+        return serial.pack_frame(
+            serial.KIND_SHARDED_BLOOMRF,
+            {
+                "num_shards": self.num_shards,
+                "partition": self.partition,
+                "config": self.config.to_dict(),
+            },
+            *[shard.to_bytes() for shard in self.shards],
+        )
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, max_workers: int | None = None
+    ) -> "ShardedBloomRF":
+        """Reconstruct a shard set serialized with :meth:`to_bytes`."""
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_SHARDED_BLOOMRF
+        )
+        if len(payloads) != header["num_shards"]:
+            raise ValueError(
+                f"sharded filter manifest lists {header['num_shards']} shards "
+                f"but the blob carries {len(payloads)}"
+            )
+        config = BloomRFConfig.from_dict(header["config"])
+        sharded = cls._shell(
+            config, header["num_shards"], header["partition"], max_workers
+        )
+        sharded.shards = [BloomRF.from_bytes(blob) for blob in payloads]
+        return sharded
+
+    def save_manifest(self, directory: str | Path) -> Path:
+        """Persist as a directory: ``MANIFEST.json`` + one file per shard.
+
+        The manifest records the partition scheme, the shared config, and
+        the per-shard file names/key counts; each shard file is a framed
+        :meth:`BloomRF.to_bytes` blob.  This is the merge-compatible
+        on-disk form: shards can be loaded individually, and their
+        word-level union reconstructs the unsharded filter.
+        """
+        import json
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_files = []
+        for i, shard in enumerate(self.shards):
+            name = f"shard-{i:04d}.brf"
+            (directory / name).write_bytes(shard.to_bytes())
+            shard_files.append({"file": name, "num_keys": shard.num_keys})
+        from repro import serial
+
+        manifest = {
+            "format": "bloomrf-shard-manifest",
+            "version": serial.FORMAT_VERSION,
+            "num_shards": self.num_shards,
+            "partition": self.partition,
+            "config": self.config.to_dict(),
+            "shards": shard_files,
+        }
+        path = directory / "MANIFEST.json"
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load_manifest(
+        cls, directory: str | Path, max_workers: int | None = None
+    ) -> "ShardedBloomRF":
+        """Reconstruct a shard set saved with :meth:`save_manifest`."""
+        import json
+
+        from repro import serial
+
+        directory = Path(directory)
+        manifest = json.loads((directory / "MANIFEST.json").read_text())
+        if manifest.get("format") != "bloomrf-shard-manifest":
+            raise ValueError(
+                f"{directory} does not hold a bloomRF shard manifest"
+            )
+        if manifest["version"] != serial.FORMAT_VERSION:
+            raise ValueError(
+                f"shard manifest version {manifest['version']} is not "
+                f"supported (expected {serial.FORMAT_VERSION})"
+            )
+        config = BloomRFConfig.from_dict(manifest["config"])
+        sharded = cls._shell(
+            config, manifest["num_shards"], manifest["partition"], max_workers
+        )
+        sharded.shards = [
+            BloomRF.from_bytes((directory / entry["file"]).read_bytes())
+            for entry in manifest["shards"]
+        ]
+        return sharded
 
     @classmethod
     def from_keys(

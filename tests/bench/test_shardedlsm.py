@@ -1,0 +1,47 @@
+"""Perf smoke for the sharded LSM engine (CI tooling).
+
+Runs ``benchmarks/bench_ops_shardedlsm.py --quick``: asserts the exactness
+ladder (sharded answers bit-identical to the unsharded store, merged
+``IOStats`` equal to the per-shard sum, filter-block serialization
+round-trip bit-exact) and a soft speedup floor at 4 shards.  Writes its
+JSON to a temp path so it never clobbers the repo-root
+``BENCH_shardedlsm.json`` (that trajectory artifact holds the *full*-mode
+run; refresh it with ``PYTHONPATH=src python
+benchmarks/bench_ops_shardedlsm.py``).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_shardedlsm.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_ops_shardedlsm", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mode_sharded_exact_and_fast(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_shardedlsm.json"
+    exit_code = bench.main(["--quick", "--output", str(out)])
+    assert exit_code == 0, "quick perf smoke failed (mismatch or below floor)"
+    result = json.loads(out.read_text())
+    assert result["mode"] == "quick"
+    assert result["bit_identical"] is True
+    assert result["stats_merged_identical"] is True
+    assert result["serialization_roundtrip_bit_exact"] is True
+    shard_counts = [row["num_shards"] for row in result["sharded"]]
+    assert 4 in shard_counts and 1 in shard_counts

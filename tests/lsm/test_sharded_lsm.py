@@ -1,0 +1,313 @@
+"""ShardedLsmDB: sharding the engine must not change any answer.
+
+The exactness ladder, mirroring ``tests/core/test_shard.py`` one layer up:
+
+* ``get_many`` / ``scan_nonempty_many`` / ``scan`` answers are bit-identical
+  to an unsharded :class:`LsmDB` fed the same operation stream (reads
+  resolve exactly; the partitioner routes each key to exactly one shard);
+* the merged :class:`IOStats` equals the per-shard sum (counter merging is
+  order-free), and with one shard equals the unsharded stats *exactly*;
+* filter-level *maybe* paths stay sound: never a false negative.
+
+Plus the batched write path: ``put_many`` reproduces the scalar ``put``
+loop's run layout for distinct keys, and the vectorized ``compact`` keeps
+newest-wins/tombstone semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lsm import BloomRFPolicy, IOStats, LsmDB, ShardedLsmDB
+from repro.lsm.memtable import TOMBSTONE, MemTable
+
+U64 = (1 << 64) - 1
+CAPACITY = 1 << 11
+
+
+def make_policy():
+    return BloomRFPolicy(bits_per_key=16, max_range=1 << 20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(17)
+    keys = rng.integers(0, 1 << 64, 16_000, dtype=np.uint64)
+    deleted = keys[:800]
+    probes = np.concatenate(
+        [keys[::4], rng.integers(0, 1 << 64, 3_000, dtype=np.uint64)]
+    )
+    lo = rng.integers(0, 1 << 63, 1_500, dtype=np.uint64)
+    width = np.uint64(1) << rng.integers(4, 26, 1_500, dtype=np.uint64)
+    bounds = np.stack([lo, np.minimum(lo + width, np.uint64(U64))], axis=1)
+    return keys, deleted, probes, bounds
+
+
+def apply_workload(db, keys, deleted):
+    db.put_many(keys)
+    db.delete_many(deleted)
+    return db
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    keys, deleted, _, _ = workload
+    return apply_workload(
+        LsmDB(policy=make_policy(), memtable_capacity=CAPACITY), keys, deleted
+    )
+
+
+@pytest.mark.parametrize("partition", ["hash", "range"])
+@pytest.mark.parametrize("num_shards", [1, 4])
+class TestExactnessLadder:
+    @pytest.fixture
+    def sharded(self, workload, num_shards, partition):
+        keys, deleted, _, _ = workload
+        with apply_workload(
+            ShardedLsmDB(
+                policy=make_policy(),
+                num_shards=num_shards,
+                partition=partition,
+                memtable_capacity=CAPACITY,
+            ),
+            keys,
+            deleted,
+        ) as db:
+            yield db
+
+    def test_get_many_equals_unsharded(self, sharded, reference, workload):
+        _, _, probes, _ = workload
+        assert np.array_equal(
+            sharded.get_many(probes), reference.get_many(probes)
+        )
+
+    def test_scan_nonempty_many_equals_unsharded(
+        self, sharded, reference, workload
+    ):
+        _, _, _, bounds = workload
+        assert np.array_equal(
+            sharded.scan_nonempty_many(bounds),
+            reference.scan_nonempty_many(bounds),
+        )
+
+    def test_scalar_reads_route_to_owning_shard(self, sharded, workload):
+        keys, deleted, _, _ = workload
+        live = keys[1_000]
+        assert sharded.get(int(live)) == (int(live) not in set(deleted.tolist()))
+        assert not sharded.get(int(deleted[0]))
+        assert sharded.scan_nonempty(int(live), int(live))
+
+    def test_scan_merges_shards_in_key_order(self, sharded, reference):
+        lo, hi = 1 << 40, (1 << 40) + (1 << 56)
+        assert sharded.scan(lo, hi) == reference.scan(lo, hi)
+        assert sharded.scan(0, U64, limit=64) == reference.scan(0, U64, limit=64)
+
+    def test_merged_stats_equal_per_shard_sum(self, sharded, workload):
+        _, _, probes, bounds = workload
+        sharded.reset_stats()
+        sharded.get_many(probes)
+        sharded.scan_nonempty_many(bounds)
+        merged = sharded.stats
+        total = IOStats.merged([shard.stats for shard in sharded.shards])
+        assert merged.counters() == total.counters()
+        assert merged.filter_probes > 0
+
+    def test_may_contain_is_sound(self, sharded, workload):
+        keys, _, _, bounds = workload
+        # A filter cannot un-insert: every written key (even later-deleted
+        # ones) must answer maybe-present.
+        assert sharded.may_contain_many(keys[:2_000]).all()
+        truth = sharded.scan_nonempty_many(bounds)
+        maybe = sharded.scan_may_contain(bounds)
+        assert not np.any(truth & ~maybe)
+
+
+class TestSingleShardStatsIdentity:
+    def test_one_shard_reproduces_unsharded_accounting(self, workload):
+        keys, deleted, probes, bounds = workload
+        reference = apply_workload(
+            LsmDB(policy=make_policy(), memtable_capacity=CAPACITY), keys, deleted
+        )
+        reference.reset_stats()
+        ref_get = reference.get_many(probes)
+        ref_scan = reference.scan_nonempty_many(bounds)
+        ref_stats = reference.reset_stats()
+        with apply_workload(
+            ShardedLsmDB(
+                policy=make_policy(),
+                num_shards=1,
+                memtable_capacity=CAPACITY,
+            ),
+            keys,
+            deleted,
+        ) as single:
+            single.reset_stats()
+            assert np.array_equal(single.get_many(probes), ref_get)
+            assert np.array_equal(single.scan_nonempty_many(bounds), ref_scan)
+            # One shard receives the exact unsharded operation stream, so
+            # even the probe-level accounting is identical, not just summed.
+            assert single.stats.counters() == ref_stats.counters()
+
+
+class TestShardedWrites:
+    def test_keys_land_on_owning_shard_only(self, workload):
+        keys, _, _, _ = workload
+        with ShardedLsmDB(
+            policy=make_policy(), num_shards=4, memtable_capacity=CAPACITY
+        ) as db:
+            db.put_many(keys)
+            owner = db.shard_of_many(keys)
+            unique = np.unique(keys).size
+            assert db.num_keys == unique
+            for s, shard in enumerate(db.shards):
+                routed = np.unique(keys[owner == s]).size
+                assert shard.num_keys == routed
+
+    def test_flush_and_compact_fan_out(self, workload):
+        keys, deleted, probes, _ = workload
+        with apply_workload(
+            ShardedLsmDB(
+                policy=make_policy(), num_shards=3, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        ) as db:
+            before = db.get_many(probes)
+            db.flush()
+            assert all(len(s.memtable) == 0 for s in db.shards)
+            db.compact()
+            assert all(len(s.sstables) <= 1 for s in db.shards)
+            # Compaction drops deleted versions but changes no answer.
+            assert np.array_equal(db.get_many(probes), before)
+            assert not db.get(int(deleted[0]))
+
+    def test_values_round_trip_through_shards(self):
+        with ShardedLsmDB(
+            policy=make_policy(),
+            num_shards=3,
+            memtable_capacity=64,
+            store_values=True,
+        ) as db:
+            keys = np.arange(0, 500, dtype=np.uint64) * np.uint64(1 << 50)
+            values = [f"v{i}".encode() for i in range(keys.size)]
+            db.put_many(keys, values)
+            for i in (0, 123, 499):
+                assert db.get_value(int(keys[i])) == values[i]
+            db.put(int(keys[7]), b"overwritten")
+            assert db.get_value(int(keys[7])) == b"overwritten"
+            assert db.scan(int(keys[3]), int(keys[3]))[0][1] == values[3]
+
+    def test_misaligned_values_rejected(self):
+        with ShardedLsmDB(policy=make_policy(), num_shards=2) as db:
+            with pytest.raises(ValueError, match="align"):
+                db.put_many(np.arange(3, dtype=np.uint64), [b"x"])
+
+    def test_empty_batches_are_noops(self):
+        with ShardedLsmDB(policy=make_policy(), num_shards=2) as db:
+            db.put_many(np.array([], dtype=np.uint64))
+            db.delete_many(np.array([], dtype=np.uint64))
+            assert db.get_many(np.array([], dtype=np.uint64)).size == 0
+            assert (
+                db.scan_nonempty_many(np.empty((0, 2), dtype=np.uint64)).size == 0
+            )
+            assert db.num_keys == 0
+
+    def test_validation_matches_unsharded(self):
+        with ShardedLsmDB(policy=make_policy(), num_shards=2) as db:
+            with pytest.raises(ValueError):
+                db.put_many(np.array([-1], dtype=np.int64))
+            with pytest.raises(ValueError):
+                db.scan_nonempty_many(np.array([[5, 4]], dtype=np.uint64))
+            with pytest.raises(ValueError):
+                db.scan_nonempty(9, 3)
+
+    def test_close_is_idempotent_and_reopens(self):
+        db = ShardedLsmDB(policy=make_policy(), num_shards=3)
+        db.put_many(np.arange(5_000, dtype=np.uint64))
+        db.close()
+        db.close()
+        assert db.get_many(np.arange(100, dtype=np.uint64)).all()
+        db.close()
+
+
+class TestBatchedWritePath:
+    def test_put_many_layout_identical_to_scalar_loop(self):
+        rng = np.random.default_rng(23)
+        keys = rng.integers(0, 1 << 64, 9_000, dtype=np.uint64)
+        scalar = LsmDB(policy=make_policy(), memtable_capacity=1024)
+        for key in keys:
+            scalar.put(int(key))
+        batched = LsmDB(policy=make_policy(), memtable_capacity=1024)
+        batched.put_many(keys)
+        assert len(scalar.sstables) == len(batched.sstables)
+        for a, b in zip(scalar.sstables, batched.sstables):
+            assert np.array_equal(a.keys, b.keys)
+            assert a.filter_block == b.filter_block  # filters bit-identical
+
+    def test_put_many_duplicates_newest_wins(self):
+        db = LsmDB(
+            policy=make_policy(), memtable_capacity=8, store_values=True
+        )
+        keys = np.array([1, 2, 1, 3, 1], dtype=np.uint64)
+        db.put_many(keys, [b"a", b"b", b"c", b"d", b"e"])
+        assert db.get_value(1) == b"e"
+        assert db.get_value(2) == b"b"
+
+    def test_delete_many_tombstones(self):
+        db = LsmDB(policy=make_policy(), memtable_capacity=512)
+        db.put_many(np.arange(2_000, dtype=np.uint64))
+        db.delete_many(np.arange(0, 2_000, 2, dtype=np.uint64))
+        assert not db.get(100)
+        assert db.get(101)
+
+    def test_memtable_put_many_matches_scalar(self):
+        scalar, batched = MemTable(100), MemTable(100)
+        keys = np.array([5, 1, 5, 9], dtype=np.uint64)
+        values = [b"a", b"b", b"c", b"d"]
+        for k, v in zip(keys, values):
+            scalar.put(int(k), v)
+        batched.put_many(keys, values)
+        assert scalar.drain_sorted()[0].tolist() == [1, 5, 9]
+        assert batched.get(5) == b"c"
+        batched.delete_many(np.array([1], dtype=np.uint64))
+        assert batched.get(1) is TOMBSTONE
+        with pytest.raises(ValueError, match="align"):
+            batched.put_many(keys, [b"x"])
+
+    def test_compact_merges_values_and_drops_tombstones(self):
+        db = LsmDB(
+            policy=make_policy(), memtable_capacity=4, store_values=True
+        )
+        db.put_many(
+            np.array([10, 20, 30, 40], dtype=np.uint64),
+            [b"old10", b"old20", b"old30", b"old40"],
+        )
+        db.put(20, b"new20")
+        db.delete(30)
+        db.compact()
+        assert len(db.sstables) == 1
+        assert db.get_value(20) == b"new20"
+        assert db.get_value(10) == b"old10"
+        assert db.get_value(30) is None
+        assert db.num_keys == 3
+
+    def test_compact_to_empty(self):
+        db = LsmDB(policy=make_policy(), memtable_capacity=4)
+        db.put_many(np.arange(8, dtype=np.uint64))
+        db.delete_many(np.arange(8, dtype=np.uint64))
+        db.compact()
+        assert db.sstables == []
+        assert not db.get(3)
+
+
+class TestIOStatsMerge:
+    def test_iadd_and_merged(self):
+        a = IOStats(filter_probes=3, blocks_read=2, io_wait_s=0.5)
+        b = IOStats(filter_probes=5, filter_positives=1, io_wait_s=0.25)
+        a += b
+        assert a.filter_probes == 8
+        assert a.blocks_read == 2
+        assert a.io_wait_s == 0.75
+        total = IOStats.merged([a, b])
+        assert total.filter_probes == 13
+        assert b.filter_probes == 5  # inputs untouched
+        assert total.counters()["filter_probes"] == 13

@@ -65,6 +65,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "keys inserted: 500" in out
 
+    def test_build_and_inspect_sharded(self, tmp_path, capsys):
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("\n".join(str(k) for k in range(0, 120_000, 40)))
+        output = tmp_path / "sharded.brf"
+        assert main(
+            ["build", str(keyfile), str(output), "--shards", "4",
+             "--partition", "range"]
+        ) == 0
+        assert main(["inspect", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "kind: sharded-bloomrf" in out
+        assert "shards: 4 (range partition)" in out
+        assert "keys inserted: 3000" in out
+
+    def test_build_and_inspect_bloom(self, tmp_path, capsys):
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("\n".join(str(k) for k in range(700)))
+        output = tmp_path / "bloom.brf"
+        assert main(
+            ["build", str(keyfile), str(output), "--filter", "bloom"]
+        ) == 0
+        assert main(["inspect", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "kind: bloom" in out
+        assert "keys inserted: 700" in out
+
+    def test_build_rejects_bad_shard_combinations(self, tmp_path):
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("1\n2\n")
+        out = tmp_path / "f.brf"
+        assert main(["build", str(keyfile), str(out), "--shards", "0"]) == 2
+        assert main(
+            ["build", str(keyfile), str(out), "--filter", "bloom",
+             "--shards", "2"]
+        ) == 2
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"\x00" * 64)
+        assert main(["inspect", str(bad)]) == 2
+        assert "bad magic" in capsys.readouterr().out
+
     def test_measure_all_filters(self, capsys):
         for name in ("rosetta", "surf", "cuckoo"):
             assert main(

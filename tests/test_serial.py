@@ -1,0 +1,269 @@
+"""The versioned serialization subsystem (``repro.serial``).
+
+Round-trip properties (Hypothesis): a filter built from a random config and
+random keys must reconstruct from its bytes with identical storage words,
+key counts, and probe answers.  Corruption cases: bad magic, version skew,
+kind mismatch, truncation, and header garbage must raise ``ValueError`` —
+a persisted filter block never silently mis-answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serial
+from repro.baselines.bloom import BloomFilter
+from repro.core.bloomrf import BloomRF
+from repro.lsm.filter_policy import (
+    BloomPolicy,
+    BloomRFPolicy,
+    NoFilterPolicy,
+    handle_from_bytes,
+    load_handle,
+    save_handle,
+)
+from repro.shard import ShardedBloomRF
+
+U64 = (1 << 64) - 1
+
+
+def build_bloomrf(domain_bits, bits_per_key, basic, keys, max_range=1 << 16):
+    if basic:
+        filt = BloomRF.basic(
+            n_keys=max(len(keys), 1),
+            bits_per_key=bits_per_key,
+            domain_bits=domain_bits,
+        )
+    else:
+        filt = BloomRF.tuned(
+            n_keys=max(len(keys), 1),
+            bits_per_key=bits_per_key,
+            max_range=max_range,
+            domain_bits=domain_bits,
+        )
+    filt.insert_many(np.array(keys, dtype=np.uint64))
+    return filt
+
+
+@st.composite
+def bloomrf_cases(draw):
+    """Random (config knobs, key set) pairs across domains and tunings."""
+    domain_bits = draw(st.sampled_from([16, 32, 48, 64]))
+    bits_per_key = draw(st.sampled_from([12.0, 16.0, 22.0]))
+    basic = draw(st.booleans())
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << domain_bits) - 1),
+            min_size=0,
+            max_size=200,
+            unique=True,
+        )
+    )
+    return domain_bits, bits_per_key, basic, keys
+
+
+class TestBloomRFRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(bloomrf_cases())
+    def test_words_keys_and_answers_survive(self, case):
+        domain_bits, bits_per_key, basic, keys = case
+        filt = build_bloomrf(domain_bits, bits_per_key, basic, keys)
+        restored = BloomRF.from_bytes(filt.to_bytes())
+        assert restored.config == filt.config
+        assert restored.num_keys == filt.num_keys
+        assert restored._bits == filt._bits  # words, bit for bit
+        if filt._exact is not None:
+            assert restored._exact == filt._exact
+        # Probe answers are a pure function of (config, words): spot-check
+        # inserted keys, near-misses, and ranges anchored on both.
+        probes = np.array(
+            sorted(set(keys) | {0, (1 << domain_bits) - 1, 7}), dtype=np.uint64
+        )
+        assert np.array_equal(
+            restored.contains_point_many(probes), filt.contains_point_many(probes)
+        )
+        domain_max = np.uint64((1 << domain_bits) - 1)
+        hi = probes + np.minimum(domain_max - probes, np.uint64(63))
+        bounds = np.stack([probes, hi], axis=1)
+        assert np.array_equal(
+            restored.contains_range_many(bounds), filt.contains_range_many(bounds)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(bloomrf_cases())
+    def test_serialization_is_deterministic(self, case):
+        domain_bits, bits_per_key, basic, keys = case
+        filt = build_bloomrf(domain_bits, bits_per_key, basic, keys)
+        blob = filt.to_bytes()
+        assert blob == BloomRF.from_bytes(blob).to_bytes()
+
+
+class TestBloomRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=U64),
+            min_size=1,
+            max_size=300,
+            unique=True,
+        ),
+        st.sampled_from([8.0, 12.0, 20.0]),
+    )
+    def test_words_and_answers_survive(self, keys, bits_per_key):
+        filt = BloomFilter(n_keys=len(keys), bits_per_key=bits_per_key)
+        filt.insert_many(np.array(keys, dtype=np.uint64))
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert (restored.num_bits, restored.num_hashes, restored.seed) == (
+            filt.num_bits,
+            filt.num_hashes,
+            filt.seed,
+        )
+        assert len(restored) == len(filt)
+        assert restored._bits == filt._bits
+        probes = np.array(keys[:100], dtype=np.uint64)
+        assert restored.contains_point_many(probes).all()
+
+
+class TestShardedRoundTrip:
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        keys = np.random.default_rng(77).integers(
+            0, 1 << 64, 4_000, dtype=np.uint64
+        )
+        sharded = ShardedBloomRF.from_keys(
+            keys, num_shards=3, partition="range", bits_per_key=14
+        )
+        yield sharded, keys
+        sharded.close()
+
+    def test_blob_round_trip_is_bit_exact(self, sharded):
+        sharded, keys = sharded
+        with ShardedBloomRF.from_bytes(sharded.to_bytes()) as restored:
+            assert restored.num_shards == sharded.num_shards
+            assert restored.partition == sharded.partition
+            assert restored.config == sharded.config
+            for a, b in zip(restored.shards, sharded.shards):
+                assert a._bits == b._bits
+                assert a.num_keys == b.num_keys
+            assert restored.contains_point_many(keys[:500]).all()
+            # The merge-compatibility bridge survives the round trip.
+            assert restored.merge()._bits == sharded.merge()._bits
+
+    def test_manifest_round_trip_is_bit_exact(self, sharded, tmp_path):
+        sharded, keys = sharded
+        manifest = sharded.save_manifest(tmp_path / "shards")
+        assert manifest.name == "MANIFEST.json"
+        assert len(list((tmp_path / "shards").glob("shard-*.brf"))) == 3
+        with ShardedBloomRF.load_manifest(tmp_path / "shards") as restored:
+            for a, b in zip(restored.shards, sharded.shards):
+                assert a._bits == b._bits
+            assert restored.partition == sharded.partition
+            assert restored.contains_point_many(keys[:500]).all()
+
+    def test_manifest_version_mismatch_raises(self, sharded, tmp_path):
+        sharded, _ = sharded
+        sharded.save_manifest(tmp_path / "m")
+        manifest = tmp_path / "m" / "MANIFEST.json"
+        manifest.write_text(manifest.read_text().replace('"version": 1', '"version": 99'))
+        with pytest.raises(ValueError, match="version 99"):
+            ShardedBloomRF.load_manifest(tmp_path / "m")
+
+    def test_generic_dump_load_dispatch(self, sharded):
+        sharded, _ = sharded
+        blob = serial.dump_filter(sharded)
+        assert serial.peek_kind(blob) == serial.KIND_SHARDED_BLOOMRF
+        with serial.load_filter(blob) as restored:
+            assert isinstance(restored, ShardedBloomRF)
+
+
+class TestCorruptionCases:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        filt = build_bloomrf(64, 16.0, False, list(range(500, 900)))
+        return filt.to_bytes()
+
+    def test_bad_magic_raises(self, blob):
+        with pytest.raises(ValueError, match="bad magic"):
+            BloomRF.from_bytes(b"XXXX" + blob[4:])
+
+    def test_version_mismatch_raises(self, blob):
+        bumped = blob[:4] + (99).to_bytes(2, "little") + blob[6:]
+        with pytest.raises(ValueError, match="version 99"):
+            BloomRF.from_bytes(bumped)
+
+    def test_kind_mismatch_raises(self, blob):
+        with pytest.raises(ValueError, match="expected 'bloom'"):
+            BloomFilter.from_bytes(blob)
+
+    def test_unknown_kind_raises(self, blob):
+        mangled = blob[:6] + (42).to_bytes(2, "little") + blob[8:]
+        with pytest.raises(ValueError, match="unknown serialization kind"):
+            serial.load_filter(mangled)
+
+    def test_truncation_raises(self, blob):
+        for cut in (3, 11, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ValueError, match="truncated"):
+                serial.unpack_frame(blob[:cut])
+
+    def test_trailing_garbage_raises(self, blob):
+        with pytest.raises(ValueError, match="trailing garbage"):
+            serial.unpack_frame(blob + b"\x00")
+
+    def test_garbage_header_raises(self, blob):
+        header_len = int.from_bytes(blob[8:12], "little")
+        mangled = blob[:12] + b"\xff" * header_len + blob[12 + header_len :]
+        with pytest.raises(ValueError, match="corrupt filter frame header"):
+            serial.unpack_frame(mangled)
+
+    def test_dump_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            serial.dump_filter(object())
+
+    def test_pack_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            serial.pack_frame(99, {})
+
+
+class TestHandlePersistence:
+    def test_bloomrf_handle_save_load(self, tmp_path):
+        keys = np.arange(1_000, 2_000, dtype=np.uint64)
+        policy = BloomRFPolicy(bits_per_key=16, max_range=1 << 16)
+        handle = policy.build(keys)
+        path = save_handle(handle, tmp_path / "block.brf")
+        restored = load_handle(path)
+        assert restored.size_bits == handle.size_bits
+        assert restored.probe_point_many(keys).all()
+        bounds = np.stack([keys, keys + np.uint64(3)], axis=1)
+        assert np.array_equal(
+            restored.probe_range_many(bounds), handle.probe_range_many(bounds)
+        )
+
+    def test_bloom_handle_save_load(self, tmp_path):
+        keys = np.arange(5_000, 6_000, dtype=np.uint64)
+        handle = BloomPolicy(bits_per_key=12).build(keys)
+        restored = load_handle(save_handle(handle, tmp_path / "bloom.brf"))
+        assert restored.probe_point_many(keys).all()
+        assert restored.serialize() == handle.serialize()
+
+    def test_sharded_handle_from_bytes(self):
+        keys = np.arange(0, 3_000, dtype=np.uint64)
+        with ShardedBloomRF.from_keys(keys, num_shards=2) as sharded:
+            blob = sharded.to_bytes()
+        with handle_from_bytes(blob) as handle:
+            assert handle.probe_point_many(keys[:200]).all()
+            assert handle.probe_range(100, 200)
+        # Close released the rehydrated shard set's worker pool.
+        assert not handle._filter._pool.is_open
+
+    def test_unpersisted_policy_rejected(self, tmp_path):
+        handle = NoFilterPolicy().build(np.arange(10, dtype=np.uint64))
+        with pytest.raises(ValueError, match="no persisted"):
+            save_handle(handle, tmp_path / "nope.brf")
+
+    def test_policy_deserialize_uses_frames(self):
+        keys = np.arange(100, dtype=np.uint64)
+        policy = BloomRFPolicy(bits_per_key=16, max_range=1 << 10)
+        handle = policy.build(keys)
+        restored = policy.deserialize(handle.serialize())
+        assert restored.probe_point_many(keys).all()
