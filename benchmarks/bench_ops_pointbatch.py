@@ -35,7 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.bloomrf import BloomRF
-from repro.lsm import BloomRFPolicy, LsmDB
+from repro.lsm import LsmDB, SpecPolicy
 from repro.shard import ShardedBloomRF
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_pointbatch.json"
@@ -77,7 +77,7 @@ def run(quick: bool) -> dict:
     num_sstables = 8
     rng = np.random.default_rng(23)
     keys = np.unique(rng.integers(0, 1 << 64, n_keys, dtype=np.uint64))
-    db = LsmDB(policy=BloomRFPolicy(bits_per_key=18, max_range=1 << 20))
+    db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=18, max_range=1 << 20))
     db.bulk_load(rng.permutation(keys), num_sstables=num_sstables)
     lookups = build_workload(keys, n_lookups, present_share=0.2, seed=29)
 

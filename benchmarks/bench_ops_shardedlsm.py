@@ -38,7 +38,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.lsm import BloomRFPolicy, IOStats, LsmDB, ShardedLsmDB
+from repro.api import FilterSpec, open_store
+from repro.lsm import IOStats, LsmDB, ShardedLsmDB, SpecPolicy
 from repro.lsm.filter_policy import handle_from_bytes
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_shardedlsm.json"
@@ -47,7 +48,7 @@ SHARD_COUNTS = (1, 2, 4, 8)
 
 
 def make_policy():
-    return BloomRFPolicy(bits_per_key=18, max_range=1 << 20)
+    return SpecPolicy("bloomrf", bits_per_key=18, max_range=1 << 20)
 
 
 def build_mixed_workload(keys: np.ndarray, n_ops: int, seed: int):
@@ -109,6 +110,38 @@ def roundtrip_bit_exact(db: ShardedLsmDB) -> bool:
                 and restored._filter._bits == handle._filter._bits
             )
     return False
+
+
+def open_store_matches_direct(
+    keys: np.ndarray, points: np.ndarray, bounds: np.ndarray, capacity: int
+) -> bool:
+    """The ``open_store`` facade answers exactly like direct construction.
+
+    Uses a deliberately non-default :class:`FilterSpec` (different
+    bits/key, max_range, and seed from every default in the package) so a
+    facade that dropped or rewrote the spec cannot pass by accident.
+    """
+    spec = FilterSpec(
+        "bloomrf", {"bits_per_key": 11, "max_range": 1 << 14, "seed": 0xFACE}
+    )
+    with open_store(
+        filter=spec, shards=4, partition="range", memtable_capacity=capacity
+    ) as facade, ShardedLsmDB(
+        policy=SpecPolicy(spec),
+        num_shards=4,
+        partition="range",
+        memtable_capacity=capacity,
+    ) as direct:
+        facade.put_many(keys)
+        direct.put_many(keys)
+        return bool(
+            np.array_equal(facade.get_many(points), direct.get_many(points))
+            and np.array_equal(
+                facade.scan_nonempty_many(bounds),
+                direct.scan_nonempty_many(bounds),
+            )
+            and facade.stats.counters() == direct.stats.counters()
+        )
 
 
 def run(quick: bool) -> dict:
@@ -187,6 +220,9 @@ def run(quick: bool) -> dict:
         "bit_identical": exact,
         "stats_merged_identical": stats_merged_ok,
         "serialization_roundtrip_bit_exact": roundtrip_ok,
+        "open_store_matches_direct": open_store_matches_direct(
+            keys, points, bounds, capacity
+        ),
     }
 
 
@@ -228,6 +264,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not result["serialization_roundtrip_bit_exact"]:
         print("FAIL: filter-block serialization round-trip not bit-exact")
+        return 1
+    if not result["open_store_matches_direct"]:
+        print(
+            "FAIL: open_store facade answers differ from direct construction"
+        )
         return 1
     at4 = by_shards[4]["speedup_vs_unsharded"]
     floor = 0.5 if args.quick else 1.0

@@ -11,7 +11,7 @@ Run: ``python examples/lsm_range_scan.py``
 
 import numpy as np
 
-from repro.lsm import BloomRFPolicy, LsmDB, NoFilterPolicy, RosettaPolicy
+from repro.lsm import LsmDB, SpecPolicy
 from repro.workloads import empty_range_queries, uniform_keys
 
 N_KEYS = 80_000
@@ -50,16 +50,16 @@ def main() -> None:
         f"{N_KEYS} uniform keys in {N_SSTABLES} overlapping SSTs; "
         f"{N_QUERIES} empty scans of width {RANGE_SIZE:.0e} (normal workload)"
     )
-    run_policy("fence pointers only", NoFilterPolicy(), keys, queries)
+    run_policy("fence pointers only", SpecPolicy("none"), keys, queries)
     run_policy(
         "Rosetta (22 bits/key)",
-        RosettaPolicy(bits_per_key=22, max_range=RANGE_SIZE),
+        SpecPolicy("rosetta", bits_per_key=22, max_range=RANGE_SIZE),
         keys,
         queries,
     )
     run_policy(
         "bloomRF (22 bits/key)",
-        BloomRFPolicy(bits_per_key=22, max_range=RANGE_SIZE),
+        SpecPolicy("bloomrf", bits_per_key=22, max_range=RANGE_SIZE),
         keys,
         queries,
     )

@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: build a bloomRF, insert keys online, run point + range probes.
+"""Quickstart: one filter API — specs, the registry, probes, and a store.
 
 Run: ``python examples/quickstart.py``
 """
 
 import numpy as np
 
-from repro import BloomRF
+from repro import FilterSpec, filter_from_bytes, make_filter, open_store
 
 U64 = (1 << 64) - 1
 
@@ -15,13 +15,20 @@ def main() -> None:
     rng = np.random.default_rng(7)
     keys = np.unique(rng.integers(0, 1 << 64, 100_000, dtype=np.uint64))
 
-    # One call tunes the whole filter: the advisor picks the level layout,
-    # replica counts, segment split and exact-level bitmap for the budget.
-    filt = BloomRF.tuned(
-        n_keys=len(keys),
-        bits_per_key=16,
-        max_range=10**9,  # the largest range size you expect to query
+    # A FilterSpec is plain data: which registered kind, which parameters.
+    # It round-trips through JSON, so configs and manifests carry it as-is.
+    spec = FilterSpec(
+        "bloomrf",
+        {
+            "bits_per_key": 16,
+            "max_range": 10**9,  # the largest range size you expect to query
+        },
     )
+    assert FilterSpec.from_json(spec.to_json()) == spec
+
+    # make_filter runs the kind's tuner: for bloomRF the advisor picks the
+    # level layout, replica counts, segment split and exact-level bitmap.
+    filt = make_filter(spec, n_keys=len(keys))
     print("configuration:", filt.config.describe())
 
     # bloomRF is online: insertions and probes interleave freely.
@@ -51,11 +58,25 @@ def main() -> None:
         false_positives += filt.contains_range(start, end)
     print(f"empty-range FPR (width 1e6): {false_positives / trials:.4f}")
 
-    # Filters serialize to plain bytes (the LSM stores them per SSTable).
+    # Filters serialize to self-describing frames (the LSM stores them per
+    # SSTable); filter_from_bytes dispatches on the frame's kind.
     blob = filt.to_bytes()
-    restored = BloomRF.from_bytes(blob)
+    restored = filter_from_bytes(blob)
     assert restored.contains_point(sample)
     print(f"serialized size: {len(blob) / 1024:.0f} KiB; round-trip OK")
+
+    # The same spec drives a whole LSM store behind one Store interface:
+    # shards=1 is an LsmDB, shards=N a partitioned ShardedLsmDB.
+    with open_store(filter=spec, shards=4, partition="range") as db:
+        db.put_many(keys[:50_000])
+        db.flush()  # seal the memtables so reads consult the filter blocks
+        present = db.get_many(keys[:1_000])
+        assert present.all()
+        stats = db.stats
+        print(
+            f"store: {db.num_keys} keys over {db.num_shards} shards, "
+            f"filter FPR {stats.fpr:.4f} on {stats.filter_probes} probes"
+        )
 
 
 if __name__ == "__main__":

@@ -9,19 +9,37 @@ fence pointers, Cuckoo, Rosetta, SuRF), an LSM-tree substrate standing in for
 RocksDB, and the workload generators needed to reproduce the paper's
 experiments.
 
-Quickstart::
+Quickstart (the one filter API)::
 
     import numpy as np
-    from repro import BloomRF
+    from repro import FilterSpec, make_filter, open_store
 
+    # Any registered filter kind builds from a spec (plain, JSON-able data).
+    spec = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+    filt = make_filter(spec, n_keys=100_000)
     keys = np.random.default_rng(7).integers(0, 1 << 64, 100_000, dtype=np.uint64)
-    filt = BloomRF.tuned(n_keys=len(keys), bits_per_key=16, max_range=1 << 20)
     filt.insert_many(keys)
-
     filt.contains_point(int(keys[0]))          # True (never a false negative)
     filt.contains_range(1000, 1 << 20)         # True or False (maybe/no)
+
+    # The same spec drives a whole LSM store (sharded with shards=N).
+    db = open_store(filter=spec, shards=1)
+    db.put_many(keys)
+    db.get_many(keys[:100])                    # all True
 """
 
+from repro.api import (
+    FilterSpec,
+    NullFilter,
+    RangeFilter,
+    Store,
+    available_kinds,
+    filter_from_bytes,
+    make_filter,
+    open_store,
+    register_filter,
+    standard_spec,
+)
 from repro.core import (
     AdvisorReport,
     AttributeSpec,
@@ -40,14 +58,26 @@ from repro.core import (
     string_range_keys,
     string_to_point_key,
 )
+from repro.lsm.filter_policy import SpecPolicy
 from repro.lsm.sharded import ShardedLsmDB
 from repro.shard import ShardedBloomRF
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BloomRF",
     "BloomRFConfig",
+    "FilterSpec",
+    "RangeFilter",
+    "Store",
+    "SpecPolicy",
+    "NullFilter",
+    "available_kinds",
+    "filter_from_bytes",
+    "make_filter",
+    "open_store",
+    "register_filter",
+    "standard_spec",
     "ShardedBloomRF",
     "ShardedLsmDB",
     "TuningAdvisor",

@@ -52,6 +52,24 @@ def bulk_point_eval(
     )
 
 
+def check_bounds_rows(bounds: np.ndarray) -> np.ndarray:
+    """Validate an ``(n, 2)`` inclusive-bounds array's row ordering.
+
+    Shared by the conservative all-"maybe" bulk range probes (Bloom,
+    Cuckoo, the "none" filter) so their bulk form rejects inverted ranges
+    exactly like their scalar form — the protocol's scalar==bulk contract.
+    """
+    bounds = np.asarray(bounds)
+    if bounds.size:
+        inverted = bounds[:, 0] > bounds[:, 1]
+        if np.any(inverted):
+            i = int(np.argmax(inverted))
+            raise ValueError(
+                f"empty query range [{int(bounds[i, 0])}, {int(bounds[i, 1])}]"
+            )
+    return bounds
+
+
 def mask(bits: int) -> int:
     """Return an all-ones mask of ``bits`` bits (``mask(3) == 0b111``)."""
     return (1 << bits) - 1

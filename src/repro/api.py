@@ -1,0 +1,747 @@
+"""repro.api — one filter API: protocol, specs, registry, and the store facade.
+
+The paper's headline claim is that bloomRF is a *drop-in* replacement for
+point/range filters inside an LSM store (Sect. 1, Sect. 6).  This module
+makes "drop-in" literal for the whole package:
+
+* :class:`RangeFilter` — the runtime-checkable protocol every filter in the
+  package satisfies: online inserts (scalar + bulk), point and range probes
+  (scalar + bulk), ``size_bits`` accounting, and framed serialization.
+* :class:`FilterSpec` — a frozen, validated, JSON-round-trippable value
+  describing *which* filter to build and with *which* parameters.  Specs are
+  plain data: they travel through config files, CLI flags, shard manifests,
+  and policy objects unchanged.
+* the registry — :func:`register_filter` / :func:`make_filter` /
+  :func:`filter_from_bytes` / :func:`available_kinds`: one construction and
+  one deserialization path for every kind (core bloomRF, every baseline,
+  sharded sets), replacing the per-consumer dispatch tables that
+  ``lsm/filter_policy.py``, ``serial.py``, ``cli.py``, and the bench harness
+  each used to keep.
+* :func:`open_store` — the one-call facade returning an
+  :class:`~repro.lsm.db.LsmDB` (``shards=1``) or
+  :class:`~repro.lsm.sharded.ShardedLsmDB` (``shards>1``) behind the
+  :class:`Store` interface, with the filter chosen by a :class:`FilterSpec`.
+
+Everything downstream (``SpecPolicy``, the CLI, the harness) is a thin layer
+over these four pieces; adding a new backend is one :func:`register_filter`
+call.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._util import check_bounds_rows
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.cuckoo import CuckooFilter
+from repro.baselines.prefix_bloom import PrefixBloomFilter
+from repro.baselines.rosetta import Rosetta
+from repro.baselines.surf import SuRF, SurfFilter
+from repro.core.bloomrf import BloomRF
+from repro.serial import (
+    KIND_BLOOM,
+    KIND_BLOOMRF,
+    KIND_CUCKOO,
+    KIND_NAMES,
+    KIND_NONE,
+    KIND_PREFIX_BLOOM,
+    KIND_ROSETTA,
+    KIND_SHARDED_BLOOMRF,
+    KIND_SURF,
+    SerialError,
+    pack_frame,
+    peek_kind,
+    unpack_frame,
+)
+from repro.shard import ShardedBloomRF
+
+__all__ = [
+    "RangeFilter",
+    "Store",
+    "FilterSpec",
+    "NullFilter",
+    "register_filter",
+    "make_filter",
+    "merge_filters",
+    "filter_from_bytes",
+    "available_kinds",
+    "standard_spec",
+    "open_store",
+]
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class RangeFilter(Protocol):
+    """What every filter kind in the package exposes.
+
+    Scalar and bulk forms compute bit-identical answers (asserted by the
+    conformance tests); bulk bounds are ``(n, 2)`` inclusive ``[lo, hi]``
+    rows.  ``to_bytes`` emits a :mod:`repro.serial` frame that
+    :func:`filter_from_bytes` rehydrates with identical probe answers.
+    Point-only filters (Bloom, Cuckoo) answer every range probe with a
+    sound "maybe" (True) — exactly the limitation motivating point-range
+    filters — so the protocol stays uniform.
+    """
+
+    def insert(self, key: int) -> Any: ...
+
+    def insert_many(self, keys: np.ndarray) -> Any: ...
+
+    def contains_point(self, key: int) -> bool: ...
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray: ...
+
+    def contains_range(self, l_key: int, r_key: int) -> bool: ...
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray: ...
+
+    @property
+    def size_bits(self) -> int: ...
+
+    def to_bytes(self) -> bytes: ...
+
+
+@runtime_checkable
+class Store(Protocol):
+    """The one-store interface :func:`open_store` returns.
+
+    Satisfied by both :class:`~repro.lsm.db.LsmDB` and
+    :class:`~repro.lsm.sharded.ShardedLsmDB`: scalar and batched writes,
+    exact reads, filter-level *maybe* probes, scans, maintenance, and
+    :class:`~repro.lsm.iostats.IOStats` accounting — so callers scale from
+    one engine to N partitioned engines without an API change.
+    """
+
+    def put(self, key: int, value: bytes = b"") -> None: ...
+
+    def delete(self, key: int) -> None: ...
+
+    def put_many(self, keys, values=None) -> None: ...
+
+    def delete_many(self, keys) -> None: ...
+
+    def get(self, key: int) -> bool: ...
+
+    def get_value(self, key: int) -> bytes | None: ...
+
+    def get_many(self, keys) -> np.ndarray: ...
+
+    def may_contain_many(self, keys) -> np.ndarray: ...
+
+    def scan_nonempty(self, l_key: int, r_key: int) -> bool: ...
+
+    def scan_nonempty_many(self, bounds) -> np.ndarray: ...
+
+    def scan_may_contain(self, bounds) -> np.ndarray: ...
+
+    def scan(self, l_key: int, r_key: int, limit: int | None = None): ...
+
+    def flush(self) -> None: ...
+
+    def compact(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def reset_stats(self): ...
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FilterSpec:
+    """Which filter to build, as plain validated data.
+
+    ``kind`` names a registered filter kind (see :func:`available_kinds`);
+    ``params`` are the keyword arguments its factory accepts, restricted to
+    JSON-serializable values so a spec round-trips through
+    :meth:`to_json` / :meth:`from_json` unchanged (shard manifests and CLI
+    configs rely on this).  Treat specs as immutable: derive variants with
+    :meth:`with_params`.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ValueError("FilterSpec.kind must be a non-empty string")
+        try:
+            params = dict(self.params)
+        except (TypeError, ValueError):
+            raise ValueError(
+                "FilterSpec.params must be a mapping of parameter names to "
+                f"values, got {type(self.params).__name__}"
+            ) from None
+        if any(not isinstance(name, str) for name in params):
+            raise ValueError("FilterSpec.params keys must be strings")
+        try:
+            json.dumps(params)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"FilterSpec.params must be JSON-serializable: {exc}"
+            ) from None
+        object.__setattr__(self, "params", params)
+
+    # -- derivation ----------------------------------------------------
+    def with_params(self, **overrides: Any) -> "FilterSpec":
+        """A new spec with ``overrides`` merged over the current params."""
+        return FilterSpec(self.kind, {**self.params, **overrides})
+
+    # -- JSON round-trip ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FilterSpec":
+        return cls(data["kind"], dict(data.get("params", {})))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FilterSpec":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"FilterSpec({self.kind!r}{', ' if params else ''}{params})"
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegisteredKind:
+    """One registry entry: how to build, load, and merge a filter kind."""
+
+    kind: str
+    build: Callable[..., RangeFilter] | None
+    serial_kind: int | None = None
+    from_bytes: Callable[[bytes], Any] | None = None
+    merge: Callable[[list], Any] | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[str, RegisteredKind] = {}
+_SERIAL_LOADERS: dict[int, RegisteredKind] = {}
+
+
+def register_filter(
+    kind: str,
+    build: Callable[..., RangeFilter] | None = None,
+    *,
+    serial_kind: int | None = None,
+    from_bytes: Callable[[bytes], Any] | None = None,
+    merge: Callable[[list], Any] | None = None,
+    description: str = "",
+    replace_existing: bool = False,
+) -> RegisteredKind:
+    """Register a filter kind with the package-wide registry.
+
+    ``build(**params)`` constructs an empty (or self-building) filter
+    satisfying :class:`RangeFilter`; ``from_bytes(data)`` rehydrates the
+    frame identified by ``serial_kind``; ``merge(filters)`` optionally
+    word-unions same-config instances (compaction fast path) or returns
+    None.  A kind with ``build=None`` is load-only (e.g. sharded blobs).
+    """
+    if not isinstance(kind, str) or not kind:
+        raise ValueError("filter kind must be a non-empty string")
+    if kind in _REGISTRY and not replace_existing:
+        raise ValueError(f"filter kind {kind!r} is already registered")
+    if serial_kind is not None:
+        owner = _SERIAL_LOADERS.get(serial_kind)
+        if owner is not None and owner.kind != kind:
+            raise ValueError(
+                f"serial kind {serial_kind} is already owned by filter kind "
+                f"{owner.kind!r}; registering {kind!r} over it would hijack "
+                "deserialization of existing frames"
+            )
+    entry = RegisteredKind(
+        kind=kind,
+        build=build,
+        serial_kind=serial_kind,
+        from_bytes=from_bytes,
+        merge=merge,
+        description=description,
+    )
+    previous = _REGISTRY.get(kind)
+    _REGISTRY[kind] = entry
+    # Keep the loader table consistent with the registry: drop the
+    # replaced entry's stale loader, then install the new one.
+    if previous is not None and previous.serial_kind is not None:
+        if _SERIAL_LOADERS.get(previous.serial_kind) is previous:
+            del _SERIAL_LOADERS[previous.serial_kind]
+    if serial_kind is not None and from_bytes is not None:
+        _SERIAL_LOADERS[serial_kind] = entry
+    return entry
+
+
+def registered_kind(kind: str) -> RegisteredKind:
+    """The registry entry for ``kind``; raises with the known kinds listed."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown filter kind {kind!r} (registered kinds: {known})"
+        ) from None
+
+
+def available_kinds() -> tuple[str, ...]:
+    """Every kind :func:`make_filter` can construct, sorted."""
+    return tuple(
+        sorted(k for k, entry in _REGISTRY.items() if entry.build is not None)
+    )
+
+
+def make_filter(spec: FilterSpec, *, n_keys: int | None = None) -> RangeFilter:
+    """Construct the filter a spec describes.
+
+    ``n_keys`` (the expected key count, used for sizing) may live in the
+    spec's params or be supplied here — the call-site value wins, which is
+    how :class:`~repro.lsm.filter_policy.SpecPolicy` sizes each SST's
+    filter block for the keys it actually holds.  Unknown kinds and
+    parameters raise :class:`ValueError` naming the accepted ones.
+    """
+    entry = registered_kind(spec.kind)
+    if entry.build is None:
+        raise ValueError(
+            f"filter kind {spec.kind!r} is load-only and cannot be built "
+            "from a spec"
+        )
+    params = dict(spec.params)
+    if n_keys is not None:
+        params["n_keys"] = int(n_keys)
+    try:
+        inspect.signature(entry.build).bind(**params)
+    except TypeError as exc:
+        accepted = ", ".join(inspect.signature(entry.build).parameters)
+        raise ValueError(
+            f"invalid parameters for filter kind {spec.kind!r}: {exc} "
+            f"(accepted: {accepted})"
+        ) from None
+    return entry.build(**params)
+
+
+def merge_filters(kind: str, filters: list) -> Any | None:
+    """Word-level union of same-config filters, or None when not mergeable."""
+    entry = registered_kind(kind)
+    if entry.merge is None:
+        return None
+    return entry.merge(list(filters))
+
+
+def filter_from_bytes(data: bytes):
+    """Rehydrate any serialized filter, dispatching on its frame kind."""
+    kind = peek_kind(data)
+    entry = _SERIAL_LOADERS.get(kind)
+    if entry is None:
+        name = KIND_NAMES.get(kind)
+        detail = f"{name!r} has no registered loader" if name else "unregistered"
+        raise SerialError(
+            f"unknown serialization kind (kind byte {kind}: {detail})"
+        )
+    return entry.from_bytes(data)
+
+
+# ----------------------------------------------------------------------
+# the "none" filter (fence pointers only: every probe answers "maybe")
+# ----------------------------------------------------------------------
+class NullFilter:
+    """The ``"none"`` kind: zero bits, every probe a sound "maybe".
+
+    Gives the no-filter baseline (fence pointers only, the paper's Fig. 9
+    floor) the same protocol surface as every real filter, including a
+    serialized form, so spec-driven stores can disable filtering without a
+    special case.
+    """
+
+    size_bits = 0
+
+    def __init__(self, n_keys: int | None = None) -> None:
+        self._num_keys = 0
+
+    def __len__(self) -> int:
+        return self._num_keys
+
+    def insert(self, key: int) -> None:
+        self._num_keys += 1
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        self._num_keys += int(np.asarray(keys).size)
+
+    def contains_point(self, key: int) -> bool:
+        return True
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(keys).size, dtype=bool)
+
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        return True
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        return np.ones(check_bounds_rows(bounds).shape[0], dtype=bool)
+
+    def to_bytes(self) -> bytes:
+        return pack_frame(KIND_NONE, {"num_keys": self._num_keys})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NullFilter":
+        header, payloads = unpack_frame(data, expect_kind=KIND_NONE)
+        if payloads:
+            raise SerialError(
+                f"none frame carries {len(payloads)} payloads, expected 0"
+            )
+        filt = cls()
+        filt._num_keys = int(header.get("num_keys", 0))
+        return filt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NullFilter(keys={self._num_keys})"
+
+
+# ----------------------------------------------------------------------
+# built-in kind factories and merge rules
+# ----------------------------------------------------------------------
+def _build_bloomrf(
+    n_keys: int,
+    bits_per_key: float = 16.0,
+    max_range: int = 1 << 40,
+    domain_bits: int = 64,
+    point_weight: float = 4.0,
+    seed: int = 0x5EED,
+) -> BloomRF:
+    return BloomRF.tuned(
+        n_keys=n_keys,
+        bits_per_key=bits_per_key,
+        max_range=max_range,
+        domain_bits=domain_bits,
+        point_weight=point_weight,
+        seed=seed,
+    )
+
+
+def _build_bloomrf_basic(
+    n_keys: int,
+    bits_per_key: float = 16.0,
+    domain_bits: int = 64,
+    delta: int = 7,
+    seed: int = 0x5EED,
+) -> BloomRF:
+    return BloomRF.basic(
+        n_keys=n_keys,
+        bits_per_key=bits_per_key,
+        domain_bits=domain_bits,
+        delta=delta,
+        seed=seed,
+    )
+
+
+def _build_bloom(
+    n_keys: int,
+    bits_per_key: float = 16.0,
+    style: str = "rocksdb",
+    num_hashes: int | None = None,
+    seed: int = 0xB10F,
+) -> BloomFilter:
+    return BloomFilter(
+        n_keys=n_keys,
+        bits_per_key=bits_per_key,
+        style=style,
+        num_hashes=num_hashes,
+        seed=seed,
+    )
+
+
+def _build_prefix_bloom(
+    n_keys: int,
+    bits_per_key: float = 16.0,
+    expected_range: int = 1 << 16,
+    domain_bits: int = 64,
+    seed: int = 0x9F1,
+) -> PrefixBloomFilter:
+    return PrefixBloomFilter.for_range(
+        n_keys=n_keys,
+        bits_per_key=bits_per_key,
+        expected_range=expected_range,
+        domain_bits=domain_bits,
+        seed=seed,
+    )
+
+
+def _build_rosetta(
+    n_keys: int,
+    bits_per_key: float = 16.0,
+    max_range: int = 1 << 16,
+    domain_bits: int = 64,
+    seed: int = 0x0E77A,
+) -> Rosetta:
+    return Rosetta.tuned(
+        n_keys=n_keys,
+        bits_per_key=bits_per_key,
+        max_range=max_range,
+        domain_bits=domain_bits,
+        seed=seed,
+    )
+
+
+def _build_surf(
+    n_keys: int | None = None,
+    bits_per_key: float | None = None,
+    suffix_mode: str = "real",
+    suffix_bits: int = 8,
+    dense_ratio: int = 64,
+    seed: int = 0x50F1,
+) -> SurfFilter:
+    # SuRF is static: the facade buffers inserts and builds the trie from
+    # the actual key set, so the expected count is irrelevant for sizing.
+    return SurfFilter(
+        bits_per_key=bits_per_key,
+        suffix_mode=suffix_mode,
+        suffix_bits=suffix_bits,
+        dense_ratio=dense_ratio,
+        seed=seed,
+    )
+
+
+def _build_cuckoo(
+    n_keys: int,
+    fingerprint_bits: int = 12,
+    load_factor: float = 0.95,
+    seed: int = 0xC0C0,
+) -> CuckooFilter:
+    return CuckooFilter(
+        n_keys=n_keys,
+        fingerprint_bits=fingerprint_bits,
+        load_factor=load_factor,
+        seed=seed,
+    )
+
+
+def _build_none(n_keys: int | None = None) -> NullFilter:
+    return NullFilter()
+
+
+def _merge_bloomrf(filters: list) -> BloomRF | None:
+    """Same-config bloomRF word union (see ``BloomRF.union_into``)."""
+    if not filters or any(not isinstance(f, BloomRF) for f in filters):
+        return None
+    if any(f.config != filters[0].config for f in filters[1:]):
+        return None
+    return BloomRF.merge(filters)
+
+
+def _merge_bloom(filters: list) -> BloomFilter | None:
+    """Same-geometry Bloom word union (see ``BloomFilter.union_into``)."""
+    if not filters or any(not isinstance(f, BloomFilter) for f in filters):
+        return None
+    head = filters[0]
+    if any(
+        (f.num_bits, f.num_hashes, f.seed)
+        != (head.num_bits, head.num_hashes, head.seed)
+        for f in filters[1:]
+    ):
+        return None
+    merged = BloomFilter(
+        n_keys=1,
+        bits_per_key=head.num_bits,
+        num_hashes=head.num_hashes,
+        seed=head.seed,
+    )
+    assert merged.num_bits == head.num_bits  # round_up(m, 64) is idempotent
+    for f in filters:
+        f.union_into(merged)
+    return merged
+
+
+register_filter(
+    "bloomrf",
+    _build_bloomrf,
+    serial_kind=KIND_BLOOMRF,
+    from_bytes=BloomRF.from_bytes,
+    merge=_merge_bloomrf,
+    description="advisor-tuned bloomRF point-range filter (Sect. 7)",
+)
+register_filter(
+    "bloomrf-basic",
+    _build_bloomrf_basic,
+    # Basic filters serialize as ordinary bloomRF frames; the "bloomrf"
+    # entry owns the KIND_BLOOMRF loader.
+    merge=_merge_bloomrf,
+    description="tuning-free basic bloomRF (Sect. 3-5)",
+)
+register_filter(
+    "bloom",
+    _build_bloom,
+    serial_kind=KIND_BLOOM,
+    from_bytes=BloomFilter.from_bytes,
+    merge=_merge_bloom,
+    description="standard Bloom filter (point probes only)",
+)
+register_filter(
+    "prefix-bloom",
+    _build_prefix_bloom,
+    serial_kind=KIND_PREFIX_BLOOM,
+    from_bytes=PrefixBloomFilter.from_bytes,
+    description="Bloom filter over fixed-length key prefixes (Fig. 9.D)",
+)
+register_filter(
+    "rosetta",
+    _build_rosetta,
+    serial_kind=KIND_ROSETTA,
+    from_bytes=Rosetta.from_bytes,
+    description="hierarchical per-level Bloom filters with doubting",
+)
+register_filter(
+    "surf",
+    _build_surf,
+    serial_kind=KIND_SURF,
+    from_bytes=SuRF.from_bytes,
+    description="fast succinct trie range filter (static; buffered facade)",
+)
+register_filter(
+    "cuckoo",
+    _build_cuckoo,
+    serial_kind=KIND_CUCKOO,
+    from_bytes=CuckooFilter.from_bytes,
+    description="cuckoo filter (point probes, deletable)",
+)
+register_filter(
+    "none",
+    _build_none,
+    serial_kind=KIND_NONE,
+    from_bytes=NullFilter.from_bytes,
+    description="no filter: fence pointers only, every probe answers maybe",
+)
+register_filter(
+    "sharded-bloomrf",
+    None,  # built via ShardedBloomRF.from_spec, not from a bare spec
+    serial_kind=KIND_SHARDED_BLOOMRF,
+    from_bytes=ShardedBloomRF.from_bytes,
+    description="keyspace-partitioned bloomRF shard set (load-only kind)",
+)
+
+
+# ----------------------------------------------------------------------
+# the standard parameter mapping (one place instead of three dispatch tables)
+# ----------------------------------------------------------------------
+def standard_spec(
+    kind: str,
+    *,
+    bits_per_key: float = 16.0,
+    max_range: int = 1 << 20,
+    seed: int | None = None,
+) -> FilterSpec:
+    """Map the shared benchmark knobs onto a kind's native parameters.
+
+    Every sweep in the paper varies the same two knobs — the space budget
+    (bits/key) and the largest expected range — whatever the filter.  This
+    is the single place that translation lives: the CLI, the bench
+    harness, and :func:`~repro.lsm.filter_policy.policy_by_name` all call
+    it, so adding a kind here makes it measurable everywhere at once.
+    """
+    registered_kind(kind)  # fail fast with the known-kinds list
+    if kind in ("bloomrf",):
+        params: dict[str, Any] = {
+            "bits_per_key": bits_per_key, "max_range": int(max_range),
+        }
+    elif kind in ("bloomrf-basic", "bloom", "surf"):
+        params = {"bits_per_key": bits_per_key}
+    elif kind == "prefix-bloom":
+        params = {
+            "bits_per_key": bits_per_key, "expected_range": int(max_range),
+        }
+    elif kind == "rosetta":
+        params = {
+            "bits_per_key": bits_per_key, "max_range": int(max_range),
+        }
+    elif kind == "cuckoo":
+        # The paper's Fig. 12.E sizing: spend ~95% of the budget on the
+        # fingerprint at the 95% target occupancy.
+        params = {
+            "fingerprint_bits": max(2, min(32, int(bits_per_key * 0.95 / 1.05)))
+        }
+    elif kind == "none":
+        return FilterSpec(kind)  # takes no parameters (not even a seed)
+    else:
+        raise ValueError(f"no standard parameter mapping for kind {kind!r}")
+    if seed is not None:
+        params["seed"] = int(seed)
+    return FilterSpec(kind, params)
+
+
+# ----------------------------------------------------------------------
+# the store facade
+# ----------------------------------------------------------------------
+def open_store(
+    path: str | None = None,
+    *,
+    filter: "FilterSpec | Any | None" = None,
+    shards: int = 1,
+    partition: str = "hash",
+    memtable_capacity: int = 1 << 16,
+    value_bytes: int = 512,
+    block_bytes: int = 4096,
+    device=None,
+    store_values: bool = False,
+    max_workers: int | None = None,
+    domain_bits: int = 64,
+) -> Store:
+    """Open a key-value store behind the one :class:`Store` interface.
+
+    ``shards=1`` returns an :class:`~repro.lsm.db.LsmDB`; ``shards>1``
+    returns a :class:`~repro.lsm.sharded.ShardedLsmDB` partitioned by
+    ``partition`` (``"hash"`` or ``"range"``).  ``filter`` selects the
+    per-SST filter blocks: a :class:`FilterSpec` (the normal path), an
+    existing policy object, or None for fence pointers only.  For
+    ``shards>1`` a sequence of specs/policies (one per shard) enables
+    per-shard filter sizing.  Answers and IOStats are identical to
+    constructing the engines directly (asserted by the bench guard).
+
+    ``path`` is reserved for the on-disk store manifest; only in-memory
+    stores (``path=None``) are implemented so far.
+    """
+    if path is not None:
+        raise NotImplementedError(
+            "open_store(path=...) is reserved for the on-disk store "
+            "manifest; only in-memory stores (path=None) exist yet"
+        )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    from repro.lsm.db import LsmDB
+    from repro.lsm.sharded import ShardedLsmDB
+
+    if shards == 1:
+        if isinstance(filter, (list, tuple)):
+            raise ValueError("per-shard filter specs require shards > 1")
+        return LsmDB(
+            policy=filter,
+            memtable_capacity=memtable_capacity,
+            value_bytes=value_bytes,
+            block_bytes=block_bytes,
+            device=device,
+            store_values=store_values,
+        )
+    return ShardedLsmDB(
+        policy=filter,
+        num_shards=shards,
+        partition=partition,
+        memtable_capacity=memtable_capacity,
+        value_bytes=value_bytes,
+        block_bytes=block_bytes,
+        device=device,
+        store_values=store_values,
+        max_workers=max_workers,
+        domain_bits=domain_bits,
+    )

@@ -15,7 +15,7 @@ from repro.baselines.cuckoo import CuckooFilter
 from repro.baselines.fence import FencePointers
 from repro.baselines.prefix_bloom import PrefixBloomFilter
 from repro.baselines.rosetta import Rosetta
-from repro.baselines.surf import SuRF
+from repro.baselines.surf import SuRF, SurfFilter
 
 __all__ = [
     "BloomFilter",
@@ -24,4 +24,5 @@ __all__ = [
     "CuckooFilter",
     "Rosetta",
     "SuRF",
+    "SurfFilter",
 ]

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro._util import round_up
+from repro._util import check_bounds_rows, round_up
 from repro.bitarray import BitArray
 from repro.hashing import double_hash_positions, double_hash_positions_array
 
@@ -116,6 +116,23 @@ class BloomFilter:
         return result
 
     __contains__ = contains_point
+
+    # ------------------------------------------------------------------
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Conservative range probe: always "maybe" (True).
+
+        A point filter cannot prune ranges — exactly the limitation that
+        motivates point-range filters (Sect. 1).  Exposed so the Bloom
+        baseline satisfies the uniform :class:`repro.api.RangeFilter`
+        protocol; the answer is sound (never a false negative).
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        return True
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk form of :meth:`contains_range`: all-True per query row."""
+        return np.ones(check_bounds_rows(bounds).shape[0], dtype=bool)
 
     # ------------------------------------------------------------------
     def union_into(self, target: "BloomFilter") -> "BloomFilter":

@@ -13,7 +13,12 @@ import math
 
 import numpy as np
 
-from repro._util import ceil_div, is_power_of_two
+from repro._util import (
+    bulk_point_eval,
+    ceil_div,
+    check_bounds_rows,
+    is_power_of_two,
+)
 from repro.hashing import splitmix64
 
 __all__ = ["CuckooFilter"]
@@ -129,6 +134,26 @@ class CuckooFilter:
 
     __contains__ = contains_point
 
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        """Bulk point probe (uniform interface; the table walk is scalar)."""
+        return bulk_point_eval(self.contains_point, keys)
+
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Conservative range probe: always "maybe" (True).
+
+        Like the Bloom baseline, a fingerprint table cannot prune ranges;
+        exposed so the cuckoo filter satisfies the uniform
+        :class:`repro.api.RangeFilter` protocol (sound, never a false
+        negative).
+        """
+        if l_key > r_key:
+            raise ValueError(f"empty query range [{l_key}, {r_key}]")
+        return True
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        """Bulk form of :meth:`contains_range`: all-True per query row."""
+        return np.ones(check_bounds_rows(bounds).shape[0], dtype=bool)
+
     def delete(self, key: int) -> bool:
         """Remove one copy of ``key``; returns whether anything was removed."""
         fp = self._fingerprint(key)
@@ -145,6 +170,55 @@ class CuckooFilter:
     def _next_random(self) -> int:
         self._rng_state = splitmix64(self._rng_state)
         return self._rng_state
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the shared framed format (see :mod:`repro.serial`).
+
+        The header carries the geometry plus the kick-RNG state (so a
+        restored filter continues the same deterministic eviction
+        sequence); the payload is the raw fingerprint table.
+        """
+        from repro import serial
+
+        return serial.pack_frame(
+            serial.KIND_CUCKOO,
+            {
+                "fingerprint_bits": self.fingerprint_bits,
+                "num_buckets": self.num_buckets,
+                "seed": self.seed,
+                "num_keys": self._num_keys,
+                "rng_state": self._rng_state,
+            },
+            self._table.tobytes(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CuckooFilter":
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_CUCKOO
+        )
+        if len(payloads) != 1:
+            raise serial.SerialError(
+                f"cuckoo frame carries {len(payloads)} payloads, expected 1"
+            )
+        filt = cls.__new__(cls)
+        filt.fingerprint_bits = int(header["fingerprint_bits"])
+        filt.num_buckets = int(header["num_buckets"])
+        filt.seed = int(header["seed"])
+        filt._num_keys = int(header["num_keys"])
+        filt._rng_state = int(header["rng_state"])
+        table = np.frombuffer(payloads[0], dtype=np.uint32)
+        if table.size != filt.num_buckets * _SLOTS_PER_BUCKET:
+            raise serial.SerialError(
+                f"cuckoo table payload holds {table.size} slots, expected "
+                f"{filt.num_buckets * _SLOTS_PER_BUCKET}"
+            )
+        filt._table = table.reshape(filt.num_buckets, _SLOTS_PER_BUCKET).copy()
+        return filt
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -45,6 +45,7 @@ class PrefixBloomFilter:
         self._bloom = BloomFilter(
             n_keys=n_keys, bits_per_key=bits_per_key, style="optimal", seed=seed
         )
+        self.last_probe_count = 0
 
     @classmethod
     def for_range(
@@ -89,29 +90,67 @@ class PrefixBloomFilter:
         prefixes = np.asarray(keys, dtype=np.uint64) >> np.uint64(self.prefix_level)
         return self._bloom.contains_point_many(prefixes)
 
-    def contains_range(self, l_key: int, r_key: int) -> tuple[bool, int]:
-        """Range probe; returns ``(answer, probes)`` — probes drive latency.
+    def contains_range(self, l_key: int, r_key: int) -> bool:
+        """Range probe; :attr:`last_probe_count` records the probes it cost.
 
         Cost is linear in the number of covering prefixes, illustrating why
         prefix BFs only suit range sizes near their fixed prefix level.
+        The probe count drives the latency analyses (like Rosetta's
+        ``last_probe_count``); the boolean answer matches the uniform
+        :class:`repro.api.RangeFilter` protocol.
         """
         if l_key > r_key:
             raise ValueError(f"empty query range [{l_key}, {r_key}]")
         p_lo, p_hi = covering_prefix_range(l_key, r_key, self.prefix_level)
         if p_hi - p_lo + 1 > _MAX_PROBES:
-            return True, 1  # beyond practical enumeration: sound "maybe"
-        probes = 0
+            self.last_probe_count = 1
+            return True  # beyond practical enumeration: sound "maybe"
+        self.last_probe_count = 0
         for prefix in range(p_lo, p_hi + 1):
-            probes += 1
+            self.last_probe_count += 1
             if self._bloom.contains_point(prefix):
-                return True, probes
-        return False, probes
+                return True
+        return False
 
     def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
         """Bulk range probe: boolean answer per ``(lo, hi)`` row."""
-        return bulk_range_eval(
-            lambda lo, hi: self.contains_range(lo, hi)[0], bounds
+        return bulk_range_eval(self.contains_range, bounds)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the shared framed format (see :mod:`repro.serial`).
+
+        The prefix level and domain ride in the header; the underlying
+        Bloom filter nests as one payload frame, so the round-trip
+        reconstructs every storage word bit for bit.
+        """
+        from repro import serial
+
+        return serial.pack_frame(
+            serial.KIND_PREFIX_BLOOM,
+            {"prefix_level": self.prefix_level, "domain_bits": self.domain_bits},
+            self._bloom.to_bytes(),
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrefixBloomFilter":
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_PREFIX_BLOOM
+        )
+        if len(payloads) != 1:
+            raise serial.SerialError(
+                f"prefix-Bloom frame carries {len(payloads)} payloads, "
+                "expected 1"
+            )
+        filt = cls.__new__(cls)
+        filt.prefix_level = int(header["prefix_level"])
+        filt.domain_bits = int(header["domain_bits"])
+        filt._bloom = BloomFilter.from_bytes(payloads[0])
+        filt.last_probe_count = 0
+        return filt
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -220,6 +220,54 @@ class Rosetta:
             return left
         return self._doubt(level - 1, (prefix << 1) | 1)
 
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the shared framed format (see :mod:`repro.serial`).
+
+        The header carries the level list and key counts; each level's
+        Bloom filter nests as one payload frame in level order, so a
+        round-trip reconstructs every per-level storage word bit for bit.
+        """
+        from repro import serial
+
+        return serial.pack_frame(
+            serial.KIND_ROSETTA,
+            {
+                "domain_bits": self.domain_bits,
+                "n_keys": self.n_keys,
+                "num_keys": self._num_keys,
+                "max_level": self.max_level,
+                "levels": self.levels,
+            },
+            *[self._filters[level].to_bytes() for level in self.levels],
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Rosetta":
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_ROSETTA
+        )
+        levels = [int(level) for level in header["levels"]]
+        if len(payloads) != len(levels):
+            raise serial.SerialError(
+                f"Rosetta frame carries {len(payloads)} payloads for "
+                f"{len(levels)} levels"
+            )
+        filt = cls.__new__(cls)
+        filt.domain_bits = int(header["domain_bits"])
+        filt.n_keys = int(header["n_keys"])
+        filt.max_level = int(header["max_level"])
+        filt._filters = {
+            level: BloomFilter.from_bytes(blob)
+            for level, blob in zip(levels, payloads)
+        }
+        filt._num_keys = int(header["num_keys"])
+        filt.last_probe_count = 0
+        return filt
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Rosetta(levels=0..{self.max_level}, bits={self.size_bits}, "

@@ -14,10 +14,11 @@ from repro.baselines.surf.builder import (
     TrieData,
     build_trie,
 )
-from repro.baselines.surf.surf import SuRF
+from repro.baselines.surf.surf import SuRF, SurfFilter
 
 __all__ = [
     "SuRF",
+    "SurfFilter",
     "RankSelectBitVector",
     "TrieData",
     "build_trie",

@@ -87,5 +87,26 @@ class RankSelectBitVector:
                 return (idx << 6) + (word & -word).bit_length() - 1
         return -1
 
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Raw little-endian storage words (for framed serialization)."""
+        return self.words.tobytes()
+
+    @classmethod
+    def from_words_bytes(cls, data: bytes, num_bits: int) -> "RankSelectBitVector":
+        """Rebuild from :meth:`to_bytes` output plus the logical bit count.
+
+        The rank/select acceleration structures are recomputed, so the
+        restored vector answers every query identically to the original.
+        """
+        words = np.frombuffer(data, dtype=np.uint64)
+        if words.size != -(-num_bits // 64):
+            raise ValueError(
+                f"bit-vector payload holds {words.size} words, expected "
+                f"{-(-num_bits // 64)} for {num_bits} bits"
+            )
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:num_bits]
+        return cls(bits)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RankSelectBitVector(bits={self.num_bits}, ones={self.num_ones})"

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import bulk_point_eval, bulk_range_eval
+from repro.baselines.surf.bitvector import RankSelectBitVector
 from repro.baselines.surf.builder import (
     SUFFIX_HASH,
     SUFFIX_NONE,
@@ -39,7 +40,7 @@ from repro.baselines.surf.builder import (
     _real_suffix,
 )
 
-__all__ = ["SuRF"]
+__all__ = ["SuRF", "SurfFilter"]
 
 _DENSE = 0
 _SPARSE = 1
@@ -507,6 +508,102 @@ class SuRF:
                     yield bytes(path), self._sparse_leaf_value(pos)
                 path.pop()
 
+    # ------------------------------------------------------------------
+    # serialization (structural: the trie itself, not the original keys)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the LOUDS-DS structure to the shared framed format.
+
+        The header carries the trie geometry and per-bitvector bit counts
+        (-1 marks an absent dense/sparse component); the payloads are the
+        raw bitvector words, the sparse label array, and the suffix
+        values.  A round-trip reconstructs every structure word bit for
+        bit — no original keys are retained, matching real SuRF blocks.
+        """
+        from repro import serial
+
+        t = self._trie
+        vectors = {
+            "d_labels": t.d_labels,
+            "d_haschild": t.d_haschild,
+            "d_leaf": t.d_leaf,
+            "d_isprefix": t.d_isprefix,
+            "s_haschild": t.s_haschild,
+            "s_louds": t.s_louds,
+        }
+        header = {
+            "num_keys": t.num_keys,
+            "num_dense_nodes": t.num_dense_nodes,
+            "num_dense_values": t.num_dense_values,
+            "dense_to_sparse": t.dense_to_sparse,
+            "cutoff_level": t.cutoff_level,
+            "suffix_mode": t.suffix_mode,
+            "suffix_bits": t.suffix_bits,
+            "seed": self._seed,
+            "bits": {
+                name: (-1 if bv is None else bv.num_bits)
+                for name, bv in vectors.items()
+            },
+        }
+        payloads = [
+            b"" if bv is None else bv.to_bytes() for bv in vectors.values()
+        ]
+        payloads.append(np.ascontiguousarray(t.s_labels, dtype=np.uint16).tobytes())
+        payloads.append(np.ascontiguousarray(t.suffixes, dtype=np.uint64).tobytes())
+        return serial.pack_frame(serial.KIND_SURF, header, *payloads)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SuRF":
+        """Reconstruct a trie serialized with :meth:`to_bytes`.
+
+        The restored filter is static (like any SuRF): it answers probes
+        identically to the original but accepts no further keys.
+        """
+        from repro import serial
+
+        header, payloads = serial.unpack_frame(
+            data, expect_kind=serial.KIND_SURF
+        )
+        names = (
+            "d_labels", "d_haschild", "d_leaf", "d_isprefix",
+            "s_haschild", "s_louds",
+        )
+        if len(payloads) != len(names) + 2:
+            raise serial.SerialError(
+                f"SuRF frame carries {len(payloads)} payloads, expected "
+                f"{len(names) + 2}"
+            )
+        bits = header["bits"]
+
+        def vector(index: int, name: str) -> RankSelectBitVector | None:
+            nbits = int(bits[name])
+            if nbits < 0:
+                return None
+            return RankSelectBitVector.from_words_bytes(payloads[index], nbits)
+
+        vectors = {name: vector(i, name) for i, name in enumerate(names)}
+        trie = TrieData(
+            num_keys=int(header["num_keys"]),
+            num_dense_nodes=int(header["num_dense_nodes"]),
+            d_labels=vectors["d_labels"],
+            d_haschild=vectors["d_haschild"],
+            d_leaf=vectors["d_leaf"],
+            d_isprefix=vectors["d_isprefix"],
+            num_dense_values=int(header["num_dense_values"]),
+            s_labels=np.frombuffer(payloads[len(names)], dtype=np.uint16).copy(),
+            s_haschild=vectors["s_haschild"],
+            s_louds=vectors["s_louds"],
+            dense_to_sparse=int(header["dense_to_sparse"]),
+            cutoff_level=int(header["cutoff_level"]),
+            suffix_mode=str(header["suffix_mode"]),
+            suffix_bits=int(header["suffix_bits"]),
+            suffixes=np.frombuffer(payloads[len(names) + 1], dtype=np.uint64).copy(),
+        )
+        surf = cls.__new__(cls)
+        surf._seed = int(header["seed"])
+        surf._trie = trie
+        return surf
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         t = self._trie
         return (
@@ -563,3 +660,124 @@ class SuRFIterator:
         while self._current is not None:
             yield self._current
             self.next()
+
+
+class SurfFilter:
+    """Online facade over the static SuRF trie (the registry's ``"surf"`` kind).
+
+    SuRF is built once from its full key set — it has no online insert.
+    This facade gives it the uniform :class:`repro.api.RangeFilter`
+    surface anyway: ``insert``/``insert_many`` buffer keys, and the trie
+    is (re)built lazily on the first probe after a mutation.  Probe
+    answers are bit-identical to building a :class:`SuRF` over the same
+    keys directly (construction is deterministic), which is what the old
+    per-filter LSM policy did.
+
+    ``bits_per_key=None`` builds with an explicit ``suffix_bits``;
+    otherwise :meth:`SuRF.tuned_uint64` picks the largest suffix length
+    that fits the budget.  ``to_bytes`` serializes the *built trie*
+    (structural, no keys retained); a frame loads back as a plain static
+    :class:`SuRF`.
+    """
+
+    def __init__(
+        self,
+        bits_per_key: float | None = None,
+        suffix_mode: str = SUFFIX_REAL,
+        suffix_bits: int = 8,
+        dense_ratio: int = 64,
+        seed: int = 0x50F1,
+    ) -> None:
+        self.bits_per_key = bits_per_key
+        self.suffix_mode = suffix_mode
+        self.suffix_bits = suffix_bits
+        self.dense_ratio = dense_ratio
+        self.seed = seed
+        self._chunks: list[np.ndarray] = []
+        self._num_keys = 0
+        self._surf: SuRF | None = None
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        self.insert_many(np.array([key], dtype=np.uint64))
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        """Buffer a key batch; the trie rebuilds on the next probe."""
+        keys = np.asarray(keys, dtype=np.uint64).ravel()
+        if keys.size == 0:
+            return
+        self._chunks.append(keys.copy())
+        self._num_keys += int(keys.size)
+        self._surf = None
+
+    def _built(self) -> SuRF:
+        if self._surf is None:
+            keys = (
+                np.concatenate(self._chunks)
+                if self._chunks
+                else np.zeros(0, dtype=np.uint64)
+            )
+            if self.bits_per_key is not None:
+                self._surf = SuRF.tuned_uint64(
+                    keys,
+                    bits_per_key=self.bits_per_key,
+                    suffix_mode=self.suffix_mode,
+                    dense_ratio=self.dense_ratio,
+                    seed=self.seed,
+                )
+            else:
+                self._surf = SuRF.from_uint64(
+                    keys,
+                    suffix_mode=self.suffix_mode,
+                    suffix_bits=self.suffix_bits,
+                    dense_ratio=self.dense_ratio,
+                    seed=self.seed,
+                )
+        return self._surf
+
+    # ------------------------------------------------------------------
+    # An empty key set has no trie (the builder refuses it) but the exact
+    # answers are trivial: nothing is stored, so every probe is False.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    def size_bits(self) -> int:
+        if self._num_keys == 0:
+            return 0
+        return self._built().size_bits
+
+    def contains_point(self, key: int | bytes) -> bool:
+        if self._num_keys == 0:
+            return False
+        return self._built().contains_point(key)
+
+    def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
+        if self._num_keys == 0:
+            return np.zeros(np.asarray(keys).size, dtype=bool)
+        return self._built().contains_point_many(keys)
+
+    __contains__ = contains_point
+
+    def contains_range(self, l_key: int | bytes, r_key: int | bytes) -> bool:
+        if self._num_keys == 0:
+            if not isinstance(l_key, bytes) and l_key > r_key:
+                raise ValueError(f"empty query range [{l_key}, {r_key}]")
+            return False
+        return self._built().contains_range(l_key, r_key)
+
+    def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
+        if self._num_keys == 0:
+            return np.zeros(np.asarray(bounds).shape[0], dtype=bool)
+        return self._built().contains_range_many(bounds)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the built trie (see :meth:`SuRF.to_bytes`)."""
+        if self._num_keys == 0:
+            raise ValueError("an empty SuRF has no serialized trie form")
+        return self._built().to_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        built = "built" if self._surf is not None else "pending"
+        return f"SurfFilter(keys={self._num_keys}, {built})"

@@ -20,8 +20,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.baselines import BloomFilter, CuckooFilter, Rosetta, SuRF
-from repro.core.bloomrf import BloomRF
+from repro.api import make_filter, standard_spec
 from repro.workloads.queries import QueryWorkload
 
 __all__ = [
@@ -75,62 +74,30 @@ def build_standalone_filter(
 ) -> FilterUnderTest:
     """Build one filter over ``keys`` in the standalone setting.
 
-    ``name``: bloomrf | bloomrf-basic | rosetta | surf | bloom | cuckoo.
+    ``name`` is any registered filter kind (see
+    :func:`repro.api.available_kinds`); the shared sweep knobs map onto
+    kind-specific parameters through :func:`repro.api.standard_spec`, and
+    construction runs through the one registry path the LSM policies and
+    the CLI use.
     """
     keys = np.asarray(keys, dtype=np.uint64)
     n = int(keys.size)
+    spec = standard_spec(
+        name, bits_per_key=bits_per_key, max_range=max_range, seed=seed
+    )
     start = time.perf_counter()
-    if name == "bloomrf":
-        filt = BloomRF.tuned(
-            n_keys=n, bits_per_key=bits_per_key, max_range=max_range, seed=seed
-        )
-        filt.insert_many(keys)
-        fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
-        )
-    elif name == "bloomrf-basic":
-        filt = BloomRF.basic(n_keys=n, bits_per_key=bits_per_key, seed=seed)
-        filt.insert_many(keys)
-        fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
-        )
-    elif name == "rosetta":
-        filt = Rosetta.tuned(
-            n_keys=n, bits_per_key=bits_per_key, max_range=max_range, seed=seed
-        )
-        filt.insert_many(keys)
-        fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
-        )
-    elif name == "surf":
-        filt = SuRF.tuned_uint64(keys, bits_per_key=bits_per_key, seed=seed)
-        fut = FilterUnderTest(
-            name, filt.contains_point, filt.contains_range, filt.size_bits, 0.0,
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
-        )
-    elif name == "bloom":
-        filt = BloomFilter(n_keys=n, bits_per_key=bits_per_key, seed=seed)
-        filt.insert_many(keys)
-        fut = FilterUnderTest(
-            name, filt.contains_point, lambda lo, hi: True, filt.size_bits, 0.0,
-            point_many=filt.contains_point_many,
-        )
-    elif name == "cuckoo":
-        fingerprint = max(2, min(32, int(bits_per_key * 0.95 / 1.05)))
-        filt = CuckooFilter(n_keys=n, fingerprint_bits=fingerprint, seed=seed)
-        filt.insert_many(keys)
-        fut = FilterUnderTest(
-            name, filt.contains_point, lambda lo, hi: True, filt.size_bits, 0.0
-        )
-    else:
-        raise ValueError(f"unknown standalone filter {name!r}")
+    filt = make_filter(spec, n_keys=max(n, 1))
+    filt.insert_many(keys)
+    size_bits = filt.size_bits  # forces lazy builders (SuRF) inside the clock
+    fut = FilterUnderTest(
+        name,
+        filt.contains_point,
+        filt.contains_range,
+        size_bits,
+        0.0,
+        range_many=filt.contains_range_many,
+        point_many=filt.contains_point_many,
+    )
     fut.build_time_s = time.perf_counter() - start
     return fut
 

@@ -28,6 +28,9 @@ def _int_ish(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.api import available_kinds
+
+    kinds = available_kinds()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="bloomRF point-range filter toolkit (EDBT 2023 reproduction)",
@@ -58,11 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument(
         "--workload", choices=("uniform", "normal", "zipfian"), default="uniform"
     )
-    measure.add_argument(
-        "--filter",
-        choices=("bloomrf", "bloomrf-basic", "rosetta", "surf", "bloom", "cuckoo"),
-        default="bloomrf",
-    )
+    measure.add_argument("--filter", choices=kinds, default="bloomrf")
     measure.add_argument("--seed", type=int, default=7)
 
     inspect = sub.add_parser("inspect", help="summarize a serialized filter")
@@ -74,8 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("--bits-per-key", type=float, default=16)
     save.add_argument("--max-range", type=_int_ish, default=1 << 20)
     save.add_argument(
-        "--filter", choices=("bloomrf", "bloom"), default="bloomrf",
-        help="which filter to build (default: bloomrf)",
+        "--filter", choices=kinds, default="bloomrf",
+        help="which registered filter kind to build (default: bloomrf)",
     )
     save.add_argument(
         "--shards", type=int, default=1,
@@ -168,12 +167,18 @@ def _cmd_measure(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    """Summarize any serialized filter, dispatching on the frame's kind."""
+    """Summarize any serialized filter, dispatching on the frame's kind.
+
+    Loading goes through the :mod:`repro.api` registry, so every
+    registered kind — bloomRF, every baseline, sharded sets — inspects
+    through this one command.
+    """
     from pathlib import Path
 
     from repro import serial
     from repro.baselines.bloom import BloomFilter
     from repro.core.bloomrf import BloomRF
+    from repro.shard import ShardedBloomRF
 
     data = Path(args.path).read_bytes()
     try:
@@ -194,7 +199,7 @@ def _cmd_inspect(args) -> int:
               f"seed={filt.seed:#x})")
         print(f"keys inserted: {len(filt)}")
         print(f"fill ratio: {filt.fill_ratio():.4f}")
-    else:  # ShardedBloomRF
+    elif isinstance(filt, ShardedBloomRF):
         with filt:
             print(filt.config.describe())
             print(f"shards: {filt.num_shards} ({filt.partition} partition)")
@@ -203,6 +208,12 @@ def _cmd_inspect(args) -> int:
             print(f"size: {filt.size_bits} bits "
                   f"({filt.size_bits / 8 / 1024:.1f} KiB across shards)")
             print(f"merged fill ratio: {filt.merge().fill_ratio():.4f}")
+    else:  # any other registered kind: generic summary
+        print(repr(filt))
+        if hasattr(filt, "__len__"):
+            print(f"keys inserted: {len(filt)}")
+        print(f"size: {filt.size_bits} bits "
+              f"({filt.size_bits / 8 / 1024:.1f} KiB)")
     return 0
 
 
@@ -211,46 +222,49 @@ def _cmd_build(args) -> int:
 
     import numpy as np
 
-    from repro.baselines.bloom import BloomFilter
-    from repro.core.bloomrf import BloomRF
+    from repro.api import make_filter, standard_spec
     from repro.shard import ShardedBloomRF
 
     if args.shards < 1:
         print("--shards must be >= 1")
         return 2
-    if args.filter == "bloom" and args.shards > 1:
+    if args.filter != "bloomrf" and args.shards > 1:
         print("--shards applies to the bloomrf filter only")
         return 2
     lines = Path(args.keyfile).read_text().split()
     keys = np.array([int(line) for line in lines], dtype=np.uint64)
-    if args.filter == "bloom":
-        filt = BloomFilter(
-            n_keys=max(int(keys.size), 1), bits_per_key=args.bits_per_key
-        )
-        filt.insert_many(keys)
-        described = repr(filt)
-    elif args.shards > 1:
-        filt = ShardedBloomRF.from_keys(
-            keys,
+    spec = standard_spec(
+        args.filter, bits_per_key=args.bits_per_key, max_range=args.max_range
+    )
+    if args.shards > 1:
+        filt = ShardedBloomRF.from_spec(
+            spec,
             num_shards=args.shards,
             partition=args.partition,
-            bits_per_key=args.bits_per_key,
-            max_range=args.max_range,
+            n_keys=max(int(keys.size), 1),
         )
+        filt.insert_many(keys)
         filt.close()
         described = (
             f"{filt.config.describe()} x {args.shards} "
             f"{args.partition}-partitioned shards"
         )
     else:
-        filt = BloomRF.tuned(
-            n_keys=max(keys.size, 1),
-            bits_per_key=args.bits_per_key,
-            max_range=args.max_range,
-        )
+        filt = make_filter(spec, n_keys=max(int(keys.size), 1))
         filt.insert_many(keys)
-        described = filt.config.describe()
-    Path(args.output).write_bytes(filt.to_bytes())
+        try:
+            filt.size_bits  # force lazy builders (SuRF) before describing
+        except ValueError as exc:
+            print(f"cannot build a {args.filter} filter: {exc}")
+            return 2
+        config = getattr(filt, "config", None)
+        described = config.describe() if config is not None else repr(filt)
+    try:
+        blob = filt.to_bytes()
+    except ValueError as exc:  # e.g. an empty SuRF has no trie to persist
+        print(f"cannot serialize the built {args.filter} filter: {exc}")
+        return 2
+    Path(args.output).write_bytes(blob)
     print(f"built {described}")
     print(f"wrote {args.output} ({filt.size_bits / 8 / 1024:.1f} KiB, "
           f"{keys.size} keys)")

@@ -12,11 +12,13 @@ from repro.lsm.filter_policy import (
     NoFilterPolicy,
     PrefixBloomPolicy,
     RosettaPolicy,
+    SpecPolicy,
     SuRFPolicy,
     handle_from_bytes,
     load_handle,
     policy_by_name,
     save_handle,
+    wrap_filter,
 )
 from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.lsm.memtable import MemTable
@@ -30,6 +32,8 @@ __all__ = [
     "SSTable",
     "IOStats",
     "SimulatedDevice",
+    "SpecPolicy",
+    "wrap_filter",
     "BloomRFPolicy",
     "BloomPolicy",
     "PrefixBloomPolicy",

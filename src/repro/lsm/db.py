@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.lsm.filter_policy import FilterPolicy, NoFilterPolicy
+from repro.api import FilterSpec
+from repro.lsm.filter_policy import FilterPolicy, coerce_policy
 from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import SSTable
@@ -26,18 +27,25 @@ __all__ = ["LsmDB"]
 
 
 class LsmDB:
-    """Minimal RocksDB-like store (L0 runs, newest first)."""
+    """Minimal RocksDB-like store (L0 runs, newest first).
+
+    ``policy`` selects the per-SST filter blocks: a
+    :class:`~repro.lsm.filter_policy.FilterPolicy` object, a
+    :class:`~repro.api.FilterSpec` (wrapped in a
+    :class:`~repro.lsm.filter_policy.SpecPolicy`), or None for fence
+    pointers only.
+    """
 
     def __init__(
         self,
-        policy: FilterPolicy | None = None,
+        policy: FilterPolicy | FilterSpec | None = None,
         memtable_capacity: int = 1 << 16,
         value_bytes: int = 512,
         block_bytes: int = 4096,
         device: SimulatedDevice | None = None,
         store_values: bool = False,
     ) -> None:
-        self.policy = policy if policy is not None else NoFilterPolicy()
+        self.policy = coerce_policy(policy)
         self.memtable = MemTable(memtable_capacity)
         self.sstables: list[SSTable] = []
         self.value_bytes = value_bytes
@@ -45,6 +53,19 @@ class LsmDB:
         self.device = device if device is not None else SimulatedDevice()
         self.store_values = store_values
         self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # lifecycle (uniform Store interface; the unsharded engine holds no
+    # worker pool, so close is a no-op)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources (no-op for the unsharded store)."""
+
+    def __enter__(self) -> "LsmDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # writes

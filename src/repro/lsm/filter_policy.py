@@ -5,42 +5,52 @@ builds one full-filter block per SST from the SST's keys, (de)serializes it,
 and answers point probes — extended here (as in the paper) with range probes
 carrying the query's lower/upper bounds.
 
-Every handle exposes bulk probe interfaces (``probe_point_many`` /
-``probe_range_many``): policies whose filter has a vectorized path wire it
-through; the rest fall back to a uniform scalar loop, so the DB's batched
-read paths work against every policy.  Policies whose filters support
-word-level union (bloomRF, Bloom) additionally expose ``merge_handles`` so
-compaction can union same-config filter blocks instead of re-hashing keys.
+Since the :mod:`repro.api` redesign there is **one** policy class:
+:class:`SpecPolicy`, driven by a :class:`~repro.api.FilterSpec`.  Every
+registered filter kind (bloomRF basic/tuned, Bloom, Prefix-Bloom, Rosetta,
+SuRF, Cuckoo, and "none") builds, serializes, deserializes, and — where the
+kind supports word-level union — merges through it, with the exact same
+:class:`FilterHandle` semantics and probe accounting the per-filter policy
+classes used to provide.  The old class names (``BloomRFPolicy``, …) remain
+importable as deprecated thin aliases for one release.
 
-Policies exist for every baseline so the same DB harness runs the whole
-comparison: bloomRF (basic/tuned), Bloom, Prefix-Bloom, Rosetta, SuRF, and
-"none" (fence pointers only).
+Every handle exposes bulk probe interfaces (``probe_point_many`` /
+``probe_range_many``): filters with a vectorized path are wired through; the
+rest fall back to a uniform scalar loop, so the DB's batched read paths work
+against every kind.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro._util import bulk_point_eval, bulk_range_eval
-from repro.baselines.bloom import BloomFilter
-from repro.baselines.prefix_bloom import PrefixBloomFilter
-from repro.baselines.rosetta import Rosetta
-from repro.baselines.surf import SuRF
-from repro.core.bloomrf import BloomRF
+from repro.api import (
+    FilterSpec,
+    filter_from_bytes,
+    make_filter,
+    merge_filters,
+    registered_kind,
+    standard_spec,
+)
 
 __all__ = [
     "FilterHandle",
     "FilterPolicy",
+    "SpecPolicy",
     "BloomRFPolicy",
     "BloomPolicy",
     "PrefixBloomPolicy",
     "RosettaPolicy",
     "SuRFPolicy",
     "NoFilterPolicy",
+    "coerce_policy",
     "policy_by_name",
+    "wrap_filter",
     "save_handle",
     "load_handle",
     "handle_from_bytes",
@@ -136,8 +146,110 @@ class _Handle:
         self.close()
 
 
-class BloomRFPolicy:
-    """bloomRF full-filter policy (advisor-tuned unless ``basic=True``)."""
+def wrap_filter(filt) -> FilterHandle:
+    """Adapt any :class:`repro.api.RangeFilter` into a :class:`FilterHandle`.
+
+    Bulk probe interfaces are wired through when the filter has them;
+    otherwise the handle falls back to the uniform scalar loop.  The
+    serialized form is the filter's own :mod:`repro.serial` frame.
+    """
+    return _Handle(
+        filt,
+        filt.contains_point,
+        filt.contains_range,
+        filt.to_bytes,
+        range_many=getattr(filt, "contains_range_many", None),
+        point_many=getattr(filt, "contains_point_many", None),
+    )
+
+
+class SpecPolicy:
+    """The one spec-driven filter policy for every registered kind.
+
+    ``SpecPolicy(FilterSpec("bloomrf", {"bits_per_key": 16}))`` or the
+    shorthand ``SpecPolicy("bloomrf", bits_per_key=16)``.  ``build`` sizes
+    the filter for the keys the SST actually holds (``n_keys`` is injected
+    per build, so per-shard and per-run sizing come for free), inserts
+    them through the kind's bulk path, and wraps the result in the uniform
+    :class:`FilterHandle`.  ``deserialize`` rehydrates any registry frame;
+    ``merge_handles`` word-unions same-config blocks for kinds that
+    support it (bloomRF, Bloom) and returns None otherwise, so compaction
+    can always fall back to rebuilding from keys.
+    """
+
+    def __init__(self, spec: FilterSpec | str, /, **params) -> None:
+        if isinstance(spec, str):
+            spec = FilterSpec(spec, params)
+        elif params:
+            raise TypeError(
+                "pass parameters either inside the FilterSpec or as keyword "
+                "arguments next to a kind string, not both"
+            )
+        if not isinstance(spec, FilterSpec):
+            raise TypeError(
+                f"SpecPolicy needs a FilterSpec or a kind string, got "
+                f"{type(spec).__name__}"
+            )
+        if registered_kind(spec.kind).build is None:
+            raise ValueError(
+                f"filter kind {spec.kind!r} cannot back an SST filter policy"
+            )
+        self.spec = spec
+        self.name = spec.kind
+
+    def build(self, keys: np.ndarray) -> FilterHandle:
+        keys = np.asarray(keys, dtype=np.uint64)
+        filt = make_filter(self.spec, n_keys=max(int(keys.size), 1))
+        filt.insert_many(keys)
+        return wrap_filter(filt)
+
+    def deserialize(self, data: bytes) -> FilterHandle:
+        return handle_from_bytes(data)
+
+    def merge_handles(
+        self, handles: Sequence[FilterHandle]
+    ) -> FilterHandle | None:
+        """Union same-config filter blocks into one (compaction fast path).
+
+        Returns None when the blocks are not mergeable — the kind has no
+        word-level union, or the configs differ (e.g. runs of different
+        sizes were tuned differently) — in which case the caller rebuilds
+        from keys.  The union indexes every key any operand indexed, so it
+        stays sound for the merged run (it may keep bits of dropped
+        versions — a few extra false positives, never a false negative).
+        """
+        filters = [getattr(handle, "_filter", None) for handle in handles]
+        if not filters or any(f is None for f in filters):
+            return None
+        merged = merge_filters(self.spec.kind, filters)
+        return wrap_filter(merged) if merged is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpecPolicy({self.spec!r})"
+
+
+def coerce_policy(policy) -> FilterPolicy:
+    """Normalize a policy argument: spec -> SpecPolicy, None -> "none"."""
+    if policy is None:
+        return SpecPolicy("none")
+    if isinstance(policy, FilterSpec):
+        return SpecPolicy(policy)
+    return policy
+
+
+# ----------------------------------------------------------------------
+# deprecated per-filter policy aliases (one release of compatibility)
+# ----------------------------------------------------------------------
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class BloomRFPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("bloomrf", ...)``."""
 
     def __init__(
         self,
@@ -146,187 +258,60 @@ class BloomRFPolicy:
         basic: bool = False,
         seed: int = 0x5EED,
     ) -> None:
-        self.bits_per_key = bits_per_key
-        self.max_range = max_range
-        self.basic = basic
-        self.seed = seed
-        self.name = f"bloomRF{'-basic' if basic else ''}"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        n = max(int(keys.size), 1)
-        if self.basic:
-            filt = BloomRF.basic(
-                n_keys=n, bits_per_key=self.bits_per_key, seed=self.seed
+        _warn_deprecated("BloomRFPolicy", "SpecPolicy('bloomrf', ...)")
+        if basic:
+            super().__init__(
+                "bloomrf-basic", bits_per_key=bits_per_key, seed=seed
             )
         else:
-            filt = BloomRF.tuned(
-                n_keys=n,
-                bits_per_key=self.bits_per_key,
-                max_range=self.max_range,
-                seed=self.seed,
+            super().__init__(
+                "bloomrf",
+                bits_per_key=bits_per_key,
+                max_range=max_range,
+                seed=seed,
             )
-        filt.insert_many(np.asarray(keys, dtype=np.uint64))
-        return self._wrap(filt)
-
-    def deserialize(self, data: bytes) -> FilterHandle:
-        return self._wrap(BloomRF.from_bytes(data))
-
-    @staticmethod
-    def merge_handles(handles: Sequence[FilterHandle]) -> FilterHandle | None:
-        """Union same-config filter blocks into one (compaction fast path).
-
-        Returns None when the blocks are not mergeable (different configs —
-        e.g. runs of different sizes were tuned differently), in which case
-        the caller rebuilds from keys.  The union indexes every key any
-        operand indexed, so it stays sound for the merged run (it may keep
-        bits of dropped versions — a few extra false positives, never a
-        false negative).
-        """
-        filters = [getattr(h, "_filter", None) for h in handles]
-        if not filters or any(not isinstance(f, BloomRF) for f in filters):
-            return None
-        if any(f.config != filters[0].config for f in filters[1:]):
-            return None
-        return BloomRFPolicy._wrap(BloomRF.merge(filters))
-
-    @staticmethod
-    def _wrap(filt: BloomRF) -> FilterHandle:
-        return _Handle(
-            filt,
-            filt.contains_point,
-            filt.contains_range,
-            filt.to_bytes,
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
-        )
 
 
-class BloomPolicy:
-    """Standard RocksDB-style Bloom filter (point probes only).
-
-    Range probes conservatively answer True — a BF cannot prune ranges,
-    which is exactly the paper's motivation for point-range filters.
-    """
+class BloomPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("bloom", ...)``."""
 
     def __init__(self, bits_per_key: float, seed: int = 0xB10F) -> None:
-        self.bits_per_key = bits_per_key
-        self.seed = seed
-        self.name = "bloom"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        filt = BloomFilter(
-            n_keys=max(int(keys.size), 1),
-            bits_per_key=self.bits_per_key,
-            seed=self.seed,
-        )
-        filt.insert_many(np.asarray(keys, dtype=np.uint64))
-        return self._wrap(filt)
-
-    def deserialize(self, data: bytes) -> FilterHandle:
-        return self._wrap(BloomFilter.from_bytes(data))
-
-    @staticmethod
-    def merge_handles(handles: Sequence[FilterHandle]) -> FilterHandle | None:
-        """Union same-geometry Bloom blocks (see BloomRFPolicy.merge_handles)."""
-        filters = [getattr(h, "_filter", None) for h in handles]
-        if not filters or any(not isinstance(f, BloomFilter) for f in filters):
-            return None
-        head = filters[0]
-        if any(
-            (f.num_bits, f.num_hashes, f.seed)
-            != (head.num_bits, head.num_hashes, head.seed)
-            for f in filters[1:]
-        ):
-            return None
-        merged = BloomFilter(
-            n_keys=1,
-            bits_per_key=head.num_bits,
-            num_hashes=head.num_hashes,
-            seed=head.seed,
-        )
-        assert merged.num_bits == head.num_bits  # round_up(m, 64) is idempotent
-        for f in filters:
-            f.union_into(merged)
-        return BloomPolicy._wrap(merged)
-
-    @staticmethod
-    def _wrap(filt: BloomFilter) -> FilterHandle:
-        return _Handle(
-            filt,
-            filt.contains_point,
-            lambda lo, hi: True,
-            filt.to_bytes,
-            range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
-            point_many=filt.contains_point_many,
-        )
+        _warn_deprecated("BloomPolicy", "SpecPolicy('bloom', ...)")
+        super().__init__("bloom", bits_per_key=bits_per_key, seed=seed)
 
 
-class PrefixBloomPolicy:
-    """Prefix-BF policy (Fig. 9.D baseline)."""
+class PrefixBloomPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("prefix-bloom", ...)``."""
 
     def __init__(
         self, bits_per_key: float, expected_range: int, seed: int = 0x9F1
     ) -> None:
-        self.bits_per_key = bits_per_key
-        self.expected_range = expected_range
-        self.seed = seed
-        self.name = "prefix-bloom"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        filt = PrefixBloomFilter.for_range(
-            n_keys=max(int(keys.size), 1),
-            bits_per_key=self.bits_per_key,
-            expected_range=self.expected_range,
-            seed=self.seed,
-        )
-        filt.insert_many(np.asarray(keys, dtype=np.uint64))
-        return _Handle(
-            filt,
-            filt.contains_point,
-            lambda lo, hi: filt.contains_range(lo, hi)[0],
-            lambda: b"",
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
+        _warn_deprecated("PrefixBloomPolicy", "SpecPolicy('prefix-bloom', ...)")
+        super().__init__(
+            "prefix-bloom",
+            bits_per_key=bits_per_key,
+            expected_range=expected_range,
+            seed=seed,
         )
 
-    def deserialize(self, data: bytes) -> FilterHandle:
-        raise NotImplementedError("prefix-BF serialization is not persisted")
 
-
-class RosettaPolicy:
-    """Rosetta policy (budget-tuned variant)."""
+class RosettaPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("rosetta", ...)``."""
 
     def __init__(
         self, bits_per_key: float, max_range: int, seed: int = 0x0E77A
     ) -> None:
-        self.bits_per_key = bits_per_key
-        self.max_range = max_range
-        self.seed = seed
-        self.name = "rosetta"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        filt = Rosetta.tuned(
-            n_keys=max(int(keys.size), 1),
-            bits_per_key=self.bits_per_key,
-            max_range=self.max_range,
-            seed=self.seed,
-        )
-        filt.insert_many(np.asarray(keys, dtype=np.uint64))
-        return _Handle(
-            filt,
-            filt.contains_point,
-            filt.contains_range,
-            lambda: b"",
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
+        _warn_deprecated("RosettaPolicy", "SpecPolicy('rosetta', ...)")
+        super().__init__(
+            "rosetta",
+            bits_per_key=bits_per_key,
+            max_range=max_range,
+            seed=seed,
         )
 
-    def deserialize(self, data: bytes) -> FilterHandle:
-        raise NotImplementedError("Rosetta serialization is not persisted")
 
-
-class SuRFPolicy:
-    """SuRF policy (suffix length tuned to the budget)."""
+class SuRFPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("surf", ...)``."""
 
     def __init__(
         self,
@@ -334,64 +319,28 @@ class SuRFPolicy:
         suffix_mode: str = "real",
         seed: int = 0x50F1,
     ) -> None:
-        self.bits_per_key = bits_per_key
-        self.suffix_mode = suffix_mode
-        self.seed = seed
-        self.name = "surf"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        filt = SuRF.tuned_uint64(
-            np.asarray(keys, dtype=np.uint64),
-            bits_per_key=self.bits_per_key,
-            suffix_mode=self.suffix_mode,
-            seed=self.seed,
-        )
-        return _Handle(
-            filt,
-            filt.contains_point,
-            filt.contains_range,
-            lambda: b"",
-            range_many=filt.contains_range_many,
-            point_many=filt.contains_point_many,
+        _warn_deprecated("SuRFPolicy", "SpecPolicy('surf', ...)")
+        super().__init__(
+            "surf",
+            bits_per_key=bits_per_key,
+            suffix_mode=suffix_mode,
+            seed=seed,
         )
 
-    def deserialize(self, data: bytes) -> FilterHandle:
-        raise NotImplementedError("SuRF serialization is not persisted")
 
+class NoFilterPolicy(SpecPolicy):
+    """Deprecated: use ``SpecPolicy("none")``."""
 
-class NoFilterPolicy:
-    """Fence pointers only — every probe answers 'maybe'."""
-
-    name = "none"
-
-    def build(self, keys: np.ndarray) -> FilterHandle:
-        return _Handle(
-            _ZeroSize(),
-            lambda key: True,
-            lambda lo, hi: True,
-            lambda: b"",
-            range_many=lambda bounds: np.ones(len(bounds), dtype=bool),
-            point_many=lambda keys: np.ones(len(keys), dtype=bool),
-        )
-
-    def deserialize(self, data: bytes) -> FilterHandle:
-        return self.build(np.empty(0, dtype=np.uint64))
-
-
-class _ZeroSize:
-    size_bits = 0
+    def __init__(self) -> None:
+        _warn_deprecated("NoFilterPolicy", "SpecPolicy('none')")
+        super().__init__("none")
 
 
 # ----------------------------------------------------------------------
 # handle-level persistence (SST filter blocks on disk)
 # ----------------------------------------------------------------------
 def save_handle(handle: FilterHandle, path: str | Path) -> Path:
-    """Write a built filter block to ``path`` in the framed format.
-
-    Only policies with a persisted format (bloomRF, Bloom, sharded
-    bloomRF) produce loadable blocks; the rest serialize to an empty
-    string, which is rejected here rather than written as a 0-byte file.
-    """
+    """Write a built filter block to ``path`` in the framed format."""
     data = handle.serialize()
     if not data:
         raise ValueError(
@@ -405,30 +354,13 @@ def save_handle(handle: FilterHandle, path: str | Path) -> Path:
 def handle_from_bytes(data: bytes) -> FilterHandle:
     """Rehydrate a serialized filter block into a probe-ready handle.
 
-    Dispatches on the frame's kind (see :mod:`repro.serial`), so one loader
-    serves bloomRF, Bloom, and sharded-bloomRF blocks — the reader side of
-    RocksDB's ``FilterPolicy`` contract where a block is handed back as raw
-    bytes and must answer probes again.
+    Dispatches through the :mod:`repro.api` registry, so one loader serves
+    every registered kind — the reader side of RocksDB's ``FilterPolicy``
+    contract where a block is handed back as raw bytes and must answer
+    probes again.  A sharded block owns a worker pool: call ``close()`` on
+    the handle (or use it as a context manager) when done.
     """
-    from repro import serial
-
-    filt = serial.load_filter(data)
-    if isinstance(filt, BloomRF):
-        return BloomRFPolicy._wrap(filt)
-    if isinstance(filt, BloomFilter):
-        return BloomPolicy._wrap(filt)
-    # ShardedBloomRF exposes the same probe surface as BloomRF, so the
-    # generic adapter serves it directly.  A sharded block owns a worker
-    # pool: call ``close()`` on the handle (or use it as a context
-    # manager) when done, exactly like the filter itself.
-    return _Handle(
-        filt,
-        filt.contains_point,
-        filt.contains_range,
-        filt.to_bytes,
-        range_many=filt.contains_range_many,
-        point_many=filt.contains_point_many,
-    )
+    return wrap_filter(filter_from_bytes(data))
 
 
 def load_handle(path: str | Path) -> FilterHandle:
@@ -438,20 +370,14 @@ def load_handle(path: str | Path) -> FilterHandle:
 
 def policy_by_name(
     name: str, bits_per_key: float, max_range: int, seed: int | None = None
-) -> FilterPolicy:
-    """Factory used by the benchmark harness."""
-    if name == "bloomrf":
-        return BloomRFPolicy(bits_per_key, max_range=max_range)
-    if name == "bloomrf-basic":
-        return BloomRFPolicy(bits_per_key, max_range=max_range, basic=True)
-    if name == "bloom":
-        return BloomPolicy(bits_per_key)
-    if name == "prefix-bloom":
-        return PrefixBloomPolicy(bits_per_key, expected_range=max_range)
-    if name == "rosetta":
-        return RosettaPolicy(bits_per_key, max_range=max_range)
-    if name == "surf":
-        return SuRFPolicy(bits_per_key)
-    if name == "none":
-        return NoFilterPolicy()
-    raise ValueError(f"unknown filter policy {name!r}")
+) -> SpecPolicy:
+    """Factory used by the benchmark harness and CLI.
+
+    Maps the shared sweep knobs onto the kind's native parameters through
+    :func:`repro.api.standard_spec` — every registered kind is accepted.
+    """
+    return SpecPolicy(
+        standard_spec(
+            name, bits_per_key=bits_per_key, max_range=max_range, seed=seed
+        )
+    )

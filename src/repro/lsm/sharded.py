@@ -44,10 +44,13 @@ worker pool deterministically, exactly like :class:`ShardedBloomRF`.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.api import FilterSpec
 from repro.lsm.db import LsmDB
-from repro.lsm.filter_policy import FilterPolicy
+from repro.lsm.filter_policy import FilterPolicy, coerce_policy
 from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.parallel import (
     ShardPool,
@@ -60,12 +63,34 @@ from repro.parallel import (
 __all__ = ["ShardedLsmDB"]
 
 
+def _coerce_shard_policies(policy, num_shards: int) -> list:
+    """Per-shard policy list from one policy/spec or a sequence of them.
+
+    A single policy/spec/None is shared by every shard (the policies are
+    stateless builders).  A sequence supplies one entry per shard —
+    per-shard filter configuration (e.g. more bits/key on a hot shard),
+    the ROADMAP's "per-shard config sizing" direction.
+    """
+    if isinstance(policy, (list, tuple)):
+        if len(policy) != num_shards:
+            raise ValueError(
+                f"got {len(policy)} per-shard policies for {num_shards} shards"
+            )
+        return [coerce_policy(p) for p in policy]
+    return [coerce_policy(policy)] * num_shards
+
+
 class ShardedLsmDB:
-    """N per-shard :class:`LsmDB` engines behind the one-store batch API."""
+    """N per-shard :class:`LsmDB` engines behind the one-store batch API.
+
+    ``policy`` accepts everything :class:`LsmDB` does — a policy object, a
+    :class:`~repro.api.FilterSpec`, or None — plus a sequence of those
+    (one per shard) for per-shard filter sizing.
+    """
 
     def __init__(
         self,
-        policy: FilterPolicy | None = None,
+        policy: FilterPolicy | FilterSpec | Sequence | None = None,
         num_shards: int = 4,
         partition: str = "hash",
         memtable_capacity: int = 1 << 16,
@@ -80,20 +105,21 @@ class ShardedLsmDB:
         self.num_shards = num_shards
         self.partition = partition
         self.device = device if device is not None else SimulatedDevice()
+        policies = _coerce_shard_policies(policy, num_shards)
         # ``memtable_capacity`` is per shard: each shard flushes after its
         # own ``capacity`` writes, so a sharded store builds N interleaved
         # sequences of same-size runs (each run's filter is sized for the
         # keys it actually holds — per-shard sizing for free).
         self.shards: list[LsmDB] = [
             LsmDB(
-                policy=policy,
+                policy=policies[shard],
                 memtable_capacity=memtable_capacity,
                 value_bytes=value_bytes,
                 block_bytes=block_bytes,
                 device=self.device,
                 store_values=store_values,
             )
-            for _ in range(num_shards)
+            for shard in range(num_shards)
         ]
         self.store_values = store_values
         self._pool = ShardPool(

@@ -4,9 +4,12 @@ The paper's Sect. 9 integration persists every filter as an SST *filter
 block*: a self-describing byte string the DB can write at flush time and
 deserialize on read.  This module defines that format once for the whole
 package — a single framed layout shared by :class:`~repro.core.bloomrf.BloomRF`,
-the Bloom baseline, and :class:`~repro.shard.ShardedBloomRF` shard sets —
+every baseline filter (Bloom, Prefix-Bloom, Rosetta, SuRF, Cuckoo, and the
+"none" placeholder), and :class:`~repro.shard.ShardedBloomRF` shard sets —
 so every serialized artifact starts with the same versioned magic and fails
-loudly (never silently mis-answers) on corruption or version skew.
+loudly (never silently mis-answers) on corruption or version skew.  All
+frame-level failures raise :class:`SerialError` (a :class:`ValueError`
+subclass) whose message names the offending kind byte where relevant.
 
 Frame layout (all integers little-endian)::
 
@@ -35,9 +38,15 @@ import json
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
+    "SerialError",
     "KIND_BLOOMRF",
     "KIND_BLOOM",
     "KIND_SHARDED_BLOOMRF",
+    "KIND_PREFIX_BLOOM",
+    "KIND_ROSETTA",
+    "KIND_SURF",
+    "KIND_CUCKOO",
+    "KIND_NONE",
     "KIND_NAMES",
     "pack_frame",
     "unpack_frame",
@@ -52,12 +61,32 @@ FORMAT_VERSION = 1
 KIND_BLOOMRF = 1
 KIND_BLOOM = 2
 KIND_SHARDED_BLOOMRF = 3
+KIND_PREFIX_BLOOM = 4
+KIND_ROSETTA = 5
+KIND_SURF = 6
+KIND_CUCKOO = 7
+KIND_NONE = 8
 
 KIND_NAMES = {
     KIND_BLOOMRF: "bloomrf",
     KIND_BLOOM: "bloom",
     KIND_SHARDED_BLOOMRF: "sharded-bloomrf",
+    KIND_PREFIX_BLOOM: "prefix-bloom",
+    KIND_ROSETTA: "rosetta",
+    KIND_SURF: "surf",
+    KIND_CUCKOO: "cuckoo",
+    KIND_NONE: "none",
 }
+
+
+class SerialError(ValueError):
+    """A serialized filter frame is corrupt, truncated, or of the wrong kind.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handlers keep working; new code should catch :class:`SerialError` to
+    distinguish frame problems from ordinary argument errors.
+    """
+
 
 _PREFIX_LEN = 12  # magic + version + kind + header length
 
@@ -65,7 +94,7 @@ _PREFIX_LEN = 12  # magic + version + kind + header length
 def pack_frame(kind: int, header: dict, *payloads: bytes) -> bytes:
     """Assemble one frame: magic, version, kind, JSON header, payloads."""
     if kind not in KIND_NAMES:
-        raise ValueError(f"unknown serialization kind {kind}")
+        raise SerialError(f"unknown serialization kind {kind}")
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
     parts = [
         MAGIC,
@@ -83,7 +112,7 @@ def pack_frame(kind: int, header: dict, *payloads: bytes) -> bytes:
 
 def _take(data: bytes, cursor: int, size: int, what: str) -> tuple[bytes, int]:
     if cursor + size > len(data):
-        raise ValueError(
+        raise SerialError(
             f"truncated filter frame: expected {size} more bytes for {what}, "
             f"have {len(data) - cursor}"
         )
@@ -95,14 +124,15 @@ def unpack_frame(
 ) -> tuple[dict, list[bytes]]:
     """Parse a frame back into ``(header, payloads)``.
 
-    Raises :class:`ValueError` on a bad magic, an unsupported format
+    Raises :class:`SerialError` on a bad magic, an unsupported format
     version, a kind mismatch, truncation, or a malformed header.
     """
     kind, header, payloads = _unpack_any(data)
     if expect_kind is not None and kind != expect_kind:
-        raise ValueError(
-            f"serialized object is a {KIND_NAMES.get(kind, kind)!r} frame, "
-            f"expected {KIND_NAMES[expect_kind]!r}"
+        raise SerialError(
+            f"serialized object is a {KIND_NAMES.get(kind, kind)!r} frame "
+            f"(kind byte {kind}), expected {KIND_NAMES[expect_kind]!r} "
+            f"(kind byte {expect_kind})"
         )
     return header, payloads
 
@@ -116,13 +146,13 @@ def peek_kind(data: bytes) -> int:
 
 def _check_prefix(prefix: bytes) -> None:
     if prefix[:4] != MAGIC:
-        raise ValueError(
+        raise SerialError(
             f"not a serialized repro filter (bad magic {prefix[:4]!r}, "
             f"expected {MAGIC!r})"
         )
     version = int.from_bytes(prefix[4:6], "little")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise SerialError(
             f"unsupported filter format version {version} "
             f"(this build reads version {FORMAT_VERSION})"
         )
@@ -133,15 +163,15 @@ def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
     _check_prefix(prefix)
     kind = int.from_bytes(prefix[6:8], "little")
     if kind not in KIND_NAMES:
-        raise ValueError(f"unknown serialization kind {kind}")
+        raise SerialError(f"unknown serialization kind (kind byte {kind})")
     header_len = int.from_bytes(prefix[8:12], "little")
     header_bytes, cursor = _take(data, cursor, header_len, "header")
     try:
         header = json.loads(header_bytes.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ValueError(f"corrupt filter frame header: {exc}") from exc
+        raise SerialError(f"corrupt filter frame header: {exc}") from exc
     if not isinstance(header, dict):
-        raise ValueError("corrupt filter frame header: not a JSON object")
+        raise SerialError("corrupt filter frame header: not a JSON object")
     count_bytes, cursor = _take(data, cursor, 4, "payload count")
     payloads = []
     for i in range(int.from_bytes(count_bytes, "little")):
@@ -151,35 +181,31 @@ def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
         )
         payloads.append(payload)
     if cursor != len(data):
-        raise ValueError(
+        raise SerialError(
             f"trailing garbage after filter frame ({len(data) - cursor} bytes)"
         )
     return kind, header, payloads
 
 
 # ----------------------------------------------------------------------
-# kind dispatch (lazy imports keep this module free of filter deps)
+# kind dispatch (through the repro.api registry; lazy imports keep this
+# module free of filter dependencies)
 # ----------------------------------------------------------------------
 def dump_filter(filt) -> bytes:
     """Serialize any supported filter object to its framed bytes."""
-    from repro.baselines.bloom import BloomFilter
-    from repro.core.bloomrf import BloomRF
-    from repro.shard import ShardedBloomRF
-
-    if isinstance(filt, (BloomRF, BloomFilter, ShardedBloomRF)):
-        return filt.to_bytes()
-    raise TypeError(f"cannot serialize {type(filt).__name__} objects")
+    to_bytes = getattr(filt, "to_bytes", None)
+    if to_bytes is None:
+        raise TypeError(f"cannot serialize {type(filt).__name__} objects")
+    return to_bytes()
 
 
 def load_filter(data: bytes):
-    """Reconstruct whatever filter a frame holds, dispatching on its kind."""
-    from repro.baselines.bloom import BloomFilter
-    from repro.core.bloomrf import BloomRF
-    from repro.shard import ShardedBloomRF
+    """Reconstruct whatever filter a frame holds, dispatching on its kind.
 
-    kind = peek_kind(data)
-    if kind == KIND_BLOOMRF:
-        return BloomRF.from_bytes(data)
-    if kind == KIND_BLOOM:
-        return BloomFilter.from_bytes(data)
-    return ShardedBloomRF.from_bytes(data)
+    Dispatch goes through the :mod:`repro.api` registry, so every
+    registered kind — core bloomRF, every baseline, sharded sets — loads
+    through this one entry point.
+    """
+    from repro.api import filter_from_bytes
+
+    return filter_from_bytes(data)

@@ -360,6 +360,57 @@ class ShardedBloomRF:
         return sharded
 
     @classmethod
+    def from_spec(
+        cls,
+        spec,
+        num_shards: int,
+        partition: str = "hash",
+        n_keys: int | None = None,
+        per_shard_sizing: bool = False,
+        max_workers: int | None = None,
+    ) -> "ShardedBloomRF":
+        """Build an empty shard set from a :class:`~repro.api.FilterSpec`.
+
+        The spec must describe a bloomRF kind (``"bloomrf"`` /
+        ``"bloomrf-basic"``); its tuned config becomes the shared shard
+        config.  ``n_keys`` (argument or spec param) sizes the tuning:
+
+        * ``per_shard_sizing=False`` (default) — tune for the *total* key
+          count; :meth:`merge` then reproduces the unsharded filter bit
+          for bit, at the price of ``num_shards`` full-size shards.
+        * ``per_shard_sizing=True`` — tune for each shard's ``1/N`` share
+          (space-neutral sharding): every shard still shares one config,
+          so cross-shard dispatch and :meth:`merge` keep working, but the
+          merged filter is a *different* (smaller) geometry than the
+          unsharded one tuned for all keys.
+        """
+        import math
+
+        from repro.api import make_filter
+
+        total = n_keys if n_keys is not None else spec.params.get("n_keys")
+        if total is None:
+            raise ValueError(
+                "from_spec needs n_keys (argument or spec param) to size "
+                "the shard config"
+            )
+        sized = (
+            math.ceil(int(total) / num_shards) if per_shard_sizing else int(total)
+        )
+        template = make_filter(spec.with_params(n_keys=max(sized, 1)))
+        if not isinstance(template, BloomRF):
+            raise TypeError(
+                "ShardedBloomRF shards must be bloomRF filters, got kind "
+                f"{spec.kind!r}"
+            )
+        return cls(
+            template.config,
+            num_shards,
+            partition=partition,
+            max_workers=max_workers,
+        )
+
+    @classmethod
     def from_keys(
         cls,
         keys: np.ndarray,

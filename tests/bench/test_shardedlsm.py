@@ -43,5 +43,6 @@ def test_quick_mode_sharded_exact_and_fast(tmp_path):
     assert result["bit_identical"] is True
     assert result["stats_merged_identical"] is True
     assert result["serialization_roundtrip_bit_exact"] is True
+    assert result["open_store_matches_direct"] is True
     shard_counts = [row["num_shards"] for row in result["sharded"]]
     assert 4 in shard_counts and 1 in shard_counts

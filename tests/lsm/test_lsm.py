@@ -6,16 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lsm import (
-    BloomPolicy,
-    BloomRFPolicy,
     IOStats,
     LsmDB,
     MemTable,
-    NoFilterPolicy,
-    RosettaPolicy,
     SimulatedDevice,
+    SpecPolicy,
     SSTable,
-    SuRFPolicy,
     policy_by_name,
 )
 
@@ -86,15 +82,15 @@ class TestSSTable:
     def make(self, keys=None, policy=None):
         if keys is None:
             keys = np.arange(0, 100_000, 37, dtype=np.uint64)
-        return SSTable(keys, policy=policy or BloomRFPolicy(bits_per_key=14))
+        return SSTable(keys, policy=policy or SpecPolicy("bloomrf", bits_per_key=14))
 
     def test_rejects_unsorted(self):
         with pytest.raises(ValueError):
-            SSTable(np.array([3, 1], dtype=np.uint64), policy=NoFilterPolicy())
+            SSTable(np.array([3, 1], dtype=np.uint64), policy=SpecPolicy("none"))
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
-            SSTable(np.array([], dtype=np.uint64), policy=NoFilterPolicy())
+            SSTable(np.array([], dtype=np.uint64), policy=SpecPolicy("none"))
 
     def test_block_layout(self):
         sst = self.make()
@@ -123,7 +119,7 @@ class TestSSTable:
         keys = np.array([10, 20, 30], dtype=np.uint64)
         sst = SSTable(
             keys,
-            policy=BloomRFPolicy(bits_per_key=14),
+            policy=SpecPolicy("bloomrf", bits_per_key=14),
             values=[b"a", b"b", b"c"],
             tombstones=np.array([False, True, False]),
         )
@@ -137,7 +133,7 @@ class TestSSTable:
     def test_rejects_misaligned_values(self):
         keys = np.array([1, 2], dtype=np.uint64)
         with pytest.raises(ValueError):
-            SSTable(keys, policy=NoFilterPolicy(), values=[b"only-one"])
+            SSTable(keys, policy=SpecPolicy("none"), values=[b"only-one"])
 
     def test_scan(self):
         sst = self.make()
@@ -159,7 +155,7 @@ class TestLsmDB:
             keys = rng.permutation(
                 np.unique(rng.integers(0, 1 << 64, 20_000, dtype=np.uint64))
             )
-        db = LsmDB(policy=policy or BloomRFPolicy(bits_per_key=16))
+        db = LsmDB(policy=policy or SpecPolicy("bloomrf", bits_per_key=16))
         db.bulk_load(keys, num_sstables=num_sstables)
         return db, np.sort(keys)
 
@@ -183,7 +179,7 @@ class TestLsmDB:
             assert db.scan_nonempty(lo, hi) == truly
 
     def test_memtable_path(self):
-        db = LsmDB(policy=BloomRFPolicy(bits_per_key=12), memtable_capacity=100)
+        db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=12), memtable_capacity=100)
         for key in range(50):
             db.put(key)
         assert db.get(25)
@@ -215,8 +211,8 @@ class TestLsmDB:
         probes = empty_point_queries(keys, 300, seed=4)
         blocks = {}
         for name, policy in (
-            ("none", NoFilterPolicy()),
-            ("bloomrf", BloomRFPolicy(bits_per_key=16)),
+            ("none", SpecPolicy("none")),
+            ("bloomrf", SpecPolicy("bloomrf", bits_per_key=16)),
         ):
             db = LsmDB(policy=policy)
             db.bulk_load(keys, num_sstables=4)
@@ -285,11 +281,11 @@ class TestPolicies:
     @pytest.mark.parametrize(
         "policy",
         [
-            BloomRFPolicy(bits_per_key=14),
-            BloomRFPolicy(bits_per_key=14, basic=True),
-            BloomPolicy(bits_per_key=14),
-            RosettaPolicy(bits_per_key=14, max_range=1 << 10),
-            SuRFPolicy(bits_per_key=14),
+            SpecPolicy("bloomrf", bits_per_key=14),
+            SpecPolicy("bloomrf-basic", bits_per_key=14),
+            SpecPolicy("bloom", bits_per_key=14),
+            SpecPolicy("rosetta", bits_per_key=14, max_range=1 << 10),
+            SpecPolicy("surf", bits_per_key=14),
         ],
         ids=lambda p: p.name,
     )
@@ -304,7 +300,7 @@ class TestPolicies:
         assert handle.size_bits >= 0
 
     def test_bloomrf_policy_serialization(self):
-        policy = BloomRFPolicy(bits_per_key=14)
+        policy = SpecPolicy("bloomrf", bits_per_key=14)
         keys = np.arange(0, 5_000, 7, dtype=np.uint64)
         handle = policy.build(keys)
         restored = policy.deserialize(handle.serialize())
@@ -318,7 +314,7 @@ class TestKvSemantics:
 
     def make_db(self):
         return LsmDB(
-            policy=BloomRFPolicy(bits_per_key=14),
+            policy=SpecPolicy("bloomrf", bits_per_key=14),
             memtable_capacity=64,
             store_values=True,
         )
@@ -411,7 +407,7 @@ class TestKvSemantics:
     @settings(max_examples=40, deadline=None)
     def test_reference_model(self, operations):
         db = LsmDB(
-            policy=BloomRFPolicy(bits_per_key=12),
+            policy=SpecPolicy("bloomrf", bits_per_key=12),
             memtable_capacity=16,
             store_values=True,
         )
@@ -476,14 +472,14 @@ class TestBatchedScans:
         assert batch_stats.blocks_read == scalar_stats.blocks_read
 
     def test_scan_may_contain_is_sound(self):
-        db, keys = self.build_db(BloomRFPolicy(bits_per_key=16))
+        db, keys = self.build_db(SpecPolicy("bloomrf", bits_per_key=16))
         bounds = self.mixed_bounds(keys)
         may = db.scan_may_contain(bounds)
         truth = db.scan_nonempty_many(bounds)
         assert np.all(may[truth]), "may-contain must never miss a non-empty range"
 
     def test_scan_may_contain_sees_memtable(self):
-        db = LsmDB(policy=BloomRFPolicy(bits_per_key=16), memtable_capacity=64)
+        db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=16), memtable_capacity=64)
         db.put(1000)
         got = db.scan_may_contain(
             np.array([[990, 1010], [2000, 2100]], dtype=np.uint64)
@@ -491,14 +487,14 @@ class TestBatchedScans:
         assert got.tolist() == [True, False]
 
     def test_empty_batch(self):
-        db, _ = self.build_db(NoFilterPolicy())
+        db, _ = self.build_db(SpecPolicy("none"))
         got = db.scan_nonempty_many(np.empty((0, 2), dtype=np.uint64))
         assert got.shape == (0,)
         assert db.scan_may_contain(np.empty((0, 2), dtype=np.uint64)).shape == (0,)
 
     def test_sstable_scan_many_accounting(self):
         keys = np.arange(0, 4_000, 4, dtype=np.uint64)
-        sst = SSTable(keys, policy=BloomRFPolicy(bits_per_key=16))
+        sst = SSTable(keys, policy=SpecPolicy("bloomrf", bits_per_key=16))
         stats = IOStats()
         device = SimulatedDevice()
         bounds = np.array(
@@ -512,7 +508,7 @@ class TestBatchedScans:
         assert stats.filter_probes == 4
 
     def test_batch_rejects_inverted_and_negative_bounds(self):
-        db, _ = self.build_db(NoFilterPolicy())
+        db, _ = self.build_db(SpecPolicy("none"))
         with pytest.raises(ValueError):
             db.scan_nonempty_many(np.array([[5, 4]], dtype=np.uint64))
         with pytest.raises(ValueError):
@@ -521,7 +517,7 @@ class TestBatchedScans:
             db.scan_nonempty_many(np.array([1, 2, 3], dtype=np.uint64))
 
     def test_scan_may_contain_charges_no_io(self):
-        db, keys = self.build_db(BloomRFPolicy(bits_per_key=16))
+        db, keys = self.build_db(SpecPolicy("bloomrf", bits_per_key=16))
         db.reset_stats()
         db.scan_may_contain(self.mixed_bounds(keys))
         stats = db.reset_stats()

@@ -13,12 +13,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lsm import (
-    BloomPolicy,
-    BloomRFPolicy,
     IOStats,
     LsmDB,
-    NoFilterPolicy,
     SimulatedDevice,
+    SpecPolicy,
     SSTable,
     policy_by_name,
 )
@@ -69,7 +67,7 @@ class TestGetManyMatchesScalar:
 
     def test_memtable_and_tombstones_settle_before_runs(self):
         db = LsmDB(
-            policy=BloomRFPolicy(bits_per_key=14),
+            policy=SpecPolicy("bloomrf", bits_per_key=14),
             memtable_capacity=1 << 10,
             store_values=True,
         )
@@ -89,7 +87,7 @@ class TestGetManyMatchesScalar:
         assert db.stats.filter_probes == 0
 
     def test_flushed_tombstone_shadows_older_run(self):
-        db = LsmDB(policy=BloomRFPolicy(bits_per_key=14), store_values=True)
+        db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=14), store_values=True)
         db.put(42, b"x")
         db.flush()
         db.delete(42)
@@ -97,12 +95,12 @@ class TestGetManyMatchesScalar:
         assert db.get_many(np.array([42], dtype=np.uint64)).tolist() == [False]
 
     def test_empty_batch_and_empty_db(self):
-        db = LsmDB(policy=NoFilterPolicy())
+        db = LsmDB(policy=SpecPolicy("none"))
         assert db.get_many(np.array([], dtype=np.uint64)).shape == (0,)
         assert db.get_many(np.array([5], dtype=np.uint64)).tolist() == [False]
 
     def test_rejects_negative_and_misshaped_keys(self):
-        db = LsmDB(policy=NoFilterPolicy())
+        db = LsmDB(policy=SpecPolicy("none"))
         with pytest.raises(ValueError):
             db.get_many(np.array([-3], dtype=np.int64))
         with pytest.raises(ValueError):
@@ -123,7 +121,7 @@ class TestGetManyMatchesScalar:
     def test_reference_model_property(self, operations):
         """get_many == looped get across arbitrary put/delete/flush runs."""
         db = LsmDB(
-            policy=BloomRFPolicy(bits_per_key=12),
+            policy=SpecPolicy("bloomrf", bits_per_key=12),
             memtable_capacity=16,
             store_values=True,
         )
@@ -147,14 +145,14 @@ class TestGetManyMatchesScalar:
 
 class TestMayContainMany:
     def test_sound_superset_of_get_many(self):
-        db, keys = build_db(BloomRFPolicy(bits_per_key=16))
+        db, keys = build_db(SpecPolicy("bloomrf", bits_per_key=16))
         lookups = mixed_lookups(keys)
         may = db.may_contain_many(lookups)
         truth = db.get_many(lookups)
         assert np.all(may[truth]), "may-contain must never miss a present key"
 
     def test_charges_no_io(self):
-        db, keys = build_db(BloomRFPolicy(bits_per_key=16))
+        db, keys = build_db(SpecPolicy("bloomrf", bits_per_key=16))
         db.reset_stats()
         db.may_contain_many(mixed_lookups(keys))
         stats = db.reset_stats()
@@ -162,13 +160,13 @@ class TestMayContainMany:
         assert stats.filter_probes > 0
 
     def test_probes_every_run_for_every_key(self):
-        db, keys = build_db(BloomRFPolicy(bits_per_key=16), num_sstables=5)
+        db, keys = build_db(SpecPolicy("bloomrf", bits_per_key=16), num_sstables=5)
         db.reset_stats()
         db.may_contain_many(keys[:100])
         assert db.stats.filter_probes == 100 * 5
 
     def test_sees_memtable_including_tombstones(self):
-        db = LsmDB(policy=BloomRFPolicy(bits_per_key=16), memtable_capacity=64)
+        db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=16), memtable_capacity=64)
         db.put(1_000)
         db.delete(2_000)  # a filter cannot un-insert: tombstones still "may"
         got = db.may_contain_many(np.array([1_000, 2_000, 3_000], dtype=np.uint64))
@@ -178,7 +176,7 @@ class TestMayContainMany:
 class TestSSTablePointBatch:
     def make_sst(self, policy=None):
         keys = np.arange(0, 40_000, 7, dtype=np.uint64)
-        return SSTable(keys, policy=policy or BloomRFPolicy(bits_per_key=16)), keys
+        return SSTable(keys, policy=policy or SpecPolicy("bloomrf", bits_per_key=16)), keys
 
     def test_get_many_matches_scalar_get(self):
         sst, keys = self.make_sst()
@@ -204,7 +202,7 @@ class TestSSTablePointBatch:
         keys = np.array([10, 20, 30], dtype=np.uint64)
         sst = SSTable(
             keys,
-            policy=BloomRFPolicy(bits_per_key=14),
+            policy=SpecPolicy("bloomrf", bits_per_key=14),
             tombstones=np.array([False, True, False]),
         )
         found, tombstone = sst.get_many(
@@ -248,7 +246,7 @@ class TestUnionCompaction:
 
     @pytest.mark.parametrize(
         "policy",
-        [BloomRFPolicy(bits_per_key=16), BloomPolicy(bits_per_key=14)],
+        [SpecPolicy("bloomrf", bits_per_key=16), SpecPolicy("bloom", bits_per_key=14)],
         ids=["bloomrf", "bloom"],
     )
     def test_compact_unions_same_config_blocks(self, policy):
@@ -268,13 +266,13 @@ class TestUnionCompaction:
         assert db.get_many(keys[:2_000]).all()
 
     def test_merge_handles_refuses_mixed_configs(self):
-        policy = BloomRFPolicy(bits_per_key=16)
+        policy = SpecPolicy("bloomrf", bits_per_key=16)
         a = policy.build(np.arange(1_000, dtype=np.uint64))
         b = policy.build(np.arange(2_000, dtype=np.uint64))  # different n -> config
         assert policy.merge_handles([a, b]) is None
 
     def test_compact_falls_back_to_rebuild_on_mixed_runs(self):
-        db = LsmDB(policy=BloomRFPolicy(bits_per_key=16), store_values=True)
+        db = LsmDB(policy=SpecPolicy("bloomrf", bits_per_key=16), store_values=True)
         rng = np.random.default_rng(43)
         # Unequal run sizes -> differently tuned configs -> rebuild path.
         for size in (500, 1_500):
@@ -296,7 +294,7 @@ class TestUnionCompaction:
         assert db.get_many(probes).all()
 
     def test_prebuilt_filter_is_adopted_verbatim(self):
-        policy = BloomRFPolicy(bits_per_key=16)
+        policy = SpecPolicy("bloomrf", bits_per_key=16)
         keys = np.arange(0, 3_000, 3, dtype=np.uint64)
         handle = policy.build(keys)
         sst = SSTable(keys, policy=policy, prebuilt_filter=handle)

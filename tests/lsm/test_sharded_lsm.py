@@ -17,7 +17,7 @@ newest-wins/tombstone semantics.
 import numpy as np
 import pytest
 
-from repro.lsm import BloomRFPolicy, IOStats, LsmDB, ShardedLsmDB
+from repro.lsm import IOStats, LsmDB, ShardedLsmDB, SpecPolicy
 from repro.lsm.memtable import TOMBSTONE, MemTable
 
 U64 = (1 << 64) - 1
@@ -25,7 +25,7 @@ CAPACITY = 1 << 11
 
 
 def make_policy():
-    return BloomRFPolicy(bits_per_key=16, max_range=1 << 20)
+    return SpecPolicy("bloomrf", bits_per_key=16, max_range=1 << 20)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,482 @@
+"""The one filter API (``repro.api``): protocol, specs, registry, facade.
+
+The acceptance ladder for the API redesign:
+
+* every registered kind satisfies the :class:`~repro.api.RangeFilter`
+  protocol and passes the same conformance + serialization round-trip
+  suite (Hypothesis: build -> insert -> ``to_bytes`` -> ``from_bytes``
+  answers point and range batches bit-identically);
+* ``SpecPolicy`` answers and IOStats are bit-identical to the
+  pre-redesign per-filter policy classes (which remain importable as
+  deprecated aliases);
+* ``open_store`` returns the engines behind one ``Store`` interface with
+  answers identical to direct construction.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.api import (
+    FilterSpec,
+    NullFilter,
+    RangeFilter,
+    Store,
+    available_kinds,
+    filter_from_bytes,
+    make_filter,
+    open_store,
+    register_filter,
+    standard_spec,
+)
+from repro.lsm import LsmDB, ShardedLsmDB, SpecPolicy
+from repro.lsm.filter_policy import (
+    BloomPolicy,
+    BloomRFPolicy,
+    NoFilterPolicy,
+    PrefixBloomPolicy,
+    RosettaPolicy,
+    SuRFPolicy,
+)
+from repro.shard import ShardedBloomRF
+
+U64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# FilterSpec: validation + JSON round-trip
+# ----------------------------------------------------------------------
+class TestFilterSpec:
+    def test_json_round_trip(self):
+        spec = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+        assert FilterSpec.from_json(spec.to_json()) == spec
+        assert FilterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_with_params_derives_without_mutating(self):
+        spec = FilterSpec("bloom", {"bits_per_key": 10})
+        derived = spec.with_params(bits_per_key=12, seed=7)
+        assert spec.params == {"bits_per_key": 10}
+        assert derived.params == {"bits_per_key": 12, "seed": 7}
+        assert derived.kind == "bloom"
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            FilterSpec("")
+        with pytest.raises(ValueError):
+            FilterSpec(123)
+
+    def test_rejects_non_json_params(self):
+        with pytest.raises(ValueError, match="JSON"):
+            FilterSpec("bloom", {"seed": object()})
+        with pytest.raises(ValueError):
+            FilterSpec("bloom", {7: 1})
+
+    def test_params_are_defensively_copied(self):
+        params = {"bits_per_key": 10}
+        spec = FilterSpec("bloom", params)
+        params["bits_per_key"] = 99
+        assert spec.params["bits_per_key"] == 10
+
+
+# ----------------------------------------------------------------------
+# registry: errors and extension
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_available_kinds_cover_all_six_filters(self):
+        kinds = set(available_kinds())
+        assert {
+            "bloomrf", "bloomrf-basic", "bloom", "prefix-bloom",
+            "rosetta", "surf", "cuckoo", "none",
+        } <= kinds
+
+    def test_unknown_kind_lists_registered_ones(self):
+        with pytest.raises(ValueError, match="registered kinds.*bloomrf"):
+            make_filter(FilterSpec("bogus"))
+
+    def test_unknown_param_lists_accepted_ones(self):
+        with pytest.raises(ValueError, match="accepted:.*bits_per_key"):
+            make_filter(
+                FilterSpec("bloomrf", {"wat": 1}), n_keys=10
+            )
+
+    def test_load_only_kind_rejected(self):
+        with pytest.raises(ValueError, match="load-only"):
+            make_filter(FilterSpec("sharded-bloomrf"))
+        with pytest.raises(ValueError):
+            SpecPolicy("sharded-bloomrf")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_filter("bloomrf", lambda **kw: None)
+
+    def test_serial_kind_hijack_rejected(self):
+        """A registration cannot steal another kind's frame loader."""
+        from repro.serial import KIND_BLOOMRF
+
+        with pytest.raises(ValueError, match="hijack"):
+            register_filter(
+                "evil",
+                lambda n_keys=None: NullFilter(),
+                serial_kind=KIND_BLOOMRF,
+                from_bytes=lambda data: "HIJACKED",
+            )
+        # The bloomrf loader still answers for its frames.
+        spec = FilterSpec("bloomrf", {"bits_per_key": 12, "max_range": 1 << 10})
+        filt = make_filter(spec, n_keys=10)
+        filt.insert_many(np.arange(10, dtype=np.uint64))
+        assert not isinstance(filter_from_bytes(filt.to_bytes()), str)
+
+    def test_third_party_registration(self):
+        register_filter(
+            "test-null",
+            lambda n_keys=None: NullFilter(),
+            description="test-only kind",
+            replace_existing=True,
+        )
+        try:
+            filt = make_filter(FilterSpec("test-null"), n_keys=5)
+            assert isinstance(filt, RangeFilter)
+            assert "test-null" in available_kinds()
+        finally:
+            from repro.api import _REGISTRY
+
+            _REGISTRY.pop("test-null", None)
+
+
+# ----------------------------------------------------------------------
+# protocol conformance + serialization ladder (every registered kind)
+# ----------------------------------------------------------------------
+def _probe_batches(keys: np.ndarray):
+    """Probe sets mixing inserted keys, near misses, and far misses."""
+    points = np.unique(
+        np.concatenate(
+            [keys[:64], keys[:64] + np.uint64(1), np.arange(0, 4096, 97, dtype=np.uint64)]
+        )
+    )
+    hi = points + np.minimum(np.uint64(U64) - points, np.uint64(900))
+    bounds = np.stack([points, hi], axis=1)
+    return points, bounds
+
+
+@pytest.mark.parametrize("kind", available_kinds())
+def test_protocol_conformance(kind):
+    spec = standard_spec(kind, bits_per_key=14, max_range=1 << 10, seed=5)
+    filt = make_filter(spec, n_keys=500)
+    assert isinstance(filt, RangeFilter)
+    keys = np.arange(1_000, 2_000, 2, dtype=np.uint64)
+    filt.insert_many(keys)
+    filt.insert(4_242)
+    points, bounds = _probe_batches(keys)
+    # No false negatives on inserted keys; bulk == scalar bit for bit.
+    assert filt.contains_point(1_000) and filt.contains_point(4_242)
+    assert filt.contains_point_many(keys[:32]).all()
+    assert bool(filt.contains_range(1_000, 1_004)) is True
+    got_points = filt.contains_point_many(points)
+    got_bounds = filt.contains_range_many(bounds)
+    assert got_points.dtype == bool and got_bounds.dtype == bool
+    scalar_points = np.array(
+        [filt.contains_point(int(p)) for p in points[:50]], dtype=bool
+    )
+    assert np.array_equal(got_points[:50], scalar_points)
+    scalar_bounds = np.array(
+        [filt.contains_range(int(lo), int(hi)) for lo, hi in bounds[:50]],
+        dtype=bool,
+    )
+    assert np.array_equal(got_bounds[:50], scalar_bounds)
+    assert filt.size_bits >= 0
+    # Scalar and bulk forms agree on rejecting inverted ranges too.
+    with pytest.raises(ValueError, match="empty query range"):
+        filt.contains_range(9, 4)
+    with pytest.raises(ValueError, match="empty query range"):
+        filt.contains_range_many(np.array([[9, 4]], dtype=np.uint64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(available_kinds()),
+    keys=st.lists(
+        st.integers(min_value=0, max_value=U64),
+        min_size=1,
+        max_size=150,
+        unique=True,
+    ),
+    bits_per_key=st.sampled_from([10.0, 14.0, 18.0]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_registry_serialization_ladder(kind, keys, bits_per_key, seed):
+    """make_filter -> insert -> to_bytes -> from_bytes answers identically."""
+    spec = standard_spec(
+        kind, bits_per_key=bits_per_key, max_range=1 << 12, seed=seed
+    )
+    filt = make_filter(spec, n_keys=len(keys))
+    filt.insert_many(np.array(keys, dtype=np.uint64))
+    blob = filt.to_bytes()
+    restored = filter_from_bytes(blob)
+    points, bounds = _probe_batches(np.array(sorted(keys), dtype=np.uint64))
+    assert np.array_equal(
+        restored.contains_point_many(points), filt.contains_point_many(points)
+    )
+    assert np.array_equal(
+        restored.contains_range_many(bounds), filt.contains_range_many(bounds)
+    )
+    assert restored.size_bits == filt.size_bits
+    # Serialization is deterministic: a second trip emits the same bytes.
+    assert restored.to_bytes() == blob
+
+
+# ----------------------------------------------------------------------
+# SpecPolicy: bit-identical to the pre-redesign policy classes
+# ----------------------------------------------------------------------
+def _drive(db: LsmDB, keys: np.ndarray):
+    db.put_many(keys)
+    db.flush()
+    points = np.concatenate(
+        [keys[::3], np.arange(1, 5_000, 13, dtype=np.uint64)]
+    )
+    lo = np.arange(0, 60_000, 577, dtype=np.uint64)
+    bounds = np.stack([lo, lo + np.uint64(200)], axis=1)
+    got = db.get_many(points)
+    scanned = db.scan_nonempty_many(bounds)
+    return got, scanned, db.stats.counters()
+
+
+class TestSpecPolicyEquivalence:
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            ("bloomrf", {"bits_per_key": 14, "max_range": 1 << 16}),
+            ("bloomrf-basic", {"bits_per_key": 14}),
+            ("bloom", {"bits_per_key": 14}),
+            ("prefix-bloom", {"bits_per_key": 14, "expected_range": 1 << 8}),
+            ("rosetta", {"bits_per_key": 14, "max_range": 1 << 10}),
+            ("surf", {"bits_per_key": 14}),
+            ("none", {}),
+        ],
+    )
+    def test_store_answers_and_iostats_match_old_policies(self, kind, params):
+        """SpecPolicy == deprecated policy class, answers and accounting."""
+        legacy_ctor = {
+            "bloomrf": lambda: BloomRFPolicy(
+                bits_per_key=14, max_range=1 << 16
+            ),
+            "bloomrf-basic": lambda: BloomRFPolicy(bits_per_key=14, basic=True),
+            "bloom": lambda: BloomPolicy(bits_per_key=14),
+            "prefix-bloom": lambda: PrefixBloomPolicy(
+                bits_per_key=14, expected_range=1 << 8
+            ),
+            "rosetta": lambda: RosettaPolicy(bits_per_key=14, max_range=1 << 10),
+            "surf": lambda: SuRFPolicy(bits_per_key=14),
+            "none": lambda: NoFilterPolicy(),
+        }[kind]
+        rng = np.random.default_rng(41)
+        keys = rng.integers(0, 50_000, 4_000, dtype=np.uint64)
+        new_db = LsmDB(policy=SpecPolicy(kind, **params), memtable_capacity=512)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old_db = LsmDB(policy=legacy_ctor(), memtable_capacity=512)
+        new_got, new_scanned, new_stats = _drive(new_db, keys)
+        old_got, old_scanned, old_stats = _drive(old_db, keys)
+        assert np.array_equal(new_got, old_got)
+        assert np.array_equal(new_scanned, old_scanned)
+        assert new_stats == old_stats
+
+    def test_lsmdb_accepts_filterspec_directly(self):
+        spec = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+        db = LsmDB(policy=spec)
+        assert isinstance(db.policy, SpecPolicy)
+        assert db.policy.spec == spec
+        keys = np.arange(0, 3_000, 3, dtype=np.uint64)
+        db.put_many(keys)
+        db.flush()
+        assert db.get_many(keys[:100]).all()
+
+    def test_merge_handles_unions_same_config_blocks(self):
+        policy = SpecPolicy("bloomrf", bits_per_key=14, max_range=1 << 10)
+        a = policy.build(np.arange(0, 500, dtype=np.uint64))
+        b = policy.build(np.arange(500, 1_000, dtype=np.uint64))
+        merged = policy.merge_handles([a, b])
+        assert merged is not None
+        assert merged.probe_point_many(
+            np.arange(0, 1_000, 7, dtype=np.uint64)
+        ).all()
+        # Different geometry (different key counts tune differently) or a
+        # kind without word-level union -> None, caller rebuilds.
+        c = policy.build(np.arange(0, 50_000, dtype=np.uint64))
+        assert policy.merge_handles([a, c]) is None
+        surf_policy = SpecPolicy("surf", bits_per_key=14)
+        handles = [
+            surf_policy.build(np.arange(100, dtype=np.uint64)),
+            surf_policy.build(np.arange(100, 200, dtype=np.uint64)),
+        ]
+        assert surf_policy.merge_handles(handles) is None
+
+    def test_deserialize_round_trips_any_kind(self):
+        for kind in ("bloomrf", "rosetta", "surf", "cuckoo", "prefix-bloom"):
+            policy = SpecPolicy(standard_spec(kind, bits_per_key=14))
+            keys = np.arange(10, 900, 5, dtype=np.uint64)
+            handle = policy.build(keys)
+            restored = policy.deserialize(handle.serialize())
+            assert np.array_equal(
+                restored.probe_point_many(keys), handle.probe_point_many(keys)
+            )
+
+
+# ----------------------------------------------------------------------
+# deprecated policy aliases: warn, but behave identically
+# ----------------------------------------------------------------------
+class TestDeprecatedAliases:
+    @pytest.mark.parametrize(
+        "ctor,kind",
+        [
+            (lambda: BloomRFPolicy(bits_per_key=16, max_range=1 << 16), "bloomrf"),
+            (lambda: BloomRFPolicy(bits_per_key=16, basic=True), "bloomrf-basic"),
+            (lambda: BloomPolicy(bits_per_key=16), "bloom"),
+            (lambda: PrefixBloomPolicy(bits_per_key=16, expected_range=256),
+             "prefix-bloom"),
+            (lambda: RosettaPolicy(bits_per_key=16, max_range=1 << 10), "rosetta"),
+            (lambda: SuRFPolicy(bits_per_key=16), "surf"),
+            (lambda: NoFilterPolicy(), "none"),
+        ],
+    )
+    def test_warns_and_is_a_specpolicy(self, ctor, kind):
+        with pytest.warns(DeprecationWarning, match="deprecated.*SpecPolicy"):
+            policy = ctor()
+        assert isinstance(policy, SpecPolicy)
+        assert policy.spec.kind == kind
+
+    def test_alias_builds_identical_filter_blocks(self):
+        keys = np.arange(0, 2_000, 2, dtype=np.uint64)
+        with pytest.warns(DeprecationWarning):
+            old = BloomRFPolicy(bits_per_key=16, max_range=1 << 16).build(keys)
+        new = SpecPolicy(
+            "bloomrf", bits_per_key=16, max_range=1 << 16
+        ).build(keys)
+        assert old.serialize() == new.serialize()  # words, bit for bit
+
+
+# ----------------------------------------------------------------------
+# open_store facade
+# ----------------------------------------------------------------------
+class TestOpenStore:
+    def test_unsharded_store_is_lsmdb_behind_store_protocol(self):
+        db = open_store(
+            filter=FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+        )
+        assert isinstance(db, LsmDB)
+        assert isinstance(db, Store)
+        with db:
+            keys = np.arange(0, 2_000, 2, dtype=np.uint64)
+            db.put_many(keys)
+            assert db.get_many(keys[:64]).all()
+
+    def test_sharded_store_matches_direct_construction(self):
+        spec = FilterSpec("bloomrf", {"bits_per_key": 12, "max_range": 1 << 16})
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 1 << 64, 5_000, dtype=np.uint64)
+        points = rng.integers(0, 1 << 64, 1_000, dtype=np.uint64)
+        with open_store(
+            filter=spec, shards=4, partition="range", memtable_capacity=512
+        ) as facade, ShardedLsmDB(
+            policy=SpecPolicy(spec),
+            num_shards=4,
+            partition="range",
+            memtable_capacity=512,
+        ) as direct:
+            assert isinstance(facade, ShardedLsmDB)
+            assert isinstance(facade, Store)
+            facade.put_many(keys)
+            direct.put_many(keys)
+            assert np.array_equal(
+                facade.get_many(points), direct.get_many(points)
+            )
+            assert facade.stats.counters() == direct.stats.counters()
+
+    def test_default_filter_is_none(self):
+        db = open_store()
+        assert db.policy.spec.kind == "none"
+
+    def test_per_shard_specs(self):
+        """Per-shard sizing: each shard can run its own filter config."""
+        specs = [
+            FilterSpec("bloomrf", {"bits_per_key": 10, "max_range": 1 << 10}),
+            FilterSpec("bloomrf", {"bits_per_key": 20, "max_range": 1 << 10}),
+        ]
+        with open_store(filter=specs, shards=2, partition="range") as db:
+            keys = np.arange(0, 1 << 63, 1 << 53, dtype=np.uint64)
+            db.put_many(keys)
+            db.flush()
+            assert db.get_many(keys).all()
+            per_shard = [shard.policy.spec for shard in db.shards]
+            assert per_shard == specs
+        with pytest.raises(ValueError, match="per-shard"):
+            open_store(filter=specs, shards=3)
+
+    def test_path_is_reserved(self):
+        with pytest.raises(NotImplementedError, match="reserved"):
+            open_store("/tmp/somewhere")
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            open_store(shards=0)
+
+
+# ----------------------------------------------------------------------
+# ShardedBloomRF.from_spec (spec-driven shard sets, per-shard sizing)
+# ----------------------------------------------------------------------
+class TestShardedFromSpec:
+    def test_total_sizing_reproduces_from_keys(self):
+        keys = np.arange(0, 60_000, 20, dtype=np.uint64)
+        spec = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 16})
+        with ShardedBloomRF.from_spec(
+            spec, num_shards=3, partition="range", n_keys=keys.size
+        ) as sharded:
+            sharded.insert_many(keys)
+            with ShardedBloomRF.from_keys(
+                keys,
+                num_shards=3,
+                partition="range",
+                bits_per_key=14,
+                max_range=1 << 16,
+            ) as reference:
+                assert sharded.config == reference.config
+                assert sharded.merge()._bits == reference.merge()._bits
+
+    def test_per_shard_sizing_shrinks_the_config(self):
+        spec = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 16})
+        with ShardedBloomRF.from_spec(
+            spec, num_shards=4, n_keys=40_000
+        ) as total, ShardedBloomRF.from_spec(
+            spec, num_shards=4, n_keys=40_000, per_shard_sizing=True
+        ) as per_shard:
+            assert per_shard.size_bits < total.size_bits
+            # All shards still share one config: dispatch + merge work.
+            keys = np.arange(0, 40_000, dtype=np.uint64)
+            per_shard.insert_many(keys)
+            assert per_shard.contains_point_many(keys[:500]).all()
+            assert per_shard.merge().contains_point(100)
+
+    def test_rejects_non_bloomrf_kinds(self):
+        with pytest.raises(TypeError, match="bloomRF"):
+            ShardedBloomRF.from_spec(
+                FilterSpec("bloom", {"bits_per_key": 12}), num_shards=2, n_keys=100
+            )
+
+    def test_needs_n_keys(self):
+        with pytest.raises(ValueError, match="n_keys"):
+            ShardedBloomRF.from_spec(FilterSpec("bloomrf"), num_shards=2)
+
+
+# ----------------------------------------------------------------------
+# package surface sanity (detailed snapshot lives in test_api_surface.py)
+# ----------------------------------------------------------------------
+def test_top_level_exports_exist():
+    for name in (
+        "FilterSpec", "RangeFilter", "Store", "SpecPolicy", "open_store",
+        "make_filter", "available_kinds", "register_filter",
+        "filter_from_bytes", "standard_spec",
+    ):
+        assert hasattr(repro, name), name

@@ -1,0 +1,116 @@
+"""Public-API surface snapshot (CI gate).
+
+Pins the exported names of ``repro`` and ``repro.api`` so a future PR
+cannot silently break the interface: removing or renaming an export fails
+here, and *adding* one fails too — forcing the snapshot (and therefore the
+review) to acknowledge the new surface.  Update the frozen lists in the
+same PR that changes the API, with a CHANGES.md note.
+"""
+
+import repro
+import repro.api
+import repro.serial
+
+REPRO_ALL = [
+    "AdvisorReport",
+    "AttributeSpec",
+    "BloomRF",
+    "BloomRFConfig",
+    "FilterSpec",
+    "FloatBloomRF",
+    "MultiAttributeBloomRF",
+    "NullFilter",
+    "RangeFilter",
+    "ShardedBloomRF",
+    "ShardedLsmDB",
+    "SpecPolicy",
+    "Store",
+    "StringBloomRF",
+    "TuningAdvisor",
+    "FprProfile",
+    "available_kinds",
+    "basic_point_fpr",
+    "basic_range_fpr_bound",
+    "extended_fpr_profile",
+    "filter_from_bytes",
+    "float_to_key",
+    "key_to_float",
+    "make_filter",
+    "open_store",
+    "register_filter",
+    "standard_spec",
+    "string_range_keys",
+    "string_to_point_key",
+    "__version__",
+]
+
+API_ALL = [
+    "FilterSpec",
+    "NullFilter",
+    "RangeFilter",
+    "Store",
+    "available_kinds",
+    "filter_from_bytes",
+    "make_filter",
+    "merge_filters",
+    "open_store",
+    "register_filter",
+    "standard_spec",
+]
+
+SERIAL_ALL = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "SerialError",
+    "KIND_BLOOMRF",
+    "KIND_BLOOM",
+    "KIND_SHARDED_BLOOMRF",
+    "KIND_PREFIX_BLOOM",
+    "KIND_ROSETTA",
+    "KIND_SURF",
+    "KIND_CUCKOO",
+    "KIND_NONE",
+    "KIND_NAMES",
+    "pack_frame",
+    "unpack_frame",
+    "peek_kind",
+    "dump_filter",
+    "load_filter",
+]
+
+# The construction surface of the registry: every kind a FilterSpec can
+# name.  Removing a kind is an API break; additions must land here.
+REGISTERED_KINDS = [
+    "bloom",
+    "bloomrf",
+    "bloomrf-basic",
+    "cuckoo",
+    "none",
+    "prefix-bloom",
+    "rosetta",
+    "surf",
+]
+
+
+def test_repro_all_snapshot():
+    assert sorted(repro.__all__) == sorted(REPRO_ALL)
+
+
+def test_api_all_snapshot():
+    assert sorted(repro.api.__all__) == sorted(API_ALL)
+
+
+def test_serial_all_snapshot():
+    assert sorted(repro.serial.__all__) == sorted(SERIAL_ALL)
+
+
+def test_registered_kinds_snapshot():
+    assert sorted(repro.available_kinds()) == sorted(REGISTERED_KINDS)
+
+
+def test_all_exports_resolve():
+    for module in (repro, repro.api, repro.serial):
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, (
+                f"{module.__name__}.{name} is exported but missing"
+            )

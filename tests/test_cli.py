@@ -91,6 +91,14 @@ class TestCommands:
         assert "kind: bloom" in out
         assert "keys inserted: 700" in out
 
+    def test_build_surf_empty_keyfile_fails_cleanly(self, tmp_path, capsys):
+        keyfile = tmp_path / "empty.txt"
+        keyfile.write_text("")
+        assert main(
+            ["build", str(keyfile), str(tmp_path / "s.brf"), "--filter", "surf"]
+        ) == 2
+        assert "cannot serialize" in capsys.readouterr().out
+
     def test_build_rejects_bad_shard_combinations(self, tmp_path):
         keyfile = tmp_path / "keys.txt"
         keyfile.write_text("1\n2\n")

@@ -15,7 +15,7 @@ from repro.bench.harness import (
     measure_point_fpr,
     measure_range_fpr,
 )
-from repro.lsm import BloomRFPolicy, LsmDB, RosettaPolicy, SuRFPolicy
+from repro.lsm import LsmDB, SpecPolicy
 from repro.workloads import (
     empty_point_queries,
     empty_range_queries,
@@ -129,9 +129,9 @@ class TestLsmWithEveryPolicy:
     @pytest.mark.parametrize(
         "policy",
         [
-            BloomRFPolicy(bits_per_key=16, max_range=1 << 20),
-            RosettaPolicy(bits_per_key=16, max_range=1 << 20),
-            SuRFPolicy(bits_per_key=16),
+            SpecPolicy("bloomrf", bits_per_key=16, max_range=1 << 20),
+            SpecPolicy("rosetta", bits_per_key=16, max_range=1 << 20),
+            SpecPolicy("surf", bits_per_key=16),
         ],
         ids=["bloomrf", "rosetta", "surf"],
     )
@@ -151,7 +151,7 @@ class TestLsmWithEveryPolicy:
         )
 
     def test_serialization_survives_lsm_round_trip(self, keys):
-        policy = BloomRFPolicy(bits_per_key=16, max_range=1 << 20)
+        policy = SpecPolicy("bloomrf", bits_per_key=16, max_range=1 << 20)
         handle = policy.build(keys)
         restored = policy.deserialize(handle.serialize())
         queries = empty_range_queries(keys, 200, range_size=1 << 10, seed=41)

@@ -16,9 +16,7 @@ from repro import serial
 from repro.baselines.bloom import BloomFilter
 from repro.core.bloomrf import BloomRF
 from repro.lsm.filter_policy import (
-    BloomPolicy,
-    BloomRFPolicy,
-    NoFilterPolicy,
+    SpecPolicy,
     handle_from_bytes,
     load_handle,
     save_handle,
@@ -225,10 +223,47 @@ class TestCorruptionCases:
             serial.pack_frame(99, {})
 
 
+class TestSerialError:
+    """Frame failures raise the dedicated SerialError, naming the kind byte."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        filt = build_bloomrf(64, 14.0, True, list(range(64)))
+        return filt.to_bytes()
+
+    def test_is_a_value_error_subclass(self):
+        assert issubclass(serial.SerialError, ValueError)
+
+    def test_truncation_raises_serial_error(self, blob):
+        for cut in (3, 11, len(blob) // 2):
+            with pytest.raises(serial.SerialError, match="truncated"):
+                serial.unpack_frame(blob[:cut])
+            with pytest.raises(serial.SerialError):
+                serial.peek_kind(blob[:3])
+
+    def test_unknown_kind_names_the_kind_byte(self, blob):
+        mangled = blob[:6] + (42).to_bytes(2, "little") + blob[8:]
+        with pytest.raises(serial.SerialError, match="kind byte 42"):
+            serial.unpack_frame(mangled)
+        with pytest.raises(serial.SerialError, match="kind byte 42"):
+            serial.load_filter(mangled)
+
+    def test_kind_mismatch_names_both_kind_bytes(self, blob):
+        with pytest.raises(
+            serial.SerialError,
+            match=rf"kind byte {serial.KIND_BLOOMRF}.*kind byte {serial.KIND_BLOOM}",
+        ):
+            serial.unpack_frame(blob, expect_kind=serial.KIND_BLOOM)
+
+    def test_bad_magic_raises_serial_error(self, blob):
+        with pytest.raises(serial.SerialError, match="bad magic"):
+            serial.peek_kind(b"XXXX" + blob[4:])
+
+
 class TestHandlePersistence:
     def test_bloomrf_handle_save_load(self, tmp_path):
         keys = np.arange(1_000, 2_000, dtype=np.uint64)
-        policy = BloomRFPolicy(bits_per_key=16, max_range=1 << 16)
+        policy = SpecPolicy("bloomrf", bits_per_key=16, max_range=1 << 16)
         handle = policy.build(keys)
         path = save_handle(handle, tmp_path / "block.brf")
         restored = load_handle(path)
@@ -241,7 +276,7 @@ class TestHandlePersistence:
 
     def test_bloom_handle_save_load(self, tmp_path):
         keys = np.arange(5_000, 6_000, dtype=np.uint64)
-        handle = BloomPolicy(bits_per_key=12).build(keys)
+        handle = SpecPolicy("bloom", bits_per_key=12).build(keys)
         restored = load_handle(save_handle(handle, tmp_path / "bloom.brf"))
         assert restored.probe_point_many(keys).all()
         assert restored.serialize() == handle.serialize()
@@ -256,14 +291,38 @@ class TestHandlePersistence:
         # Close released the rehydrated shard set's worker pool.
         assert not handle._filter._pool.is_open
 
-    def test_unpersisted_policy_rejected(self, tmp_path):
-        handle = NoFilterPolicy().build(np.arange(10, dtype=np.uint64))
+    def test_none_policy_blocks_round_trip(self, tmp_path):
+        # Since the repro.api registry, even the "none" kind persists (a
+        # tiny self-describing frame), so spec-driven stores can disable
+        # filtering without a serialization special case.
+        handle = SpecPolicy("none").build(np.arange(10, dtype=np.uint64))
+        restored = load_handle(save_handle(handle, tmp_path / "none.brf"))
+        assert restored.size_bits == 0
+        assert restored.probe_point(7) and restored.probe_range(1, 5)
+
+    def test_empty_serialization_rejected(self, tmp_path):
+        # A handle whose filter has no persisted form is still refused
+        # rather than written as a 0-byte file.
+        class _Empty:
+            size_bits = 0
+
+            def contains_point(self, key):
+                return True
+
+            def contains_range(self, lo, hi):
+                return True
+
+            def to_bytes(self):
+                return b""
+
+        from repro.lsm.filter_policy import wrap_filter
+
         with pytest.raises(ValueError, match="no persisted"):
-            save_handle(handle, tmp_path / "nope.brf")
+            save_handle(wrap_filter(_Empty()), tmp_path / "nope.brf")
 
     def test_policy_deserialize_uses_frames(self):
         keys = np.arange(100, dtype=np.uint64)
-        policy = BloomRFPolicy(bits_per_key=16, max_range=1 << 10)
+        policy = SpecPolicy("bloomrf", bits_per_key=16, max_range=1 << 10)
         handle = policy.build(keys)
         restored = policy.deserialize(handle.serialize())
         assert restored.probe_point_many(keys).all()
