@@ -146,6 +146,8 @@ class Store(Protocol):
 
     def flush(self) -> None: ...
 
+    def sync(self) -> None: ...
+
     def compact(self) -> None: ...
 
     def close(self) -> None: ...
@@ -709,13 +711,35 @@ def open_store(
     per-shard filter sizing.  Answers and IOStats are identical to
     constructing the engines directly (asserted by the bench guard).
 
-    ``path`` is reserved for the on-disk store manifest; only in-memory
-    stores (``path=None``) are implemented so far.
+    With ``path`` the store is **persistent** (:mod:`repro.lsm.store`):
+    a directory of :mod:`repro.serial` frames — a versioned store
+    manifest plus per-run SST and filter-block files (per shard when
+    ``shards>1``).  A path holding an existing store is *reopened* with
+    its persisted spec/shards/geometry — runs are reconstructed and
+    filter blocks deserialized (never rebuilt), so probe answers match
+    the never-closed store bit for bit; explicit arguments that conflict
+    with the persisted configuration raise :class:`ValueError`, and any
+    corruption raises :class:`~repro.serial.SerialError` naming the
+    offending file.  ``flush()``/``close()`` (or the context manager)
+    make all writes durable; on-disk stores require a spec-driven
+    ``filter`` (a :class:`FilterSpec`, a
+    :class:`~repro.lsm.filter_policy.SpecPolicy`, or None).
     """
     if path is not None:
-        raise NotImplementedError(
-            "open_store(path=...) is reserved for the on-disk store "
-            "manifest; only in-memory stores (path=None) exist yet"
+        from repro.lsm.store import open_persistent_store
+
+        return open_persistent_store(
+            path,
+            filter=filter,
+            shards=shards,
+            partition=partition,
+            memtable_capacity=memtable_capacity,
+            value_bytes=value_bytes,
+            block_bytes=block_bytes,
+            device=device,
+            store_values=store_values,
+            max_workers=max_workers,
+            domain_bits=domain_bits,
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")

@@ -7,11 +7,17 @@ Usage (also available as ``python -m repro``)::
     python -m repro measure --keys 100000 --bits-per-key 18 --range-size 1e6 \
         --distribution normal --filter bloomrf
     python -m repro inspect filter.bin
+    python -m repro store init db/ --filter bloomrf --shards 4
+    python -m repro store ingest db/ keys.txt
+    python -m repro store query db/ --point 42 --range 100 200
+    python -m repro store inspect db/
 
 ``tune`` prints the advisor's chosen configuration and its analytic FPR
 estimates; ``model`` prints the full per-level FPR profile; ``measure``
 builds a filter over synthetic keys and measures FPR on guaranteed-empty
-queries; ``inspect`` summarizes a serialized filter file.
+queries; ``inspect`` summarizes a serialized filter file; ``store``
+creates, loads, queries, and summarizes persistent on-disk stores
+(:mod:`repro.lsm.store`).
 """
 
 from __future__ import annotations
@@ -25,6 +31,32 @@ __all__ = ["main", "build_parser"]
 def _int_ish(text: str) -> int:
     """Accept plain ints and scientific notation like ``1e9``."""
     return int(float(text))
+
+
+def _key_arg(text: str) -> int:
+    """An exact integer key: the float round-trip of :func:`_int_ish` would
+    silently corrupt keys above 2**53, so integer literals parse exactly
+    (scientific notation still accepted for round workload-style values)."""
+    try:
+        return int(text)
+    except ValueError:
+        return int(float(text))
+
+
+def _read_keyfile(path: str):
+    """Keys from a text file (one integer per line) as a uint64 array."""
+    from pathlib import Path
+
+    import numpy as np
+
+    lines = Path(path).read_text().split()
+    return np.array([int(line) for line in lines], dtype=np.uint64)
+
+
+def _run_count(db) -> int:
+    """Total runs of either engine (sharded or not)."""
+    count = getattr(db, "num_sstables", None)
+    return len(db.sstables) if count is None else count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +118,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--partition", choices=("hash", "range"), default="hash",
         help="shard dispatch scheme when --shards > 1",
     )
+
+    store = sub.add_parser(
+        "store", help="create, load, query, and inspect on-disk stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    s_init = store_sub.add_parser(
+        "init", help="initialize a fresh on-disk store directory"
+    )
+    s_init.add_argument("path", help="store directory (created if missing)")
+    s_init.add_argument(
+        "--filter", choices=kinds, default="bloomrf",
+        help="filter kind backing every SST filter block",
+    )
+    s_init.add_argument("--bits-per-key", type=float, default=16)
+    s_init.add_argument("--max-range", type=_int_ish, default=1 << 20)
+    s_init.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the store over N per-shard sub-stores",
+    )
+    s_init.add_argument(
+        "--partition", choices=("hash", "range"), default="hash",
+        help="shard dispatch scheme when --shards > 1",
+    )
+    s_init.add_argument("--memtable-capacity", type=_int_ish, default=1 << 16)
+    s_init.add_argument(
+        "--store-values", action="store_true",
+        help="persist values alongside keys (default: key-only mode)",
+    )
+
+    s_ingest = store_sub.add_parser(
+        "ingest", help="bulk-load keys from a file into an existing store"
+    )
+    s_ingest.add_argument("path", help="store directory")
+    s_ingest.add_argument("keyfile", help="text file, one integer key per line")
+
+    s_query = store_sub.add_parser(
+        "query", help="point lookups / range-emptiness probes against a store"
+    )
+    s_query.add_argument("path", help="store directory")
+    s_query.add_argument(
+        "--point", type=_key_arg, nargs="+", default=None,
+        help="keys to look up exactly",
+    )
+    s_query.add_argument(
+        "--range", type=_key_arg, nargs=2, metavar=("LO", "HI"),
+        dest="range_bounds", default=None,
+        help="inclusive range to test for any live key",
+    )
+
+    s_inspect = store_sub.add_parser(
+        "inspect", help="summarize a store directory (manifest + runs)"
+    )
+    s_inspect.add_argument("path", help="store directory")
 
     return parser
 
@@ -220,8 +306,6 @@ def _cmd_inspect(args) -> int:
 def _cmd_build(args) -> int:
     from pathlib import Path
 
-    import numpy as np
-
     from repro.api import make_filter, standard_spec
     from repro.shard import ShardedBloomRF
 
@@ -231,8 +315,7 @@ def _cmd_build(args) -> int:
     if args.filter != "bloomrf" and args.shards > 1:
         print("--shards applies to the bloomrf filter only")
         return 2
-    lines = Path(args.keyfile).read_text().split()
-    keys = np.array([int(line) for line in lines], dtype=np.uint64)
+    keys = _read_keyfile(args.keyfile)
     spec = standard_spec(
         args.filter, bits_per_key=args.bits_per_key, max_range=args.max_range
     )
@@ -271,12 +354,178 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    return _STORE_COMMANDS[args.store_command](args)
+
+
+def _cmd_store_init(args) -> int:
+    from pathlib import Path
+
+    from repro.api import open_store, standard_spec
+    from repro.lsm.store import MANIFEST_NAME
+
+    if args.shards < 1:
+        print("--shards must be >= 1")
+        return 2
+    if (Path(args.path) / MANIFEST_NAME).is_file():
+        print(f"{args.path} already holds a store; refusing to re-initialize")
+        return 2
+    spec = standard_spec(
+        args.filter, bits_per_key=args.bits_per_key, max_range=args.max_range
+    )
+    with open_store(
+        path=args.path,
+        filter=spec,
+        shards=args.shards,
+        partition=args.partition,
+        memtable_capacity=args.memtable_capacity,
+        store_values=args.store_values,
+    ):
+        pass
+    sharding = (
+        f"{args.shards} {args.partition}-partitioned shards"
+        if args.shards > 1
+        else "unsharded"
+    )
+    print(f"initialized {args.path}: {spec!r}, {sharding}")
+    return 0
+
+
+def _cmd_store_ingest(args) -> int:
+    from pathlib import Path
+
+    from repro.api import open_store
+    from repro.lsm.store import MANIFEST_NAME
+    from repro.serial import SerialError
+
+    keys = _read_keyfile(args.keyfile)
+    if not (Path(args.path) / MANIFEST_NAME).is_file():
+        print(f"{args.path} holds no store; run `repro store init` first")
+        return 2
+    try:
+        with open_store(path=args.path) as db:
+            db.put_many(keys)
+            db.flush()
+            total = db.num_keys
+            runs = _run_count(db)
+    except SerialError as exc:
+        print(f"cannot open store {args.path}: {exc}")
+        return 2
+    print(f"ingested {keys.size} keys into {args.path} "
+          f"({total} keys live across {runs} runs)")
+    return 0
+
+
+def _cmd_store_query(args) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.api import open_store
+    from repro.lsm.store import MANIFEST_NAME
+    from repro.serial import SerialError
+
+    if args.point is None and args.range_bounds is None:
+        print("nothing to query: pass --point and/or --range")
+        return 2
+    if not (Path(args.path) / MANIFEST_NAME).is_file():
+        print(f"{args.path} holds no store; run `repro store init` first")
+        return 2
+    try:
+        # Arguments become uint64 arrays before the store is touched, so
+        # out-of-domain keys fail as "bad query", never as a store error.
+        points = (
+            np.array(args.point, dtype=np.uint64)
+            if args.point is not None
+            else None
+        )
+        bounds = (
+            np.array([args.range_bounds], dtype=np.uint64)
+            if args.range_bounds is not None
+            else None
+        )
+    except (ValueError, OverflowError) as exc:
+        print(f"bad query: {exc}")
+        return 2
+    try:
+        with open_store(path=args.path) as db:
+            if points is not None:
+                present = db.get_many(points)
+                for key, hit in zip(points.tolist(), present.tolist()):
+                    print(f"point {key}: {'present' if hit else 'absent'}")
+            if bounds is not None:
+                lo, hi = args.range_bounds
+                hit = bool(db.scan_nonempty_many(bounds)[0])
+                print(f"range [{lo}, {hi}]: "
+                      f"{'non-empty' if hit else 'empty'}")
+            stats = db.stats
+            print(f"filter probes: {stats.filter_probes} "
+                  f"(positives {stats.filter_positives}, "
+                  f"false positives {stats.filter_false_positives}), "
+                  f"blocks read: {stats.blocks_read}")
+    except SerialError as exc:
+        print(f"cannot open store {args.path}: {exc}")
+        return 2
+    except (ValueError, OverflowError) as exc:
+        print(f"bad query: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_store_inspect(args) -> int:
+    from repro.api import FilterSpec, open_store
+    from repro.serial import FORMAT_VERSION, SerialError
+    from repro.lsm.store import read_store_manifest
+
+    try:
+        manifest = read_store_manifest(args.path)
+        with open_store(path=args.path) as db:
+            engine = manifest["engine"]
+            print(f"engine: {engine} (store format v{FORMAT_VERSION})")
+            if engine == "sharded-lsm":
+                specs = [
+                    FilterSpec.from_dict(d) for d in manifest["specs"]
+                ]
+                print(f"shards: {manifest['num_shards']} "
+                      f"({manifest['partition']} partition)")
+                if len(set(spec.to_json() for spec in specs)) == 1:
+                    print(f"filter: {specs[0]!r}")
+                else:
+                    for i, spec in enumerate(specs):
+                        print(f"filter[shard {i}]: {spec!r}")
+                runs = db.num_sstables
+            else:
+                print(f"filter: {FilterSpec.from_dict(manifest['spec'])!r}")
+                runs = len(db.sstables)
+            geometry = manifest["geometry"]
+            print(f"geometry: memtable_capacity="
+                  f"{geometry['memtable_capacity']}, "
+                  f"value_bytes={geometry['value_bytes']}, "
+                  f"block_bytes={geometry['block_bytes']}, "
+                  f"store_values={geometry['store_values']}")
+            print(f"runs: {runs}, keys: {db.num_keys}, "
+                  f"filter bits: {db.filter_bits} "
+                  f"({db.filter_bits_per_key():.2f} bits/key)")
+    except SerialError as exc:
+        print(f"cannot inspect store {args.path}: {exc}")
+        return 2
+    return 0
+
+
+_STORE_COMMANDS = {
+    "init": _cmd_store_init,
+    "ingest": _cmd_store_ingest,
+    "query": _cmd_store_query,
+    "inspect": _cmd_store_inspect,
+}
+
 _COMMANDS = {
     "tune": _cmd_tune,
     "model": _cmd_model,
     "measure": _cmd_measure,
     "inspect": _cmd_inspect,
     "build": _cmd_build,
+    "store": _cmd_store,
 }
 
 

@@ -24,10 +24,13 @@ from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.lsm.memtable import MemTable
 from repro.lsm.sharded import ShardedLsmDB
 from repro.lsm.sstable import SSTable
+from repro.lsm.store import PersistentLsmDB, PersistentShardedLsmDB
 
 __all__ = [
     "LsmDB",
     "ShardedLsmDB",
+    "PersistentLsmDB",
+    "PersistentShardedLsmDB",
     "MemTable",
     "SSTable",
     "IOStats",

@@ -61,6 +61,15 @@ class LsmDB:
     def close(self) -> None:
         """Release engine resources (no-op for the unsharded store)."""
 
+    def sync(self) -> None:
+        """Make all flushed runs durable.
+
+        A no-op for the in-memory store; the persistent engines
+        (:mod:`repro.lsm.store`) override this to write run files and the
+        store manifest, so callers can request durability through the one
+        :class:`~repro.api.Store` interface regardless of backing.
+        """
+
     def __enter__(self) -> "LsmDB":
         return self
 

@@ -106,26 +106,31 @@ class ShardedLsmDB:
         self.partition = partition
         self.device = device if device is not None else SimulatedDevice()
         policies = _coerce_shard_policies(policy, num_shards)
+        self.store_values = store_values
         # ``memtable_capacity`` is per shard: each shard flushes after its
         # own ``capacity`` writes, so a sharded store builds N interleaved
         # sequences of same-size runs (each run's filter is sized for the
         # keys it actually holds — per-shard sizing for free).
         self.shards: list[LsmDB] = [
-            LsmDB(
-                policy=policies[shard],
+            self._build_shard(
+                shard,
+                policies[shard],
                 memtable_capacity=memtable_capacity,
                 value_bytes=value_bytes,
                 block_bytes=block_bytes,
-                device=self.device,
                 store_values=store_values,
             )
             for shard in range(num_shards)
         ]
-        self.store_values = store_values
         self._pool = ShardPool(
             max_workers if max_workers is not None else num_shards,
             name="lsm-shard",
         )
+
+    def _build_shard(self, index: int, policy, **kw) -> LsmDB:
+        """One per-shard engine (the persistent store overrides this to
+        back each shard with its own on-disk sub-store)."""
+        return LsmDB(policy=policy, device=self.device, **kw)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -209,6 +214,10 @@ class ShardedLsmDB:
     def flush(self) -> None:
         """Flush every shard's memtable into a new per-shard L0 run."""
         self._fan_out_all(lambda shard: shard.flush())
+
+    def sync(self) -> None:
+        """Make every shard's flushed runs durable (no-op when in-memory)."""
+        self._fan_out_all(lambda shard: shard.sync())
 
     def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
         """Load an insertion-ordered stream into ``num_sstables`` runs *per

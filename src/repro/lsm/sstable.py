@@ -39,6 +39,7 @@ class SSTable:
         value_bytes: int = 512,
         block_bytes: int = 4096,
         prebuilt_filter: FilterHandle | None = None,
+        prebuilt_block: bytes | None = None,
     ) -> None:
         keys = np.asarray(keys, dtype=np.uint64)
         if keys.size == 0:
@@ -70,7 +71,14 @@ class SSTable:
             self.filter = policy.build(keys)
         self.build_time_s = time.perf_counter() - start
         start = time.perf_counter()
-        self.filter_block = self.filter.serialize()
+        # A store reopen hands the block bytes straight from disk next to
+        # the deserialized handle — re-serializing them would only redo
+        # (and re-charge) work whose result is already in hand.
+        self.filter_block = (
+            prebuilt_block
+            if prebuilt_block is not None
+            else self.filter.serialize()
+        )
         self.serialize_time_s = time.perf_counter() - start
 
     # ------------------------------------------------------------------

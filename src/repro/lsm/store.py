@@ -1,0 +1,872 @@
+"""On-disk persistence for the LSM engines — the store behind ``open_store(path=...)``.
+
+The paper's target deployment is bloomRF as the filter-block policy inside a
+persistent LSM key-value store (Sect. 2, Sect. 9's RocksDB integration).
+This module makes the reproduction's engines durable: a
+:class:`~repro.lsm.db.LsmDB` or :class:`~repro.lsm.sharded.ShardedLsmDB`
+whose runs, filter blocks, and configuration live in a directory and survive
+process restarts with bit-identical probe answers.
+
+On-disk layout (all frames are :mod:`repro.serial` ``BRF1`` frames)::
+
+    <path>/
+      STORE.brf            # KIND_STORE manifest: engine, spec(s), geometry,
+                           #   run list (unsharded) or shard list (sharded)
+      sst-000000.sst       # KIND_SSTABLE frame: keys, tombstones, values
+      sst-000000.filter    # the run's filter block (its own filter frame)
+      shard-0000/          # sharded engine: one self-contained sub-store
+        STORE.brf          #   per shard, laid out exactly like the above
+        sst-000000.sst
+        sst-000000.filter
+
+Durability contract
+-------------------
+* ``flush()`` — drains the memtable into a new run *and* makes every run
+  durable: new ``.sst``/``.filter`` files are written, then the manifest is
+  atomically replaced (write-temp + ``os.replace``), then unreferenced run
+  files are pruned.  When ``flush()`` returns, a reopen reproduces the
+  store exactly.
+* ``close()`` (and the context manager) — ``flush()`` + release resources.
+* A crash *between* writes loses only memtable contents (the engines have
+  no WAL, matching the benchmark-mode RocksDB setup); a crash *during* a
+  flush leaves the previous manifest intact — the store reopens to the
+  last durable state, and orphaned run files are pruned on the next sync.
+
+Every reader-side failure — truncated or bit-flipped manifest, version
+skew, a missing shard directory or run file, an SST/filter frame of the
+wrong kind, a run whose contents contradict the manifest — raises
+:class:`~repro.serial.SerialError` naming the offending file; a damaged
+store never silently mis-answers.  Filter blocks are *deserialized* on
+reopen (never rebuilt from keys), so probe answers and their
+:class:`~repro.lsm.iostats.IOStats` accounting match the never-closed
+store bit for bit; deserialization time lands in the
+``deserialization_s`` bucket (the Fig. 12.G cost the paper charges for
+filter-block loads).
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.api import FilterSpec
+from repro.lsm.db import LsmDB
+from repro.lsm.filter_policy import SpecPolicy, handle_from_bytes
+from repro.lsm.sharded import ShardedLsmDB
+from repro.lsm.sstable import SSTable
+from repro.serial import (
+    KIND_SSTABLE,
+    KIND_STORE,
+    SerialError,
+    pack_frame,
+    peek_kind,
+    unpack_frame,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "PersistentLsmDB",
+    "PersistentShardedLsmDB",
+    "open_persistent_store",
+    "read_store_manifest",
+]
+
+MANIFEST_NAME = "STORE.brf"
+_SST_SUFFIX = ".sst"
+_FILTER_SUFFIX = ".filter"
+
+
+# ----------------------------------------------------------------------
+# frame helpers
+# ----------------------------------------------------------------------
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Durable write-temp + rename: no crash leaves a half-written frame.
+
+    The temp file is fsynced before the rename and the directory after,
+    so the replace is not persisted ahead of the data it points at — the
+    ordering the durability contract (crash mid-flush reopens to the last
+    durable state) relies on across power loss, not just process death.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_store_manifest(directory: str | Path) -> dict:
+    """The manifest header of the store at ``directory``.
+
+    Raises :class:`SerialError` naming the manifest file when it is
+    missing, truncated, bit-flipped, of a stale format version, or not a
+    store-manifest frame at all.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        raise SerialError(
+            f"{directory} holds no store manifest ({MANIFEST_NAME} is missing)"
+        )
+    try:
+        header, payloads = unpack_frame(
+            path.read_bytes(), expect_kind=KIND_STORE
+        )
+    except SerialError as exc:
+        raise SerialError(f"corrupt store manifest {path}: {exc}") from exc
+    if payloads:
+        raise SerialError(
+            f"corrupt store manifest {path}: carries {len(payloads)} "
+            "payloads, expected 0"
+        )
+    return header
+
+
+def _payload_crc(payloads: list[bytes]) -> int:
+    crc = 0
+    for payload in payloads:
+        crc = zlib.crc32(payload, crc)
+    return crc
+
+
+def _manifest_field(mapping: dict, name: str, where) -> object:
+    """A required manifest/run-entry field, or :class:`SerialError`.
+
+    A frame-valid manifest whose JSON header lost a field must still fail
+    as a corrupt *store* artifact (naming the file), not as a bare
+    :class:`KeyError` leaking out of the reader.
+    """
+    try:
+        return mapping[name]
+    except (KeyError, TypeError):
+        raise SerialError(
+            f"corrupt store manifest {where}: missing field {name!r}"
+        ) from None
+
+
+def _spec_from_manifest(data, where) -> FilterSpec:
+    """A persisted :class:`FilterSpec`, or :class:`SerialError`."""
+    try:
+        return FilterSpec.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerialError(
+            f"corrupt store manifest {where}: bad filter spec ({exc})"
+        ) from None
+
+
+def _pack_sstable(sst: SSTable) -> bytes:
+    """One immutable run as a KIND_SSTABLE frame: keys, tombstones, values.
+
+    Unlike filter frames (approximate structures, deliberately
+    checksum-free in :mod:`repro.serial`), SST payloads are *exact* data:
+    a flipped bit would change answers instead of just moving a false
+    positive.  The header therefore carries a CRC32 of the payloads —
+    the RocksDB move of checksumming data blocks while filter damage
+    stays survivable.
+    """
+    payloads = [
+        np.ascontiguousarray(sst.keys, dtype="<u8").tobytes(),
+        np.packbits(sst.tombstones).tobytes(),
+    ]
+    header = {
+        "num_keys": int(sst.keys.size),
+        "has_values": sst.values is not None,
+    }
+    if sst.values is not None:
+        lengths = np.array([len(v) for v in sst.values], dtype="<u8")
+        payloads.append(lengths.tobytes())
+        payloads.append(b"".join(sst.values))
+    header["crc32"] = _payload_crc(payloads)
+    return pack_frame(KIND_SSTABLE, header, *payloads)
+
+
+def _unpack_sstable(data: bytes, name: str):
+    """Parse a KIND_SSTABLE frame back into ``(keys, values, tombstones)``.
+
+    Every internal inconsistency raises :class:`SerialError` naming the
+    offending file — a truncated, swapped, or cross-wired run file fails
+    loudly instead of reconstructing a different key set.
+    """
+    try:
+        header, payloads = unpack_frame(data, expect_kind=KIND_SSTABLE)
+    except SerialError as exc:
+        raise SerialError(f"corrupt SST file {name}: {exc}") from exc
+    has_values = bool(header.get("has_values", False))
+    expected_payloads = 4 if has_values else 2
+    if len(payloads) != expected_payloads:
+        raise SerialError(
+            f"corrupt SST file {name}: carries {len(payloads)} payloads, "
+            f"expected {expected_payloads}"
+        )
+    if _payload_crc(payloads) != int(header.get("crc32", -1)):
+        raise SerialError(
+            f"corrupt SST file {name}: payload checksum mismatch (the run "
+            "data was altered after it was written)"
+        )
+    num_keys = int(header.get("num_keys", -1))
+    keys = np.frombuffer(payloads[0], dtype="<u8").astype(np.uint64)
+    if keys.size != num_keys:
+        raise SerialError(
+            f"corrupt SST file {name}: holds {keys.size} keys but its "
+            f"header records {num_keys}"
+        )
+    if len(payloads[1]) != (num_keys + 7) // 8:
+        raise SerialError(
+            f"corrupt SST file {name}: tombstone bitmap is "
+            f"{len(payloads[1])} bytes for {num_keys} keys"
+        )
+    tombstones = np.unpackbits(
+        np.frombuffer(payloads[1], dtype=np.uint8), count=num_keys
+    ).astype(bool)
+    values = None
+    if has_values:
+        lengths = np.frombuffer(payloads[2], dtype="<u8")
+        if lengths.size != num_keys or int(lengths.sum()) != len(payloads[3]):
+            raise SerialError(
+                f"corrupt SST file {name}: value index does not match the "
+                "value blob"
+            )
+        offsets = np.zeros(num_keys + 1, dtype=np.int64)
+        np.cumsum(lengths.astype(np.int64), out=offsets[1:])
+        blob = payloads[3]
+        values = [
+            blob[offsets[i] : offsets[i + 1]] for i in range(num_keys)
+        ]
+    return keys, values, tombstones
+
+
+def _spec_of(filter) -> FilterSpec:
+    """The persistable :class:`FilterSpec` behind a filter argument.
+
+    On-disk stores must rebuild their policy from the manifest alone, so
+    only spec-driven filters (a :class:`FilterSpec`, a
+    :class:`~repro.lsm.filter_policy.SpecPolicy`, or None) are accepted.
+    """
+    if filter is None:
+        return FilterSpec("none")
+    if isinstance(filter, FilterSpec):
+        return filter
+    spec = getattr(filter, "spec", None)
+    if isinstance(spec, FilterSpec):
+        return spec
+    raise ValueError(
+        "on-disk stores need a FilterSpec-driven filter (a FilterSpec, a "
+        f"SpecPolicy, or None) so reopening can rebuild the policy; got "
+        f"{type(filter).__name__}"
+    )
+
+
+def _shard_dir_name(index: int) -> str:
+    return f"shard-{index:04d}"
+
+
+# ----------------------------------------------------------------------
+# the unsharded persistent engine
+# ----------------------------------------------------------------------
+class PersistentLsmDB(LsmDB):
+    """An :class:`LsmDB` whose runs and filter blocks live in a directory.
+
+    Opening a directory that already holds a store manifest *reopens* it —
+    the persisted spec and geometry win, runs are reconstructed from their
+    ``.sst`` frames, and filter blocks are deserialized (never rebuilt).
+    Otherwise the directory is initialized as a fresh store and the
+    manifest written immediately, so an empty store reopens too.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        spec: FilterSpec | None = None,
+        *,
+        memtable_capacity: int = 1 << 16,
+        value_bytes: int = 512,
+        block_bytes: int = 4096,
+        device=None,
+        store_values: bool = False,
+        _manifest: dict | None = None,
+    ) -> None:
+        directory = Path(directory)
+        manifest = _manifest
+        if manifest is None and (directory / MANIFEST_NAME).is_file():
+            manifest = read_store_manifest(directory)
+        if manifest is not None:
+            engine = manifest.get("engine")
+            if engine != "lsm":
+                raise SerialError(
+                    f"store at {directory} holds a {engine!r} engine, not "
+                    "an unsharded 'lsm' store"
+                )
+            where = directory / MANIFEST_NAME
+            stored_spec = _spec_from_manifest(
+                _manifest_field(manifest, "spec", where), where
+            )
+            if spec is not None and spec != stored_spec:
+                raise ValueError(
+                    f"store at {directory} was created with {stored_spec!r}; "
+                    f"reopening with {spec!r} would change probe answers"
+                )
+            spec = stored_spec
+            geometry = _manifest_field(manifest, "geometry", where)
+            memtable_capacity = int(
+                _manifest_field(geometry, "memtable_capacity", where)
+            )
+            value_bytes = int(_manifest_field(geometry, "value_bytes", where))
+            block_bytes = int(_manifest_field(geometry, "block_bytes", where))
+            store_values = bool(
+                _manifest_field(geometry, "store_values", where)
+            )
+        else:
+            if any(directory.glob("sst-*")):
+                raise SerialError(
+                    f"{directory} holds run files but no store manifest "
+                    f"({MANIFEST_NAME}); refusing to initialize a fresh "
+                    "store over them — restore the manifest or move the "
+                    "files away"
+                )
+            if spec is None:
+                spec = FilterSpec("none")
+        super().__init__(
+            policy=SpecPolicy(spec),
+            memtable_capacity=memtable_capacity,
+            value_bytes=value_bytes,
+            block_bytes=block_bytes,
+            device=device,
+            store_values=store_values,
+        )
+        self.directory = directory
+        self.spec = spec
+        self._run_files: dict[SSTable, str] = {}
+        self._next_file_id = 0
+        # The run-name list the on-disk manifest currently records (None =
+        # no manifest yet): sync() short-circuits when it still matches.
+        self._synced_runs: list[str] | None = None
+        self._compacting = False
+        if manifest is not None:
+            self._load_runs(manifest)
+        else:
+            directory.mkdir(parents=True, exist_ok=True)
+            self.sync()
+
+    # ------------------------------------------------------------------
+    # reopen path
+    # ------------------------------------------------------------------
+    def _load_runs(self, manifest: dict) -> None:
+        where = self.directory / MANIFEST_NAME
+        self._next_file_id = int(manifest.get("next_file_id", 0))
+        names = []
+        for entry in manifest.get("runs", []):
+            sst = self._load_sstable(entry)
+            self.sstables.append(sst)
+            name = _manifest_field(entry, "file", where)
+            self._run_files[sst] = name
+            names.append(name)
+        self._synced_runs = names
+
+    def _load_sstable(self, entry: dict) -> SSTable:
+        where = self.directory / MANIFEST_NAME
+        name = _manifest_field(entry, "file", where)
+        num_keys = int(_manifest_field(entry, "num_keys", where))
+        filter_kind = int(_manifest_field(entry, "filter_kind", where))
+        filter_crc = int(_manifest_field(entry, "filter_crc32", where))
+        sst_path = self.directory / (name + _SST_SUFFIX)
+        filter_path = self.directory / (name + _FILTER_SUFFIX)
+        for path in (sst_path, filter_path):
+            if not path.is_file():
+                raise SerialError(
+                    f"store at {self.directory} is missing run file "
+                    f"{path.name}"
+                )
+        keys, values, tombstones = _unpack_sstable(
+            sst_path.read_bytes(), str(sst_path)
+        )
+        if keys.size != num_keys:
+            raise SerialError(
+                f"corrupt SST file {sst_path}: holds {keys.size} keys but "
+                f"the store manifest records {num_keys}"
+            )
+        filter_blob = filter_path.read_bytes()
+        start = time.perf_counter()
+        try:
+            if peek_kind(filter_blob) != filter_kind:
+                raise SerialError(
+                    f"frame kind {peek_kind(filter_blob)} does not match "
+                    f"the manifest's kind {filter_kind}"
+                )
+            # The manifest pins each run's filter blob by checksum, so a
+            # same-kind blob swapped in from another run fails here
+            # instead of probing false negatives at query time.
+            if zlib.crc32(filter_blob) != filter_crc:
+                raise SerialError(
+                    "blob checksum does not match the manifest (the block "
+                    "was altered or belongs to a different run)"
+                )
+            handle = handle_from_bytes(filter_blob)
+        except SerialError as exc:
+            raise SerialError(
+                f"corrupt filter block {filter_path}: {exc}"
+            ) from exc
+        self.stats.deserialization_s += time.perf_counter() - start
+        try:
+            return SSTable(
+                keys,
+                policy=self.policy,
+                values=values,
+                tombstones=tombstones,
+                value_bytes=self.value_bytes,
+                block_bytes=self.block_bytes,
+                prebuilt_filter=handle,
+                prebuilt_block=filter_blob,
+            )
+        except ValueError as exc:
+            raise SerialError(f"corrupt SST file {sst_path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Make the current run set durable.
+
+        Unpersisted runs get ``.sst``/``.filter`` files first, then the
+        manifest is atomically replaced, then run files no longer
+        referenced (dropped by compaction) are pruned — in that order, so
+        a crash at any point leaves a reopenable store.  When the run set
+        already matches the manifest (e.g. a read-only open/close cycle)
+        nothing is written at all, so pure reads never touch the
+        directory.
+        """
+        runs = []
+        for sst in self.sstables:
+            name = self._run_files.get(sst)
+            if name is None:
+                name = f"sst-{self._next_file_id:06d}"
+                self._next_file_id += 1
+                _atomic_write(
+                    self.directory / (name + _SST_SUFFIX), _pack_sstable(sst)
+                )
+                _atomic_write(
+                    self.directory / (name + _FILTER_SUFFIX), sst.filter_block
+                )
+                self._run_files[sst] = name
+            runs.append(
+                {
+                    "file": name,
+                    "num_keys": sst.num_keys,
+                    "filter_kind": peek_kind(sst.filter_block),
+                    "filter_crc32": zlib.crc32(sst.filter_block),
+                }
+            )
+        # Drop mappings for runs compaction removed (also releases the
+        # strong references keeping their SSTable objects alive).
+        self._run_files = {
+            sst: self._run_files[sst] for sst in self.sstables
+        }
+        names = [run["file"] for run in runs]
+        if names == self._synced_runs:
+            return
+        manifest = {
+            "engine": "lsm",
+            "spec": self.spec.to_dict(),
+            "geometry": {
+                "memtable_capacity": self.memtable.capacity,
+                "value_bytes": self.value_bytes,
+                "block_bytes": self.block_bytes,
+                "store_values": self.store_values,
+            },
+            "runs": runs,
+            "next_file_id": self._next_file_id,
+        }
+        _atomic_write(
+            self.directory / MANIFEST_NAME, pack_frame(KIND_STORE, manifest)
+        )
+        self._synced_runs = names
+        self._prune_orphans(set(names))
+
+    def _prune_orphans(self, live: set[str]) -> None:
+        for path in self.directory.glob("sst-*"):
+            if path.name.endswith(".tmp"):
+                path.unlink(missing_ok=True)
+                continue
+            for suffix in (_SST_SUFFIX, _FILTER_SUFFIX):
+                if path.name.endswith(suffix):
+                    if path.name[: -len(suffix)] not in live:
+                        path.unlink(missing_ok=True)
+
+    def flush(self) -> None:
+        """Drain the memtable into a new run and make the store durable."""
+        super().flush()
+        if not self._compacting:
+            self.sync()
+
+    def compact(self) -> None:
+        """Compact, then persist the merged run and prune the old files.
+
+        The memtable drain inside :meth:`LsmDB.compact` skips its interim
+        sync — persisting a run only for the merge to immediately discard
+        it would be wasted run serialization and two extra manifest
+        fsyncs; compaction's durability point is this method returning.
+        """
+        self._compacting = True
+        try:
+            super().compact()
+        finally:
+            self._compacting = False
+        self.sync()
+
+    def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
+        super().bulk_load(keys, num_sstables)
+        self.sync()
+
+    def close(self) -> None:
+        """Flush (making the store durable) and release resources."""
+        self.flush()
+        super().close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PersistentLsmDB({str(self.directory)!r}, "
+            f"policy={self.policy.name}, sstables={len(self.sstables)}, "
+            f"keys={self.num_keys})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the sharded persistent engine
+# ----------------------------------------------------------------------
+class PersistentShardedLsmDB(ShardedLsmDB):
+    """A :class:`ShardedLsmDB` of per-shard :class:`PersistentLsmDB` engines.
+
+    The top-level manifest pins the partition scheme, the per-shard specs,
+    and the geometry; each ``shard-NNNN/`` directory is a self-contained
+    unsharded store (own manifest, runs, filter blocks), so the per-shard
+    independence of the partitioned layout extends to disk.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        specs: "FilterSpec | Sequence[FilterSpec] | None" = None,
+        *,
+        num_shards: int = 4,
+        partition: str = "hash",
+        memtable_capacity: int = 1 << 16,
+        value_bytes: int = 512,
+        block_bytes: int = 4096,
+        device=None,
+        store_values: bool = False,
+        max_workers: int | None = None,
+        domain_bits: int = 64,
+        _manifest: dict | None = None,
+    ) -> None:
+        directory = Path(directory)
+        manifest = _manifest
+        if manifest is None and (directory / MANIFEST_NAME).is_file():
+            manifest = read_store_manifest(directory)
+        if manifest is not None:
+            engine = manifest.get("engine")
+            if engine != "sharded-lsm":
+                raise SerialError(
+                    f"store at {directory} holds a {engine!r} engine, not a "
+                    "'sharded-lsm' store"
+                )
+            where = directory / MANIFEST_NAME
+            specs = [
+                _spec_from_manifest(d, where)
+                for d in _manifest_field(manifest, "specs", where)
+            ]
+            num_shards = int(_manifest_field(manifest, "num_shards", where))
+            partition = _manifest_field(manifest, "partition", where)
+            domain_bits = int(_manifest_field(manifest, "domain_bits", where))
+            geometry = _manifest_field(manifest, "geometry", where)
+            memtable_capacity = int(
+                _manifest_field(geometry, "memtable_capacity", where)
+            )
+            value_bytes = int(_manifest_field(geometry, "value_bytes", where))
+            block_bytes = int(_manifest_field(geometry, "block_bytes", where))
+            store_values = bool(
+                _manifest_field(geometry, "store_values", where)
+            )
+            for index in range(num_shards):
+                shard_manifest = directory / _shard_dir_name(index) / MANIFEST_NAME
+                if not shard_manifest.is_file():
+                    raise SerialError(
+                        f"store at {directory} is missing shard directory "
+                        f"{_shard_dir_name(index)}"
+                    )
+        else:
+            if any(directory.glob("shard-*")) or any(directory.glob("sst-*")):
+                raise SerialError(
+                    f"{directory} holds shard/run data but no store "
+                    f"manifest ({MANIFEST_NAME}); refusing to initialize a "
+                    "fresh store over it — restore the manifest or move "
+                    "the data away"
+                )
+            if isinstance(specs, (list, tuple)):
+                if len(specs) != num_shards:
+                    raise ValueError(
+                        f"got {len(specs)} per-shard specs for "
+                        f"{num_shards} shards"
+                    )
+                specs = [_spec_of(s) for s in specs]
+            else:
+                specs = [_spec_of(specs)] * num_shards
+            directory.mkdir(parents=True, exist_ok=True)
+        self.directory = directory
+        self.specs: list[FilterSpec] = list(specs)
+        if manifest is None:
+            # Top manifest *before* the per-shard sub-stores: a crash in
+            # that window then reopens loudly (missing shard directory)
+            # instead of silently re-initializing under a possibly
+            # different partition scheme over the old shard data.
+            self._write_manifest(
+                num_shards=num_shards,
+                partition=partition,
+                domain_bits=domain_bits,
+                memtable_capacity=memtable_capacity,
+                value_bytes=value_bytes,
+                block_bytes=block_bytes,
+                store_values=store_values,
+            )
+        super().__init__(
+            policy=[SpecPolicy(spec) for spec in self.specs],
+            num_shards=num_shards,
+            partition=partition,
+            memtable_capacity=memtable_capacity,
+            value_bytes=value_bytes,
+            block_bytes=block_bytes,
+            device=device,
+            store_values=store_values,
+            max_workers=max_workers,
+            domain_bits=domain_bits,
+        )
+
+    def _build_shard(self, index: int, policy, **kw) -> LsmDB:
+        """Each shard is a self-contained persistent sub-store."""
+        return PersistentLsmDB(
+            self.directory / _shard_dir_name(index),
+            policy.spec,
+            device=self.device,
+            **kw,
+        )
+
+    def _write_manifest(
+        self,
+        *,
+        num_shards: int,
+        partition: str,
+        domain_bits: int,
+        memtable_capacity: int,
+        value_bytes: int,
+        block_bytes: int,
+        store_values: bool,
+    ) -> None:
+        manifest = {
+            "engine": "sharded-lsm",
+            "specs": [spec.to_dict() for spec in self.specs],
+            "num_shards": num_shards,
+            "partition": partition,
+            "domain_bits": domain_bits,
+            "geometry": {
+                "memtable_capacity": memtable_capacity,
+                "value_bytes": value_bytes,
+                "block_bytes": block_bytes,
+                "store_values": store_values,
+            },
+            "shards": [
+                _shard_dir_name(index) for index in range(num_shards)
+            ],
+        }
+        _atomic_write(
+            self.directory / MANIFEST_NAME, pack_frame(KIND_STORE, manifest)
+        )
+
+    def close(self) -> None:
+        """Flush every shard (making the store durable), then shut down."""
+        self.flush()
+        super().close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PersistentShardedLsmDB({str(self.directory)!r}, "
+            f"shards={self.num_shards}, partition={self.partition!r}, "
+            f"keys={self.num_keys})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the open_store(path=...) dispatch
+# ----------------------------------------------------------------------
+def _open_store_defaults() -> dict:
+    """``open_store``'s keyword defaults, read from its signature so the
+    reopen conflict check below cannot drift from the facade."""
+    from repro.api import open_store
+
+    return {
+        name: parameter.default
+        for name, parameter in inspect.signature(open_store).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+
+
+_CREATE_DEFAULTS = _open_store_defaults()
+
+
+def _check_reopen_args(manifest: dict, directory: Path, args: dict) -> None:
+    """Reopening takes the persisted configuration; explicit arguments must
+    agree with it.  Arguments still at their :func:`~repro.api.open_store`
+    defaults are treated as "unspecified" (the manifest wins); anything
+    explicitly different from both the default and the persisted value is
+    a configuration conflict and raises :class:`ValueError`.
+    """
+    where = directory / MANIFEST_NAME
+    sharded = manifest["engine"] == "sharded-lsm"
+    geometry = _manifest_field(manifest, "geometry", where)
+    stored = {
+        "shards": (
+            int(_manifest_field(manifest, "num_shards", where))
+            if sharded
+            else 1
+        ),
+        "partition": (
+            _manifest_field(manifest, "partition", where)
+            if sharded
+            else "hash"
+        ),
+        "memtable_capacity": int(
+            _manifest_field(geometry, "memtable_capacity", where)
+        ),
+        "value_bytes": int(_manifest_field(geometry, "value_bytes", where)),
+        "block_bytes": int(_manifest_field(geometry, "block_bytes", where)),
+        "store_values": bool(_manifest_field(geometry, "store_values", where)),
+        "domain_bits": (
+            int(_manifest_field(manifest, "domain_bits", where))
+            if sharded
+            else 64
+        ),
+    }
+    for name, stored_value in stored.items():
+        passed = args[name]
+        if passed != _CREATE_DEFAULTS[name] and passed != stored_value:
+            raise ValueError(
+                f"store at {directory} was created with {name}="
+                f"{stored_value!r}; reopening with {name}={passed!r} "
+                "conflicts (leave it at the default to use the persisted "
+                "configuration)"
+            )
+    filter = args["filter"]
+    if filter is None:
+        return
+    if sharded:
+        stored_specs = [
+            _spec_from_manifest(d, where)
+            for d in _manifest_field(manifest, "specs", where)
+        ]
+        passed_specs = (
+            [_spec_of(f) for f in filter]
+            if isinstance(filter, (list, tuple))
+            else [_spec_of(filter)] * len(stored_specs)
+        )
+        if passed_specs != stored_specs:
+            raise ValueError(
+                f"store at {directory} was created with filter specs "
+                f"{stored_specs!r}; reopening with {passed_specs!r} "
+                "conflicts"
+            )
+    else:
+        stored_spec = _spec_from_manifest(
+            _manifest_field(manifest, "spec", where), where
+        )
+        if _spec_of(filter) != stored_spec:
+            raise ValueError(
+                f"store at {directory} was created with {stored_spec!r}; "
+                f"reopening with {_spec_of(filter)!r} conflicts"
+            )
+
+
+def open_persistent_store(
+    path: str | Path,
+    *,
+    filter=None,
+    shards: int = 1,
+    partition: str = "hash",
+    memtable_capacity: int = 1 << 16,
+    value_bytes: int = 512,
+    block_bytes: int = 4096,
+    device=None,
+    store_values: bool = False,
+    max_workers: int | None = None,
+    domain_bits: int = 64,
+):
+    """Create or reopen the on-disk store at ``path``.
+
+    The create/reopen dispatch behind ``open_store(path=...)``: a
+    directory holding a store manifest is reopened with its persisted
+    configuration (explicit arguments must agree — see
+    :func:`_check_reopen_args`); otherwise a fresh store is initialized
+    from the arguments, exactly mirroring the in-memory
+    :func:`~repro.api.open_store` semantics.
+    """
+    path = Path(path)
+    if (path / MANIFEST_NAME).is_file():
+        manifest = read_store_manifest(path)
+        engine = manifest.get("engine")
+        if engine not in ("lsm", "sharded-lsm"):
+            raise SerialError(
+                f"store manifest at {path} names unknown engine {engine!r}"
+            )
+        _check_reopen_args(
+            manifest,
+            path,
+            {
+                "filter": filter,
+                "shards": shards,
+                "partition": partition,
+                "memtable_capacity": memtable_capacity,
+                "value_bytes": value_bytes,
+                "block_bytes": block_bytes,
+                "store_values": store_values,
+                "domain_bits": domain_bits,
+            },
+        )
+        if engine == "lsm":
+            return PersistentLsmDB(path, device=device, _manifest=manifest)
+        return PersistentShardedLsmDB(
+            path, device=device, max_workers=max_workers, _manifest=manifest
+        )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        if isinstance(filter, (list, tuple)):
+            raise ValueError("per-shard filter specs require shards > 1")
+        return PersistentLsmDB(
+            path,
+            _spec_of(filter),
+            memtable_capacity=memtable_capacity,
+            value_bytes=value_bytes,
+            block_bytes=block_bytes,
+            device=device,
+            store_values=store_values,
+        )
+    return PersistentShardedLsmDB(
+        path,
+        filter,
+        num_shards=shards,
+        partition=partition,
+        memtable_capacity=memtable_capacity,
+        value_bytes=value_bytes,
+        block_bytes=block_bytes,
+        device=device,
+        store_values=store_values,
+        max_workers=max_workers,
+        domain_bits=domain_bits,
+    )

@@ -5,11 +5,13 @@ block*: a self-describing byte string the DB can write at flush time and
 deserialize on read.  This module defines that format once for the whole
 package — a single framed layout shared by :class:`~repro.core.bloomrf.BloomRF`,
 every baseline filter (Bloom, Prefix-Bloom, Rosetta, SuRF, Cuckoo, and the
-"none" placeholder), and :class:`~repro.shard.ShardedBloomRF` shard sets —
-so every serialized artifact starts with the same versioned magic and fails
-loudly (never silently mis-answers) on corruption or version skew.  All
-frame-level failures raise :class:`SerialError` (a :class:`ValueError`
-subclass) whose message names the offending kind byte where relevant.
+"none" placeholder), :class:`~repro.shard.ShardedBloomRF` shard sets, and
+the on-disk store artifacts of :mod:`repro.lsm.store` (``KIND_SSTABLE``
+run files and ``KIND_STORE`` manifests) — so every serialized artifact
+starts with the same versioned magic and fails loudly (never silently
+mis-answers) on corruption or version skew.  All frame-level failures
+raise :class:`SerialError` (a :class:`ValueError` subclass) whose message
+names the offending kind byte where relevant.
 
 Frame layout (all integers little-endian)::
 
@@ -25,10 +27,13 @@ Frame layout (all integers little-endian)::
 Headers carry the *shape* (configs, counts) as JSON for forward
 compatibility and debuggability; payloads carry the raw little-endian
 bit-array words, so a round-trip reconstructs every word bit for bit.
-The format deliberately has no checksum — matching RocksDB filter blocks,
-where block-level checksums live a layer below — so a bit flip in a payload
-yields a *different but functioning* filter while any damage to the frame
-itself (magic, version, lengths, header) raises :class:`ValueError`.
+The frame format itself has no checksum — matching RocksDB filter blocks,
+where block-level checksums live a layer below — so a bit flip in a filter
+payload yields a *different but functioning* filter while any damage to the
+frame itself (magic, version, lengths, header) raises :class:`ValueError`.
+Frames carrying *exact* data add their own: ``KIND_SSTABLE`` run frames
+(:mod:`repro.lsm.store`) record a payload CRC32 in their header, because a
+flipped bit there would change answers rather than move a false positive.
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ __all__ = [
     "KIND_SURF",
     "KIND_CUCKOO",
     "KIND_NONE",
+    "KIND_SSTABLE",
+    "KIND_STORE",
     "KIND_NAMES",
     "pack_frame",
     "unpack_frame",
@@ -66,6 +73,8 @@ KIND_ROSETTA = 5
 KIND_SURF = 6
 KIND_CUCKOO = 7
 KIND_NONE = 8
+KIND_SSTABLE = 9
+KIND_STORE = 10
 
 KIND_NAMES = {
     KIND_BLOOMRF: "bloomrf",
@@ -76,6 +85,8 @@ KIND_NAMES = {
     KIND_SURF: "surf",
     KIND_CUCKOO: "cuckoo",
     KIND_NONE: "none",
+    KIND_SSTABLE: "sstable",
+    KIND_STORE: "store-manifest",
 }
 
 

@@ -1,0 +1,46 @@
+"""Perf smoke for the persistent on-disk store (CI tooling).
+
+Runs ``benchmarks/bench_ops_store.py --quick``: ingest → close → reopen →
+query for the unsharded and 4-shard engines, asserting reopened answers
+*and* IOStats counters bit-identical to an in-memory engine fed the same
+operations.  Writes its JSON to a temp path so it never clobbers the
+repo-root ``BENCH_store.json`` (that trajectory artifact holds the
+*full*-mode run; refresh it with ``PYTHONPATH=src python
+benchmarks/bench_ops_store.py``).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_store.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_ops_store", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mode_store_reopen_exact(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_store.json"
+    exit_code = bench.main(["--quick", "--output", str(out)])
+    assert exit_code == 0, "quick store smoke failed (reopen mismatch)"
+    result = json.loads(out.read_text())
+    assert result["mode"] == "quick"
+    assert result["reopen_bit_identical"] is True
+    assert result["reopen_counters_identical"] is True
+    shard_counts = [row["shards"] for row in result["engines"]]
+    assert shard_counts == [1, 4]
+    for row in result["engines"]:
+        assert row["num_runs"] > 0
+        assert row["disk_bytes"] > 0

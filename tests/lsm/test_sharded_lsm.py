@@ -299,6 +299,40 @@ class TestBatchedWritePath:
         assert not db.get(3)
 
 
+class TestOnDiskLadder:
+    """The persistence rung: a saved-and-reopened on-disk store (sharded or
+    not) answers bit-identically to the in-memory unsharded reference —
+    closing and reopening must not change a single answer."""
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_reopened_store_matches_in_memory_reference(
+        self, tmp_path, workload, reference, num_shards
+    ):
+        from repro.api import FilterSpec, open_store
+
+        keys, deleted, probes, bounds = workload
+        spec = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+        db = open_store(
+            path=tmp_path / "db",
+            filter=spec,
+            shards=num_shards,
+            partition="hash",
+            memtable_capacity=CAPACITY,
+        )
+        apply_workload(db, keys, deleted)
+        db.close()
+        with open_store(path=tmp_path / "db") as reopened:
+            assert np.array_equal(
+                reopened.get_many(probes), reference.get_many(probes)
+            )
+            assert np.array_equal(
+                reopened.scan_nonempty_many(bounds),
+                reference.scan_nonempty_many(bounds),
+            )
+            lo, hi = 1 << 40, (1 << 40) + (1 << 56)
+            assert reopened.scan(lo, hi) == reference.scan(lo, hi)
+
+
 class TestIOStatsMerge:
     def test_iadd_and_merged(self):
         a = IOStats(filter_probes=3, blocks_read=2, io_wait_s=0.5)

@@ -1,0 +1,350 @@
+"""Reopen equivalence of the persistent engines: save→load changes nothing.
+
+The on-disk rungs of the exactness ladder:
+
+* a reopened :class:`PersistentLsmDB` answers ``get_many`` /
+  ``scan_nonempty_many`` bit-identically to the in-memory store fed the
+  same operations — **and** its filter-probe / block-read
+  :class:`~repro.lsm.iostats.IOStats` counters match exactly, because
+  filter blocks are deserialized (never rebuilt) and the run layout
+  round-trips;
+* the same holds shard-by-shard for :class:`PersistentShardedLsmDB`;
+* a 1-shard on-disk store reproduces the unsharded on-disk store's
+  answers and accounting exactly (the persistence layer extends the
+  ladder pinned by ``tests/lsm/test_sharded_lsm.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import FilterSpec, open_store
+from repro.lsm import LsmDB, PersistentLsmDB, PersistentShardedLsmDB, SpecPolicy
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 16})
+CAPACITY = 1 << 9
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(71)
+    keys = rng.integers(0, 1 << 64, 8_000, dtype=np.uint64)
+    deleted = keys[:400]
+    probes = np.concatenate(
+        [keys[::4], rng.integers(0, 1 << 64, 2_000, dtype=np.uint64)]
+    )
+    lo = rng.integers(0, 1 << 63, 1_000, dtype=np.uint64)
+    width = np.uint64(1) << rng.integers(4, 24, 1_000, dtype=np.uint64)
+    bounds = np.stack(
+        [lo, np.minimum(lo + width, np.uint64((1 << 64) - 1))], axis=1
+    )
+    return keys, deleted, probes, bounds
+
+
+def apply_workload(db, keys, deleted):
+    db.put_many(keys)
+    db.delete_many(deleted)
+    db.flush()  # identical run layout on both sides of the comparison
+    return db
+
+
+def drive_reads(db, probes, bounds):
+    db.reset_stats()
+    got = db.get_many(probes)
+    scanned = db.scan_nonempty_many(bounds)
+    return got, scanned, db.stats.counters()
+
+
+class TestUnshardedReopen:
+    def test_reopen_matches_in_memory_answers_and_accounting(
+        self, tmp_path, workload
+    ):
+        keys, deleted, probes, bounds = workload
+        memory = apply_workload(
+            LsmDB(policy=SpecPolicy(SPEC), memtable_capacity=CAPACITY),
+            keys,
+            deleted,
+        )
+        disk = apply_workload(
+            open_store(
+                path=tmp_path / "db", filter=SPEC, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        )
+        disk.close()
+        reopened = open_store(path=tmp_path / "db")
+        mem_got, mem_scanned, mem_counters = drive_reads(memory, probes, bounds)
+        got, scanned, counters = drive_reads(reopened, probes, bounds)
+        assert np.array_equal(got, mem_got)
+        assert np.array_equal(scanned, mem_scanned)
+        # Filter blocks were deserialized, not rebuilt: the probe-level
+        # accounting (probes, positives, FPs, block reads) matches exactly.
+        assert counters == mem_counters
+        reopened.close()
+
+    def test_reopened_filter_blocks_are_bit_identical(self, tmp_path, workload):
+        keys, deleted, _, _ = workload
+        disk = apply_workload(
+            open_store(
+                path=tmp_path / "db", filter=SPEC, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        )
+        blocks = [sst.filter_block for sst in disk.sstables]
+        disk.close()
+        reopened = open_store(path=tmp_path / "db")
+        assert [sst.filter_block for sst in reopened.sstables] == blocks
+        reopened.close()
+
+    def test_reopen_charges_deserialization_not_build(self, tmp_path, workload):
+        keys, deleted, _, _ = workload
+        disk = apply_workload(
+            open_store(
+                path=tmp_path / "db", filter=SPEC, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        )
+        disk.close()
+        reopened = open_store(path=tmp_path / "db")
+        assert reopened.stats.deserialization_s > 0.0
+        # Deserialized handles skip policy.build: per-run build time only
+        # covers the hand-off, far below an actual filter construction.
+        build_s, _ = reopened.construction_times()
+        fresh_build_s, _ = disk.construction_times()
+        assert build_s < fresh_build_s
+        reopened.close()
+
+    def test_values_round_trip(self, tmp_path):
+        keys = np.arange(0, 900, 3, dtype=np.uint64)
+        values = [b"payload-%d" % int(k) for k in keys]
+        with open_store(
+            path=tmp_path / "db",
+            filter=SPEC,
+            memtable_capacity=128,
+            store_values=True,
+        ) as db:
+            db.put_many(keys, values)
+        with open_store(path=tmp_path / "db") as reopened:
+            assert reopened.get_value(300) == b"payload-300"
+            assert reopened.get_value(301) is None
+            assert reopened.scan(0, 30) == [
+                (int(k), v) for k, v in zip(keys[:11], values[:11])
+            ]
+
+    def test_sync_after_compact_prunes_old_runs(self, tmp_path, workload):
+        keys, deleted, probes, _ = workload
+        disk = apply_workload(
+            open_store(
+                path=tmp_path / "db", filter=SPEC, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        )
+        before = disk.get_many(probes)
+        assert len(list((tmp_path / "db").glob("sst-*.sst"))) > 1
+        disk.compact()
+        assert len(list((tmp_path / "db").glob("sst-*.sst"))) == 1
+        disk.close()
+        with open_store(path=tmp_path / "db") as reopened:
+            assert np.array_equal(reopened.get_many(probes), before)
+            assert not reopened.get(int(deleted[0]))
+
+
+class TestShardedReopen:
+    @pytest.mark.parametrize("partition", ["hash", "range"])
+    def test_reopen_matches_in_memory_sharded(
+        self, tmp_path, workload, partition
+    ):
+        keys, deleted, probes, bounds = workload
+        from repro.lsm import ShardedLsmDB
+
+        with apply_workload(
+            ShardedLsmDB(
+                policy=SpecPolicy(SPEC),
+                num_shards=4,
+                partition=partition,
+                memtable_capacity=CAPACITY,
+            ),
+            keys,
+            deleted,
+        ) as memory:
+            disk = apply_workload(
+                open_store(
+                    path=tmp_path / "db",
+                    filter=SPEC,
+                    shards=4,
+                    partition=partition,
+                    memtable_capacity=CAPACITY,
+                ),
+                keys,
+                deleted,
+            )
+            disk.close()
+            with open_store(path=tmp_path / "db") as reopened:
+                assert isinstance(reopened, PersistentShardedLsmDB)
+                assert reopened.partition == partition
+                mem_got, mem_scanned, mem_counters = drive_reads(
+                    memory, probes, bounds
+                )
+                got, scanned, counters = drive_reads(reopened, probes, bounds)
+                assert np.array_equal(got, mem_got)
+                assert np.array_equal(scanned, mem_scanned)
+                assert counters == mem_counters
+
+    def test_one_shard_on_disk_equals_unsharded_on_disk(
+        self, tmp_path, workload
+    ):
+        """The persistence rung of the 1-shard == unsharded identity."""
+        keys, deleted, probes, bounds = workload
+        unsharded = apply_workload(
+            open_store(
+                path=tmp_path / "flat", filter=SPEC, memtable_capacity=CAPACITY
+            ),
+            keys,
+            deleted,
+        )
+        unsharded.close()
+        single = apply_workload(
+            open_store(
+                path=tmp_path / "one",
+                filter=SPEC,
+                shards=1,
+                memtable_capacity=CAPACITY,
+            ),
+            keys,
+            deleted,
+        )
+        single.close()
+        with open_store(path=tmp_path / "flat") as flat, open_store(
+            path=tmp_path / "one"
+        ) as one:
+            flat_got, flat_scanned, flat_counters = drive_reads(
+                flat, probes, bounds
+            )
+            got, scanned, counters = drive_reads(one, probes, bounds)
+            assert np.array_equal(got, flat_got)
+            assert np.array_equal(scanned, flat_scanned)
+            assert counters == flat_counters
+
+    def test_per_shard_specs_round_trip(self, tmp_path):
+        specs = [
+            FilterSpec("bloomrf", {"bits_per_key": 10, "max_range": 1 << 10}),
+            FilterSpec("bloomrf", {"bits_per_key": 20, "max_range": 1 << 10}),
+            FilterSpec("bloom", {"bits_per_key": 12}),
+        ]
+        keys = np.arange(0, 1 << 63, 1 << 52, dtype=np.uint64)
+        with open_store(
+            path=tmp_path / "db", filter=specs, shards=3, partition="range"
+        ) as db:
+            db.put_many(keys)
+        with open_store(path=tmp_path / "db") as reopened:
+            assert reopened.specs == specs
+            assert [shard.policy.spec for shard in reopened.shards] == specs
+            assert reopened.get_many(keys).all()
+
+    def test_sharded_stats_merge_after_reopen(self, tmp_path, workload):
+        keys, deleted, probes, bounds = workload
+        disk = apply_workload(
+            open_store(
+                path=tmp_path / "db",
+                filter=SPEC,
+                shards=3,
+                memtable_capacity=CAPACITY,
+            ),
+            keys,
+            deleted,
+        )
+        disk.close()
+        from repro.lsm import IOStats
+
+        with open_store(path=tmp_path / "db") as reopened:
+            reopened.reset_stats()
+            reopened.get_many(probes)
+            reopened.scan_nonempty_many(bounds)
+            total = IOStats.merged([s.stats for s in reopened.shards])
+            assert reopened.stats.counters() == total.counters()
+
+
+class TestDurabilitySemantics:
+    def test_unflushed_memtable_is_not_durable_but_flush_is(self, tmp_path):
+        db = open_store(path=tmp_path / "db", filter=SPEC)
+        db.put_many(np.arange(100, dtype=np.uint64))
+        # No flush: the memtable is volatile by contract (no WAL).  A
+        # reopen from the current on-disk state sees nothing...
+        assert not PersistentLsmDB(tmp_path / "db").get_many(
+            np.arange(100, dtype=np.uint64)
+        ).any()
+        # ...until flush() makes it durable.
+        db.flush()
+        assert PersistentLsmDB(tmp_path / "db").get_many(
+            np.arange(100, dtype=np.uint64)
+        ).all()
+        db.close()
+
+    def test_sync_is_part_of_the_store_protocol(self, tmp_path):
+        from repro.api import Store
+
+        with open_store(path=tmp_path / "db", filter=SPEC) as disk:
+            assert isinstance(disk, Store)
+        with open_store(filter=SPEC) as memory:
+            assert isinstance(memory, Store)
+            memory.sync()  # no-op, but part of the uniform interface
+
+    def test_read_only_open_close_writes_nothing(self, tmp_path):
+        """Pure reads must not touch the store directory: a query-only
+        open/close cycle leaves every file byte- and inode-identical."""
+        import os
+
+        path = tmp_path / "db"
+        with open_store(path=path, filter=SPEC, shards=2,
+                        memtable_capacity=128) as db:
+            db.put_many(np.arange(1_000, dtype=np.uint64))
+        before = {
+            str(p): (os.stat(p).st_ino, os.stat(p).st_mtime_ns)
+            for p in path.rglob("*") if p.is_file()
+        }
+        with open_store(path=path) as reader:
+            assert reader.get_many(np.arange(64, dtype=np.uint64)).all()
+            reader.flush()  # no new runs -> still nothing to write
+        after = {
+            str(p): (os.stat(p).st_ino, os.stat(p).st_mtime_ns)
+            for p in path.rglob("*") if p.is_file()
+        }
+        assert after == before
+
+    def test_compact_writes_the_manifest_once(self, tmp_path, monkeypatch):
+        """The memtable drain inside compact skips its interim sync: one
+        compact = one manifest replace, not two plus a discarded run."""
+        import repro.lsm.store as store_mod
+
+        db = open_store(path=tmp_path / "db", filter=SPEC,
+                        memtable_capacity=128)
+        db.put_many(np.arange(700, dtype=np.uint64))
+        db.put_many(np.arange(350, 1_050, dtype=np.uint64))
+        manifest_writes = []
+        real = store_mod._atomic_write
+        monkeypatch.setattr(
+            store_mod,
+            "_atomic_write",
+            lambda path, data: (
+                manifest_writes.append(path)
+                if path.name == store_mod.MANIFEST_NAME
+                else None,
+                real(path, data),
+            )[-1],
+        )
+        db.compact()
+        assert len(manifest_writes) == 1
+        db.close()
+        with open_store(path=tmp_path / "db") as reopened:
+            assert reopened.get_many(np.arange(1_050, dtype=np.uint64)).all()
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = open_store(path=tmp_path / "db", filter=SPEC, shards=2)
+        db.put_many(np.arange(500, dtype=np.uint64))
+        db.close()
+        db.close()
+        with open_store(path=tmp_path / "db") as reopened:
+            assert reopened.num_keys == 500

@@ -13,7 +13,6 @@ The acceptance ladder for the API redesign:
   answers identical to direct construction.
 """
 
-import warnings
 
 import numpy as np
 import pytest
@@ -275,8 +274,7 @@ class TestSpecPolicyEquivalence:
         rng = np.random.default_rng(41)
         keys = rng.integers(0, 50_000, 4_000, dtype=np.uint64)
         new_db = LsmDB(policy=SpecPolicy(kind, **params), memtable_capacity=512)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
             old_db = LsmDB(policy=legacy_ctor(), memtable_capacity=512)
         new_got, new_scanned, new_stats = _drive(new_db, keys)
         old_got, old_scanned, old_stats = _drive(old_db, keys)
@@ -415,9 +413,20 @@ class TestOpenStore:
         with pytest.raises(ValueError, match="per-shard"):
             open_store(filter=specs, shards=3)
 
-    def test_path_is_reserved(self):
-        with pytest.raises(NotImplementedError, match="reserved"):
-            open_store("/tmp/somewhere")
+    def test_path_opens_a_persistent_store(self, tmp_path):
+        """open_store(path=...) creates, persists, and reopens on disk."""
+        spec = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+        keys = np.arange(0, 4_000, 2, dtype=np.uint64)
+        with open_store(
+            path=tmp_path / "db", filter=spec, memtable_capacity=512
+        ) as db:
+            db.put_many(keys)
+            live = db.get_many(keys)
+        with open_store(path=tmp_path / "db") as reopened:
+            assert isinstance(reopened, LsmDB)
+            assert isinstance(reopened, Store)
+            assert reopened.policy.spec == spec
+            assert np.array_equal(reopened.get_many(keys), live)
 
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ValueError):

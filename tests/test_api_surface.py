@@ -70,6 +70,8 @@ SERIAL_ALL = [
     "KIND_SURF",
     "KIND_CUCKOO",
     "KIND_NONE",
+    "KIND_SSTABLE",
+    "KIND_STORE",
     "KIND_NAMES",
     "pack_frame",
     "unpack_frame",

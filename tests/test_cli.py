@@ -122,3 +122,120 @@ class TestCommands:
                  "64" if name == "rosetta" else "1",
                  "--queries", "100", "--filter", name]
             ) == 0
+
+
+class TestStoreCommands:
+    def test_init_ingest_query_inspect_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("\n".join(str(k) for k in range(0, 3_000, 3)))
+        assert main(
+            ["store", "init", str(store), "--filter", "bloomrf",
+             "--shards", "2", "--partition", "hash",
+             "--memtable-capacity", "256"]
+        ) == 0
+        assert "initialized" in capsys.readouterr().out
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+        assert "ingested 1000 keys" in capsys.readouterr().out
+        assert main(
+            ["store", "query", str(store), "--point", "9", "10",
+             "--range", "1000", "1001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "point 9: present" in out
+        assert "point 10: absent" in out
+        assert "range [1000, 1001]: empty" in out
+        assert "filter probes:" in out
+        assert main(["store", "inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "engine: sharded-lsm" in out
+        assert "shards: 2 (hash partition)" in out
+        assert "keys: 1000" in out
+
+    def test_init_unsharded_and_query_nonempty_range(self, tmp_path, capsys):
+        store = tmp_path / "flat"
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("5\n6\n7\n")
+        assert main(["store", "init", str(store), "--filter", "bloom"]) == 0
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+        assert main(
+            ["store", "query", str(store), "--range", "0", "100"]
+        ) == 0
+        assert "non-empty" in capsys.readouterr().out
+        assert main(["store", "inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "engine: lsm" in out
+        assert "FilterSpec('bloom'" in out
+
+    def test_init_twice_fails(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        assert main(["store", "init", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "init", str(store)]) == 2
+        assert "refusing" in capsys.readouterr().out
+
+    def test_query_without_predicates_fails(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "query", str(store)]) == 2
+        assert "nothing to query" in capsys.readouterr().out
+
+    def test_store_commands_surface_serial_errors(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        assert main(["store", "init", str(store)]) == 0
+        manifest = store / "STORE.brf"
+        manifest.write_bytes(manifest.read_bytes()[:8])
+        for argv in (
+            ["store", "inspect", str(store)],
+            ["store", "query", str(store), "--point", "1"],
+        ):
+            capsys.readouterr()
+            assert main(argv) == 2
+            assert "truncated" in capsys.readouterr().out
+
+    def test_query_keys_parse_exactly_above_2_53(self, tmp_path, capsys):
+        """Keys are exact uint64s: the float round-trip of _int_ish would
+        silently shift 2**53+1 onto its neighbour."""
+        big = (1 << 53) + 1
+        store = tmp_path / "db"
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text(f"{big}\n")
+        assert main(["store", "init", str(store)]) == 0
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", str(store), "--point", str(big), str(big - 1)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"point {big}: present" in out
+        assert f"point {big - 1}: absent" in out
+        # The uint64 domain edge answers cleanly too (no traceback).
+        assert main(
+            ["store", "query", str(store), "--point", str((1 << 64) - 1)]
+        ) == 0
+        assert "absent" in capsys.readouterr().out
+
+    def test_query_beyond_uint64_fails_cleanly(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        assert main(["store", "init", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "query", str(store), "--point", str(1 << 64)]) == 2
+        assert "bad query" in capsys.readouterr().out
+
+    def test_store_ingest_empty_keyfile_is_a_noop(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        keyfile = tmp_path / "empty.txt"
+        keyfile.write_text("")
+        assert main(["store", "init", str(store), "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+        assert "ingested 0 keys" in capsys.readouterr().out
+
+    def test_store_ingest_missing_store_fails(self, tmp_path, capsys):
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("1\n")
+        # An uninitialized path would silently create a store; ingest
+        # requires an existing one.
+        assert main(
+            ["store", "ingest", str(tmp_path / "nope" / "db"), str(keyfile)]
+        ) == 2

@@ -1,0 +1,263 @@
+"""Corruption robustness of the on-disk store (``repro.lsm.store``).
+
+Every damaged-store scenario must raise :class:`~repro.serial.SerialError`
+naming the offending file or kind — a persistent store never silently
+mis-answers.  Covered: truncated and bit-flipped manifests, stale format
+versions, missing shard directories and run files, SST/filter frames of
+the wrong kind (cross-wired files), and run contents contradicting the
+manifest.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.api import FilterSpec, open_store
+from repro.lsm.store import (
+    MANIFEST_NAME,
+    PersistentLsmDB,
+    PersistentShardedLsmDB,
+    read_store_manifest,
+)
+from repro.serial import KIND_STORE, SerialError, pack_frame
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+
+
+def make_store(path, shards=1):
+    with open_store(
+        path=path, filter=SPEC, shards=shards, memtable_capacity=128
+    ) as db:
+        db.put_many(np.arange(0, 2_000, 2, dtype=np.uint64))
+    return path
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return make_store(tmp_path / "db")
+
+
+@pytest.fixture()
+def sharded_dir(tmp_path):
+    return make_store(tmp_path / "sharded", shards=4)
+
+
+class TestManifestCorruption:
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SerialError, match="STORE.brf is missing"):
+            read_store_manifest(tmp_path / "empty")
+
+    def test_truncated_manifest_raises(self, store_dir):
+        manifest = store_dir / MANIFEST_NAME
+        blob = manifest.read_bytes()
+        for cut in (3, 11, len(blob) // 2, len(blob) - 1):
+            manifest.write_bytes(blob[:cut])
+            with pytest.raises(SerialError, match="STORE.brf"):
+                open_store(path=store_dir)
+            with pytest.raises(SerialError, match="truncated"):
+                open_store(path=store_dir)
+
+    def test_bit_flipped_manifest_raises(self, store_dir):
+        manifest = store_dir / MANIFEST_NAME
+        blob = bytearray(manifest.read_bytes())
+        blob[12] ^= 0xFF  # first byte of the JSON header
+        manifest.write_bytes(bytes(blob))
+        with pytest.raises(SerialError, match="corrupt store manifest"):
+            open_store(path=store_dir)
+
+    def test_stale_format_version_raises(self, store_dir):
+        manifest = store_dir / MANIFEST_NAME
+        blob = manifest.read_bytes()
+        manifest.write_bytes(blob[:4] + (99).to_bytes(2, "little") + blob[6:])
+        with pytest.raises(SerialError, match="version 99"):
+            open_store(path=store_dir)
+
+    def test_wrong_frame_kind_in_manifest_slot_raises(self, store_dir):
+        sst = next(store_dir.glob("sst-*.sst"))
+        (store_dir / MANIFEST_NAME).write_bytes(sst.read_bytes())
+        with pytest.raises(SerialError, match="'sstable'.*'store-manifest'"):
+            open_store(path=store_dir)
+
+    def test_unknown_engine_raises(self, store_dir):
+        (store_dir / MANIFEST_NAME).write_bytes(
+            pack_frame(KIND_STORE, {"engine": "btree"})
+        )
+        with pytest.raises(SerialError, match="unknown engine 'btree'"):
+            open_store(path=store_dir)
+
+    def test_engine_mismatch_raises(self, store_dir, sharded_dir):
+        with pytest.raises(SerialError, match="not a 'sharded-lsm' store"):
+            PersistentShardedLsmDB(store_dir)
+        with pytest.raises(SerialError, match="not an unsharded 'lsm' store"):
+            PersistentLsmDB(sharded_dir)
+
+
+class TestRunFileCorruption:
+    def test_missing_sst_file_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.sst"))
+        victim.unlink()
+        with pytest.raises(SerialError, match=f"missing run file {victim.name}"):
+            open_store(path=store_dir)
+
+    def test_missing_filter_file_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.filter"))
+        victim.unlink()
+        with pytest.raises(SerialError, match=f"missing run file {victim.name}"):
+            open_store(path=store_dir)
+
+    def test_filter_frame_in_sst_slot_raises(self, store_dir):
+        """Cross-wired files: a filter frame where an SST frame belongs."""
+        sst = next(store_dir.glob("sst-*.sst"))
+        sst.write_bytes(sst.with_suffix(".filter").read_bytes())
+        with pytest.raises(SerialError, match=f"corrupt SST file .*{sst.name}"):
+            open_store(path=store_dir)
+
+    def test_sst_frame_in_filter_slot_raises(self, store_dir):
+        filt = next(store_dir.glob("sst-*.filter"))
+        filt.write_bytes(filt.with_suffix(".sst").read_bytes())
+        with pytest.raises(
+            SerialError, match=f"corrupt filter block .*{filt.name}"
+        ):
+            open_store(path=store_dir)
+
+    def test_truncated_sst_file_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.sst"))
+        victim.write_bytes(victim.read_bytes()[:-9])
+        with pytest.raises(SerialError, match="truncated"):
+            open_store(path=store_dir)
+
+    def test_bit_flipped_sst_payload_raises(self, store_dir):
+        """SST payloads are exact data: a single flipped bit in the key
+        words must fail the checksum, never silently change answers."""
+        victim = next(store_dir.glob("sst-*.sst"))
+        blob = bytearray(victim.read_bytes())
+        blob[-5] ^= 0x01  # inside the checksummed payload region
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(SerialError, match="checksum mismatch"):
+            open_store(path=store_dir)
+
+    def test_swapped_same_kind_filter_files_raise(self, store_dir):
+        """Two runs' filter blobs are the same frame kind, so only the
+        manifest's per-run checksum can catch a cross-wire between them."""
+        manifest = read_store_manifest(store_dir)
+        runs = manifest["runs"]
+        assert len(runs) >= 2
+        a = store_dir / (runs[0]["file"] + ".filter")
+        b = store_dir / (runs[-1]["file"] + ".filter")
+        blob_a, blob_b = a.read_bytes(), b.read_bytes()
+        assert blob_a != blob_b
+        a.write_bytes(blob_b)
+        b.write_bytes(blob_a)
+        with pytest.raises(SerialError, match="checksum does not match"):
+            open_store(path=store_dir)
+
+    def test_swapped_sst_files_raise(self, store_dir):
+        """A run file from a different run contradicts the manifest."""
+        manifest = read_store_manifest(store_dir)
+        runs = manifest["runs"]
+        assert len(runs) >= 2, "fixture must produce multiple runs"
+        a, b = (
+            store_dir / (runs[0]["file"] + ".sst"),
+            store_dir / (runs[-1]["file"] + ".sst"),
+        )
+        # The last flush (close) drains a partial memtable, so the two
+        # runs hold different key counts and the swap is detectable.
+        blob_a, blob_b = a.read_bytes(), b.read_bytes()
+        a.write_bytes(blob_b)
+        b.write_bytes(blob_a)
+        with pytest.raises(SerialError, match="the store manifest records"):
+            open_store(path=store_dir)
+
+
+class TestShardCorruption:
+    def test_missing_shard_directory_raises(self, sharded_dir):
+        shutil.rmtree(sharded_dir / "shard-0002")
+        with pytest.raises(
+            SerialError, match="missing shard directory shard-0002"
+        ):
+            open_store(path=sharded_dir)
+
+    def test_corrupt_shard_manifest_raises(self, sharded_dir):
+        victim = sharded_dir / "shard-0001" / MANIFEST_NAME
+        victim.write_bytes(victim.read_bytes()[:16])
+        with pytest.raises(SerialError, match="shard-0001"):
+            open_store(path=sharded_dir)
+
+    def test_corrupt_shard_run_raises(self, sharded_dir):
+        victim = next((sharded_dir / "shard-0000").glob("sst-*.filter"))
+        victim.write_bytes(b"XXXX" + victim.read_bytes()[4:])
+        with pytest.raises(SerialError, match="bad magic"):
+            open_store(path=sharded_dir)
+
+
+class TestCreateSafety:
+    def test_lost_manifest_never_destroys_run_files(self, store_dir):
+        """A directory holding runs but no manifest must refuse to
+        initialize (silently re-creating would prune — delete — the
+        orphaned runs)."""
+        (store_dir / MANIFEST_NAME).unlink()
+        run_files = sorted(p.name for p in store_dir.glob("sst-*"))
+        assert run_files
+        with pytest.raises(SerialError, match="refusing to initialize"):
+            open_store(path=store_dir)
+        assert sorted(p.name for p in store_dir.glob("sst-*")) == run_files
+
+    def test_lost_top_manifest_of_sharded_store_refuses_init(
+        self, sharded_dir
+    ):
+        """Re-creating over leftover shard directories could silently
+        change the routing config over the old data — refuse instead."""
+        (sharded_dir / MANIFEST_NAME).unlink()
+        with pytest.raises(SerialError, match="refusing to initialize"):
+            open_store(path=sharded_dir, filter=SPEC, shards=4)
+
+    def test_manifest_missing_field_raises_serial_error(self, store_dir):
+        """A frame-valid manifest that lost a header field is a corrupt
+        store artifact, not a bare KeyError."""
+        import json
+
+        from repro.serial import pack_frame, unpack_frame
+
+        header, _ = unpack_frame((store_dir / MANIFEST_NAME).read_bytes())
+        header = json.loads(json.dumps(header))
+        del header["spec"]
+        (store_dir / MANIFEST_NAME).write_bytes(
+            pack_frame(KIND_STORE, header)
+        )
+        with pytest.raises(SerialError, match="missing field 'spec'"):
+            open_store(path=store_dir)
+
+
+    def test_spec_conflict_on_reopen_raises(self, store_dir):
+        other = FilterSpec("bloom", {"bits_per_key": 10})
+        with pytest.raises(ValueError, match="conflicts"):
+            open_store(path=store_dir, filter=other)
+
+    def test_shard_count_conflict_on_reopen_raises(self, sharded_dir):
+        with pytest.raises(ValueError, match="shards"):
+            open_store(path=sharded_dir, shards=2)
+
+    def test_geometry_conflict_on_reopen_raises(self, store_dir):
+        with pytest.raises(ValueError, match="memtable_capacity"):
+            open_store(path=store_dir, memtable_capacity=4096)
+
+    def test_matching_args_on_reopen_are_accepted(self, sharded_dir):
+        with open_store(
+            path=sharded_dir, filter=SPEC, shards=4, memtable_capacity=128
+        ) as db:
+            assert db.num_shards == 4
+
+    def test_non_spec_policy_is_rejected(self, tmp_path):
+        class OpaquePolicy:
+            name = "opaque"
+
+        with pytest.raises(ValueError, match="FilterSpec-driven"):
+            open_store(path=tmp_path / "db", filter=OpaquePolicy())
+
+    def test_cli_init_refuses_existing_store(self, store_dir, capsys):
+        from repro.cli import main
+
+        assert main(["store", "init", str(store_dir)]) == 2
+        assert "refusing" in capsys.readouterr().out
