@@ -1,0 +1,191 @@
+"""Write-ahead-log cost: ingest throughput across sync modes + group commit.
+
+The durability tentpole logs every write to ``WAL.brf`` before the
+memtable mutates, so the write path gains one ``os.write`` per batch and
+— depending on ``wal_sync`` — fsync traffic.  This benchmark quantifies
+that tax and guards the acceptance bound: **batched group commit must
+keep ingest within 3x of running with fsync off entirely.**
+
+Measured per sync mode (``off`` / ``batch`` / ``always``), on the
+unsharded and the 4-shard engines:
+
+* **ingest** — streamed ``put_many`` batches into a fresh store (the WAL
+  append + group-commit fsync path, including memtable flush rotations);
+* **fsyncs** — the log's own fsync count, from ``wal_info()``;
+* a **group-commit sweep** (batch mode, group sizes 1/16/256/4096)
+  showing the fsync-batching curve the mode exists for.
+
+Results land in ``BENCH_wal.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops_wal.py          # full
+    PYTHONPATH=src python benchmarks/bench_ops_wal.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import FilterSpec, open_store
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_wal.json"
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+
+SYNC_MODES = ("off", "batch", "always")
+GROUP_COMMIT_SWEEP = (1, 16, 256, 4096)
+
+
+def ingest(
+    root: Path,
+    name: str,
+    keys: np.ndarray,
+    batch: int,
+    capacity: int,
+    shards: int,
+    **wal_kw,
+) -> dict:
+    """Stream ``keys`` in ``batch``-sized put_many calls; time + count."""
+    path = root / name
+    store = open_store(
+        path=path,
+        filter=SPEC,
+        shards=shards,
+        memtable_capacity=capacity,
+        **wal_kw,
+    )
+    start = time.perf_counter()
+    for lo in range(0, keys.size, batch):
+        store.put_many(keys[lo : lo + batch])
+    elapsed = time.perf_counter() - start
+    info = store.wal_info()
+    store.close()
+    row = {
+        "shards": shards,
+        "ingest_seconds": elapsed,
+        "ingest_keys_per_second": keys.size / elapsed,
+        "wal_fsyncs": int(info["fsyncs"]),
+        "wal_bytes": int(info["bytes"]),
+    }
+    row.update({k: v for k, v in wal_kw.items()})
+    shutil.rmtree(path, ignore_errors=True)
+    return row
+
+
+def run(quick: bool) -> dict:
+    n_keys = 20_000 if quick else 120_000
+    batch = 64 if quick else 256
+    capacity = 1 << 10 if quick else 1 << 12
+    rng = np.random.default_rng(61)
+    keys = rng.integers(0, 1 << 64, n_keys, dtype=np.uint64)
+
+    root = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+    try:
+        modes = []
+        for shards in (1, 4):
+            for sync in SYNC_MODES:
+                modes.append(
+                    ingest(
+                        root,
+                        f"mode-{sync}-{shards}",
+                        keys,
+                        batch,
+                        capacity,
+                        shards,
+                        wal_sync=sync,
+                        wal_group_commit=1024,
+                    )
+                )
+        sweep = [
+            ingest(
+                root,
+                f"gc-{group}",
+                keys,
+                batch,
+                capacity,
+                1,
+                wal_sync="batch",
+                wal_group_commit=group,
+            )
+            for group in GROUP_COMMIT_SWEEP
+        ]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # The acceptance bound: batch within 3x of off, per engine.
+    bounds_ok = True
+    ratios = {}
+    for shards in (1, 4):
+        by_sync = {
+            row["wal_sync"]: row for row in modes if row["shards"] == shards
+        }
+        ratio = (
+            by_sync["off"]["ingest_keys_per_second"]
+            / by_sync["batch"]["ingest_keys_per_second"]
+        )
+        ratios[str(shards)] = ratio
+        bounds_ok = bounds_ok and ratio <= 3.0
+    return {
+        "benchmark": "wal",
+        "mode": "quick" if quick else "full",
+        "n_keys": int(n_keys),
+        "put_batch": batch,
+        "memtable_capacity": capacity,
+        "spec": SPEC.to_dict(),
+        "sync_modes": modes,
+        "group_commit_sweep": sweep,
+        "batch_vs_off_slowdown": ratios,
+        "batch_within_3x_of_off": bounds_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller workload",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["sync_modes"]:
+        print(
+            f"[wal {result['mode']}] {row['shards']}sh sync={row['wal_sync']:>6}: "
+            f"{row['ingest_keys_per_second']:,.0f} keys/s "
+            f"({row['wal_fsyncs']} fsyncs)"
+        )
+    for row in result["group_commit_sweep"]:
+        print(
+            f"[wal {result['mode']}] group_commit={row['wal_group_commit']:>4}: "
+            f"{row['ingest_keys_per_second']:,.0f} keys/s "
+            f"({row['wal_fsyncs']} fsyncs)"
+        )
+    print(f"-> {args.output}")
+
+    if not result["batch_within_3x_of_off"]:
+        worst = max(result["batch_vs_off_slowdown"].values())
+        print(f"FAIL: batched group commit is {worst:.2f}x slower than off "
+              f"(bound: 3x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -699,6 +699,8 @@ def open_store(
     store_values: bool = False,
     max_workers: int | None = None,
     domain_bits: int = 64,
+    wal_sync: str = "batch",
+    wal_group_commit: int = 1024,
 ) -> Store:
     """Open a key-value store behind the one :class:`Store` interface.
 
@@ -724,7 +726,25 @@ def open_store(
     make all writes durable; on-disk stores require a spec-driven
     ``filter`` (a :class:`FilterSpec`, a
     :class:`~repro.lsm.filter_policy.SpecPolicy`, or None).
+
+    Persistent stores write every ``put``/``delete`` to a per-directory
+    (per-shard) write-ahead log before the memtable mutates, so
+    acknowledged writes survive ``kill -9`` and are replayed on reopen.
+    ``wal_sync`` picks the fsync policy — ``"always"`` (every write call),
+    ``"batch"`` (group commit: one fsync per ``wal_group_commit`` logged
+    operations), or ``"off"`` (no fsync until flush; still
+    process-death-safe, power-loss window unbounded) — and is pinned in
+    the manifest; ``wal_group_commit`` is a runtime knob.  Both are
+    ignored by in-memory stores, which keep no log.
     """
+    if wal_sync not in ("always", "batch", "off"):
+        raise ValueError(
+            f"wal_sync must be 'always', 'batch', or 'off', got {wal_sync!r}"
+        )
+    if wal_group_commit < 1:
+        raise ValueError(
+            f"wal_group_commit must be >= 1, got {wal_group_commit}"
+        )
     if path is not None:
         from repro.lsm.store import open_persistent_store
 
@@ -740,6 +760,8 @@ def open_store(
             store_values=store_values,
             max_workers=max_workers,
             domain_bits=domain_bits,
+            wal_sync=wal_sync,
+            wal_group_commit=wal_group_commit,
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")

@@ -11,6 +11,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro store ingest db/ keys.txt
     python -m repro store query db/ --point 42 --range 100 200
     python -m repro store inspect db/
+    python -m repro store recover db/
 
 ``tune`` prints the advisor's chosen configuration and its analytic FPR
 estimates; ``model`` prints the full per-level FPR profile; ``measure``
@@ -147,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-values", action="store_true",
         help="persist values alongside keys (default: key-only mode)",
     )
+    s_init.add_argument(
+        "--wal-sync", choices=("always", "batch", "off"), default="batch",
+        help="write-ahead-log fsync policy, persisted with the store "
+        "(always: fsync per write call; batch: group commit; off: no "
+        "fsync — kill -9 durability depends on the kernel)",
+    )
 
     s_ingest = store_sub.add_parser(
         "ingest", help="bulk-load keys from a file into an existing store"
@@ -172,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize a store directory (manifest + runs)"
     )
     s_inspect.add_argument("path", help="store directory")
+
+    s_recover = store_sub.add_parser(
+        "recover",
+        help="replay the write-ahead log after a crash and flush the "
+        "recovered writes into durable runs",
+    )
+    s_recover.add_argument("path", help="store directory")
 
     return parser
 
@@ -380,6 +394,7 @@ def _cmd_store_init(args) -> int:
         partition=args.partition,
         memtable_capacity=args.memtable_capacity,
         store_values=args.store_values,
+        wal_sync=args.wal_sync,
     ):
         pass
     sharding = (
@@ -506,8 +521,45 @@ def _cmd_store_inspect(args) -> int:
             print(f"runs: {runs}, keys: {db.num_keys}, "
                   f"filter bits: {db.filter_bits} "
                   f"({db.filter_bits_per_key():.2f} bits/key)")
+            wal = db.wal_info()
+            print(f"wal: sync={wal['sync']} "
+                  f"(group_commit={wal['group_commit']}), "
+                  f"epoch={wal['epoch']}, pending records: {wal['records']} "
+                  f"({wal['bytes']} bytes)")
+            if wal["replayed_records"] or wal["recovered_torn_tail"]:
+                torn = " (torn tail truncated)" if wal["recovered_torn_tail"] else ""
+                print(f"wal replay on open: {wal['replayed_records']} records"
+                      f" / {wal['replayed_ops']} ops{torn}")
     except SerialError as exc:
         print(f"cannot inspect store {args.path}: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_store_recover(args) -> int:
+    from pathlib import Path
+
+    from repro.api import open_store
+    from repro.lsm.store import MANIFEST_NAME
+    from repro.serial import SerialError
+
+    if not (Path(args.path) / MANIFEST_NAME).is_file():
+        print(f"{args.path} holds no store; run `repro store init` first")
+        return 2
+    try:
+        with open_store(path=args.path) as db:
+            wal = db.wal_info()
+            torn = " (torn tail truncated)" if wal["recovered_torn_tail"] else ""
+            print(f"replayed {wal['replayed_records']} log records "
+                  f"/ {wal['replayed_ops']} ops{torn}")
+            if wal["discarded_stale_records"]:
+                print(f"discarded {wal['discarded_stale_records']} stale "
+                      f"records already persisted in runs")
+            db.flush()  # recovered writes into durable runs; log truncated
+            print(f"recovered store: {db.num_keys} keys live across "
+                  f"{_run_count(db)} runs; write-ahead log empty")
+    except SerialError as exc:
+        print(f"cannot recover store {args.path}: {exc}")
         return 2
     return 0
 
@@ -517,6 +569,7 @@ _STORE_COMMANDS = {
     "ingest": _cmd_store_ingest,
     "query": _cmd_store_query,
     "inspect": _cmd_store_inspect,
+    "recover": _cmd_store_recover,
 }
 
 _COMMANDS = {

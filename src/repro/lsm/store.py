@@ -19,18 +19,32 @@ On-disk layout (all frames are :mod:`repro.serial` ``BRF1`` frames)::
         sst-000000.sst
         sst-000000.filter
 
+On-disk layout, continued: each store directory (and each shard
+directory) also holds a ``WAL.brf`` write-ahead log (:mod:`repro.lsm.wal`)
+— every ``put``/``delete`` is appended there *before* the memtable
+mutates.
+
 Durability contract
 -------------------
+* ``put``/``delete`` (scalar and batched) — the operation is in the
+  write-ahead log (in the kernel, via ``os.write``) before the call
+  returns: an **acknowledged write survives process death** (``kill -9``)
+  in every ``wal_sync`` mode, and survives power loss once fsynced
+  (``wal_sync="always"``: every call; ``"batch"``: every
+  ``wal_group_commit`` operations; ``"off"``: at flush only).
 * ``flush()`` — drains the memtable into a new run *and* makes every run
-  durable: new ``.sst``/``.filter`` files are written, then the manifest is
-  atomically replaced (write-temp + ``os.replace``), then unreferenced run
-  files are pruned.  When ``flush()`` returns, a reopen reproduces the
-  store exactly.
+  durable: new ``.sst``/``.filter`` files are written, then the manifest
+  is updated (an appended run delta when the run set only grew, an atomic
+  write-temp + ``os.replace`` rewrite otherwise), then the write-ahead
+  log is rotated to a new epoch and unreferenced run files are pruned.
+  When ``flush()`` returns, a reopen reproduces the store exactly.
 * ``close()`` (and the context manager) — ``flush()`` + release resources.
-* A crash *between* writes loses only memtable contents (the engines have
-  no WAL, matching the benchmark-mode RocksDB setup); a crash *during* a
-  flush leaves the previous manifest intact — the store reopens to the
-  last durable state, and orphaned run files are pruned on the next sync.
+* Reopening after a crash replays the write-ahead log into the memtable:
+  a torn record at the log's tail (the expected artifact of dying
+  mid-append) is truncated silently, a log left behind by a crash between
+  the manifest update and the log rotation (its records already live in
+  runs) is discarded silently, and any other damage raises
+  :class:`~repro.serial.SerialError` naming the file and offset.
 
 Every reader-side failure — truncated or bit-flipped manifest, version
 skew, a missing shard directory or run file, an SST/filter frame of the
@@ -60,6 +74,12 @@ from repro.lsm.db import LsmDB
 from repro.lsm.filter_policy import SpecPolicy, handle_from_bytes
 from repro.lsm.sharded import ShardedLsmDB
 from repro.lsm.sstable import SSTable
+from repro.lsm.wal import (
+    OP_DELETE,
+    WAL_NAME,
+    WriteAheadLog,
+    read_wal,
+)
 from repro.serial import (
     KIND_SSTABLE,
     KIND_STORE,
@@ -67,6 +87,7 @@ from repro.serial import (
     pack_frame,
     peek_kind,
     unpack_frame,
+    unpack_frame_prefix,
 )
 
 __all__ = [
@@ -113,15 +134,38 @@ def read_store_manifest(directory: str | Path) -> dict:
     missing, truncated, bit-flipped, of a stale format version, or not a
     store-manifest frame at all.
     """
-    directory = Path(directory)
+    header = _read_manifest_file(Path(directory))
+    header.pop("_valid_bytes", None)
+    return header
+
+
+def _read_manifest_file(directory: Path) -> dict:
+    """Parse ``STORE.brf``: one base frame plus appended run deltas.
+
+    ``flush()`` grows the run set by prepending, so instead of rewriting
+    the whole manifest it appends a small ``{"delta": 1, "new_runs": ...}``
+    frame (see :meth:`PersistentLsmDB.sync`).  This reader folds the
+    deltas back into the base header, newest runs first.  The *base* frame
+    must parse completely (any damage raises).  A delta cut short at the
+    file's tail is the artifact of a crash mid-append and is ignored —
+    safely, because every delta also advances the WAL epoch, so a log
+    whose records were dropped that way replays on reopen, and a manifest
+    truncated after the fact fails the epoch cross-check loudly.  A
+    complete-but-damaged delta raises naming the file and offset.
+
+    The returned header carries the parsed byte count under
+    ``"_valid_bytes"`` (consumed by the store, stripped by
+    :func:`read_store_manifest`).
+    """
     path = directory / MANIFEST_NAME
     if not path.is_file():
         raise SerialError(
             f"{directory} holds no store manifest ({MANIFEST_NAME} is missing)"
         )
+    data = path.read_bytes()
     try:
-        header, payloads = unpack_frame(
-            path.read_bytes(), expect_kind=KIND_STORE
+        header, payloads, cursor = unpack_frame_prefix(
+            data, 0, expect_kind=KIND_STORE
         )
     except SerialError as exc:
         raise SerialError(f"corrupt store manifest {path}: {exc}") from exc
@@ -130,6 +174,31 @@ def read_store_manifest(directory: str | Path) -> dict:
             f"corrupt store manifest {path}: carries {len(payloads)} "
             "payloads, expected 0"
         )
+    while cursor < len(data):
+        try:
+            delta, delta_payloads, end = unpack_frame_prefix(
+                data, cursor, expect_kind=KIND_STORE
+            )
+        except SerialError as exc:
+            if "truncated" in str(exc):
+                break  # torn tail of an appended delta (crash mid-append)
+            raise SerialError(
+                f"corrupt store manifest {path}: bad run delta at byte "
+                f"offset {cursor}: {exc}"
+            ) from exc
+        if delta_payloads or delta.get("delta") != 1:
+            raise SerialError(
+                f"corrupt store manifest {path}: appended frame at byte "
+                f"offset {cursor} is not a run delta"
+            )
+        header["runs"] = list(delta.get("new_runs", [])) + list(
+            header.get("runs", [])
+        )
+        for field in ("next_file_id", "wal_epoch"):
+            if field in delta:
+                header[field] = delta[field]
+        cursor = end
+    header["_valid_bytes"] = cursor
     return header
 
 
@@ -294,12 +363,14 @@ class PersistentLsmDB(LsmDB):
         block_bytes: int = 4096,
         device=None,
         store_values: bool = False,
+        wal_sync: str = "batch",
+        wal_group_commit: int = 1024,
         _manifest: dict | None = None,
     ) -> None:
         directory = Path(directory)
         manifest = _manifest
         if manifest is None and (directory / MANIFEST_NAME).is_file():
-            manifest = read_store_manifest(directory)
+            manifest = _read_manifest_file(directory)
         if manifest is not None:
             engine = manifest.get("engine")
             if engine != "lsm":
@@ -326,6 +397,9 @@ class PersistentLsmDB(LsmDB):
             store_values = bool(
                 _manifest_field(geometry, "store_values", where)
             )
+            wal_sync = str(_manifest_field(geometry, "wal_sync", where))
+            wal_seal = str(_manifest_field(manifest, "wal_seal", where))
+            wal_epoch = int(_manifest_field(manifest, "wal_epoch", where))
         else:
             if any(directory.glob("sst-*")):
                 raise SerialError(
@@ -336,6 +410,8 @@ class PersistentLsmDB(LsmDB):
                 )
             if spec is None:
                 spec = FilterSpec("none")
+            wal_seal = os.urandom(12).hex()
+            wal_epoch = 0
         super().__init__(
             policy=SpecPolicy(spec),
             memtable_capacity=memtable_capacity,
@@ -351,11 +427,39 @@ class PersistentLsmDB(LsmDB):
         # The run-name list the on-disk manifest currently records (None =
         # no manifest yet): sync() short-circuits when it still matches.
         self._synced_runs: list[str] | None = None
+        self._synced_epoch: int | None = None
+        self._manifest_valid_bytes = 0
         self._compacting = False
+        self._wal: WriteAheadLog | None = None
+        self._wal_seal = wal_seal
+        self._wal_epoch = wal_epoch
+        self._wal_sync = wal_sync
+        self._wal_group_commit = wal_group_commit
+        self.last_recovery = {
+            "replayed_records": 0,
+            "replayed_ops": 0,
+            "discarded_stale_records": 0,
+            "recovered_torn_tail": False,
+        }
         if manifest is not None:
+            self._manifest_valid_bytes = int(
+                manifest.get("_valid_bytes", 0)
+            )
             self._load_runs(manifest)
+            self._synced_epoch = wal_epoch
+            self._recover_wal()
         else:
             directory.mkdir(parents=True, exist_ok=True)
+            # The log is created *before* the manifest: a crash between
+            # the two leaves a directory with no manifest, which the next
+            # open initializes freshly (replacing the orphan log); a
+            # manifest without its log, by contrast, reopens loudly.
+            self._wal = WriteAheadLog.create(
+                directory / WAL_NAME,
+                seal=wal_seal,
+                sync=wal_sync,
+                group_commit=wal_group_commit,
+            )
             self.sync()
 
     # ------------------------------------------------------------------
@@ -431,6 +535,156 @@ class PersistentLsmDB(LsmDB):
         except ValueError as exc:
             raise SerialError(f"corrupt SST file {sst_path}: {exc}") from exc
 
+    def _recover_wal(self) -> None:
+        """Adopt the directory's write-ahead log on reopen.
+
+        A log at the manifest's epoch holds writes acknowledged after the
+        last flush — replay them into the memtable (then flush if it
+        replays full).  A log at an *older* epoch is the crash window
+        between the manifest update and the log rotation: its records are
+        already durable in runs, so it is discarded (never resurrected).
+        A *newer* log means the manifest lost a run delta after the fact —
+        raise.  Seal mismatches (a log from another store or shard) and
+        non-tail corruption raise; a torn tail is truncated silently.
+        """
+        wal_path = self.directory / WAL_NAME
+        where = self.directory / MANIFEST_NAME
+        if not wal_path.is_file():
+            raise SerialError(
+                f"store at {self.directory} is missing its write-ahead log "
+                f"({WAL_NAME}); acknowledged writes may be unrecoverable — "
+                "restore the log or accept the loss by recreating the store"
+            )
+        header, records, valid_end, torn = read_wal(wal_path)
+        seal = header.get("seal")
+        epoch = header.get("epoch")
+        if not isinstance(seal, str) or not isinstance(epoch, int):
+            raise SerialError(
+                f"corrupt write-ahead log {wal_path}: header is missing "
+                "its seal/epoch fields"
+            )
+        if seal != self._wal_seal:
+            raise SerialError(
+                f"write-ahead log {wal_path} belongs to a different store "
+                f"(log seal {seal!r} does not match the manifest's "
+                f"{self._wal_seal!r}); the log files were swapped or "
+                "restored across stores"
+            )
+        if epoch > self._wal_epoch:
+            raise SerialError(
+                f"the store manifest {where} is stale or truncated: it "
+                f"records WAL epoch {self._wal_epoch} but the write-ahead "
+                f"log is already at epoch {epoch}"
+            )
+        if epoch < self._wal_epoch:
+            self._wal = WriteAheadLog.create(
+                wal_path,
+                seal=self._wal_seal,
+                epoch=self._wal_epoch,
+                sync=self._wal_sync,
+                group_commit=self._wal_group_commit,
+            )
+            self.last_recovery = {
+                "replayed_records": 0,
+                "replayed_ops": 0,
+                "discarded_stale_records": len(records),
+                "recovered_torn_tail": torn,
+            }
+            return
+        ops = 0
+        for record in records:
+            if record.op == OP_DELETE:
+                self.memtable.delete_many(record.keys)
+            else:
+                self.memtable.put_many(record.keys, record.values)
+            ops += int(record.keys.size)
+        self._wal = WriteAheadLog.attach(
+            wal_path,
+            seal=self._wal_seal,
+            epoch=epoch,
+            valid_end=valid_end,
+            num_records=len(records),
+            torn=torn,
+            sync=self._wal_sync,
+            group_commit=self._wal_group_commit,
+        )
+        self.last_recovery = {
+            "replayed_records": len(records),
+            "replayed_ops": ops,
+            "discarded_stale_records": 0,
+            "recovered_torn_tail": torn,
+        }
+        if len(self.memtable) >= self.memtable.capacity:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # the write path (log first, then the memtable)
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes = b"") -> None:
+        """Insert one key, durably: logged before the memtable mutates."""
+        self._wal.append_put(
+            np.array([key], dtype=np.uint64), [value] if value else None
+        )
+        super().put(key, value)
+        self._wal.commit()
+
+    def delete(self, key: int) -> None:
+        """Tombstone one key, durably: logged before the memtable mutates."""
+        self._wal.append_delete(np.array([key], dtype=np.uint64))
+        super().delete(key)
+        self._wal.commit()
+
+    def put_many(
+        self, keys: np.ndarray, values: list[bytes] | None = None
+    ) -> None:
+        """Bulk :meth:`put` with per-chunk logging.
+
+        Mirrors :meth:`LsmDB.put_many`'s chunk loop, logging each chunk
+        just before it enters the memtable — *not* the whole batch up
+        front, because an interior flush rotates (truncates) the log and
+        would drop the still-unapplied suffix of an up-front record.  A
+        crash mid-batch therefore recovers exactly the chunks that reached
+        the kernel: a prefix of the batch, never a gap.
+        """
+        keys = self._validated_keys(keys)
+        if values is not None and len(values) != keys.size:
+            raise ValueError("values must align with keys")
+        n = keys.size
+        start = 0
+        while start < n:
+            room = self.memtable.capacity - len(self.memtable)
+            if room <= 0:
+                self.flush()
+                continue
+            stop = min(start + room, n)
+            chunk_values = (
+                values[start:stop] if values is not None else None
+            )
+            self._wal.append_put(keys[start:stop], chunk_values)
+            self.memtable.put_many(keys[start:stop], chunk_values)
+            start = stop
+            if self.memtable.is_full:
+                self.flush()
+        self._wal.commit()
+
+    def delete_many(self, keys: np.ndarray) -> None:
+        """Bulk :meth:`delete` with per-chunk logging (see :meth:`put_many`)."""
+        keys = self._validated_keys(keys)
+        n = keys.size
+        start = 0
+        while start < n:
+            room = self.memtable.capacity - len(self.memtable)
+            if room <= 0:
+                self.flush()
+                continue
+            stop = min(start + room, n)
+            self._wal.append_delete(keys[start:stop])
+            self.memtable.delete_many(keys[start:stop])
+            start = stop
+            if self.memtable.is_full:
+                self.flush()
+        self._wal.commit()
+
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
@@ -438,12 +692,16 @@ class PersistentLsmDB(LsmDB):
         """Make the current run set durable.
 
         Unpersisted runs get ``.sst``/``.filter`` files first, then the
-        manifest is atomically replaced, then run files no longer
-        referenced (dropped by compaction) are pruned — in that order, so
-        a crash at any point leaves a reopenable store.  When the run set
-        already matches the manifest (e.g. a read-only open/close cycle)
-        nothing is written at all, so pure reads never touch the
-        directory.
+        manifest is updated, then run files no longer referenced (dropped
+        by compaction) are pruned — in that order, so a crash at any point
+        leaves a reopenable store.  When the run set only *grew* (the
+        flush path, which also advances the WAL epoch) the update is an
+        appended run-delta frame — one small ``os.write`` + fsync, keeping
+        flush O(1) in the run count; anything else (compaction removing
+        runs, a previous torn delta tail) atomically rewrites the whole
+        manifest.  When the run set and epoch already match the manifest
+        (e.g. a read-only open/close cycle) nothing is written at all, so
+        pure reads never touch the directory.
         """
         runs = []
         for sst in self.sstables:
@@ -472,24 +730,68 @@ class PersistentLsmDB(LsmDB):
             sst: self._run_files[sst] for sst in self.sstables
         }
         names = [run["file"] for run in runs]
-        if names == self._synced_runs:
+        if names == self._synced_runs and self._wal_epoch == self._synced_epoch:
             return
-        manifest = {
-            "engine": "lsm",
-            "spec": self.spec.to_dict(),
-            "geometry": {
-                "memtable_capacity": self.memtable.capacity,
-                "value_bytes": self.value_bytes,
-                "block_bytes": self.block_bytes,
-                "store_values": self.store_values,
-            },
-            "runs": runs,
-            "next_file_id": self._next_file_id,
-        }
-        _atomic_write(
-            self.directory / MANIFEST_NAME, pack_frame(KIND_STORE, manifest)
+        path = self.directory / MANIFEST_NAME
+        # A delta is appended only when the old run list survives as a
+        # suffix of the new one (runs are newest-first; flush prepends)
+        # AND this sync advances the WAL epoch — that pairing is what lets
+        # the reader ignore a torn delta: a dropped delta means a dropped
+        # epoch bump, so either the log still holds the records (crash
+        # before rotation: replay) or it is ahead of the manifest
+        # (post-hoc damage: loud failure).  The file-size check rewrites
+        # over any torn garbage a previous crash left at the tail.
+        grew = (
+            self._synced_runs is not None
+            and self._wal_epoch != self._synced_epoch
+            and len(names) > len(self._synced_runs)
+            and names[len(names) - len(self._synced_runs) :]
+            == self._synced_runs
         )
+        if (
+            grew
+            and path.is_file()
+            and path.stat().st_size == self._manifest_valid_bytes
+        ):
+            delta = pack_frame(
+                KIND_STORE,
+                {
+                    "delta": 1,
+                    "new_runs": runs[: len(names) - len(self._synced_runs)],
+                    "next_file_id": self._next_file_id,
+                    "wal_epoch": self._wal_epoch,
+                },
+            )
+            fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+            try:
+                os.write(fd, delta)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._manifest_valid_bytes += len(delta)
+        else:
+            blob = pack_frame(
+                KIND_STORE,
+                {
+                    "engine": "lsm",
+                    "spec": self.spec.to_dict(),
+                    "geometry": {
+                        "memtable_capacity": self.memtable.capacity,
+                        "value_bytes": self.value_bytes,
+                        "block_bytes": self.block_bytes,
+                        "store_values": self.store_values,
+                        "wal_sync": self._wal_sync,
+                    },
+                    "runs": runs,
+                    "next_file_id": self._next_file_id,
+                    "wal_seal": self._wal_seal,
+                    "wal_epoch": self._wal_epoch,
+                },
+            )
+            _atomic_write(path, blob)
+            self._manifest_valid_bytes = len(blob)
         self._synced_runs = names
+        self._synced_epoch = self._wal_epoch
         self._prune_orphans(set(names))
 
     def _prune_orphans(self, live: set[str]) -> None:
@@ -506,6 +808,27 @@ class PersistentLsmDB(LsmDB):
         """Drain the memtable into a new run and make the store durable."""
         super().flush()
         if not self._compacting:
+            self._sync_and_rotate()
+
+    def _sync_and_rotate(self) -> None:
+        """Persist the run set, then truncate the now-redundant log.
+
+        Order matters: runs first (inside :meth:`sync`), then the manifest
+        carrying the advanced epoch, then the log reset to that epoch.  A
+        crash before the manifest write replays the old log against the
+        old manifest; a crash after it finds a log one epoch behind and
+        discards it — the records are already in the just-persisted runs.
+        """
+        wal = self._wal
+        if (
+            wal is not None
+            and wal.num_records
+            and len(self.memtable) == 0
+        ):
+            self._wal_epoch += 1
+            self.sync()
+            wal.reset(self._wal_epoch)
+        else:
             self.sync()
 
     def compact(self) -> None:
@@ -521,15 +844,25 @@ class PersistentLsmDB(LsmDB):
             super().compact()
         finally:
             self._compacting = False
-        self.sync()
+        self._sync_and_rotate()
 
     def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
         super().bulk_load(keys, num_sstables)
         self.sync()
 
+    def wal_info(self) -> dict:
+        """Write-ahead-log state + last recovery outcome (CLI inspect)."""
+        info = dict(self.last_recovery)
+        if self._wal is not None:
+            info.update(self._wal.info())
+        info["seal"] = self._wal_seal
+        return info
+
     def close(self) -> None:
         """Flush (making the store durable) and release resources."""
         self.flush()
+        if self._wal is not None:
+            self._wal.close()
         super().close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -566,12 +899,14 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         store_values: bool = False,
         max_workers: int | None = None,
         domain_bits: int = 64,
+        wal_sync: str = "batch",
+        wal_group_commit: int = 1024,
         _manifest: dict | None = None,
     ) -> None:
         directory = Path(directory)
         manifest = _manifest
         if manifest is None and (directory / MANIFEST_NAME).is_file():
-            manifest = read_store_manifest(directory)
+            manifest = _read_manifest_file(directory)
         if manifest is not None:
             engine = manifest.get("engine")
             if engine != "sharded-lsm":
@@ -596,6 +931,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             store_values = bool(
                 _manifest_field(geometry, "store_values", where)
             )
+            wal_sync = str(_manifest_field(geometry, "wal_sync", where))
             for index in range(num_shards):
                 shard_manifest = directory / _shard_dir_name(index) / MANIFEST_NAME
                 if not shard_manifest.is_file():
@@ -623,6 +959,8 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             directory.mkdir(parents=True, exist_ok=True)
         self.directory = directory
         self.specs: list[FilterSpec] = list(specs)
+        self._wal_sync = wal_sync
+        self._wal_group_commit = wal_group_commit
         if manifest is None:
             # Top manifest *before* the per-shard sub-stores: a crash in
             # that window then reopens loudly (missing shard directory)
@@ -636,6 +974,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 value_bytes=value_bytes,
                 block_bytes=block_bytes,
                 store_values=store_values,
+                wal_sync=wal_sync,
             )
         super().__init__(
             policy=[SpecPolicy(spec) for spec in self.specs],
@@ -651,11 +990,14 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         )
 
     def _build_shard(self, index: int, policy, **kw) -> LsmDB:
-        """Each shard is a self-contained persistent sub-store."""
+        """Each shard is a self-contained persistent sub-store with its
+        own write-ahead log (independent group commit per shard)."""
         return PersistentLsmDB(
             self.directory / _shard_dir_name(index),
             policy.spec,
             device=self.device,
+            wal_sync=self._wal_sync,
+            wal_group_commit=self._wal_group_commit,
             **kw,
         )
 
@@ -669,6 +1011,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         value_bytes: int,
         block_bytes: int,
         store_values: bool,
+        wal_sync: str,
     ) -> None:
         manifest = {
             "engine": "sharded-lsm",
@@ -681,6 +1024,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 "value_bytes": value_bytes,
                 "block_bytes": block_bytes,
                 "store_values": store_values,
+                "wal_sync": wal_sync,
             },
             "shards": [
                 _shard_dir_name(index) for index in range(num_shards)
@@ -690,9 +1034,37 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             self.directory / MANIFEST_NAME, pack_frame(KIND_STORE, manifest)
         )
 
+    def wal_info(self) -> dict:
+        """Aggregated per-shard write-ahead-log state (CLI inspect)."""
+        infos = [shard.wal_info() for shard in self.shards]
+        merged = {
+            "sync": infos[0].get("sync", self._wal_sync),
+            "group_commit": infos[0].get(
+                "group_commit", self._wal_group_commit
+            ),
+            "epoch": max(int(i.get("epoch", 0)) for i in infos),
+            "recovered_torn_tail": any(
+                i.get("recovered_torn_tail") for i in infos
+            ),
+        }
+        for field in (
+            "records",
+            "bytes",
+            "fsyncs",
+            "replayed_records",
+            "replayed_ops",
+            "discarded_stale_records",
+        ):
+            merged[field] = sum(int(i.get(field, 0)) for i in infos)
+        return merged
+
     def close(self) -> None:
         """Flush every shard (making the store durable), then shut down."""
         self.flush()
+        for shard in self.shards:
+            wal = getattr(shard, "_wal", None)
+            if wal is not None:
+                wal.close()
         super().close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -753,6 +1125,7 @@ def _check_reopen_args(manifest: dict, directory: Path, args: dict) -> None:
             if sharded
             else 64
         ),
+        "wal_sync": str(_manifest_field(geometry, "wal_sync", where)),
     }
     for name, stored_value in stored.items():
         passed = args[name]
@@ -806,6 +1179,8 @@ def open_persistent_store(
     store_values: bool = False,
     max_workers: int | None = None,
     domain_bits: int = 64,
+    wal_sync: str = "batch",
+    wal_group_commit: int = 1024,
 ):
     """Create or reopen the on-disk store at ``path``.
 
@@ -818,7 +1193,7 @@ def open_persistent_store(
     """
     path = Path(path)
     if (path / MANIFEST_NAME).is_file():
-        manifest = read_store_manifest(path)
+        manifest = _read_manifest_file(path)
         engine = manifest.get("engine")
         if engine not in ("lsm", "sharded-lsm"):
             raise SerialError(
@@ -836,12 +1211,22 @@ def open_persistent_store(
                 "block_bytes": block_bytes,
                 "store_values": store_values,
                 "domain_bits": domain_bits,
+                "wal_sync": wal_sync,
             },
         )
         if engine == "lsm":
-            return PersistentLsmDB(path, device=device, _manifest=manifest)
+            return PersistentLsmDB(
+                path,
+                device=device,
+                wal_group_commit=wal_group_commit,
+                _manifest=manifest,
+            )
         return PersistentShardedLsmDB(
-            path, device=device, max_workers=max_workers, _manifest=manifest
+            path,
+            device=device,
+            max_workers=max_workers,
+            wal_group_commit=wal_group_commit,
+            _manifest=manifest,
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -856,6 +1241,8 @@ def open_persistent_store(
             block_bytes=block_bytes,
             device=device,
             store_values=store_values,
+            wal_sync=wal_sync,
+            wal_group_commit=wal_group_commit,
         )
     return PersistentShardedLsmDB(
         path,
@@ -869,4 +1256,6 @@ def open_persistent_store(
         store_values=store_values,
         max_workers=max_workers,
         domain_bits=domain_bits,
+        wal_sync=wal_sync,
+        wal_group_commit=wal_group_commit,
     )

@@ -1,0 +1,423 @@
+"""Write-ahead log for the persistent LSM engines — the durability gap closer.
+
+PR 5 made flushed runs crash-safe; the memtable stayed volatile.  This
+module closes that gap the way RocksDB does: every write API call appends
+its operations to an append-only, checksummed log *before* the memtable
+mutates, so an acknowledged ``put``/``delete`` survives ``kill -9`` — on
+reopen the log is replayed into a fresh memtable and the store answers
+exactly as the never-killed store would.
+
+On-disk layout (``WAL.brf`` inside the store directory)::
+
+    +--------------------------------------------------+
+    | KIND_WAL frame  {"seal": <hex>, "epoch": <int>}  |  header (atomic)
+    +--------------------------------------------------+
+    | u32 length | u32 crc32(body) | body              |  record 0
+    | u32 length | u32 crc32(body) | body              |  record 1
+    | ...                                              |
+    +--------------------------------------------------+
+
+    body = u8 op | u32 count | count x u64 keys
+           [op 1: count x u32 value lengths | value blob]
+
+    op 1 = put with values, 2 = delete (tombstones), 3 = put (empty values)
+
+The header frame is only ever written whole via write-temp + ``os.replace``
+(creation and rotation), so it is never torn; records are appended with one
+``os.write`` each, so a crash mid-append leaves a *prefix* of a record at
+the tail.  The reader (:func:`read_wal`) therefore recovers silently from a
+torn tail — truncate to the last complete record — while any *non-tail*
+damage (a complete record whose CRC fails, a malformed body) raises
+:class:`~repro.serial.SerialError` naming the file and byte offset: a torn
+write is the expected crash artifact, a mid-file flip is corruption.
+
+Seal and epoch
+--------------
+Each store directory's log carries a random ``seal`` minted at creation and
+pinned in the store manifest — a log restored from a *different* store (or
+swapped between shard directories) fails the seal check loudly instead of
+replaying foreign keys.  The ``epoch`` orders the log against the manifest:
+``flush()`` persists the drained memtable as a run, writes the manifest with
+``epoch + 1``, then resets the log to the new epoch.  On reopen a log at the
+manifest's epoch replays; an *older* log is the crash window between those
+two steps (its records are already durable in runs) and is discarded
+silently; a *newer* log means the manifest went backwards — corruption.
+
+Group commit
+------------
+``sync="always"`` fsyncs at the end of every write API call; ``"batch"``
+fsyncs once every ``group_commit`` logged operations (the RocksDB group
+commit trade: bounded post-power-loss window, a fraction of the fsyncs);
+``"off"`` never fsyncs.  In *all* modes the record bytes reach the kernel
+before the API call returns, so acknowledged writes survive process death
+(``kill -9``) even at ``sync="off"`` — the fsync policy only sizes the
+window lost to power failure.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.serial import KIND_WAL, SerialError, pack_frame, unpack_frame_prefix
+
+__all__ = ["WAL_NAME", "WalRecord", "WriteAheadLog", "read_wal"]
+
+WAL_NAME = "WAL.brf"
+
+OP_PUT = 1
+OP_DELETE = 2
+OP_PUT_EMPTY = 3
+
+_SYNC_MODES = ("always", "batch", "off")
+_RECORD_PREFIX = struct.Struct("<II")  # body length, body crc32
+
+
+class WalRecord:
+    """One logged operation batch: op code, keys, aligned values (puts)."""
+
+    __slots__ = ("op", "keys", "values")
+
+    def __init__(self, op: int, keys: np.ndarray, values: list[bytes] | None):
+        self.op = op
+        self.keys = keys
+        self.values = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WalRecord(op={self.op}, keys={self.keys.size})"
+
+
+def _encode_record(
+    op: int, keys: np.ndarray, values: list[bytes] | None
+) -> bytes:
+    parts = [
+        bytes([op]),
+        int(keys.size).to_bytes(4, "little"),
+        np.ascontiguousarray(keys, dtype="<u8").tobytes(),
+    ]
+    if op == OP_PUT:
+        lengths = np.fromiter(
+            (len(v) for v in values), dtype="<u4", count=len(values)
+        )
+        parts.append(lengths.tobytes())
+        parts.append(b"".join(values))
+    body = b"".join(parts)
+    return _RECORD_PREFIX.pack(len(body), zlib.crc32(body)) + body
+
+
+def _decode_body(body: bytes, where: str, offset: int) -> WalRecord:
+    def bad(detail: str) -> SerialError:
+        return SerialError(
+            f"corrupt write-ahead log {where}: {detail} in the record at "
+            f"byte offset {offset}"
+        )
+
+    if len(body) < 5:
+        raise bad(f"body of {len(body)} bytes is too short")
+    op = body[0]
+    if op not in (OP_PUT, OP_DELETE, OP_PUT_EMPTY):
+        raise bad(f"unknown operation code {op}")
+    count = int.from_bytes(body[1:5], "little")
+    cursor = 5
+    keys_end = cursor + 8 * count
+    if keys_end > len(body):
+        raise bad(f"key array for {count} keys overruns the body")
+    keys = np.frombuffer(body[cursor:keys_end], dtype="<u8").astype(np.uint64)
+    values = None
+    if op == OP_PUT:
+        lengths_end = keys_end + 4 * count
+        if lengths_end > len(body):
+            raise bad(f"value index for {count} values overruns the body")
+        lengths = np.frombuffer(body[keys_end:lengths_end], dtype="<u4")
+        blob = body[lengths_end:]
+        if int(lengths.sum()) != len(blob):
+            raise bad("value index does not match the value blob")
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths.astype(np.int64), out=offsets[1:])
+        values = [bytes(blob[offsets[i] : offsets[i + 1]]) for i in range(count)]
+    elif len(body) != keys_end:
+        raise bad(f"{len(body) - keys_end} trailing bytes after the key array")
+    return WalRecord(op, keys, values)
+
+
+def read_wal(path: str | Path) -> tuple[dict, list[WalRecord], int, bool]:
+    """Parse a log file into ``(header, records, valid_end, torn)``.
+
+    ``valid_end`` is the byte offset of the last complete record's end —
+    the truncation point when ``torn`` is True (the file ends mid-record,
+    the expected artifact of a crash during an append).  Damage *before*
+    the tail — a complete record failing its CRC, a malformed body, a
+    broken header frame — raises :class:`SerialError` naming the file and
+    the record's byte offset.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    try:
+        header, payloads, cursor = unpack_frame_prefix(
+            data, 0, expect_kind=KIND_WAL
+        )
+    except SerialError as exc:
+        raise SerialError(f"corrupt write-ahead log {path}: {exc}") from exc
+    if payloads:
+        raise SerialError(
+            f"corrupt write-ahead log {path}: header frame carries "
+            f"{len(payloads)} payloads, expected 0"
+        )
+    records: list[WalRecord] = []
+    valid_end = cursor
+    torn = False
+    total = len(data)
+    while cursor < total:
+        if cursor + _RECORD_PREFIX.size > total:
+            torn = True
+            break
+        length, crc = _RECORD_PREFIX.unpack_from(data, cursor)
+        body_start = cursor + _RECORD_PREFIX.size
+        if body_start + length > total:
+            torn = True
+            break
+        body = data[body_start : body_start + length]
+        if zlib.crc32(body) != crc:
+            raise SerialError(
+                f"corrupt write-ahead log {path}: checksum mismatch in the "
+                f"record at byte offset {cursor} (the log was altered after "
+                "it was written)"
+            )
+        records.append(_decode_body(body, str(path), cursor))
+        cursor = body_start + length
+        valid_end = cursor
+    return header, records, valid_end, torn
+
+
+def _header_field(header: dict, name: str, path: Path):
+    try:
+        return header[name]
+    except (KeyError, TypeError):
+        raise SerialError(
+            f"corrupt write-ahead log {path}: header is missing field "
+            f"{name!r}"
+        ) from None
+
+
+class WriteAheadLog:
+    """Append-only operation log for one :class:`PersistentLsmDB` directory.
+
+    Construct through :meth:`create` (fresh header-only log, atomic) or
+    :meth:`attach` (an existing log after :func:`read_wal`, truncating a
+    torn tail).  Appends write one framed record per call via ``os.write``
+    on an ``O_APPEND`` descriptor; :meth:`commit` applies the fsync policy
+    at write-API-call boundaries; :meth:`reset` rotates to a new epoch
+    (flush truncation).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        *,
+        seal: str,
+        epoch: int,
+        sync: str = "batch",
+        group_commit: int = 1024,
+        _size: int = 0,
+        _records: int = 0,
+    ) -> None:
+        if sync not in _SYNC_MODES:
+            raise ValueError(
+                f"wal_sync must be one of {_SYNC_MODES}, got {sync!r}"
+            )
+        if group_commit < 1:
+            raise ValueError(
+                f"wal_group_commit must be >= 1, got {group_commit}"
+            )
+        self.path = Path(path)
+        self.seal = seal
+        self.epoch = epoch
+        self.sync_mode = sync
+        self.group_commit = group_commit
+        self.size_bytes = _size
+        self.num_records = _records
+        self._pending_ops = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self.records_appended = 0
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _header_blob(seal: str, epoch: int) -> bytes:
+        return pack_frame(KIND_WAL, {"seal": seal, "epoch": epoch})
+
+    @classmethod
+    def _write_header_file(cls, path: Path, seal: str, epoch: int) -> int:
+        """Atomically (re)place ``path`` with a header-only log.
+
+        Write-temp + ``os.replace`` + directory fsync: the header frame is
+        never observable torn, and rotation never exposes a log that mixes
+        the old epoch's records with the new epoch's header.
+        """
+        blob = cls._header_blob(seal, epoch)
+        tmp = path.with_name(path.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        return len(blob)
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        *,
+        seal: str,
+        epoch: int = 0,
+        sync: str = "batch",
+        group_commit: int = 1024,
+    ) -> "WriteAheadLog":
+        """A fresh (or reset-over-stale) header-only log at ``path``."""
+        path = Path(path)
+        size = cls._write_header_file(path, seal, epoch)
+        return cls(
+            path,
+            seal=seal,
+            epoch=epoch,
+            sync=sync,
+            group_commit=group_commit,
+            _size=size,
+        )
+
+    @classmethod
+    def attach(
+        cls,
+        path: str | Path,
+        *,
+        seal: str,
+        epoch: int,
+        valid_end: int,
+        num_records: int,
+        torn: bool,
+        sync: str = "batch",
+        group_commit: int = 1024,
+    ) -> "WriteAheadLog":
+        """Adopt an existing log after :func:`read_wal`, cutting a torn tail."""
+        path = Path(path)
+        if torn:
+            fd = os.open(path, os.O_WRONLY)
+            try:
+                os.ftruncate(fd, valid_end)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        return cls(
+            path,
+            seal=seal,
+            epoch=epoch,
+            sync=sync,
+            group_commit=group_commit,
+            _size=valid_end,
+            _records=num_records,
+        )
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def append_put(
+        self, keys: np.ndarray, values: list[bytes] | None = None
+    ) -> None:
+        """Log a put batch.  Returns only once the record reached the
+        kernel (one ``os.write``), which is the acknowledgement point."""
+        if values is None or not any(values):
+            self._append(OP_PUT_EMPTY, keys, None)
+        else:
+            self._append(OP_PUT, keys, values)
+
+    def append_delete(self, keys: np.ndarray) -> None:
+        """Log a tombstone batch."""
+        self._append(OP_DELETE, keys, None)
+
+    def _append(
+        self, op: int, keys: np.ndarray, values: list[bytes] | None
+    ) -> None:
+        record = _encode_record(op, keys, values)
+        os.write(self._fd, record)
+        self.size_bytes += len(record)
+        self.bytes_written += len(record)
+        self.num_records += 1
+        self.records_appended += 1
+        self._pending_ops += int(keys.size)
+        if (
+            self.sync_mode == "batch"
+            and self._pending_ops >= self.group_commit
+        ):
+            self._fsync()
+
+    def commit(self) -> None:
+        """Apply the fsync policy at a write-API-call boundary."""
+        if self._pending_ops == 0:
+            return
+        if self.sync_mode == "always" or (
+            self.sync_mode == "batch"
+            and self._pending_ops >= self.group_commit
+        ):
+            self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._fd)
+        self.fsyncs += 1
+        self._pending_ops = 0
+
+    # ------------------------------------------------------------------
+    # rotation / lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, epoch: int) -> None:
+        """Rotate: replace the log with a header-only file at ``epoch``.
+
+        Called by ``flush()`` *after* the new manifest (carrying the same
+        epoch) is durable, so a crash at any point reopens consistently:
+        before the replace, the old log replays against the old manifest;
+        after it, the empty log matches the new one.
+        """
+        os.close(self._fd)
+        self.size_bytes = self._write_header_file(self.path, self.seal, epoch)
+        self.epoch = epoch
+        self.num_records = 0
+        self._pending_ops = 0
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+
+    def close(self) -> None:
+        if self._fd is None:
+            return
+        if self._pending_ops and self.sync_mode != "off":
+            self._fsync()
+        os.close(self._fd)
+        self._fd = None
+
+    def info(self) -> dict:
+        """WAL state for ``repro store inspect`` / ``wal_info()``."""
+        return {
+            "sync": self.sync_mode,
+            "group_commit": self.group_commit,
+            "epoch": self.epoch,
+            "records": self.num_records,
+            "bytes": self.size_bytes,
+            "fsyncs": self.fsyncs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteAheadLog({str(self.path)!r}, epoch={self.epoch}, "
+            f"records={self.num_records}, sync={self.sync_mode!r})"
+        )

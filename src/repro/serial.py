@@ -54,9 +54,11 @@ __all__ = [
     "KIND_NONE",
     "KIND_SSTABLE",
     "KIND_STORE",
+    "KIND_WAL",
     "KIND_NAMES",
     "pack_frame",
     "unpack_frame",
+    "unpack_frame_prefix",
     "peek_kind",
     "dump_filter",
     "load_filter",
@@ -75,6 +77,7 @@ KIND_CUCKOO = 7
 KIND_NONE = 8
 KIND_SSTABLE = 9
 KIND_STORE = 10
+KIND_WAL = 11
 
 KIND_NAMES = {
     KIND_BLOOMRF: "bloomrf",
@@ -87,6 +90,7 @@ KIND_NAMES = {
     KIND_NONE: "none",
     KIND_SSTABLE: "sstable",
     KIND_STORE: "store-manifest",
+    KIND_WAL: "write-ahead-log",
 }
 
 
@@ -139,13 +143,34 @@ def unpack_frame(
     version, a kind mismatch, truncation, or a malformed header.
     """
     kind, header, payloads = _unpack_any(data)
+    _check_kind(kind, expect_kind)
+    return header, payloads
+
+
+def unpack_frame_prefix(
+    data: bytes, start: int = 0, expect_kind: int | None = None
+) -> tuple[dict, list[bytes], int]:
+    """Parse the frame beginning at ``start``; tolerate trailing bytes.
+
+    The streaming counterpart of :func:`unpack_frame` for files that hold
+    a *sequence* of frames (the write-ahead log header followed by its
+    records, a store manifest followed by appended run deltas): returns
+    ``(header, payloads, end)`` where ``end`` is the offset one past the
+    parsed frame, ready to hand back as the next ``start``.  Failures
+    raise exactly like :func:`unpack_frame`.
+    """
+    kind, header, payloads, end = _unpack_at(data, start)
+    _check_kind(kind, expect_kind)
+    return header, payloads, end
+
+
+def _check_kind(kind: int, expect_kind: int | None) -> None:
     if expect_kind is not None and kind != expect_kind:
         raise SerialError(
             f"serialized object is a {KIND_NAMES.get(kind, kind)!r} frame "
             f"(kind byte {kind}), expected {KIND_NAMES[expect_kind]!r} "
             f"(kind byte {expect_kind})"
         )
-    return header, payloads
 
 
 def peek_kind(data: bytes) -> int:
@@ -170,7 +195,16 @@ def _check_prefix(prefix: bytes) -> None:
 
 
 def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
-    prefix, cursor = _take(data, 0, _PREFIX_LEN, "frame prefix")
+    kind, header, payloads, cursor = _unpack_at(data, 0)
+    if cursor != len(data):
+        raise SerialError(
+            f"trailing garbage after filter frame ({len(data) - cursor} bytes)"
+        )
+    return kind, header, payloads
+
+
+def _unpack_at(data: bytes, start: int) -> tuple[int, dict, list[bytes], int]:
+    prefix, cursor = _take(data, start, _PREFIX_LEN, "frame prefix")
     _check_prefix(prefix)
     kind = int.from_bytes(prefix[6:8], "little")
     if kind not in KIND_NAMES:
@@ -191,11 +225,7 @@ def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
             data, cursor, int.from_bytes(size_bytes, "little"), f"payload {i}"
         )
         payloads.append(payload)
-    if cursor != len(data):
-        raise SerialError(
-            f"trailing garbage after filter frame ({len(data) - cursor} bytes)"
-        )
-    return kind, header, payloads
+    return kind, header, payloads, cursor
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,5 @@
+"""Test-support machinery shipped with the package (fault injection)."""
+
+from repro.testing.faults import FaultInjector, InjectedCrash
+
+__all__ = ["FaultInjector", "InjectedCrash"]

@@ -1,0 +1,135 @@
+"""Failpoint layer: crash the process at randomized syscall boundaries.
+
+The durability contract of :mod:`repro.lsm.store` + :mod:`repro.lsm.wal`
+is "an acknowledged write survives ``kill -9``".  Proving that needs
+crashes *between* individual syscalls — after the WAL record reached the
+kernel but before the memtable mutated, mid-manifest-replace, between the
+run file and its fsync.  This module patches ``os.write`` / ``os.fsync`` /
+``os.replace`` with counting wrappers scoped to one store directory, so a
+test can first dry-run a workload to count its syscall boundaries, then
+replay it with ``crash_at=k`` for hundreds of sampled ``k``.
+
+Crash fidelity: a process killed by ``kill -9`` keeps every byte that
+already reached the kernel (``os.write`` returned) and loses everything
+still in user-space buffers.  Raising :class:`InjectedCrash` *before* the
+armed syscall executes models exactly that state, so the in-process mode
+is faithful to a real kill for on-disk contents — while running orders of
+magnitude faster than subprocess spawning.  ``mode="exit"`` additionally
+offers a real ``os._exit`` for subprocess-based tests.  The injector can
+also *tear* the armed write — emit a random prefix of the buffer before
+crashing — which is what a crash mid-``write`` leaves behind and what the
+WAL's torn-tail recovery is for.
+
+:class:`InjectedCrash` subclasses :class:`BaseException` so ordinary
+``except Exception`` recovery code inside the store cannot swallow the
+simulated kill.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+__all__ = ["FaultInjector", "InjectedCrash"]
+
+
+class InjectedCrash(BaseException):
+    """The simulated ``kill -9``: raised at an armed syscall boundary."""
+
+
+_REAL_WRITE = os.write
+_REAL_FSYNC = os.fsync
+_REAL_REPLACE = os.replace
+
+
+def _fd_path(fd: int) -> str | None:
+    try:
+        return os.readlink(f"/proc/self/fd/{fd}")
+    except OSError:  # pragma: no cover - non-procfs platforms
+        return None
+
+
+class FaultInjector:
+    """Count — and optionally crash at — store-directory syscalls.
+
+    ``crash_at=None`` is a dry run: the workload executes normally and
+    :attr:`count` reports how many matching syscall boundaries it crossed.
+    With ``crash_at=k`` the k-th matching call (1-based) never executes:
+    the injector raises :class:`InjectedCrash` (``mode="raise"``) or kills
+    the process with ``os._exit(137)`` (``mode="exit"``) first.  When a
+    ``rng`` is supplied and the armed call is a write, a random prefix of
+    the buffer is written before crashing — a torn write.
+
+    Only calls whose target resolves under ``root`` count; everything else
+    (pytest internals, temp files elsewhere) passes through untouched.
+    Use as a context manager; patching is restored on exit.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        crash_at: int | None = None,
+        mode: str = "raise",
+        rng: random.Random | None = None,
+    ) -> None:
+        if mode not in ("raise", "exit"):
+            raise ValueError(f"mode must be 'raise' or 'exit', got {mode!r}")
+        self.root = os.path.realpath(str(root))
+        self.crash_at = crash_at
+        self.mode = mode
+        self.rng = rng
+        self.count = 0
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _under_root(self, path: str | None) -> bool:
+        if path is None:
+            return False
+        real = os.path.realpath(path)
+        return real == self.root or real.startswith(self.root + os.sep)
+
+    def _hit(self, tear: bytes | None = None, fd: int | None = None) -> None:
+        self.count += 1
+        if self.crash_at is None or self.count != self.crash_at:
+            return
+        if tear is not None and self.rng is not None and len(tear) > 1:
+            prefix = self.rng.randrange(1, len(tear))
+            _REAL_WRITE(fd, tear[:prefix])
+        if self.mode == "exit":  # pragma: no cover - exercised in subprocess
+            os._exit(137)
+        raise InjectedCrash(
+            f"injected crash at syscall boundary {self.count} under "
+            f"{self.root}"
+        )
+
+    # ------------------------------------------------------------------
+    def _write(self, fd, data, *args, **kw):
+        if self._active and isinstance(fd, int) and self._under_root(_fd_path(fd)):
+            self._hit(tear=bytes(data), fd=fd)
+        return _REAL_WRITE(fd, data, *args, **kw)
+
+    def _fsync(self, fd):
+        if self._active and isinstance(fd, int) and self._under_root(_fd_path(fd)):
+            self._hit()
+        return _REAL_FSYNC(fd)
+
+    def _replace(self, src, dst, *args, **kw):
+        if self._active and self._under_root(str(dst)):
+            self._hit()
+        return _REAL_REPLACE(src, dst, *args, **kw)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        os.write = self._write
+        os.fsync = self._fsync
+        os.replace = self._replace
+        self._active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._active = False
+        os.write = _REAL_WRITE
+        os.fsync = _REAL_FSYNC
+        os.replace = _REAL_REPLACE

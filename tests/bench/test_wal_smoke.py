@@ -1,0 +1,52 @@
+"""Perf smoke for the write-ahead-log ingest tax (CI tooling).
+
+Runs ``benchmarks/bench_ops_wal.py --quick``: streamed ingest under every
+``wal_sync`` mode plus the group-commit sweep, asserting the acceptance
+bound that batched group commit stays within 3x of running with fsync
+off.  Writes its JSON to a temp path so it never clobbers the repo-root
+``BENCH_wal.json`` (that trajectory artifact holds the *full*-mode run;
+refresh it with ``PYTHONPATH=src python benchmarks/bench_ops_wal.py``).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_wal.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_ops_wal", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mode_wal_tax_bounded(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_wal.json"
+    exit_code = bench.main(["--quick", "--output", str(out)])
+    assert exit_code == 0, "quick WAL smoke failed (group commit too slow)"
+    result = json.loads(out.read_text())
+    assert result["mode"] == "quick"
+    assert result["batch_within_3x_of_off"] is True
+    by_engine = {}
+    for row in result["sync_modes"]:
+        by_engine.setdefault(row["shards"], []).append(row["wal_sync"])
+    assert by_engine == {1: ["off", "batch", "always"], 4: ["off", "batch", "always"]}
+    for row in result["sync_modes"]:
+        assert row["ingest_keys_per_second"] > 0
+        if row["wal_sync"] == "off":
+            assert row["wal_fsyncs"] == 0
+    sweep = result["group_commit_sweep"]
+    assert [row["wal_group_commit"] for row in sweep] == [1, 16, 256, 4096]
+    # more batching, (weakly) fewer fsyncs
+    fsyncs = [row["wal_fsyncs"] for row in sweep]
+    assert fsyncs == sorted(fsyncs, reverse=True)

@@ -268,19 +268,21 @@ class TestShardedReopen:
 
 
 class TestDurabilitySemantics:
-    def test_unflushed_memtable_is_not_durable_but_flush_is(self, tmp_path):
+    def test_unflushed_memtable_survives_via_the_wal(self, tmp_path):
         db = open_store(path=tmp_path / "db", filter=SPEC)
         db.put_many(np.arange(100, dtype=np.uint64))
-        # No flush: the memtable is volatile by contract (no WAL).  A
-        # reopen from the current on-disk state sees nothing...
-        assert not PersistentLsmDB(tmp_path / "db").get_many(
-            np.arange(100, dtype=np.uint64)
-        ).any()
-        # ...until flush() makes it durable.
+        # No flush: the acknowledged writes live only in the memtable and
+        # the write-ahead log.  A reopen from the current on-disk state
+        # replays the log — nothing acknowledged is ever lost...
+        replayed = PersistentLsmDB(tmp_path / "db")
+        assert replayed.get_many(np.arange(100, dtype=np.uint64)).all()
+        assert replayed.last_recovery["replayed_ops"] == 100
+        # ...and flush() migrates them into runs, truncating the log.
         db.flush()
-        assert PersistentLsmDB(tmp_path / "db").get_many(
-            np.arange(100, dtype=np.uint64)
-        ).all()
+        reopened = PersistentLsmDB(tmp_path / "db")
+        assert reopened.get_many(np.arange(100, dtype=np.uint64)).all()
+        assert reopened.last_recovery["replayed_ops"] == 0
+        assert reopened.wal_info()["records"] == 0
         db.close()
 
     def test_sync_is_part_of_the_store_protocol(self, tmp_path):

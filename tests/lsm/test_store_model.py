@@ -140,6 +140,17 @@ class StoreMachine(RuleBasedStateMachine):
         self.store = self._open()
         self._assert_matches_shadow()
 
+    @rule()
+    def crash_and_reopen(self):
+        """Drop the store without close() or flush(): the write-ahead log
+        must replay every acknowledged write, so the reopened store still
+        answers bit-identically to the never-closed shadow."""
+        pool = getattr(self.store, "_pool", None)
+        if pool is not None:  # workers are not state; a crash loses none
+            pool.close()
+        self.store = self._open()
+        self._assert_matches_shadow()
+
     def _assert_matches_shadow(self):
         """Reopened answers must be bit-identical to the live store's."""
         probes = np.array(

@@ -72,9 +72,11 @@ SERIAL_ALL = [
     "KIND_NONE",
     "KIND_SSTABLE",
     "KIND_STORE",
+    "KIND_WAL",
     "KIND_NAMES",
     "pack_frame",
     "unpack_frame",
+    "unpack_frame_prefix",
     "peek_kind",
     "dump_filter",
     "load_filter",

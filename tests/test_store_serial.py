@@ -20,6 +20,7 @@ from repro.lsm.store import (
     PersistentShardedLsmDB,
     read_store_manifest,
 )
+from repro.lsm.wal import WAL_NAME, read_wal
 from repro.serial import KIND_STORE, SerialError, pack_frame
 
 SPEC = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
@@ -171,6 +172,101 @@ class TestRunFileCorruption:
             open_store(path=store_dir)
 
 
+class TestWalCorruption:
+    def _store_with_unflushed_tail(self, path, n=40):
+        """A store whose WAL holds ``n`` unflushed put records (the store
+        is dropped without close, as a crash would leave it)."""
+        db = open_store(
+            path=path, filter=SPEC, memtable_capacity=1024, store_values=True
+        )
+        for k in range(n):  # one WAL record per op: easy to count/cut
+            db.put(k, b"wal-%d" % k)
+        pool = getattr(db, "_pool", None)
+        if pool is not None:
+            pool.close()
+        del db
+        return path
+
+    def test_bit_flipped_wal_record_raises_with_file_and_offset(
+        self, tmp_path
+    ):
+        root = self._store_with_unflushed_tail(tmp_path / "db")
+        wal = root / WAL_NAME
+        _, records, valid_end, _ = read_wal(wal)
+        assert len(records) == 40
+        blob = bytearray(wal.read_bytes())
+        # Flip one byte in the FIRST record's body — non-tail corruption
+        # must be loud, never a silent partial replay.  (A flip in a
+        # length prefix can masquerade as a torn tail; a body flip always
+        # fails the record checksum.)
+        from repro.serial import unpack_frame_prefix
+
+        _, _, header_end = unpack_frame_prefix(bytes(blob))
+        blob[header_end + 8 + 2] ^= 0x10
+        wal.write_bytes(bytes(blob))
+        with pytest.raises(SerialError, match="WAL.brf") as excinfo:
+            open_store(path=root)
+        assert "byte offset" in str(excinfo.value)
+
+    def test_truncated_wal_tail_recovers_the_complete_prefix(self, tmp_path):
+        root = self._store_with_unflushed_tail(tmp_path / "db")
+        wal = root / WAL_NAME
+        blob = wal.read_bytes()
+        wal.write_bytes(blob[: len(blob) - 5])  # cut inside the last record
+        with open_store(path=root) as db:
+            assert db.wal_info()["replayed_records"] == 39
+            assert db.wal_info()["recovered_torn_tail"]
+            answers = db.get_many(np.arange(40, dtype=np.uint64))
+            assert answers[:39].all()
+            for k in range(39):
+                assert db.get_value(k) == b"wal-%d" % k
+            # key 39's record was torn before reaching disk: not acked
+            assert db.get_value(39) is None
+
+    def test_swapped_wal_files_between_shards_raise(self, tmp_path):
+        db = open_store(
+            path=tmp_path / "db", filter=SPEC, shards=4, memtable_capacity=256
+        )
+        db.put_many(np.arange(300, dtype=np.uint64))
+        db._pool.close()
+        del db  # crash-drop: per-shard WALs keep their unflushed records
+        a = tmp_path / "db" / "shard-0000" / WAL_NAME
+        b = tmp_path / "db" / "shard-0001" / WAL_NAME
+        blob_a, blob_b = a.read_bytes(), b.read_bytes()
+        a.write_bytes(blob_b)
+        b.write_bytes(blob_a)
+        with pytest.raises(SerialError, match="belongs to a different store"):
+            open_store(path=tmp_path / "db")
+
+    def test_stale_wal_is_discarded_and_resurrects_nothing(self, tmp_path):
+        """A WAL restored from before a flush references runs that have
+        since absorbed (and then tombstoned) its records.  Its epoch is
+        behind the manifest's, so replaying it would resurrect deleted
+        keys — it must be discarded silently instead."""
+        root = tmp_path / "db"
+        db = open_store(
+            path=root, filter=SPEC, memtable_capacity=1024, store_values=True
+        )
+        keys = np.arange(50, dtype=np.uint64)
+        db.put_many(keys, [b"old-%d" % k for k in range(50)])
+        stale = (root / WAL_NAME).read_bytes()  # epoch 0, holds the puts
+        db.flush()  # records move into a run; WAL rotates to epoch 1
+        db.delete_many(keys[:25])
+        db.flush()  # tombstones flushed; epoch 2
+        db.close()
+        (root / WAL_NAME).write_bytes(stale)  # simulated bad restore
+        with open_store(path=root) as db2:
+            info = db2.wal_info()
+            # the single put_many batch is one (discarded) log record
+            assert info["discarded_stale_records"] == 1
+            assert info["replayed_records"] == 0
+            answers = db2.get_many(keys)
+            assert not answers[:25].any(), "stale WAL resurrected deletes"
+            assert answers[25:].all()
+            for k in range(25, 50):
+                assert db2.get_value(int(k)) == b"old-%d" % k
+
+
 class TestShardCorruption:
     def test_missing_shard_directory_raises(self, sharded_dir):
         shutil.rmtree(sharded_dir / "shard-0002")
@@ -218,9 +314,9 @@ class TestCreateSafety:
         store artifact, not a bare KeyError."""
         import json
 
-        from repro.serial import pack_frame, unpack_frame
+        from repro.serial import pack_frame
 
-        header, _ = unpack_frame((store_dir / MANIFEST_NAME).read_bytes())
+        header = read_store_manifest(store_dir)
         header = json.loads(json.dumps(header))
         del header["spec"]
         (store_dir / MANIFEST_NAME).write_bytes(
