@@ -1,0 +1,192 @@
+"""Background compaction under a write burst: write-amp, read-amp, tails.
+
+PR 7's tentpole — :mod:`repro.lsm.compaction` — exists to keep the run
+set bounded under sustained writes without stalling the foreground.  This
+benchmark drives the same write burst into three stores (manual / size-
+tiered / leveled background compaction) and measures the three costs the
+policy trades between:
+
+* **write amplification** — physical keys written into runs (flushes +
+  background merge outputs) per logical key ingested, from the
+  scheduler's merge accounting;
+* **read amplification** — the run count a worst-case point probe
+  consults, sampled after every ingest batch (the curve) and at the end
+  (after a final drain), plus the measured mixed-query throughput;
+* **foreground tail latency during compaction** — per-batch ``put_many``
+  and ``get_many`` latencies *while merges run underneath*, reported as
+  p50/p95/p99/max.
+
+Acceptance (asserted, not just reported): every policy's final answers
+are bit-identical to the manual store's, and every background policy ends
+with fewer runs than manual.  Results land in ``BENCH_compaction.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops_compaction.py          # full
+    PYTHONPATH=src python benchmarks/bench_ops_compaction.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import FilterSpec, open_store
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_compaction.json"
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+
+POLICIES = [
+    ("manual", "manual"),
+    ("size-tiered", {"policy": "size-tiered", "min_runs": 4, "max_runs": 8}),
+    ("leveled", {"policy": "leveled", "runs_per_level": 4, "fanout": 8.0}),
+]
+
+
+def percentiles(samples: list[float]) -> dict:
+    arr = np.array(samples, dtype=np.float64) * 1e3  # milliseconds
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+    }
+
+
+def bench_policy(name, config, keys, probes, capacity, batch) -> dict:
+    """One policy: burst-ingest with live merges, then drain and query."""
+    db = open_store(filter=SPEC, memtable_capacity=capacity, compaction=config)
+    put_lat: list[float] = []
+    get_lat: list[float] = []
+    runs_curve: list[int] = []
+    sample = probes[: max(64, probes.size // 16)]
+
+    start = time.perf_counter()
+    for at in range(0, keys.size, batch):
+        t0 = time.perf_counter()
+        db.put_many(keys[at : at + batch])
+        put_lat.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        db.get_many(sample)
+        get_lat.append(time.perf_counter() - t0)
+        runs_curve.append(len(db.sstables))
+    db.flush()
+    db.drain_compaction()
+    ingest_s = time.perf_counter() - start
+
+    t0 = time.perf_counter()
+    answers = db.get_many(probes)
+    query_s = time.perf_counter() - t0
+
+    info = db.compaction_info()
+    merged_out = info["scheduler"]["merges"] if info["scheduler"] else 0
+    merged_output_keys = (
+        info["scheduler"]["merged_output_keys"] if info["scheduler"] else 0
+    )
+    row = {
+        "policy": name,
+        "config": info["policy"],
+        "ingest_seconds": ingest_s,
+        "ingest_keys_per_second": keys.size / ingest_s,
+        "query_qps": probes.size / query_s,
+        "final_runs": len(db.sstables),
+        "mean_runs_during_ingest": float(np.mean(runs_curve)),
+        "max_runs_during_ingest": int(max(runs_curve)),
+        "merges": merged_out,
+        # flushes write every ingested key once; merges re-write their
+        # outputs — physical/logical is the write amplification.
+        "write_amp": (keys.size + merged_output_keys) / keys.size,
+        "put_latency": percentiles(put_lat),
+        "get_latency_during_compaction": percentiles(get_lat),
+        "levels": info["levels"],
+    }
+    return row, answers, db
+
+
+def run(quick: bool) -> dict:
+    n_keys = 24_000 if quick else 120_000
+    capacity = 1 << 9 if quick else 1 << 10
+    batch = capacity  # one flush per batch: a sustained burst
+    rng = np.random.default_rng(71)
+    keys = rng.integers(0, 1 << 48, n_keys, dtype=np.uint64)
+    probes = np.concatenate(
+        [
+            keys[rng.integers(0, keys.size, 2_000)],
+            rng.integers(0, 1 << 48, 2_000, dtype=np.uint64),
+        ]
+    )
+
+    rows = []
+    baseline = None
+    bit_identical = True
+    for name, config in POLICIES:
+        row, answers, db = bench_policy(
+            name, config, keys, probes, capacity, batch
+        )
+        if name == "manual":
+            baseline = answers
+        else:
+            row["bit_identical_to_manual"] = bool(
+                np.array_equal(answers, baseline)
+            )
+            bit_identical &= row["bit_identical_to_manual"]
+        rows.append(row)
+        db.close()
+
+    manual_runs = rows[0]["final_runs"]
+    bounded = all(r["final_runs"] < manual_runs for r in rows[1:])
+    return {
+        "benchmark": "compaction",
+        "mode": "quick" if quick else "full",
+        "n_keys": int(n_keys),
+        "memtable_capacity": capacity,
+        "spec": SPEC.to_dict(),
+        "policies": rows,
+        "bit_identical": bit_identical,
+        "compaction_bounds_runs": bounded,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: smaller burst"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["policies"]:
+        tail = row["get_latency_during_compaction"]
+        print(
+            f"[compaction {result['mode']}] {row['policy']:>11}: "
+            f"ingest {row['ingest_keys_per_second']:,.0f} keys/s | "
+            f"write-amp {row['write_amp']:.2f} | "
+            f"runs {row['final_runs']} (mean {row['mean_runs_during_ingest']:.1f}) | "
+            f"read p99 {tail['p99_ms']:.2f} ms"
+        )
+    print(f"-> {args.output}")
+
+    if not result["bit_identical"]:
+        print("FAIL: background compaction changed answers vs manual store")
+        return 1
+    if not result["compaction_bounds_runs"]:
+        print("FAIL: a background policy did not reduce the final run count")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -701,6 +701,7 @@ def open_store(
     domain_bits: int = 64,
     wal_sync: str = "batch",
     wal_group_commit: int = 1024,
+    compaction: "str | dict | Any | None" = "manual",
 ) -> Store:
     """Open a key-value store behind the one :class:`Store` interface.
 
@@ -736,6 +737,15 @@ def open_store(
     process-death-safe, power-loss window unbounded) — and is pinned in
     the manifest; ``wal_group_commit`` is a runtime knob.  Both are
     ignored by in-memory stores, which keep no log.
+
+    ``compaction`` selects the background merge policy
+    (:mod:`repro.lsm.compaction`): ``"manual"`` (the default — merges run
+    only via explicit :meth:`Store.compact`), ``"size-tiered"``, or
+    ``"leveled"``, with a dict form (``{"policy": ..., "params": {...}}``
+    or flat knobs like ``{"policy": "size-tiered", "min_runs": 6}``) or a
+    policy instance for tuned triggers.  Background policies run merges
+    on worker threads after each flush; reads stay answer-identical to a
+    manual store, and persistent stores pin the policy in the manifest.
     """
     if wal_sync not in ("always", "batch", "off"):
         raise ValueError(
@@ -745,6 +755,9 @@ def open_store(
         raise ValueError(
             f"wal_group_commit must be >= 1, got {wal_group_commit}"
         )
+    from repro.lsm.compaction import coerce_compaction
+
+    compaction_policy = coerce_compaction(compaction)  # fail fast on typos
     if path is not None:
         from repro.lsm.store import open_persistent_store
 
@@ -762,6 +775,7 @@ def open_store(
             domain_bits=domain_bits,
             wal_sync=wal_sync,
             wal_group_commit=wal_group_commit,
+            compaction=compaction_policy,
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -778,6 +792,7 @@ def open_store(
             block_bytes=block_bytes,
             device=device,
             store_values=store_values,
+            compaction=compaction_policy,
         )
     return ShardedLsmDB(
         policy=filter,
@@ -790,4 +805,5 @@ def open_store(
         store_values=store_values,
         max_workers=max_workers,
         domain_bits=domain_bits,
+        compaction=compaction_policy,
     )

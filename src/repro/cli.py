@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro store init db/ --filter bloomrf --shards 4
     python -m repro store ingest db/ keys.txt
     python -m repro store query db/ --point 42 --range 100 200
+    python -m repro store compact db/ --policy size-tiered
     python -m repro store inspect db/
     python -m repro store recover db/
 
@@ -154,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(always: fsync per write call; batch: group commit; off: no "
         "fsync — kill -9 durability depends on the kernel)",
     )
+    s_init.add_argument(
+        "--compaction", choices=("manual", "size-tiered", "leveled"),
+        default="manual",
+        help="background compaction policy, persisted with the store "
+        "(manual: foreground `store compact` only; size-tiered/leveled: "
+        "merges run on a background worker whenever the run layout trips "
+        "the policy)",
+    )
 
     s_ingest = store_sub.add_parser(
         "ingest", help="bulk-load keys from a file into an existing store"
@@ -173,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--range", type=_key_arg, nargs=2, metavar=("LO", "HI"),
         dest="range_bounds", default=None,
         help="inclusive range to test for any live key",
+    )
+
+    s_compact = store_sub.add_parser(
+        "compact",
+        help="merge runs in the foreground: a full merge or one policy pass",
+    )
+    s_compact.add_argument("path", help="store directory")
+    s_compact.add_argument(
+        "--policy", choices=("full", "stored", "size-tiered", "leveled"),
+        default="full",
+        help="full: merge every run into one (default); stored: run the "
+        "store's persisted policy until quiescent; size-tiered/leveled: "
+        "run that policy with default knobs for this pass only (the "
+        "store's persisted policy is not changed)",
     )
 
     s_inspect = store_sub.add_parser(
@@ -395,6 +418,7 @@ def _cmd_store_init(args) -> int:
         memtable_capacity=args.memtable_capacity,
         store_values=args.store_values,
         wal_sync=args.wal_sync,
+        compaction=args.compaction,
     ):
         pass
     sharding = (
@@ -402,7 +426,8 @@ def _cmd_store_init(args) -> int:
         if args.shards > 1
         else "unsharded"
     )
-    print(f"initialized {args.path}: {spec!r}, {sharding}")
+    print(f"initialized {args.path}: {spec!r}, {sharding}, "
+          f"{args.compaction} compaction")
     return 0
 
 
@@ -487,6 +512,53 @@ def _cmd_store_query(args) -> int:
     return 0
 
 
+def _cmd_store_compact(args) -> int:
+    """Foreground compaction over an existing store.
+
+    ``--policy full`` merges every run into one; the other choices run
+    :meth:`maybe_compact` passes until the policy reports quiescence.
+    One-shot policies go in as an *argument* (never assigned to the
+    engine), so the store's persisted policy is untouched.
+    """
+    from pathlib import Path
+
+    from repro.api import open_store
+    from repro.lsm.compaction import COMPACTION_POLICIES
+    from repro.lsm.store import MANIFEST_NAME
+    from repro.serial import SerialError
+
+    if not (Path(args.path) / MANIFEST_NAME).is_file():
+        print(f"{args.path} holds no store; run `repro store init` first")
+        return 2
+    try:
+        with open_store(path=args.path) as db:
+            before = _run_count(db)
+            merges = 0
+            if args.policy == "full":
+                db.compact()
+                merges = 1 if before > 1 else 0
+            else:
+                override = (
+                    None  # maybe_compact falls back to the stored policy
+                    if args.policy == "stored"
+                    else COMPACTION_POLICIES[args.policy]()
+                )
+                if args.policy == "stored" and db.compaction is None:
+                    print("stored policy is manual; nothing to run "
+                          "(use --policy full or name a policy)")
+                    return 0
+                for engine in getattr(db, "shards", None) or [db]:
+                    while engine.maybe_compact(override) is not None:
+                        merges += 1
+            after = _run_count(db)
+    except SerialError as exc:
+        print(f"cannot open store {args.path}: {exc}")
+        return 2
+    print(f"compacted {args.path} ({args.policy}): "
+          f"{before} -> {after} runs, {merges} merge(s)")
+    return 0
+
+
 def _cmd_store_inspect(args) -> int:
     from repro.api import FilterSpec, open_store
     from repro.serial import FORMAT_VERSION, SerialError
@@ -521,6 +593,30 @@ def _cmd_store_inspect(args) -> int:
             print(f"runs: {runs}, keys: {db.num_keys}, "
                   f"filter bits: {db.filter_bits} "
                   f"({db.filter_bits_per_key():.2f} bits/key)")
+            # compaction_info() reads the policy through the engine, which
+            # coerced geometry.get("compaction") on open — manifests from
+            # before the compaction subsystem inspect as manual instead of
+            # failing on the missing field.
+            info = db.compaction_info()
+            policy = info["policy"]
+            params = ", ".join(
+                f"{k}={v}" for k, v in policy["params"].items()
+            )
+            print(f"compaction: {policy['policy']}"
+                  + (f" ({params})" if params else ""))
+            for entry in info["levels"]:
+                print(f"  level {entry['level']}: {entry['runs']} run(s), "
+                      f"{entry['keys']} keys")
+            if info["pending"]:
+                print("  pending: a merge window is eligible")
+            sched = info["scheduler"]
+            if sched is not None:
+                print(f"  scheduler: {sched['workers']} worker(s), "
+                      f"merges={sched['merges']}, "
+                      f"in flight {sched['in_flight']}, "
+                      f"pending {sched['pending']}")
+                if sched["last_error"]:
+                    print(f"  scheduler last error: {sched['last_error']}")
             wal = db.wal_info()
             print(f"wal: sync={wal['sync']} "
                   f"(group_commit={wal['group_commit']}), "
@@ -568,6 +664,7 @@ _STORE_COMMANDS = {
     "init": _cmd_store_init,
     "ingest": _cmd_store_ingest,
     "query": _cmd_store_query,
+    "compact": _cmd_store_compact,
     "inspect": _cmd_store_inspect,
     "recover": _cmd_store_recover,
 }

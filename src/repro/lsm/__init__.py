@@ -1,10 +1,19 @@
 """LSM-tree substrate — the RocksDB stand-in for the system experiments.
 
-Memtable + compaction-disabled L0 SSTables with per-SST full filter blocks
-(through :mod:`repro.lsm.filter_policy`), fence pointers, and a simulated
-block device whose read costs surface in :class:`repro.lsm.iostats.IOStats`.
+Memtable + L0 SSTables with per-SST full filter blocks (through
+:mod:`repro.lsm.filter_policy`), fence pointers, a simulated block device
+whose read costs surface in :class:`repro.lsm.iostats.IOStats`, and
+pluggable background compaction (:mod:`repro.lsm.compaction`: size-tiered
+and leveled policies behind a worker-thread scheduler, manual by default).
 """
 
+from repro.lsm.compaction import (
+    COMPACTION_POLICIES,
+    CompactionScheduler,
+    LeveledPolicy,
+    SizeTieredPolicy,
+    coerce_compaction,
+)
 from repro.lsm.db import LsmDB
 from repro.lsm.filter_policy import (
     BloomPolicy,
@@ -49,4 +58,9 @@ __all__ = [
     "save_handle",
     "load_handle",
     "handle_from_bytes",
+    "SizeTieredPolicy",
+    "LeveledPolicy",
+    "CompactionScheduler",
+    "COMPACTION_POLICIES",
+    "coerce_compaction",
 ]

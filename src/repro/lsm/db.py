@@ -15,9 +15,17 @@ shadowed versions and tombstones.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.api import FilterSpec
+from repro.lsm.compaction import (
+    CompactionScheduler,
+    SizeTieredPolicy,
+    coerce_compaction,
+    compaction_to_dict,
+)
 from repro.lsm.filter_policy import FilterPolicy, coerce_policy
 from repro.lsm.iostats import IOStats, SimulatedDevice
 from repro.lsm.memtable import TOMBSTONE, MemTable
@@ -44,6 +52,8 @@ class LsmDB:
         block_bytes: int = 4096,
         device: SimulatedDevice | None = None,
         store_values: bool = False,
+        compaction=None,
+        compaction_scheduler: CompactionScheduler | None = None,
     ) -> None:
         self.policy = coerce_policy(policy)
         self.memtable = MemTable(memtable_capacity)
@@ -53,13 +63,32 @@ class LsmDB:
         self.device = device if device is not None else SimulatedDevice()
         self.store_values = store_values
         self.stats = IOStats()
+        # Background compaction: ``compaction`` picks merge windows (None
+        # = manual, the paper's compaction-disabled L0 setup).  All run-set
+        # mutations (flush, compact, merge commits) serialize on the
+        # maintenance lock; ``self.sstables`` itself is only ever swapped
+        # wholesale (copy-on-write), never mutated in place, so readers
+        # get an immutable snapshot without taking any lock.
+        self.compaction = coerce_compaction(compaction)
+        self._maintenance_lock = threading.RLock()
+        self._owns_scheduler = False
+        self._scheduler = compaction_scheduler
+        if self.compaction is not None and self._scheduler is None:
+            self._scheduler = CompactionScheduler(max_workers=1)
+            self._owns_scheduler = True
 
     # ------------------------------------------------------------------
     # lifecycle (uniform Store interface; the unsharded engine holds no
     # worker pool, so close is a no-op)
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release engine resources (no-op for the unsharded store)."""
+        """Release engine resources: drain background compaction workers.
+
+        An in-flight merge finishes (and commits) before this returns;
+        further triggers are refused.  Idempotent.
+        """
+        if self._owns_scheduler and self._scheduler is not None:
+            self._scheduler.close()
 
     def sync(self) -> None:
         """Make all flushed runs durable.
@@ -140,18 +169,41 @@ class LsmDB:
                 self.flush()
 
     def flush(self) -> None:
-        """Flush the memtable into a new L0 SSTable (newest first)."""
-        if len(self.memtable) == 0:
-            return
-        keys, values, tombstones = self.memtable.drain_sorted()
-        self.sstables.insert(
-            0,
-            self._make_sstable(
-                keys,
-                values if self.store_values else None,
-                tombstones,
-            ),
-        )
+        """Flush the memtable into a new L0 SSTable (newest first).
+
+        The run list is *replaced*, not mutated (copy-on-write), so a
+        concurrent reader iterating its snapshot never sees a half-made
+        update; when a background policy is configured the flush then
+        notifies the scheduler (the auto-compaction trigger).
+        """
+        flushed = False
+        with self._maintenance_lock:
+            if len(self.memtable):
+                keys, values, tombstones = self.memtable.drain_sorted()
+                sst = self._make_sstable(
+                    keys,
+                    values if self.store_values else None,
+                    tombstones,
+                )
+                self.sstables = [sst] + self.sstables
+                flushed = True
+        if flushed:
+            self._after_flush()
+
+    def _after_flush(self) -> None:
+        """Post-flush hook: trigger the background compaction scheduler."""
+        if self._scheduler is not None and self.compaction is not None:
+            self._scheduler.notify(self)
+
+    def drain_compaction(self) -> None:
+        """Block until background compaction is quiescent.
+
+        Returns immediately on a manual store.  Useful before reading
+        :meth:`compaction_info` counters or benchmarking a settled run
+        layout; answers never require it (reads are correct mid-merge).
+        """
+        if self._scheduler is not None:
+            self._scheduler.drain()
 
     def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
         """Load an insertion-ordered key stream into ``num_sstables`` runs.
@@ -165,11 +217,14 @@ class LsmDB:
         keys = np.asarray(keys, dtype=np.uint64)
         if num_sstables <= 0:
             raise ValueError(f"num_sstables must be positive, got {num_sstables}")
-        for chunk in np.array_split(keys, num_sstables):
-            if chunk.size == 0:
-                continue
-            sorted_chunk = np.unique(chunk)
-            self.sstables.insert(0, self._make_sstable(sorted_chunk, None, None))
+        with self._maintenance_lock:
+            for chunk in np.array_split(keys, num_sstables):
+                if chunk.size == 0:
+                    continue
+                sorted_chunk = np.unique(chunk)
+                self.sstables = [
+                    self._make_sstable(sorted_chunk, None, None)
+                ] + self.sstables
 
     def compact(self) -> None:
         """Merge every run into one, dropping shadowed versions/tombstones.
@@ -181,43 +236,139 @@ class LsmDB:
         sound superset (extra false positives at most, never a false
         negative).  Otherwise the filter is rebuilt from the merged keys.
         """
-        self.flush()
-        if not self.sstables:
-            return
+        with self._maintenance_lock:
+            self.flush()
+            if not self.sstables:
+                return
+            merged = self._merge_tables(self.sstables, drop_tombstones=True)
+            self.sstables = [merged] if merged is not None else []
+
+    def _merge_tables(
+        self, tables: list[SSTable], *, drop_tombstones: bool
+    ) -> SSTable | None:
+        """One merged run from a newest-first window of runs (or None when
+        nothing survives).
+
+        Newest-wins version merge, vectorized: concatenate runs newest
+        first, then ``np.unique`` keeps the *first* occurrence of every
+        key — its newest version — already sorted ascending.  No per-key
+        Python loop; the merged run's filter comes from the word-level
+        union (see :meth:`compact`) or one bulk ``policy.build`` over the
+        merged keys.  ``drop_tombstones`` is only sound when the window
+        includes the store's oldest run — an interior merge must keep its
+        tombstones, which still shadow versions in older runs.
+
+        Pure function of the (immutable) input runs: background workers
+        call it outside the maintenance lock.
+        """
         merge_handles = getattr(self.policy, "merge_handles", None)
         merged_filter = (
-            merge_handles([sst.filter for sst in self.sstables])
+            merge_handles([sst.filter for sst in tables])
             if merge_handles is not None
             else None
         )
-        # Newest-wins version merge, vectorized: concatenate runs newest
-        # first, then ``np.unique`` keeps the *first* occurrence of every
-        # key — its newest version — already sorted ascending.  No per-key
-        # Python loop; the merged run's filter comes from the word-level
-        # union above or one bulk ``policy.build`` over the merged keys.
-        old_tables = self.sstables
-        all_keys = np.concatenate([sst.keys for sst in old_tables])
-        all_tombstones = np.concatenate([sst.tombstones for sst in old_tables])
+        all_keys = np.concatenate([sst.keys for sst in tables])
+        all_tombstones = np.concatenate([sst.tombstones for sst in tables])
         unique_keys, newest = np.unique(all_keys, return_index=True)
-        live = ~all_tombstones[newest]
-        self.sstables = []
-        if not np.any(live):
-            return
+        newest_tombstones = all_tombstones[newest]
+        keep = (
+            ~newest_tombstones
+            if drop_tombstones
+            else np.ones(unique_keys.size, dtype=bool)
+        )
+        if not np.any(keep):
+            return None
         values = None
         if self.store_values:
             combined: list[bytes] = []
-            for sst in old_tables:
+            for sst in tables:
                 combined.extend(
                     sst.values
                     if sst.values is not None
                     else [b""] * sst.num_keys
                 )
-            values = [combined[i] for i in newest[live].tolist()]
-        self.sstables.append(
-            self._make_sstable(
-                unique_keys[live], values, None, prebuilt_filter=merged_filter
-            )
+            values = [combined[i] for i in newest[keep].tolist()]
+        return self._make_sstable(
+            unique_keys[keep],
+            values,
+            None if drop_tombstones else newest_tombstones[keep],
+            prebuilt_filter=merged_filter,
         )
+
+    def maybe_compact(self, policy=None) -> dict | None:
+        """Run one policy-selected background merge; None when quiescent.
+
+        The scheduler's work unit.  Three phases: (1) under the
+        maintenance lock, snapshot the run list and ask the policy for a
+        contiguous merge window; (2) *outside* the lock, build the merged
+        run from the window's immutable SSTables — reads and flushes
+        proceed concurrently against their own snapshots; (3) under the
+        lock again, splice the merged run over the window and commit.
+        Flushes only *prepend*, so the window is still intact unless a
+        manual :meth:`compact` superseded it — then the merged run is
+        discarded (the manual result already covers it) and None is
+        returned.  Returns a small dict of merge accounting otherwise.
+
+        ``policy`` overrides :attr:`compaction` for this one call (the
+        CLI's one-shot foreground pass) without touching engine state —
+        on a persistent store the merge commit re-writes the manifest
+        from :attr:`compaction`, so a *temporarily assigned* policy would
+        leak into the manifest; an argument cannot.
+        """
+        policy = self.compaction if policy is None else policy
+        if policy is None:
+            return None
+        with self._maintenance_lock:
+            snapshot = self.sstables
+            window = policy.pick([sst.num_keys for sst in snapshot])
+            if window is None:
+                return None
+            start, stop = window
+            victims = snapshot[start:stop]
+            if not 0 <= start < stop <= len(snapshot) or len(victims) < 2:
+                return None
+            # Tombstones drop only when nothing older remains to shadow.
+            # Decided on the snapshot, still valid at commit: flushes only
+            # prepend (the oldest run stays put) and any manual compact
+            # aborts the commit entirely.
+            drop = stop == len(snapshot)
+        merged = self._merge_tables(victims, drop_tombstones=drop)
+        with self._maintenance_lock:
+            current = self.sstables
+            try:
+                at = current.index(victims[0])
+            except ValueError:
+                return None  # superseded by a manual compact mid-merge
+            if current[at : at + len(victims)] != victims:
+                return None
+            replacement = [merged] if merged is not None else []
+            self.sstables = current[:at] + replacement + current[at + len(victims):]
+            self._commit_merge()
+        return {
+            "input_runs": len(victims),
+            "input_keys": int(sum(sst.num_keys for sst in victims)),
+            "output_keys": int(merged.num_keys) if merged is not None else 0,
+        }
+
+    def _commit_merge(self) -> None:
+        """Post-splice commit hook (the persistent store syncs here);
+        called with the maintenance lock held."""
+
+    def compaction_info(self) -> dict:
+        """Policy, per-level run layout, and scheduler state (inspect)."""
+        policy = self.compaction
+        describe = policy if policy is not None else SizeTieredPolicy()
+        run_keys = [sst.num_keys for sst in self.sstables]
+        return {
+            "policy": compaction_to_dict(policy),
+            "levels": describe.describe_levels(run_keys),
+            "pending": (
+                policy is not None and policy.pick(run_keys) is not None
+            ),
+            "scheduler": (
+                self._scheduler.info() if self._scheduler is not None else None
+            ),
+        }
 
     def _make_sstable(
         self,

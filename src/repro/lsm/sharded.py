@@ -49,6 +49,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.api import FilterSpec
+from repro.lsm.compaction import (
+    CompactionScheduler,
+    coerce_compaction,
+    compaction_to_dict,
+)
 from repro.lsm.db import LsmDB
 from repro.lsm.filter_policy import FilterPolicy, coerce_policy
 from repro.lsm.iostats import IOStats, SimulatedDevice
@@ -100,6 +105,7 @@ class ShardedLsmDB:
         store_values: bool = False,
         max_workers: int | None = None,
         domain_bits: int = 64,
+        compaction=None,
     ) -> None:
         self._partitioner = make_partitioner(partition, num_shards, domain_bits)
         self.num_shards = num_shards
@@ -107,6 +113,16 @@ class ShardedLsmDB:
         self.device = device if device is not None else SimulatedDevice()
         policies = _coerce_shard_policies(policy, num_shards)
         self.store_values = store_values
+        # One shared scheduler for every shard: per-shard merges fan out
+        # over its ShardPool workers, while each shard's maintenance lock
+        # keeps its own run-set mutations serialized.  (The policy object
+        # is stateless, so sharing one instance across shards is safe.)
+        self.compaction = coerce_compaction(compaction)
+        self._scheduler = (
+            CompactionScheduler(max_workers=num_shards, name="lsm-compaction")
+            if self.compaction is not None
+            else None
+        )
         # ``memtable_capacity`` is per shard: each shard flushes after its
         # own ``capacity`` writes, so a sharded store builds N interleaved
         # sequences of same-size runs (each run's filter is sized for the
@@ -119,6 +135,8 @@ class ShardedLsmDB:
                 value_bytes=value_bytes,
                 block_bytes=block_bytes,
                 store_values=store_values,
+                compaction=self.compaction,
+                compaction_scheduler=self._scheduler,
             )
             for shard in range(num_shards)
         ]
@@ -136,7 +154,9 @@ class ShardedLsmDB:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Drain background compaction, then shut down the pool (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
         self._pool.close()
 
     def __enter__(self) -> "ShardedLsmDB":
@@ -234,6 +254,11 @@ class ShardedLsmDB:
     def compact(self) -> None:
         """Compact every shard (vectorized newest-wins merge per shard)."""
         self._fan_out_all(lambda shard: shard.compact())
+
+    def drain_compaction(self) -> None:
+        """Block until the shared background scheduler is quiescent."""
+        if self._scheduler is not None:
+            self._scheduler.drain()
 
     # ------------------------------------------------------------------
     # reads
@@ -379,6 +404,28 @@ class ShardedLsmDB:
             sum(t[0] for t in totals),
             sum(t[1] for t in totals),
         )
+
+    def compaction_info(self) -> dict:
+        """Aggregated per-shard compaction state: summed per-level run
+        counts, the shared policy, and the shared scheduler's counters."""
+        infos = [shard.compaction_info() for shard in self.shards]
+        levels: dict[int, dict] = {}
+        for info in infos:
+            for entry in info["levels"]:
+                bucket = levels.setdefault(
+                    entry["level"],
+                    {"level": entry["level"], "runs": 0, "keys": 0},
+                )
+                bucket["runs"] += entry["runs"]
+                bucket["keys"] += entry["keys"]
+        return {
+            "policy": compaction_to_dict(self.compaction),
+            "levels": [levels[level] for level in sorted(levels)],
+            "pending": any(info["pending"] for info in infos),
+            "scheduler": (
+                self._scheduler.info() if self._scheduler is not None else None
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

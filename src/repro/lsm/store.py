@@ -70,6 +70,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.api import FilterSpec
+from repro.lsm.compaction import coerce_compaction, compaction_to_dict
 from repro.lsm.db import LsmDB
 from repro.lsm.filter_policy import SpecPolicy, handle_from_bytes
 from repro.lsm.sharded import ShardedLsmDB
@@ -365,6 +366,8 @@ class PersistentLsmDB(LsmDB):
         store_values: bool = False,
         wal_sync: str = "batch",
         wal_group_commit: int = 1024,
+        compaction=None,
+        compaction_scheduler=None,
         _manifest: dict | None = None,
     ) -> None:
         directory = Path(directory)
@@ -400,6 +403,13 @@ class PersistentLsmDB(LsmDB):
             wal_sync = str(_manifest_field(geometry, "wal_sync", where))
             wal_seal = str(_manifest_field(manifest, "wal_seal", where))
             wal_epoch = int(_manifest_field(manifest, "wal_epoch", where))
+            # Manifests written before the compaction subsystem carry no
+            # policy field: default to manual via .get (never a KeyError),
+            # unless the caller (e.g. the sharded parent, whose top
+            # manifest is authoritative) passed a config explicitly.
+            stored_compaction = geometry.get("compaction")
+            if stored_compaction is not None:
+                compaction = stored_compaction
         else:
             if any(directory.glob("sst-*")):
                 raise SerialError(
@@ -419,6 +429,8 @@ class PersistentLsmDB(LsmDB):
             block_bytes=block_bytes,
             device=device,
             store_values=store_values,
+            compaction=compaction,
+            compaction_scheduler=compaction_scheduler,
         )
         self.directory = directory
         self.spec = spec
@@ -703,6 +715,10 @@ class PersistentLsmDB(LsmDB):
         (e.g. a read-only open/close cycle) nothing is written at all, so
         pure reads never touch the directory.
         """
+        with self._maintenance_lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         runs = []
         for sst in self.sstables:
             name = self._run_files.get(sst)
@@ -781,6 +797,7 @@ class PersistentLsmDB(LsmDB):
                         "block_bytes": self.block_bytes,
                         "store_values": self.store_values,
                         "wal_sync": self._wal_sync,
+                        "compaction": compaction_to_dict(self.compaction),
                     },
                     "runs": runs,
                     "next_file_id": self._next_file_id,
@@ -805,10 +822,17 @@ class PersistentLsmDB(LsmDB):
                         path.unlink(missing_ok=True)
 
     def flush(self) -> None:
-        """Drain the memtable into a new run and make the store durable."""
-        super().flush()
-        if not self._compacting:
-            self._sync_and_rotate()
+        """Drain the memtable into a new run and make the store durable.
+
+        The maintenance lock is held across the drain *and* the
+        sync/rotate, so a background merge commit can never interleave
+        between them (the run files and manifest always describe one
+        consistent run set).
+        """
+        with self._maintenance_lock:
+            super().flush()
+            if not self._compacting:
+                self._sync_and_rotate()
 
     def _sync_and_rotate(self) -> None:
         """Persist the run set, then truncate the now-redundant log.
@@ -819,17 +843,18 @@ class PersistentLsmDB(LsmDB):
         old manifest; a crash after it finds a log one epoch behind and
         discards it — the records are already in the just-persisted runs.
         """
-        wal = self._wal
-        if (
-            wal is not None
-            and wal.num_records
-            and len(self.memtable) == 0
-        ):
-            self._wal_epoch += 1
-            self.sync()
-            wal.reset(self._wal_epoch)
-        else:
-            self.sync()
+        with self._maintenance_lock:
+            wal = self._wal
+            if (
+                wal is not None
+                and wal.num_records
+                and len(self.memtable) == 0
+            ):
+                self._wal_epoch += 1
+                self._sync_locked()
+                wal.reset(self._wal_epoch)
+            else:
+                self._sync_locked()
 
     def compact(self) -> None:
         """Compact, then persist the merged run and prune the old files.
@@ -839,12 +864,26 @@ class PersistentLsmDB(LsmDB):
         it would be wasted run serialization and two extra manifest
         fsyncs; compaction's durability point is this method returning.
         """
-        self._compacting = True
-        try:
-            super().compact()
-        finally:
-            self._compacting = False
-        self._sync_and_rotate()
+        with self._maintenance_lock:
+            self._compacting = True
+            try:
+                super().compact()
+            finally:
+                self._compacting = False
+            self._sync_and_rotate()
+
+    def _commit_merge(self) -> None:
+        """Make a background merge durable (maintenance lock held).
+
+        The run set *shrank*, which the manifest's append-only run-delta
+        frames cannot express, so :meth:`sync` takes its atomic-rewrite
+        path: merged run files are written and fsynced first, then one
+        ``os.replace`` swaps the manifest — a crash at any point reopens
+        to either the pre- or the post-merge run set, never a mix.  The
+        WAL epoch is untouched: the memtable did not change, so the live
+        log must keep replaying against both outcomes.
+        """
+        self._sync_locked()
 
     def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
         super().bulk_load(keys, num_sstables)
@@ -901,6 +940,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         domain_bits: int = 64,
         wal_sync: str = "batch",
         wal_group_commit: int = 1024,
+        compaction=None,
         _manifest: dict | None = None,
     ) -> None:
         directory = Path(directory)
@@ -932,6 +972,8 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 _manifest_field(geometry, "store_values", where)
             )
             wal_sync = str(_manifest_field(geometry, "wal_sync", where))
+            # Pre-compaction manifests lack the field: manual via .get.
+            compaction = geometry.get("compaction", compaction)
             for index in range(num_shards):
                 shard_manifest = directory / _shard_dir_name(index) / MANIFEST_NAME
                 if not shard_manifest.is_file():
@@ -975,6 +1017,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 block_bytes=block_bytes,
                 store_values=store_values,
                 wal_sync=wal_sync,
+                compaction=compaction,
             )
         super().__init__(
             policy=[SpecPolicy(spec) for spec in self.specs],
@@ -987,6 +1030,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             store_values=store_values,
             max_workers=max_workers,
             domain_bits=domain_bits,
+            compaction=compaction,
         )
 
     def _build_shard(self, index: int, policy, **kw) -> LsmDB:
@@ -1012,6 +1056,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         block_bytes: int,
         store_values: bool,
         wal_sync: str,
+        compaction=None,
     ) -> None:
         manifest = {
             "engine": "sharded-lsm",
@@ -1025,6 +1070,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 "block_bytes": block_bytes,
                 "store_values": store_values,
                 "wal_sync": wal_sync,
+                "compaction": compaction_to_dict(coerce_compaction(compaction)),
             },
             "shards": [
                 _shard_dir_name(index) for index in range(num_shards)
@@ -1136,6 +1182,27 @@ def _check_reopen_args(manifest: dict, directory: Path, args: dict) -> None:
                 "conflicts (leave it at the default to use the persisted "
                 "configuration)"
             )
+    # The compaction policy compares in normalized (dict) form so every
+    # accepted spelling — name string, params dict, policy instance —
+    # matches the persisted manifest entry; manifests written before the
+    # compaction subsystem read as manual via .get.
+    stored_compaction = compaction_to_dict(
+        coerce_compaction(geometry.get("compaction"))
+    )
+    passed_compaction = compaction_to_dict(coerce_compaction(args["compaction"]))
+    default_compaction = compaction_to_dict(
+        coerce_compaction(_CREATE_DEFAULTS["compaction"])
+    )
+    if (
+        passed_compaction != default_compaction
+        and passed_compaction != stored_compaction
+    ):
+        raise ValueError(
+            f"store at {directory} was created with compaction="
+            f"{stored_compaction!r}; reopening with "
+            f"{passed_compaction!r} conflicts (leave it at the default "
+            "to use the persisted configuration)"
+        )
     filter = args["filter"]
     if filter is None:
         return
@@ -1181,6 +1248,7 @@ def open_persistent_store(
     domain_bits: int = 64,
     wal_sync: str = "batch",
     wal_group_commit: int = 1024,
+    compaction=None,
 ):
     """Create or reopen the on-disk store at ``path``.
 
@@ -1212,6 +1280,7 @@ def open_persistent_store(
                 "store_values": store_values,
                 "domain_bits": domain_bits,
                 "wal_sync": wal_sync,
+                "compaction": compaction,
             },
         )
         if engine == "lsm":
@@ -1243,6 +1312,7 @@ def open_persistent_store(
             store_values=store_values,
             wal_sync=wal_sync,
             wal_group_commit=wal_group_commit,
+            compaction=compaction,
         )
     return PersistentShardedLsmDB(
         path,
@@ -1258,4 +1328,5 @@ def open_persistent_store(
         domain_bits=domain_bits,
         wal_sync=wal_sync,
         wal_group_commit=wal_group_commit,
+        compaction=compaction,
     )

@@ -316,3 +316,14 @@ class ShardPool:
         pool = self._pool()
         futures = [pool.submit(fn, s, payload) for s, payload in jobs]
         return [f.result() for f in futures]
+
+    def submit(self, fn: Callable, *args):
+        """Submit one asynchronous task; returns its ``Future``.
+
+        The background-work entry point (the compaction scheduler runs
+        its per-engine drain loops through this): unlike :meth:`run` it
+        never executes inline — callers rely on getting control back
+        immediately — and the lazily created executor is shared with the
+        batch dispatch path.
+        """
+        return self._pool().submit(fn, *args)

@@ -27,6 +27,11 @@ Frame layout (all integers little-endian)::
 Headers carry the *shape* (configs, counts) as JSON for forward
 compatibility and debuggability; payloads carry the raw little-endian
 bit-array words, so a round-trip reconstructs every word bit for bit.
+That JSON forward compatibility is load-bearing: readers take header
+fields with ``.get`` defaults rather than erroring on absence, so a new
+optional field (e.g. the ``compaction`` policy a ``KIND_STORE`` manifest's
+geometry grew in v1.6) leaves older frames readable — they coerce to the
+field's pre-existing behavior (manual compaction) instead of raising.
 The frame format itself has no checksum — matching RocksDB filter blocks,
 where block-level checksums live a layer below — so a bit flip in a filter
 payload yields a *different but functioning* filter while any damage to the

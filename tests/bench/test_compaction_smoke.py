@@ -1,0 +1,55 @@
+"""Perf smoke for background compaction (CI tooling).
+
+Runs ``benchmarks/bench_ops_compaction.py --quick``: the same write burst
+into manual / size-tiered / leveled stores, asserting bit-identical
+answers and that every background policy actually bounded the run count.
+Writes its JSON to a temp path so it never clobbers the repo-root
+``BENCH_compaction.json`` (that trajectory artifact holds the *full*-mode
+run; refresh it with ``PYTHONPATH=src python
+benchmarks/bench_ops_compaction.py``).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_ops_compaction.py"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_ops_compaction", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mode_compaction_exact_and_bounded(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "BENCH_compaction.json"
+    exit_code = bench.main(["--quick", "--output", str(out)])
+    assert exit_code == 0, "quick compaction smoke failed"
+    result = json.loads(out.read_text())
+    assert result["mode"] == "quick"
+    assert result["bit_identical"] is True
+    assert result["compaction_bounds_runs"] is True
+    names = [row["policy"] for row in result["policies"]]
+    assert names == ["manual", "size-tiered", "leveled"]
+    manual = result["policies"][0]
+    assert manual["write_amp"] == 1.0  # no merges on the manual store
+    for row in result["policies"][1:]:
+        assert row["bit_identical_to_manual"] is True
+        assert row["merges"] > 0
+        assert row["final_runs"] < manual["final_runs"]
+        assert row["write_amp"] > 1.0
+        # The tail-latency curve exists and is ordered.
+        tail = row["get_latency_during_compaction"]
+        assert tail["p50_ms"] <= tail["p95_ms"] <= tail["p99_ms"] <= tail["max_ms"]

@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+import importlib.util
+
 import numpy as np
 import pytest
 
 from repro.workloads import empty_point_queries, empty_range_queries, uniform_keys
 
 U64_MAX = (1 << 64) - 1
+
+
+def pytest_addoption(parser):
+    """Keep the pyproject timeout keys valid when pytest-timeout is absent.
+
+    CI installs the plugin (it is in the ``[test]`` extra) and enforces
+    the per-test timeout; a bare local environment without it would
+    otherwise warn about the unknown ``timeout`` / ``timeout_method``
+    ini options on every run.  Registering them here (only when the
+    plugin is missing — double registration errors) makes the config
+    portable: same pyproject, enforcement wherever the plugin exists.
+    """
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini("timeout", "per-test timeout in seconds (no-op fallback)")
+        parser.addini("timeout_method", "timeout method (no-op fallback)")
 
 
 @pytest.fixture(scope="session")

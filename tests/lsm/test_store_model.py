@@ -46,10 +46,17 @@ keys_strategy = st.lists(
 
 
 class StoreMachine(RuleBasedStateMachine):
-    """One machine instance = one store directory + oracle + shadow."""
+    """One machine instance = one store directory + oracle + shadow.
+
+    ``compaction`` (class attribute, default manual) opens the store
+    under test with a background merge policy while the shadow stays
+    manual — every read comparison then also asserts that background
+    compaction is answer-preserving under random churn.
+    """
 
     spec: FilterSpec
     shards: int
+    compaction: object = "manual"
 
     def __init__(self):
         super().__init__()
@@ -73,6 +80,7 @@ class StoreMachine(RuleBasedStateMachine):
             partition="hash",
             memtable_capacity=32,
             store_values=True,
+            compaction=self.compaction,
         )
 
     # ------------------------------------------------------------------
@@ -145,6 +153,14 @@ class StoreMachine(RuleBasedStateMachine):
         """Drop the store without close() or flush(): the write-ahead log
         must replay every acknowledged write, so the reopened store still
         answers bit-identically to the never-closed shadow."""
+        scheduler = getattr(self.store, "_scheduler", None)
+        if scheduler is not None:
+            # Background merges are not state either way — an in-flight
+            # merge either commits (answer-preserving) or never ran —
+            # but the worker must stop before a second store opens the
+            # same directory.  Mid-merge kills are covered separately by
+            # the fault-injection stress suite.
+            scheduler.close()
         pool = getattr(self.store, "_pool", None)
         if pool is not None:  # workers are not state; a crash loses none
             pool.close()
@@ -197,6 +213,28 @@ def test_store_model(kind, spec, shards):
         f"StoreMachine_{kind}_{shards}",
         (StoreMachine,),
         {"spec": spec, "shards": shards},
+    )
+    run_state_machine_as_test(machine_cls, settings=MACHINE_SETTINGS)
+
+
+# Eager triggers (min_runs/runs_per_level at their floors) so background
+# merges actually interleave with the machine's reads, reopens, and
+# crashes within 20-step runs.
+COMPACTION_CASES = [
+    ("tiered", {"policy": "size-tiered", "min_runs": 2, "max_runs": 4}),
+    ("leveled", {"policy": "leveled", "runs_per_level": 1}),
+]
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize(
+    "name,compaction", COMPACTION_CASES, ids=[name for name, _ in COMPACTION_CASES]
+)
+def test_store_model_with_background_compaction(name, compaction, shards):
+    machine_cls = type(
+        f"StoreMachine_{name}_{shards}",
+        (StoreMachine,),
+        {"spec": CASES[0][1], "shards": shards, "compaction": compaction},
     )
     run_state_machine_as_test(machine_cls, settings=MACHINE_SETTINGS)
 

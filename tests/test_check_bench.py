@@ -1,0 +1,128 @@
+"""The bench-regression gate (``scripts/check_bench.py``) as a library.
+
+The gate is CI tooling, so its failure modes are tested directly: a clean
+self-comparison passes, a flipped acceptance boolean fails, a guarded
+ratio drifting in the bad direction fails (while the good direction and
+in-tolerance drift pass), and a missing generated file fails the run.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_bench.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+COMMITTED = {
+    "benchmark": "compaction",
+    "mode": "full",
+    "bit_identical": True,
+    "policies": [
+        {"policy": "manual", "write_amp": 1.0, "final_runs": 100,
+         "mean_runs_during_ingest": 50.0},
+        {"policy": "size-tiered", "write_amp": 3.0, "final_runs": 8,
+         "mean_runs_during_ingest": 5.0, "bit_identical_to_manual": True},
+    ],
+}
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+def _run(gate, tmp_path, generated: dict, tolerance: float = 4.0) -> int:
+    _write(tmp_path / "committed", "BENCH_compaction.json", COMMITTED)
+    _write(tmp_path / "generated", "BENCH_compaction.json", generated)
+    return gate.main(
+        [
+            "--generated", str(tmp_path / "generated"),
+            "--committed", str(tmp_path / "committed"),
+            "--tolerance", str(tolerance),
+        ]
+    )
+
+
+def test_self_comparison_passes(gate, tmp_path):
+    assert _run(gate, tmp_path, COMMITTED) == 0
+
+
+def test_flipped_acceptance_boolean_fails(gate, tmp_path):
+    broken = json.loads(json.dumps(COMMITTED))
+    broken["bit_identical"] = False
+    assert _run(gate, tmp_path, broken) == 1
+
+
+def test_nested_flag_regression_fails(gate, tmp_path):
+    broken = json.loads(json.dumps(COMMITTED))
+    broken["policies"][1]["bit_identical_to_manual"] = False
+    assert _run(gate, tmp_path, broken) == 1
+
+
+def test_ratio_drift_beyond_tolerance_fails(gate, tmp_path):
+    broken = json.loads(json.dumps(COMMITTED))
+    broken["policies"][1]["write_amp"] = 3.0 * 4.0 + 1  # past lower-is-better
+    assert _run(gate, tmp_path, broken) == 1
+
+
+def test_ratio_drift_within_tolerance_passes(gate, tmp_path):
+    drifted = json.loads(json.dumps(COMMITTED))
+    drifted["policies"][1]["write_amp"] = 3.0 * 2.0  # within 4x
+    drifted["policies"][1]["final_runs"] = 12
+    assert _run(gate, tmp_path, drifted) == 0
+
+
+def test_improvement_always_passes(gate, tmp_path):
+    better = json.loads(json.dumps(COMMITTED))
+    better["policies"][1]["write_amp"] = 1.1  # lower-is-better improved a lot
+    better["policies"][1]["final_runs"] = 2
+    assert _run(gate, tmp_path, better) == 0
+
+
+def test_missing_generated_file_fails(gate, tmp_path):
+    _write(tmp_path / "committed", "BENCH_compaction.json", COMMITTED)
+    (tmp_path / "generated").mkdir()
+    assert (
+        gate.main(
+            [
+                "--generated", str(tmp_path / "generated"),
+                "--committed", str(tmp_path / "committed"),
+            ]
+        )
+        == 1
+    )
+
+
+def test_empty_committed_dir_is_an_error(gate, tmp_path):
+    (tmp_path / "committed").mkdir()
+    (tmp_path / "generated").mkdir()
+    assert (
+        gate.main(
+            [
+                "--generated", str(tmp_path / "generated"),
+                "--committed", str(tmp_path / "committed"),
+            ]
+        )
+        == 2
+    )
+
+
+def test_gate_accepts_the_real_committed_artifacts(gate):
+    """Self-comparison over the actual repo-root artifacts: the committed
+    files must satisfy their own guards (no stale guard patterns)."""
+    assert gate.main(
+        ["--generated", str(REPO_ROOT), "--committed", str(REPO_ROOT)]
+    ) == 0

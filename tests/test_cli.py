@@ -285,3 +285,107 @@ class TestStoreCommands:
         capsys.readouterr()
         assert main(["store", "recover", str(store)]) == 2
         assert "cannot recover store" in capsys.readouterr().out
+
+
+class TestStoreCompactionCli:
+    """`store compact`, `store init --compaction`, and the per-level
+    inspect output (incl. pre-compaction manifest compatibility)."""
+
+    def _ingest_runs(self, tmp_path, store, n_keys=256, extra=()):
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("\n".join(str(k) for k in range(n_keys)))
+        assert main(
+            ["store", "init", str(store), "--memtable-capacity", "64", *extra]
+        ) == 0
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+
+    def test_compact_full_merges_to_one_run(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        self._ingest_runs(tmp_path, store)
+        capsys.readouterr()
+        assert main(["store", "compact", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "-> 1 runs" in out
+        assert main(
+            ["store", "query", str(store), "--point", "7", "999"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "point 7: present" in out and "point 999: absent" in out
+
+    def test_one_shot_policy_pass_leaves_stored_policy_manual(
+        self, tmp_path, capsys
+    ):
+        from repro.lsm.store import read_store_manifest
+
+        store = tmp_path / "db"
+        # 256 sequential keys / capacity 64 -> four uniform runs: exactly
+        # a default size-tiered window (min_runs=4, equal sizes).
+        self._ingest_runs(tmp_path, store)
+        capsys.readouterr()
+        assert main(
+            ["store", "compact", str(store), "--policy", "size-tiered"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 merge(s)" in out and "-> 1 runs" in out
+        # The pass was one-shot: the merge commit rewrote the manifest,
+        # and it must still carry the *stored* (manual) policy.
+        manifest = read_store_manifest(store)
+        assert manifest["geometry"]["compaction"] == {
+            "policy": "manual", "params": {},
+        }
+        assert main(["store", "inspect", str(store)]) == 0
+        assert "compaction: manual" in capsys.readouterr().out
+
+    def test_stored_policy_pass_on_manual_store_hints(self, tmp_path, capsys):
+        store = tmp_path / "db"
+        self._ingest_runs(tmp_path, store)
+        capsys.readouterr()
+        assert main(
+            ["store", "compact", str(store), "--policy", "stored"]
+        ) == 0
+        assert "stored policy is manual" in capsys.readouterr().out
+
+    def test_init_with_background_policy_and_inspect_levels(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "db"
+        self._ingest_runs(
+            tmp_path, store, extra=["--compaction", "size-tiered"]
+        )
+        capsys.readouterr()
+        assert main(["store", "inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "compaction: size-tiered" in out
+        assert "min_runs=4" in out
+        assert "level " in out
+        assert "scheduler: 1 worker(s)" in out
+        # stored-policy pass over the reopened store drains any leftover
+        # eligible window without changing the persisted policy
+        assert main(
+            ["store", "compact", str(store), "--policy", "stored"]
+        ) == 0
+        assert main(["store", "inspect", str(store)]) == 0
+        assert "compaction: size-tiered" in capsys.readouterr().out
+
+    def test_compact_missing_store_fails(self, tmp_path, capsys):
+        assert main(["store", "compact", str(tmp_path / "nope")]) == 2
+        assert "no store" in capsys.readouterr().out
+
+    def test_inspect_handles_pre_compaction_manifest(self, tmp_path, capsys):
+        """Manifests written before the compaction subsystem lack the
+        geometry field entirely; inspect must read them as manual, not
+        fail with a KeyError."""
+        from repro.serial import KIND_STORE, pack_frame, unpack_frame
+
+        store = tmp_path / "db"
+        assert main(["store", "init", str(store)]) == 0
+        manifest = store / "STORE.brf"
+        header, _ = unpack_frame(manifest.read_bytes(), expect_kind=KIND_STORE)
+        assert header["geometry"].pop("compaction") is not None
+        manifest.write_bytes(pack_frame(KIND_STORE, header))
+        capsys.readouterr()
+        assert main(["store", "inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "compaction: manual" in out
+        # and the same old store still accepts a foreground pass
+        assert main(["store", "compact", str(store)]) == 0
