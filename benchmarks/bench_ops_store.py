@@ -15,6 +15,20 @@ for that deployment shape and guards their correctness:
   bit-identical (answers *and* IOStats counters) to an in-memory engine
   fed the same operations.
 
+Two further sections measure the zero-copy read tier:
+
+* **reopen curve** — values-bearing stores of growing size (run count held
+  at ~30), cold-opened eagerly vs with ``mmap=True``: eager reopen is
+  O(bytes) (read + CRC + copy every frame), mmap reopen is O(runs), so the
+  speedup grows with store size.  The top-size ``reopen_speedup`` is the
+  acceptance ratio; ``mmap_matches_eager`` pins both paths to identical
+  answers, counters, and values.
+* **codec sweep** — the same workload stored under each available codec
+  (``none``/``zlib``, plus ``zstd`` when the extra is installed):
+  disk bytes and shrink vs uncompressed, ingest rate, membership QPS, and
+  cold-vs-warm value reads (the warm pass re-reads the same values through
+  the decompressed-block cache).
+
 Both the unsharded and the 4-shard engines run; results land in
 ``BENCH_store.json`` at the repo root.
 
@@ -38,10 +52,25 @@ import numpy as np
 
 from repro.api import FilterSpec, open_store
 from repro.lsm import LsmDB, ShardedLsmDB, SpecPolicy
+from repro.lsm.blocks import available_codecs
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
 
 SPEC = FilterSpec("bloomrf", {"bits_per_key": 16, "max_range": 1 << 20})
+
+
+def make_values(keys: np.ndarray) -> list[bytes]:
+    """Compressible ~500-byte payloads: a unique prefix + repetitive tail.
+
+    Real stored values (JSON, log lines, protobufs) are redundant; random
+    key bytes alone are not, and would make every codec look useless.
+    """
+    tail = b"abcdefghijklmnop" * 30
+    return [b"value-%016x|" % int(key) + tail for key in keys]
+
+
+def disk_usage(path: Path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
 
 
 def build_queries(keys: np.ndarray, n_ops: int, seed: int):
@@ -84,7 +113,7 @@ def bench_engine(
     store.put_many(keys)
     store.flush()
     ingest_s = time.perf_counter() - start
-    disk_bytes = sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+    disk_bytes = disk_usage(path)
     store.close()
 
     start = time.perf_counter()
@@ -134,6 +163,182 @@ def bench_engine(
     return row
 
 
+def _timed_reopen(path: Path, *, mmap: bool, repeat: int = 3) -> float:
+    """Best-of-``repeat`` cold-open time (open + close between attempts)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        db = open_store(path=path, mmap=mmap)
+        best = min(best, time.perf_counter() - start)
+        db.close()
+    return best
+
+
+def bench_reopen_curve(root: Path, quick: bool) -> dict:
+    """Reopen time vs store size, eager vs mmap, run count held at ~30.
+
+    The stores are uncompressed and values-bearing, so the eager path's
+    per-byte work (read, CRC, copy into fresh arrays) dominates while the
+    mmap path stays O(runs): map each frame, slice lazily.
+    """
+    # Quick mode keeps the full-size top point: the eager/mmap speedup
+    # grows with store size, so the CI ratio gate must measure the same
+    # store the committed full run did (only intermediate points drop).
+    sizes = [15_000, 60_000] if quick else [7_500, 15_000, 30_000, 60_000]
+    rng = np.random.default_rng(61)
+    rows = []
+    top_path = None
+    top_keys = None
+    for n_keys in sizes:
+        keys = rng.integers(0, 1 << 64, n_keys, dtype=np.uint64)
+        path = root / f"curve-{n_keys}"
+        capacity = max(128, n_keys // 30)
+        store = open_store(
+            path=path,
+            filter=SPEC,
+            memtable_capacity=capacity,
+            store_values=True,
+        )
+        store.put_many(keys, make_values(keys))
+        store.flush()
+        num_runs = (
+            len(store.sstables)
+            if getattr(store, "num_sstables", None) is None
+            else store.num_sstables
+        )
+        store.close()
+        eager_s = _timed_reopen(path, mmap=False)
+        mmap_s = _timed_reopen(path, mmap=True)
+        rows.append(
+            {
+                "n_keys": int(n_keys),
+                "num_runs": int(num_runs),
+                "disk_bytes": disk_usage(path),
+                "eager_reopen_seconds": eager_s,
+                "mmap_reopen_seconds": mmap_s,
+                "speedup": eager_s / mmap_s,
+            }
+        )
+        top_path, top_keys = path, keys
+
+    # Exactness at the top size: both reopen modes must answer the same
+    # query batch with identical results, counters, and value bytes.
+    points, bounds = build_queries(top_keys, 1_000, seed=63)
+    sample = top_keys[:: max(1, top_keys.size // 512)]
+    eager_db = open_store(path=top_path, mmap=False)
+    mmap_db = open_store(path=top_path, mmap=True)
+    try:
+        e_got, e_scanned, e_counters, _ = drive_queries(eager_db, points, bounds)
+        m_got, m_scanned, m_counters, _ = drive_queries(mmap_db, points, bounds)
+        matches = bool(
+            np.array_equal(e_got, m_got)
+            and np.array_equal(e_scanned, m_scanned)
+            and e_counters == m_counters
+            and all(
+                eager_db.get_value(int(key)) == mmap_db.get_value(int(key))
+                for key in sample
+            )
+        )
+    finally:
+        eager_db.close()
+        mmap_db.close()
+
+    return {
+        "mmap_matches_eager": matches,
+        "reopen_speedup": rows[-1]["speedup"],
+        "points": rows,
+    }
+
+
+def bench_codec_sweep(root: Path, quick: bool) -> dict:
+    """One values-bearing workload per codec, queried through ``mmap=True``.
+
+    ``disk_shrink`` is relative to the uncompressed store; the cold value
+    pass decompresses blocks on demand, the warm pass re-reads the same
+    values through the decompressed-block cache.
+    """
+    n_keys = 12_000 if quick else 60_000
+    n_ops = 2_000 if quick else 10_000
+    capacity = 1 << 9 if quick else 1 << 11
+    rng = np.random.default_rng(67)
+    keys = rng.integers(0, 1 << 64, n_keys, dtype=np.uint64)
+    values = make_values(keys)
+    points, bounds = build_queries(keys, n_ops, seed=71)
+    sample = keys[:: max(1, keys.size // 2_000)]
+
+    codecs = ["none", "zlib"]
+    if "zstd" in available_codecs():
+        codecs.append("zstd")
+
+    rows = []
+    baseline = None  # (disk_bytes, got, scanned, counters, values) for "none"
+    for codec in codecs:
+        path = root / f"codec-{codec}"
+        store = open_store(
+            path=path,
+            filter=SPEC,
+            memtable_capacity=capacity,
+            store_values=True,
+            compression=None if codec == "none" else codec,
+        )
+        start = time.perf_counter()
+        store.put_many(keys, values)
+        store.flush()
+        ingest_s = time.perf_counter() - start
+        store.close()
+        disk_bytes = disk_usage(path)
+
+        db = open_store(path=path, mmap=True)
+        try:
+            got, scanned, counters, query_s = drive_queries(db, points, bounds)
+            start = time.perf_counter()
+            read_values = [db.get_value(int(key)) for key in sample]
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            for key in sample:
+                db.get_value(int(key))
+            warm_s = time.perf_counter() - start
+            cache_hits = db.stats.block_cache_hits
+            cache_misses = db.stats.block_cache_misses
+        finally:
+            db.close()
+
+        if baseline is None:
+            baseline = (disk_bytes, got, scanned, counters, read_values)
+        matches = bool(
+            np.array_equal(got, baseline[1])
+            and np.array_equal(scanned, baseline[2])
+            and counters == baseline[3]
+            and read_values == baseline[4]
+        )
+        rows.append(
+            {
+                "codec": codec,
+                "disk_bytes": int(disk_bytes),
+                "disk_shrink": 1.0 - disk_bytes / baseline[0],
+                "ingest_seconds": ingest_s,
+                "ingest_keys_per_second": keys.size / ingest_s,
+                "query_qps": (points.size + bounds.shape[0]) / query_s,
+                "cold_value_read_seconds": cold_s,
+                "warm_value_read_seconds": warm_s,
+                "warm_speedup": cold_s / warm_s,
+                "block_cache_hits": int(cache_hits),
+                "block_cache_misses": int(cache_misses),
+                "answers_match_none": matches,
+            }
+        )
+
+    zlib_shrink = next(
+        row["disk_shrink"] for row in rows if row["codec"] == "zlib"
+    )
+    return {
+        "codecs": rows,
+        "zlib_disk_shrink": zlib_shrink,
+        "zlib_shrink_ok": bool(zlib_shrink >= 0.30),
+        "answers_match_none": all(row["answers_match_none"] for row in rows),
+    }
+
+
 def run(quick: bool) -> dict:
     n_keys = 12_000 if quick else 60_000
     n_ops = 2_000 if quick else 10_000
@@ -148,6 +353,8 @@ def run(quick: bool) -> dict:
             bench_engine(root, shards, keys, points, bounds, capacity)
             for shards in (1, 4)
         ]
+        curve = bench_reopen_curve(root, quick)
+        sweep = bench_codec_sweep(root, quick)
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -159,6 +366,8 @@ def run(quick: bool) -> dict:
         "memtable_capacity": capacity,
         "spec": SPEC.to_dict(),
         "engines": rows,
+        "reopen_curve": curve,
+        "codec_sweep": sweep,
         "reopen_bit_identical": all(r["reopen_bit_identical"] for r in rows),
         "reopen_counters_identical": all(
             r["reopen_counters_identical"] for r in rows
@@ -191,6 +400,24 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['query_qps']:,.0f} ops/s | "
             f"{row['disk_bytes'] / 1024:.0f} KiB on disk"
         )
+    curve = result["reopen_curve"]
+    top = curve["points"][-1]
+    print(
+        f"[store {result['mode']}] reopen curve @{top['n_keys']} keys / "
+        f"{top['num_runs']} runs: eager {top['eager_reopen_seconds'] * 1e3:.1f} "
+        f"ms vs mmap {top['mmap_reopen_seconds'] * 1e3:.1f} ms "
+        f"({curve['reopen_speedup']:.1f}x)"
+    )
+    for row in result["codec_sweep"]["codecs"]:
+        print(
+            f"[store {result['mode']}] codec {row['codec']}: "
+            f"{row['disk_bytes'] / 1024:.0f} KiB "
+            f"(shrink {row['disk_shrink'] * 100:.0f}%) | ingest "
+            f"{row['ingest_keys_per_second']:,.0f} keys/s | query "
+            f"{row['query_qps']:,.0f} ops/s | values cold "
+            f"{row['cold_value_read_seconds'] * 1e3:.1f} ms / warm "
+            f"{row['warm_value_read_seconds'] * 1e3:.1f} ms"
+        )
     print(f"-> {args.output}")
 
     if not result["reopen_bit_identical"]:
@@ -198,6 +425,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not result["reopen_counters_identical"]:
         print("FAIL: reopened IOStats counters differ from the in-memory store")
+        return 1
+    if not curve["mmap_matches_eager"]:
+        print("FAIL: mmap reopen answers differ from the eager reopen")
+        return 1
+    if not result["codec_sweep"]["answers_match_none"]:
+        print("FAIL: a compressed store answered differently than uncompressed")
         return 1
     return 0
 

@@ -48,7 +48,13 @@ RATIO_GUARDS: dict[str, list[tuple[str, str]]] = {
         ("speedup", "higher"),
     ],
     "shardedlsm": [],  # acceptance is boolean-only (exactness ladder)
-    "store": [],  # reopen identity flags carry the acceptance
+    "store": [
+        # identity flags (reopen_bit_identical, mmap_matches_eager,
+        # answers_match_none, zlib_shrink_ok) carry exactness; these two
+        # guard the read-tier wins themselves.
+        ("reopen_curve.reopen_speedup", "higher"),
+        ("codec_sweep.zlib_disk_shrink", "higher"),
+    ],
     "wal": [
         # a dict keyed by shard count -> paths like batch_vs_off_slowdown.1
         ("batch_vs_off_slowdown.*", "lower"),

@@ -702,6 +702,9 @@ def open_store(
     wal_sync: str = "batch",
     wal_group_commit: int = 1024,
     compaction: "str | dict | Any | None" = "manual",
+    compression: "str | dict | None" = None,
+    mmap: bool = False,
+    block_cache_bytes: int | None = None,
 ) -> Store:
     """Open a key-value store behind the one :class:`Store` interface.
 
@@ -746,6 +749,17 @@ def open_store(
     policy instance for tuned triggers.  Background policies run merges
     on worker threads after each flush; reads stay answer-identical to a
     manual store, and persistent stores pin the policy in the manifest.
+
+    ``compression`` turns on per-block compression of SST payloads in a
+    persistent store: ``"zlib"`` (stdlib), ``"zstd"`` (needs the optional
+    ``repro[zstd]`` extra), or a dict ``{"codec": ..., "block_bytes": ...}``
+    to tune the block size.  The codec and block size are pinned in the
+    manifest, so a reopen needs no arguments (and conflicting ones raise).
+    ``mmap=True`` switches reopen onto the zero-copy read tier: SST and
+    filter frames are memory-mapped and payloads become array views, so
+    reopening costs O(runs) instead of O(bytes).  ``block_cache_bytes``
+    sizes the decompressed-block LRU cache shared by all shards (compressed
+    stores only).  All three are rejected for in-memory stores.
     """
     if wal_sync not in ("always", "batch", "off"):
         raise ValueError(
@@ -776,6 +790,14 @@ def open_store(
             wal_sync=wal_sync,
             wal_group_commit=wal_group_commit,
             compaction=compaction_policy,
+            compression=compression,
+            mmap=mmap,
+            block_cache_bytes=block_cache_bytes,
+        )
+    if compression is not None or mmap or block_cache_bytes is not None:
+        raise ValueError(
+            "compression, mmap, and block_cache_bytes are disk read-tier "
+            "options and require a persistent store (pass path=...)"
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")

@@ -29,16 +29,32 @@ class FencePointers:
         self._num_keys = 0
 
     @classmethod
-    def build(cls, sorted_keys: np.ndarray, block_size: int = 128) -> "FencePointers":
-        """Build from a sorted key array, one fence per ``block_size`` keys."""
+    def build(
+        cls,
+        sorted_keys: np.ndarray,
+        block_size: int = 128,
+        *,
+        presorted: bool = False,
+    ) -> "FencePointers":
+        """Build from a sorted key array, one fence per ``block_size`` keys.
+
+        ``presorted=True`` skips the sortedness re-check for callers that
+        already validated it (``SSTable`` does on construction) — on the
+        store reopen path that check would otherwise touch every key a
+        second time.
+        """
         fences = cls(block_size=block_size)
         keys = np.asarray(sorted_keys, dtype=np.uint64)
-        if keys.size and np.any(keys[1:] < keys[:-1]):
+        if not presorted and keys.size and np.any(keys[1:] < keys[:-1]):
             raise ValueError("FencePointers.build requires sorted keys")
-        for start in range(0, keys.size, block_size):
-            block = keys[start : start + block_size]
-            fences._mins.append(int(block[0]))
-            fences._maxs.append(int(block[-1]))
+        if keys.size:
+            # Gather-index the block bounds instead of looping per block:
+            # the mins sit at each block start, the maxs one key before the
+            # next start (or at the final key).
+            starts = np.arange(0, keys.size, block_size)
+            ends = np.minimum(starts + block_size, keys.size) - 1
+            fences._mins = keys[starts].tolist()
+            fences._maxs = keys[ends].tolist()
         fences._num_keys = int(keys.size)
         return fences
 

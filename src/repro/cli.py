@@ -163,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         "merges run on a background worker whenever the run layout trips "
         "the policy)",
     )
+    s_init.add_argument(
+        "--compression", choices=("zlib", "zstd"), default=None,
+        help="per-block SST compression codec, persisted with the store "
+        "(zstd needs the `zstd` extra installed; default: uncompressed)",
+    )
+    s_init.add_argument(
+        "--block-bytes", type=_int_ish, default=None,
+        help="raw bytes per compressed block (only with --compression; "
+        "default 64 KiB)",
+    )
 
     s_ingest = store_sub.add_parser(
         "ingest", help="bulk-load keys from a file into an existing store"
@@ -294,7 +304,10 @@ def _cmd_inspect(args) -> int:
 
     Loading goes through the :mod:`repro.api` registry, so every
     registered kind — bloomRF, every baseline, sharded sets — inspects
-    through this one command.
+    through this one command.  The frame is memory-mapped rather than
+    read into memory: the header is validated up front and the filter
+    reconstructs over zero-copy payload views, so only the pages the
+    summary actually touches fault in.
     """
     from pathlib import Path
 
@@ -303,15 +316,16 @@ def _cmd_inspect(args) -> int:
     from repro.core.bloomrf import BloomRF
     from repro.shard import ShardedBloomRF
 
-    data = Path(args.path).read_bytes()
+    path = Path(args.path)
     try:
-        filt = serial.load_filter(data)
+        frame = serial.map_frame(path)
+        filt = serial.load_filter(frame.view)
     except ValueError as exc:
         print(f"cannot inspect {args.path}: {exc}")
         return 2
-    kind = serial.KIND_NAMES[serial.peek_kind(data)]
-    print(f"kind: {kind} (format v{serial.FORMAT_VERSION}, "
-          f"{len(data) / 1024:.1f} KiB on disk)")
+    kind = serial.KIND_NAMES[frame.kind]
+    print(f"kind: {kind} (format v{frame.version}, "
+          f"{path.stat().st_size / 1024:.1f} KiB on disk)")
     if isinstance(filt, BloomRF):
         print(filt.config.describe())
         print(f"keys inserted: {filt.num_keys}")
@@ -407,27 +421,43 @@ def _cmd_store_init(args) -> int:
     if (Path(args.path) / MANIFEST_NAME).is_file():
         print(f"{args.path} already holds a store; refusing to re-initialize")
         return 2
+    if args.block_bytes is not None and args.compression is None:
+        print("--block-bytes requires --compression")
+        return 2
     spec = standard_spec(
         args.filter, bits_per_key=args.bits_per_key, max_range=args.max_range
     )
-    with open_store(
-        path=args.path,
-        filter=spec,
-        shards=args.shards,
-        partition=args.partition,
-        memtable_capacity=args.memtable_capacity,
-        store_values=args.store_values,
-        wal_sync=args.wal_sync,
-        compaction=args.compaction,
-    ):
-        pass
+    compression = args.compression
+    if compression is not None and args.block_bytes is not None:
+        compression = {"codec": compression, "block_bytes": args.block_bytes}
+    try:
+        with open_store(
+            path=args.path,
+            filter=spec,
+            shards=args.shards,
+            partition=args.partition,
+            memtable_capacity=args.memtable_capacity,
+            store_values=args.store_values,
+            wal_sync=args.wal_sync,
+            compaction=args.compaction,
+            compression=compression,
+        ):
+            pass
+    except ValueError as exc:  # e.g. --compression zstd without the extra
+        print(f"cannot initialize {args.path}: {exc}")
+        return 2
     sharding = (
         f"{args.shards} {args.partition}-partitioned shards"
         if args.shards > 1
         else "unsharded"
     )
+    codec = (
+        "uncompressed"
+        if args.compression is None
+        else f"{args.compression}-compressed"
+    )
     print(f"initialized {args.path}: {spec!r}, {sharding}, "
-          f"{args.compaction} compaction")
+          f"{args.compaction} compaction, {codec}")
     return 0
 
 
@@ -560,72 +590,166 @@ def _cmd_store_compact(args) -> int:
 
 
 def _cmd_store_inspect(args) -> int:
-    from repro.api import FilterSpec, open_store
-    from repro.serial import FORMAT_VERSION, SerialError
-    from repro.lsm.store import read_store_manifest
+    """Summarize a store from its manifests, frame headers, and log stream.
 
+    Nothing here opens the store or reads a run payload: the manifests
+    give the run layout, each filter frame is memory-mapped (only its
+    header pages fault in), and the write-ahead logs are scanned record
+    by record — so inspecting a multi-GB store is O(runs) metadata work.
+    """
+    from pathlib import Path
+
+    from repro.api import FilterSpec
+    from repro.lsm.compaction import (
+        SizeTieredPolicy,
+        coerce_compaction,
+        compaction_to_dict,
+    )
+    from repro.lsm.filter_policy import handle_from_bytes
+    from repro.lsm.store import (
+        _FILTER_SUFFIX,
+        _manifest_field,
+        _shard_dir_name,
+        read_store_manifest,
+    )
+    from repro.lsm.wal import WAL_NAME, read_wal
+    from repro.serial import FORMAT_VERSION, SerialError, map_frame
+
+    root = Path(args.path)
     try:
-        manifest = read_store_manifest(args.path)
-        with open_store(path=args.path) as db:
-            engine = manifest["engine"]
-            print(f"engine: {engine} (store format v{FORMAT_VERSION})")
-            if engine == "sharded-lsm":
-                specs = [
-                    FilterSpec.from_dict(d) for d in manifest["specs"]
-                ]
-                print(f"shards: {manifest['num_shards']} "
-                      f"({manifest['partition']} partition)")
-                if len(set(spec.to_json() for spec in specs)) == 1:
-                    print(f"filter: {specs[0]!r}")
-                else:
-                    for i, spec in enumerate(specs):
-                        print(f"filter[shard {i}]: {spec!r}")
-                runs = db.num_sstables
+        manifest = read_store_manifest(root)
+        engine = manifest["engine"]
+        print(f"engine: {engine} (store format v{FORMAT_VERSION})")
+        if engine == "sharded-lsm":
+            where = root
+            specs = [
+                FilterSpec.from_dict(d)
+                for d in _manifest_field(manifest, "specs", where)
+            ]
+            print(f"shards: {manifest['num_shards']} "
+                  f"({manifest['partition']} partition)")
+            if len(set(spec.to_json() for spec in specs)) == 1:
+                print(f"filter: {specs[0]!r}")
             else:
-                print(f"filter: {FilterSpec.from_dict(manifest['spec'])!r}")
-                runs = len(db.sstables)
-            geometry = manifest["geometry"]
-            print(f"geometry: memtable_capacity="
-                  f"{geometry['memtable_capacity']}, "
-                  f"value_bytes={geometry['value_bytes']}, "
-                  f"block_bytes={geometry['block_bytes']}, "
-                  f"store_values={geometry['store_values']}")
-            print(f"runs: {runs}, keys: {db.num_keys}, "
-                  f"filter bits: {db.filter_bits} "
-                  f"({db.filter_bits_per_key():.2f} bits/key)")
-            # compaction_info() reads the policy through the engine, which
-            # coerced geometry.get("compaction") on open — manifests from
-            # before the compaction subsystem inspect as manual instead of
-            # failing on the missing field.
-            info = db.compaction_info()
-            policy = info["policy"]
-            params = ", ".join(
-                f"{k}={v}" for k, v in policy["params"].items()
+                for i, spec in enumerate(specs):
+                    print(f"filter[shard {i}]: {spec!r}")
+            shard_dirs = [
+                root / _shard_dir_name(i)
+                for i in range(int(manifest["num_shards"]))
+            ]
+            shard_manifests = [read_store_manifest(d) for d in shard_dirs]
+        else:
+            print(f"filter: {FilterSpec.from_dict(manifest['spec'])!r}")
+            shard_dirs = [root]
+            shard_manifests = [manifest]
+        geometry = manifest["geometry"]
+        print(f"geometry: memtable_capacity="
+              f"{geometry['memtable_capacity']}, "
+              f"value_bytes={geometry['value_bytes']}, "
+              f"block_bytes={geometry['block_bytes']}, "
+              f"store_values={geometry['store_values']}")
+        compression = geometry.get("compression")
+        if compression:
+            print(f"compression: {compression['codec']} "
+                  f"(block_bytes={compression['block_bytes']})")
+        # Run layout straight from the manifests; filter bit counts come
+        # from mapped frames whose payloads are never materialized.
+        shard_run_keys = []
+        filter_bits = 0
+        for directory, shard_manifest in zip(shard_dirs, shard_manifests):
+            run_keys = []
+            for entry in shard_manifest.get("runs", []):
+                name = _manifest_field(entry, "file", directory)
+                run_keys.append(int(_manifest_field(entry, "num_keys",
+                                                    directory)))
+                filter_path = directory / (name + _FILTER_SUFFIX)
+                try:
+                    frame = map_frame(filter_path)
+                    if frame.kind != int(entry.get("filter_kind", frame.kind)):
+                        raise SerialError(
+                            f"frame kind {frame.kind} does not match the "
+                            f"manifest's kind {entry['filter_kind']}"
+                        )
+                    filter_bits += handle_from_bytes(frame.view).size_bits
+                except SerialError as exc:
+                    raise SerialError(
+                        f"corrupt filter block {filter_path}: {exc}"
+                    ) from exc
+            shard_run_keys.append(run_keys)
+        total_runs = sum(len(keys) for keys in shard_run_keys)
+        total_keys = sum(sum(keys) for keys in shard_run_keys)
+        bits_per_key = filter_bits / total_keys if total_keys else 0.0
+        print(f"runs: {total_runs}, keys: {total_keys}, "
+              f"filter bits: {filter_bits} ({bits_per_key:.2f} bits/key)")
+        # Pre-compaction manifests lack the geometry field entirely:
+        # coerce .get(...) so they inspect as manual instead of failing.
+        policy = coerce_compaction(geometry.get("compaction"))
+        policy_dict = compaction_to_dict(policy)
+        params = ", ".join(
+            f"{k}={v}" for k, v in policy_dict["params"].items()
+        )
+        print(f"compaction: {policy_dict['policy']}"
+              + (f" ({params})" if params else ""))
+        describe = policy if policy is not None else SizeTieredPolicy()
+        levels: dict = {}
+        pending = False
+        for run_keys in shard_run_keys:
+            for entry in describe.describe_levels(run_keys):
+                bucket = levels.setdefault(
+                    entry["level"],
+                    {"level": entry["level"], "runs": 0, "keys": 0},
+                )
+                bucket["runs"] += entry["runs"]
+                bucket["keys"] += entry["keys"]
+            pending = pending or (
+                policy is not None and policy.pick(run_keys) is not None
             )
-            print(f"compaction: {policy['policy']}"
-                  + (f" ({params})" if params else ""))
-            for entry in info["levels"]:
-                print(f"  level {entry['level']}: {entry['runs']} run(s), "
-                      f"{entry['keys']} keys")
-            if info["pending"]:
-                print("  pending: a merge window is eligible")
-            sched = info["scheduler"]
-            if sched is not None:
-                print(f"  scheduler: {sched['workers']} worker(s), "
-                      f"merges={sched['merges']}, "
-                      f"in flight {sched['in_flight']}, "
-                      f"pending {sched['pending']}")
-                if sched["last_error"]:
-                    print(f"  scheduler last error: {sched['last_error']}")
-            wal = db.wal_info()
-            print(f"wal: sync={wal['sync']} "
-                  f"(group_commit={wal['group_commit']}), "
-                  f"epoch={wal['epoch']}, pending records: {wal['records']} "
-                  f"({wal['bytes']} bytes)")
-            if wal["replayed_records"] or wal["recovered_torn_tail"]:
-                torn = " (torn tail truncated)" if wal["recovered_torn_tail"] else ""
-                print(f"wal replay on open: {wal['replayed_records']} records"
-                      f" / {wal['replayed_ops']} ops{torn}")
+        for level in sorted(levels):
+            entry = levels[level]
+            print(f"  level {entry['level']}: {entry['runs']} run(s), "
+                  f"{entry['keys']} keys")
+        if pending:
+            print("  pending: a merge window is eligible")
+        if policy is not None:
+            # A background policy gets a scheduler on open: one worker
+            # for the flat engine, one per shard for the sharded one.
+            workers = len(shard_dirs) if engine == "sharded-lsm" else 1
+            print(f"  scheduler: {workers} worker(s), merges=0, "
+                  "in flight 0, pending 0")
+        # WAL state from the record stream, against each shard manifest's
+        # epoch: records at the manifest epoch replay on the next open,
+        # older ones are already durable in runs and will be discarded.
+        epoch = 0
+        records = wal_bytes = replay_records = replay_ops = stale = 0
+        torn_any = False
+        for directory, shard_manifest in zip(shard_dirs, shard_manifests):
+            wal_path = directory / WAL_NAME
+            if not wal_path.is_file():
+                raise SerialError(
+                    f"store at {directory} has no write-ahead log "
+                    f"({WAL_NAME} is missing)"
+                )
+            header, recs, valid_end, torn = read_wal(wal_path)
+            log_epoch = int(header.get("epoch", 0))
+            epoch = max(epoch, log_epoch)
+            wal_bytes += valid_end
+            torn_any = torn_any or torn
+            manifest_epoch = int(shard_manifest.get("wal_epoch", 0))
+            if log_epoch >= manifest_epoch:
+                records += len(recs)
+                replay_records += len(recs)
+                replay_ops += sum(int(rec.keys.size) for rec in recs)
+            else:
+                stale += len(recs)
+        print(f"wal: sync={geometry['wal_sync']}, epoch={epoch}, "
+              f"pending records: {records} ({wal_bytes} bytes)")
+        if replay_records or torn_any:
+            torn = " (torn tail truncated)" if torn_any else ""
+            print(f"wal replay on open: {replay_records} records"
+                  f" / {replay_ops} ops{torn}")
+        if stale:
+            print(f"wal: {stale} stale record(s) from an older epoch "
+                  "(already durable in runs; discarded on open)")
     except SerialError as exc:
         print(f"cannot inspect store {args.path}: {exc}")
         return 2

@@ -609,9 +609,14 @@ class LsmDB:
         )
 
     def reset_stats(self) -> IOStats:
-        """Swap in fresh stats; returns the old object."""
-        old, self.stats = self.stats, IOStats()
-        return old
+        """Zero the stats in place; returns a snapshot of the old values.
+
+        In place because loaded SST frames capture a reference to this
+        object at open time (the decompressed-block cache records its
+        hits and misses through it) — swapping in a fresh object would
+        silently detach their accounting.
+        """
+        return self.stats.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -11,7 +11,7 @@ accounting preserves exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
@@ -38,6 +38,12 @@ class IOStats:
     filter_true_negatives: int = 0
     # I/O:
     blocks_read: int = 0
+    # Decompressed-block cache (compressed stores only; an eager or
+    # uncompressed store leaves both at zero).  Deliberately *not* part of
+    # counters(): hit/miss splits depend on cache budget and access order,
+    # while counters() is the bit-for-bit exactness comparison set.
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
     # Time buckets (seconds):
     filter_cpu_s: float = 0.0
     residual_cpu_s: float = 0.0
@@ -89,6 +95,19 @@ class IOStats:
             + self.io_wait_s
         )
 
+    def reset(self) -> "IOStats":
+        """Zero every field in place; returns a snapshot of the old values.
+
+        In place, not by swapping in a fresh object: long-lived readers
+        (the decompressed-block cache hooks inside mmap'd SST frames)
+        capture a reference to their DB's stats at open time and must keep
+        recording into the live object across resets.
+        """
+        snapshot = replace(self)
+        for field in fields(self):
+            setattr(self, field.name, field.default)
+        return snapshot
+
     def merge(self, other: "IOStats") -> None:
         """Accumulate another stats object into this one.
 
@@ -103,6 +122,8 @@ class IOStats:
             "filter_false_positives",
             "filter_true_negatives",
             "blocks_read",
+            "block_cache_hits",
+            "block_cache_misses",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for name in (

@@ -15,6 +15,7 @@ key — the block read then resolves it, exactly like RocksDB.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class SSTable:
         self,
         keys: np.ndarray,
         policy: FilterPolicy,
-        values: list[bytes] | None = None,
+        values: "Sequence[bytes] | None" = None,
         tombstones: np.ndarray | None = None,
         value_bytes: int = 512,
         block_bytes: int = 4096,
@@ -60,7 +61,10 @@ class SSTable:
         self.value_bytes = value_bytes
         self.block_bytes = block_bytes
         self.entries_per_block = max(1, block_bytes // (_KEY_BYTES + value_bytes))
-        self.fences = FencePointers.build(keys, block_size=self.entries_per_block)
+        # Sortedness was just validated above; skip the fence re-check.
+        self.fences = FencePointers.build(
+            keys, block_size=self.entries_per_block, presorted=True
+        )
         start = time.perf_counter()
         if prebuilt_filter is not None:
             # Compaction hands over a merged (word-unioned) filter block: it

@@ -70,6 +70,16 @@ from typing import Sequence
 import numpy as np
 
 from repro.api import FilterSpec
+from repro.lsm.blocks import (
+    DEFAULT_CACHE_BYTES,
+    BlockCache,
+    BlockedPayload,
+    SlicedValues,
+    compress_payload,
+    decompress_payload,
+    normalize_compression,
+    require_codec,
+)
 from repro.lsm.compaction import coerce_compaction, compaction_to_dict
 from repro.lsm.db import LsmDB
 from repro.lsm.filter_policy import SpecPolicy, handle_from_bytes
@@ -82,9 +92,11 @@ from repro.lsm.wal import (
     read_wal,
 )
 from repro.serial import (
+    FORMAT_VERSION_BLOCKS,
     KIND_SSTABLE,
     KIND_STORE,
     SerialError,
+    map_frame,
     pack_frame,
     peek_kind,
     unpack_frame,
@@ -235,7 +247,7 @@ def _spec_from_manifest(data, where) -> FilterSpec:
         ) from None
 
 
-def _pack_sstable(sst: SSTable) -> bytes:
+def _pack_sstable(sst: SSTable, compression: dict | None = None) -> bytes:
     """One immutable run as a KIND_SSTABLE frame: keys, tombstones, values.
 
     Unlike filter frames (approximate structures, deliberately
@@ -244,6 +256,15 @@ def _pack_sstable(sst: SSTable) -> bytes:
     positive.  The header therefore carries a CRC32 of the payloads —
     the RocksDB move of checksumming data blocks while filter damage
     stays survivable.
+
+    With ``compression`` (the store geometry's canonical
+    ``{"codec", "block_bytes"}`` dict) each payload is split into
+    fixed-size blocks and compressed independently (version-2 frame,
+    see :mod:`repro.lsm.blocks`): the header additionally records the
+    codec, block size, per-payload raw lengths, and per-payload block
+    tables, and the CRC32 covers the *stored* (compressed) bytes.
+    Without it the frame is bit-identical to what previous releases
+    wrote.
     """
     payloads = [
         np.ascontiguousarray(sst.keys, dtype="<u8").tobytes(),
@@ -257,11 +278,35 @@ def _pack_sstable(sst: SSTable) -> bytes:
         lengths = np.array([len(v) for v in sst.values], dtype="<u8")
         payloads.append(lengths.tobytes())
         payloads.append(b"".join(sst.values))
+    if compression is not None:
+        codec = compression["codec"]
+        block_bytes = compression["block_bytes"]
+        raw_lens, tables, compressed = [], [], []
+        for payload in payloads:
+            comp, table = compress_payload(payload, codec, block_bytes)
+            raw_lens.append(len(payload))
+            tables.append(table)
+            compressed.append(comp)
+        header["codec"] = codec
+        header["block_bytes"] = block_bytes
+        header["raw_lens"] = raw_lens
+        header["blocks"] = tables
+        header["crc32"] = _payload_crc(compressed)
+        return pack_frame(
+            KIND_SSTABLE, header, *compressed, version=FORMAT_VERSION_BLOCKS
+        )
     header["crc32"] = _payload_crc(payloads)
     return pack_frame(KIND_SSTABLE, header, *payloads)
 
 
-def _unpack_sstable(data: bytes, name: str):
+def _unpack_sstable(
+    data: bytes,
+    name: str,
+    *,
+    expected_codec: str | None = None,
+    cache: BlockCache | None = None,
+    stats=None,
+):
     """Parse a KIND_SSTABLE frame back into ``(keys, values, tombstones)``.
 
     Every internal inconsistency raises :class:`SerialError` naming the
@@ -272,6 +317,63 @@ def _unpack_sstable(data: bytes, name: str):
         header, payloads = unpack_frame(data, expect_kind=KIND_SSTABLE)
     except SerialError as exc:
         raise SerialError(f"corrupt SST file {name}: {exc}") from exc
+    return _decode_sstable(
+        header,
+        payloads,
+        name,
+        expected_codec=expected_codec,
+        cache=cache,
+        stats=stats,
+        verify_crc=True,
+        zero_copy=False,
+    )
+
+
+def _map_sstable(
+    path: Path,
+    name: str,
+    *,
+    expected_codec: str | None = None,
+    cache: BlockCache | None = None,
+    stats=None,
+):
+    """The mmap counterpart of :func:`_unpack_sstable` — O(header) work.
+
+    Keys, tombstones, and the value blob come back as views over the
+    mapping (:func:`repro.serial.map_frame`), so bytes fault in only when
+    probed.  The whole-frame payload CRC is deliberately *not* verified —
+    that would read every page and turn reopen back into O(bytes); frame
+    structure is still fully validated, and version-2 (compressed) frames
+    keep per-block CRCs that are checked on first access to each block.
+    """
+    try:
+        frame = map_frame(path, expect_kind=KIND_SSTABLE)
+    except SerialError as exc:
+        raise SerialError(f"corrupt SST file {name}: {exc}") from exc
+    return _decode_sstable(
+        frame.header,
+        frame.payloads,
+        name,
+        expected_codec=expected_codec,
+        cache=cache,
+        stats=stats,
+        verify_crc=False,
+        zero_copy=True,
+    )
+
+
+def _decode_sstable(
+    header: dict,
+    payloads: list,
+    name: str,
+    *,
+    expected_codec: str | None,
+    cache: BlockCache | None,
+    stats,
+    verify_crc: bool,
+    zero_copy: bool,
+):
+    """Shared v1/v2 payload decode behind the eager and mmap readers."""
     has_values = bool(header.get("has_values", False))
     expected_payloads = 4 if has_values else 2
     if len(payloads) != expected_payloads:
@@ -279,40 +381,98 @@ def _unpack_sstable(data: bytes, name: str):
             f"corrupt SST file {name}: carries {len(payloads)} payloads, "
             f"expected {expected_payloads}"
         )
-    if _payload_crc(payloads) != int(header.get("crc32", -1)):
+    codec = header.get("codec")
+    if codec != expected_codec:
+        raise SerialError(
+            f"corrupt SST file {name}: frame compression codec {codec!r} "
+            f"does not match the store manifest's {expected_codec!r} (the "
+            "run belongs to a differently-configured store)"
+        )
+    if verify_crc and _payload_crc(payloads) != int(header.get("crc32", -1)):
         raise SerialError(
             f"corrupt SST file {name}: payload checksum mismatch (the run "
             "data was altered after it was written)"
         )
     num_keys = int(header.get("num_keys", -1))
-    keys = np.frombuffer(payloads[0], dtype="<u8").astype(np.uint64)
+    tables = raw_lens = block_bytes = None
+    if codec is not None:
+        block_bytes = int(header.get("block_bytes", 0))
+        raw_lens = header.get("raw_lens")
+        tables = header.get("blocks")
+        for field in (raw_lens, tables):
+            if not isinstance(field, list) or len(field) != len(payloads):
+                raise SerialError(
+                    f"corrupt SST file {name}: truncated block table "
+                    f"(expected {len(payloads)} per-payload entries)"
+                )
+
+        def _raw(index: int) -> bytes:
+            # Keys, tombstones, and value lengths are needed whole (sorted
+            # order, fences, offsets), so they decompress eagerly — with
+            # every block CRC-checked; only the value blob stays lazy.
+            return decompress_payload(
+                payloads[index],
+                tables[index],
+                int(raw_lens[index]),
+                block_bytes,
+                codec,
+                context=f"corrupt SST file {name}: payload {index}",
+            )
+
+        keys_bytes, tomb_bytes = _raw(0), _raw(1)
+    else:
+        keys_bytes, tomb_bytes = payloads[0], payloads[1]
+    keys = np.frombuffer(keys_bytes, dtype="<u8")
+    if not zero_copy or codec is not None:
+        keys = keys.astype(np.uint64)
     if keys.size != num_keys:
         raise SerialError(
             f"corrupt SST file {name}: holds {keys.size} keys but its "
             f"header records {num_keys}"
         )
-    if len(payloads[1]) != (num_keys + 7) // 8:
+    if len(tomb_bytes) != (num_keys + 7) // 8:
         raise SerialError(
             f"corrupt SST file {name}: tombstone bitmap is "
-            f"{len(payloads[1])} bytes for {num_keys} keys"
+            f"{len(tomb_bytes)} bytes for {num_keys} keys"
         )
     tombstones = np.unpackbits(
-        np.frombuffer(payloads[1], dtype=np.uint8), count=num_keys
+        np.frombuffer(tomb_bytes, dtype=np.uint8), count=num_keys
     ).astype(bool)
     values = None
     if has_values:
-        lengths = np.frombuffer(payloads[2], dtype="<u8")
-        if lengths.size != num_keys or int(lengths.sum()) != len(payloads[3]):
+        if codec is not None:
+            lengths = np.frombuffer(_raw(2), dtype="<u8")
+            blob_len = int(raw_lens[3])
+        else:
+            lengths = np.frombuffer(payloads[2], dtype="<u8")
+            blob_len = len(payloads[3])
+        if lengths.size != num_keys or int(lengths.sum()) != blob_len:
             raise SerialError(
                 f"corrupt SST file {name}: value index does not match the "
                 "value blob"
             )
         offsets = np.zeros(num_keys + 1, dtype=np.int64)
         np.cumsum(lengths.astype(np.int64), out=offsets[1:])
-        blob = payloads[3]
-        values = [
-            blob[offsets[i] : offsets[i + 1]] for i in range(num_keys)
-        ]
+        if codec is not None:
+            blob = BlockedPayload(
+                payloads[3],
+                tables[3],
+                blob_len,
+                block_bytes,
+                codec,
+                context=f"corrupt SST file {name}: payload 3",
+                cache=cache,
+                cache_key=(name, 3),
+                stats=stats,
+            )
+            values = SlicedValues(blob, offsets)
+        elif zero_copy:
+            values = SlicedValues(payloads[3], offsets)
+        else:
+            blob = payloads[3]
+            values = [
+                blob[offsets[i] : offsets[i + 1]] for i in range(num_keys)
+            ]
     return keys, values, tombstones
 
 
@@ -368,7 +528,11 @@ class PersistentLsmDB(LsmDB):
         wal_group_commit: int = 1024,
         compaction=None,
         compaction_scheduler=None,
+        compression=None,
+        mmap: bool = False,
+        block_cache_bytes: int | None = None,
         _manifest: dict | None = None,
+        _block_cache: BlockCache | None = None,
     ) -> None:
         directory = Path(directory)
         manifest = _manifest
@@ -401,6 +565,9 @@ class PersistentLsmDB(LsmDB):
                 _manifest_field(geometry, "store_values", where)
             )
             wal_sync = str(_manifest_field(geometry, "wal_sync", where))
+            # Stores persisted before the compressed read tier have no
+            # compression field: .get reads them as uncompressed.
+            compression = geometry.get("compression")
             wal_seal = str(_manifest_field(manifest, "wal_seal", where))
             wal_epoch = int(_manifest_field(manifest, "wal_epoch", where))
             # Manifests written before the compaction subsystem carry no
@@ -434,6 +601,21 @@ class PersistentLsmDB(LsmDB):
         )
         self.directory = directory
         self.spec = spec
+        self._compression = normalize_compression(compression)
+        if self._compression is not None:
+            # Fail at open, not at first flush, when the codec is absent
+            # (zstd without the optional zstandard package).
+            require_codec(self._compression["codec"])
+        self._use_mmap = bool(mmap)
+        self._block_cache = (
+            _block_cache
+            if _block_cache is not None
+            else BlockCache(
+                DEFAULT_CACHE_BYTES
+                if block_cache_bytes is None
+                else block_cache_bytes
+            )
+        )
         self._run_files: dict[SSTable, str] = {}
         self._next_file_id = 0
         # The run-name list the on-disk manifest currently records (None =
@@ -503,35 +685,68 @@ class PersistentLsmDB(LsmDB):
                     f"store at {self.directory} is missing run file "
                     f"{path.name}"
                 )
-        keys, values, tombstones = _unpack_sstable(
-            sst_path.read_bytes(), str(sst_path)
-        )
+        codec = self._compression["codec"] if self._compression else None
+        reader_kw = {
+            "expected_codec": codec,
+            "cache": self._block_cache,
+            "stats": self.stats,
+        }
+        if self._use_mmap:
+            keys, values, tombstones = _map_sstable(
+                sst_path, str(sst_path), **reader_kw
+            )
+        else:
+            keys, values, tombstones = _unpack_sstable(
+                sst_path.read_bytes(), str(sst_path), **reader_kw
+            )
         if keys.size != num_keys:
             raise SerialError(
                 f"corrupt SST file {sst_path}: holds {keys.size} keys but "
                 f"the store manifest records {num_keys}"
             )
-        filter_blob = filter_path.read_bytes()
-        start = time.perf_counter()
-        try:
-            if peek_kind(filter_blob) != filter_kind:
+        if self._use_mmap:
+            # Zero-copy filter load: the frame is mapped, its structure
+            # validated, and the bit-array words become read-only views —
+            # a probe faults in only the pages test_bits touches.  The
+            # manifest's whole-blob CRC is *not* verified here (it would
+            # read every page); the eager path still checks it, and frame
+            # structure/kind damage fails loudly either way.
+            start = time.perf_counter()
+            try:
+                frame = map_frame(filter_path)
+                if frame.kind != filter_kind:
+                    raise SerialError(
+                        f"frame kind {frame.kind} does not match "
+                        f"the manifest's kind {filter_kind}"
+                    )
+                handle = handle_from_bytes(frame.view)
+            except SerialError as exc:
                 raise SerialError(
-                    f"frame kind {peek_kind(filter_blob)} does not match "
-                    f"the manifest's kind {filter_kind}"
-                )
-            # The manifest pins each run's filter blob by checksum, so a
-            # same-kind blob swapped in from another run fails here
-            # instead of probing false negatives at query time.
-            if zlib.crc32(filter_blob) != filter_crc:
+                    f"corrupt filter block {filter_path}: {exc}"
+                ) from exc
+            filter_blob = frame.view
+        else:
+            filter_blob = filter_path.read_bytes()
+            start = time.perf_counter()
+            try:
+                if peek_kind(filter_blob) != filter_kind:
+                    raise SerialError(
+                        f"frame kind {peek_kind(filter_blob)} does not match "
+                        f"the manifest's kind {filter_kind}"
+                    )
+                # The manifest pins each run's filter blob by checksum, so a
+                # same-kind blob swapped in from another run fails here
+                # instead of probing false negatives at query time.
+                if zlib.crc32(filter_blob) != filter_crc:
+                    raise SerialError(
+                        "blob checksum does not match the manifest (the block "
+                        "was altered or belongs to a different run)"
+                    )
+                handle = handle_from_bytes(filter_blob)
+            except SerialError as exc:
                 raise SerialError(
-                    "blob checksum does not match the manifest (the block "
-                    "was altered or belongs to a different run)"
-                )
-            handle = handle_from_bytes(filter_blob)
-        except SerialError as exc:
-            raise SerialError(
-                f"corrupt filter block {filter_path}: {exc}"
-            ) from exc
+                    f"corrupt filter block {filter_path}: {exc}"
+                ) from exc
         self.stats.deserialization_s += time.perf_counter() - start
         try:
             return SSTable(
@@ -726,7 +941,8 @@ class PersistentLsmDB(LsmDB):
                 name = f"sst-{self._next_file_id:06d}"
                 self._next_file_id += 1
                 _atomic_write(
-                    self.directory / (name + _SST_SUFFIX), _pack_sstable(sst)
+                    self.directory / (name + _SST_SUFFIX),
+                    _pack_sstable(sst, self._compression),
                 )
                 _atomic_write(
                     self.directory / (name + _FILTER_SUFFIX), sst.filter_block
@@ -798,6 +1014,7 @@ class PersistentLsmDB(LsmDB):
                         "store_values": self.store_values,
                         "wal_sync": self._wal_sync,
                         "compaction": compaction_to_dict(self.compaction),
+                        "compression": self._compression,
                     },
                     "runs": runs,
                     "next_file_id": self._next_file_id,
@@ -812,6 +1029,10 @@ class PersistentLsmDB(LsmDB):
         self._prune_orphans(set(names))
 
     def _prune_orphans(self, live: set[str]) -> None:
+        # Unlinking is safe under live mmap views: POSIX keeps mapped
+        # pages of an unlinked file valid until the last view dies, and
+        # sealed runs are never rewritten in place — new data always gets
+        # a new file name.
         for path in self.directory.glob("sst-*"):
             if path.name.endswith(".tmp"):
                 path.unlink(missing_ok=True)
@@ -819,6 +1040,8 @@ class PersistentLsmDB(LsmDB):
             for suffix in (_SST_SUFFIX, _FILTER_SUFFIX):
                 if path.name.endswith(suffix):
                     if path.name[: -len(suffix)] not in live:
+                        if suffix == _SST_SUFFIX:
+                            self._block_cache.drop_file(str(path))
                         path.unlink(missing_ok=True)
 
     def flush(self) -> None:
@@ -941,6 +1164,9 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         wal_sync: str = "batch",
         wal_group_commit: int = 1024,
         compaction=None,
+        compression=None,
+        mmap: bool = False,
+        block_cache_bytes: int | None = None,
         _manifest: dict | None = None,
     ) -> None:
         directory = Path(directory)
@@ -974,6 +1200,8 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             wal_sync = str(_manifest_field(geometry, "wal_sync", where))
             # Pre-compaction manifests lack the field: manual via .get.
             compaction = geometry.get("compaction", compaction)
+            # Likewise pre-compression manifests read as uncompressed.
+            compression = geometry.get("compression")
             for index in range(num_shards):
                 shard_manifest = directory / _shard_dir_name(index) / MANIFEST_NAME
                 if not shard_manifest.is_file():
@@ -1003,6 +1231,15 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         self.specs: list[FilterSpec] = list(specs)
         self._wal_sync = wal_sync
         self._wal_group_commit = wal_group_commit
+        # Set before super().__init__ — it triggers _build_shard, which
+        # threads these into every per-shard sub-store.  One BlockCache is
+        # shared by all shards so the decompressed-block budget is
+        # per-store, not per-shard.
+        self._compression = normalize_compression(compression)
+        self._use_mmap = bool(mmap)
+        self._block_cache = BlockCache(
+            DEFAULT_CACHE_BYTES if block_cache_bytes is None else block_cache_bytes
+        )
         if manifest is None:
             # Top manifest *before* the per-shard sub-stores: a crash in
             # that window then reopens loudly (missing shard directory)
@@ -1018,6 +1255,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 store_values=store_values,
                 wal_sync=wal_sync,
                 compaction=compaction,
+                compression=self._compression,
             )
         super().__init__(
             policy=[SpecPolicy(spec) for spec in self.specs],
@@ -1042,6 +1280,9 @@ class PersistentShardedLsmDB(ShardedLsmDB):
             device=self.device,
             wal_sync=self._wal_sync,
             wal_group_commit=self._wal_group_commit,
+            compression=self._compression,
+            mmap=self._use_mmap,
+            _block_cache=self._block_cache,
             **kw,
         )
 
@@ -1057,6 +1298,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
         store_values: bool,
         wal_sync: str,
         compaction=None,
+        compression=None,
     ) -> None:
         manifest = {
             "engine": "sharded-lsm",
@@ -1071,6 +1313,7 @@ class PersistentShardedLsmDB(ShardedLsmDB):
                 "store_values": store_values,
                 "wal_sync": wal_sync,
                 "compaction": compaction_to_dict(coerce_compaction(compaction)),
+                "compression": normalize_compression(compression),
             },
             "shards": [
                 _shard_dir_name(index) for index in range(num_shards)
@@ -1203,6 +1446,19 @@ def _check_reopen_args(manifest: dict, directory: Path, args: dict) -> None:
             f"{passed_compaction!r} conflicts (leave it at the default "
             "to use the persisted configuration)"
         )
+    # Compression compares in normalized dict form for the same reason;
+    # pre-compression manifests read as uncompressed via .get.  (mmap and
+    # block_cache_bytes are runtime read-tier knobs, not persisted state,
+    # so they are deliberately not conflict-checked — like device.)
+    stored_compression = normalize_compression(geometry.get("compression"))
+    passed_compression = normalize_compression(args["compression"])
+    if passed_compression is not None and passed_compression != stored_compression:
+        raise ValueError(
+            f"store at {directory} was created with compression="
+            f"{stored_compression!r}; reopening with "
+            f"{passed_compression!r} conflicts (leave it at the default "
+            "to use the persisted configuration)"
+        )
     filter = args["filter"]
     if filter is None:
         return
@@ -1249,6 +1505,9 @@ def open_persistent_store(
     wal_sync: str = "batch",
     wal_group_commit: int = 1024,
     compaction=None,
+    compression=None,
+    mmap: bool = False,
+    block_cache_bytes: int | None = None,
 ):
     """Create or reopen the on-disk store at ``path``.
 
@@ -1281,13 +1540,18 @@ def open_persistent_store(
                 "domain_bits": domain_bits,
                 "wal_sync": wal_sync,
                 "compaction": compaction,
+                "compression": compression,
             },
         )
+        # mmap and block_cache_bytes are runtime read-tier knobs (like
+        # device): they pass through on reopen rather than persisting.
         if engine == "lsm":
             return PersistentLsmDB(
                 path,
                 device=device,
                 wal_group_commit=wal_group_commit,
+                mmap=mmap,
+                block_cache_bytes=block_cache_bytes,
                 _manifest=manifest,
             )
         return PersistentShardedLsmDB(
@@ -1295,6 +1559,8 @@ def open_persistent_store(
             device=device,
             max_workers=max_workers,
             wal_group_commit=wal_group_commit,
+            mmap=mmap,
+            block_cache_bytes=block_cache_bytes,
             _manifest=manifest,
         )
     if shards < 1:
@@ -1313,6 +1579,9 @@ def open_persistent_store(
             wal_sync=wal_sync,
             wal_group_commit=wal_group_commit,
             compaction=compaction,
+            compression=compression,
+            mmap=mmap,
+            block_cache_bytes=block_cache_bytes,
         )
     return PersistentShardedLsmDB(
         path,
@@ -1329,4 +1598,7 @@ def open_persistent_store(
         wal_sync=wal_sync,
         wal_group_commit=wal_group_commit,
         compaction=compaction,
+        compression=compression,
+        mmap=mmap,
+        block_cache_bytes=block_cache_bytes,
     )

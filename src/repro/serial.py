@@ -17,12 +17,21 @@ Frame layout (all integers little-endian)::
 
     offset  size  field
     0       4     magic          b"BRF1"
-    4       2     format version (currently 1)
+    4       2     format version (1, or 2 for block-compressed payloads)
     6       2     kind           (what the payloads encode; see KIND_*)
     8       4     header length  H
     12      H     header         UTF-8 JSON (config / geometry / key counts)
     12+H    4     payload count  P
     ...           P x (8-byte length + raw bytes) payload sections
+
+Version 2 keeps the identical framing but marks the payload *bytes* as
+block-compressed: the header carries a ``codec`` name, a ``block_bytes``
+split size, per-payload raw lengths, and per-payload block tables
+(``[compressed_len, crc32], ...``) so readers can decompress — and
+CRC-verify — one block at a time (:mod:`repro.lsm.blocks`).  The version
+bump exists purely so version-1-only readers fail loudly on frames whose
+payload bytes they would otherwise misinterpret; version-1 frames are
+written bit-identically to before.
 
 Headers carry the *shape* (configs, counts) as JSON for forward
 compatibility and debuggability; payloads carry the raw little-endian
@@ -44,11 +53,17 @@ flipped bit there would change answers rather than move a false positive.
 from __future__ import annotations
 
 import json
+import mmap as _mmap
+import os
+import zlib
 
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
+    "FORMAT_VERSION_BLOCKS",
     "SerialError",
+    "FrameView",
+    "map_frame",
     "KIND_BLOOMRF",
     "KIND_BLOOM",
     "KIND_SHARDED_BLOOMRF",
@@ -71,6 +86,10 @@ __all__ = [
 
 MAGIC = b"BRF1"
 FORMAT_VERSION = 1
+# Version 2: same framing, but the payload bytes are block-compressed and
+# the header carries the codec + per-block tables (repro.lsm.blocks).
+FORMAT_VERSION_BLOCKS = 2
+_SUPPORTED_VERSIONS = frozenset({FORMAT_VERSION, FORMAT_VERSION_BLOCKS})
 
 KIND_BLOOMRF = 1
 KIND_BLOOM = 2
@@ -111,14 +130,18 @@ class SerialError(ValueError):
 _PREFIX_LEN = 12  # magic + version + kind + header length
 
 
-def pack_frame(kind: int, header: dict, *payloads: bytes) -> bytes:
+def pack_frame(
+    kind: int, header: dict, *payloads: bytes, version: int = FORMAT_VERSION
+) -> bytes:
     """Assemble one frame: magic, version, kind, JSON header, payloads."""
     if kind not in KIND_NAMES:
         raise SerialError(f"unknown serialization kind {kind}")
+    if version not in _SUPPORTED_VERSIONS:
+        raise SerialError(f"unsupported filter format version {version}")
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
     parts = [
         MAGIC,
-        FORMAT_VERSION.to_bytes(2, "little"),
+        version.to_bytes(2, "little"),
         kind.to_bytes(2, "little"),
         len(header_bytes).to_bytes(4, "little"),
         header_bytes,
@@ -130,11 +153,12 @@ def pack_frame(kind: int, header: dict, *payloads: bytes) -> bytes:
     return b"".join(parts)
 
 
-def _take(data: bytes, cursor: int, size: int, what: str) -> tuple[bytes, int]:
+def _take(data, cursor: int, size: int, what: str):
+    """Slice ``size`` bytes at ``cursor`` (zero-copy for memoryview input)."""
     if cursor + size > len(data):
         raise SerialError(
-            f"truncated filter frame: expected {size} more bytes for {what}, "
-            f"have {len(data) - cursor}"
+            f"truncated filter frame: expected {size} more bytes for {what} "
+            f"at offset {cursor}, have {len(data) - cursor}"
         )
     return data[cursor : cursor + size], cursor + size
 
@@ -185,21 +209,23 @@ def peek_kind(data: bytes) -> int:
     return int.from_bytes(prefix[6:8], "little")
 
 
-def _check_prefix(prefix: bytes) -> None:
+def _check_prefix(prefix) -> int:
     if prefix[:4] != MAGIC:
         raise SerialError(
-            f"not a serialized repro filter (bad magic {prefix[:4]!r}, "
+            f"not a serialized repro filter (bad magic {bytes(prefix[:4])!r}, "
             f"expected {MAGIC!r})"
         )
     version = int.from_bytes(prefix[4:6], "little")
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise SerialError(
             f"unsupported filter format version {version} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {min(_SUPPORTED_VERSIONS)}-"
+            f"{max(_SUPPORTED_VERSIONS)})"
         )
+    return version
 
 
-def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
+def _unpack_any(data) -> tuple[int, dict, list[bytes]]:
     kind, header, payloads, cursor = _unpack_at(data, 0)
     if cursor != len(data):
         raise SerialError(
@@ -208,7 +234,13 @@ def _unpack_any(data: bytes) -> tuple[int, dict, list[bytes]]:
     return kind, header, payloads
 
 
-def _unpack_at(data: bytes, start: int) -> tuple[int, dict, list[bytes], int]:
+def _unpack_at(data, start: int) -> tuple[int, dict, list[bytes], int]:
+    """Parse one frame; ``data`` may be ``bytes`` or a ``memoryview``.
+
+    With a memoryview input (the :func:`map_frame` path) every returned
+    payload is a zero-copy sub-view of ``data`` — no payload byte is read,
+    so parsing a mapped frame faults in only its prefix and header pages.
+    """
     prefix, cursor = _take(data, start, _PREFIX_LEN, "frame prefix")
     _check_prefix(prefix)
     kind = int.from_bytes(prefix[6:8], "little")
@@ -217,7 +249,7 @@ def _unpack_at(data: bytes, start: int) -> tuple[int, dict, list[bytes], int]:
     header_len = int.from_bytes(prefix[8:12], "little")
     header_bytes, cursor = _take(data, cursor, header_len, "header")
     try:
-        header = json.loads(header_bytes.decode())
+        header = json.loads(bytes(header_bytes).decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerialError(f"corrupt filter frame header: {exc}") from exc
     if not isinstance(header, dict):
@@ -231,6 +263,124 @@ def _unpack_at(data: bytes, start: int) -> tuple[int, dict, list[bytes], int]:
         )
         payloads.append(payload)
     return kind, header, payloads, cursor
+
+
+# ----------------------------------------------------------------------
+# zero-copy mapped frames
+# ----------------------------------------------------------------------
+class FrameView:
+    """One on-disk frame exposed as zero-copy views over an ``mmap``.
+
+    Produced by :func:`map_frame`.  ``payloads`` are :class:`memoryview`
+    slices of the mapping: wrapping one in ``np.frombuffer`` yields an
+    array whose pages fault in only when touched, so a reopened store pays
+    O(header) work per run instead of O(bytes).  The views keep the
+    mapping alive — :meth:`close` drops the frame's own references and
+    the map itself is released once the last derived array dies (files
+    are immutable once sealed, and POSIX keeps unlinked-but-mapped pages
+    valid, so pruning a run never invalidates live views).
+
+    Unlike :func:`unpack_frame`, mapping does **not** verify payload
+    checksums — that would fault in every page and defeat the lazy open.
+    Callers that want the eager guarantee call :meth:`payload_crc32`;
+    version-2 frames instead carry per-block CRCs that
+    :mod:`repro.lsm.blocks` verifies on first access to each block.
+    """
+
+    __slots__ = ("path", "kind", "version", "header", "payloads", "_mmap", "_view")
+
+    def __init__(self, path, kind, version, header, payloads, mm, view):
+        self.path = str(path)
+        self.kind = kind
+        self.version = version
+        self.header = header
+        self.payloads = payloads
+        self._mmap = mm
+        self._view = view
+
+    @property
+    def view(self):
+        """The whole-frame memoryview (for kind-dispatched reloading)."""
+        return self._view
+
+    def payload_array(self, index: int, dtype):
+        """Payload ``index`` as a read-only zero-copy numpy view."""
+        import numpy as np
+
+        return np.frombuffer(self.payloads[index], dtype=dtype)
+
+    def payload_crc32(self) -> int:
+        """CRC32 chained over all payload bytes (faults in every page)."""
+        crc = 0
+        for payload in self.payloads:
+            crc = zlib.crc32(payload, crc)
+        return crc
+
+    def close(self) -> None:
+        """Drop this frame's own references to the mapping.
+
+        Arrays already derived from ``payloads`` stay valid: each holds
+        its own buffer reference, and the map is unmapped only when the
+        last one is garbage-collected (``mmap.close`` on a still-exported
+        buffer is a no-op here, not an error).
+        """
+        self.payloads = []
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:  # derived views still hold the buffer
+                pass
+            self._mmap = None
+
+    def __enter__(self) -> "FrameView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def map_frame(path, expect_kind: int | None = None) -> FrameView:
+    """Map the single frame in ``path`` without reading its payloads.
+
+    The lazy counterpart of ``unpack_frame(path.read_bytes())``: the file
+    is ``mmap``-ed read-only, the prefix and JSON header are validated
+    eagerly, and the payloads come back as zero-copy views
+    (:class:`FrameView`).  Every failure raises :class:`SerialError`
+    naming the file and the offending offset.
+    """
+    path = os.fspath(path)
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError as exc:
+        raise SerialError(f"{path}: cannot map frame: {exc}") from exc
+    try:
+        size = os.fstat(fd).st_size
+        if size == 0:
+            raise SerialError(f"{path}: empty file, not a serialized frame")
+        mm = _mmap.mmap(fd, 0, access=_mmap.ACCESS_READ)
+    finally:
+        os.close(fd)
+    view = memoryview(mm)
+    try:
+        kind, header, payloads, end = _unpack_at(view, 0)
+        if end != size:
+            raise SerialError(
+                f"trailing garbage after filter frame "
+                f"({size - end} bytes at offset {end})"
+            )
+        _check_kind(kind, expect_kind)
+    except SerialError as exc:
+        view.release()
+        try:
+            mm.close()
+        except BufferError:  # traceback frames may still hold sub-views
+            pass
+        raise SerialError(f"{path}: {exc}") from exc
+    version = int.from_bytes(view[4:6], "little")
+    return FrameView(path, kind, version, header, payloads, mm, view)
 
 
 # ----------------------------------------------------------------------

@@ -61,6 +61,7 @@ API_ALL = [
 SERIAL_ALL = [
     "MAGIC",
     "FORMAT_VERSION",
+    "FORMAT_VERSION_BLOCKS",
     "SerialError",
     "KIND_BLOOMRF",
     "KIND_BLOOM",
@@ -78,6 +79,8 @@ SERIAL_ALL = [
     "unpack_frame",
     "unpack_frame_prefix",
     "peek_kind",
+    "map_frame",
+    "FrameView",
     "dump_filter",
     "load_filter",
 ]

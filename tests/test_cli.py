@@ -167,6 +167,43 @@ class TestStoreCommands:
         assert "engine: lsm" in out
         assert "FilterSpec('bloom'" in out
 
+    def test_init_compressed_store_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "zdb"
+        keyfile = tmp_path / "keys.txt"
+        keyfile.write_text("\n".join(str(k) for k in range(0, 2_000, 2)))
+        assert main(
+            ["store", "init", str(store), "--compression", "zlib",
+             "--block-bytes", "4096", "--memtable-capacity", "256"]
+        ) == 0
+        assert "zlib-compressed" in capsys.readouterr().out
+        assert main(["store", "ingest", str(store), str(keyfile)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", str(store), "--point", "4", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "point 4: present" in out
+        assert "point 5: absent" in out
+        assert main(["store", "inspect", str(store)]) == 0
+        assert "compression: zlib (block_bytes=4096)" in capsys.readouterr().out
+
+    def test_init_block_bytes_requires_compression(self, tmp_path, capsys):
+        assert main(
+            ["store", "init", str(tmp_path / "db"), "--block-bytes", "1024"]
+        ) == 2
+        assert "requires --compression" in capsys.readouterr().out
+
+    def test_init_zstd_without_extra_fails_cleanly(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.lsm.blocks as blocks_mod
+
+        monkeypatch.setattr(blocks_mod, "_zstd_module", lambda: None)
+        assert main(
+            ["store", "init", str(tmp_path / "db"), "--compression", "zstd"]
+        ) == 2
+        assert "zstandard" in capsys.readouterr().out
+
     def test_init_twice_fails(self, tmp_path, capsys):
         store = tmp_path / "db"
         assert main(["store", "init", str(store)]) == 0

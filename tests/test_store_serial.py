@@ -357,3 +357,150 @@ class TestCreateSafety:
 
         assert main(["store", "init", str(store_dir)]) == 2
         assert "refusing" in capsys.readouterr().out
+
+
+def make_compressed_store(path):
+    """A zlib-compressed store with values (small blocks -> several per run)."""
+    keys = np.arange(0, 2_000, 2, dtype=np.uint64)
+    with open_store(
+        path=path,
+        filter=SPEC,
+        memtable_capacity=128,
+        store_values=True,
+        compression={"codec": "zlib", "block_bytes": 512},
+    ) as db:
+        db.put_many(keys, [b"value-%06d" % int(k) * 4 for k in keys])
+    return path
+
+
+@pytest.fixture()
+def compressed_dir(tmp_path):
+    return make_compressed_store(tmp_path / "zdb")
+
+
+def _flip_byte_in_payload(sst_path, payload_index, offset=3):
+    """Flip one byte inside the given payload of an SST frame on disk."""
+    from repro.serial import unpack_frame
+
+    data = sst_path.read_bytes()
+    target = bytes(unpack_frame(data)[1][payload_index])
+    position = data.rindex(target) + offset
+    blob = bytearray(data)
+    blob[position] ^= 0x20
+    sst_path.write_bytes(bytes(blob))
+
+
+class TestCompressedFrameCorruption:
+    """Version-2 (block-compressed) frames: damage must raise
+    :class:`SerialError` naming the file and byte offset — wrong data is
+    never returned, whether the payload decodes at open or lazily."""
+
+    def test_bit_flipped_compressed_key_block_raises_on_open(
+        self, compressed_dir
+    ):
+        victim = next(compressed_dir.glob("sst-*.sst"))
+        _flip_byte_in_payload(victim, 0)  # keys decode eagerly at open
+        # The eager path catches it via the whole-frame checksum, the mmap
+        # path via the flipped block's own CRC — both name the file.
+        with pytest.raises(SerialError, match=f"{victim.name}.*checksum"):
+            open_store(path=compressed_dir)
+        with pytest.raises(
+            SerialError,
+            match=f"{victim.name}.*block \\d+ checksum mismatch.*offset",
+        ):
+            open_store(path=compressed_dir, mmap=True)
+
+    def test_bit_flipped_value_block_raises_on_access_not_wrong_data(
+        self, compressed_dir
+    ):
+        """The value blob decompresses lazily: a flip there passes the
+        mmap open (which skips whole-payload reads by design) but must
+        fail loudly on the first lookup that touches the block."""
+        victim = next(compressed_dir.glob("sst-*.sst"))
+        _flip_byte_in_payload(victim, 3)  # the value blob payload
+        db = open_store(path=compressed_dir, mmap=True)
+        with pytest.raises(
+            SerialError,
+            match=f"{victim.name}.*block \\d+ checksum mismatch.*offset",
+        ):
+            for k in range(0, 2_000, 2):
+                db.get_value(k)
+        db.close()
+
+    def test_truncated_block_table_raises(self, compressed_dir):
+        from repro.serial import (
+            FORMAT_VERSION_BLOCKS,
+            KIND_SSTABLE,
+            pack_frame,
+            unpack_frame,
+        )
+
+        victim = next(compressed_dir.glob("sst-*.sst"))
+        header, payloads = unpack_frame(victim.read_bytes())
+        assert len(header["blocks"][3]) > 1, "fixture needs multi-block values"
+        header["blocks"][3] = header["blocks"][3][:-1]
+        victim.write_bytes(
+            pack_frame(
+                KIND_SSTABLE, header, *payloads,
+                version=FORMAT_VERSION_BLOCKS,
+            )
+        )
+        for mmap in (False, True):
+            with pytest.raises(
+                SerialError, match=f"{victim.name}.*truncated block table"
+            ):
+                open_store(path=compressed_dir, mmap=mmap)
+
+    def test_codec_mismatch_vs_manifest_raises(self, compressed_dir):
+        import json
+
+        header = read_store_manifest(compressed_dir)
+        header = json.loads(json.dumps(header))
+        header["geometry"]["compression"] = None
+        (compressed_dir / MANIFEST_NAME).write_bytes(
+            pack_frame(KIND_STORE, header)
+        )
+        for mmap in (False, True):
+            with pytest.raises(
+                SerialError,
+                match="codec 'zlib' does not match the store manifest",
+            ):
+                open_store(path=compressed_dir, mmap=mmap)
+
+    def test_mmap_of_file_shorter_than_header_claims_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.sst"))
+        victim.write_bytes(victim.read_bytes()[:-9])
+        with pytest.raises(
+            SerialError, match=f"{victim.name}.*truncated.*offset"
+        ):
+            open_store(path=store_dir, mmap=True)
+
+    def test_mmap_of_empty_file_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.filter"))
+        victim.write_bytes(b"")
+        with pytest.raises(
+            SerialError, match=f"{victim.name}.*empty file"
+        ):
+            open_store(path=store_dir, mmap=True)
+
+    def test_mmap_trailing_garbage_raises(self, store_dir):
+        victim = next(store_dir.glob("sst-*.sst"))
+        victim.write_bytes(victim.read_bytes() + b"\x00" * 16)
+        with pytest.raises(
+            SerialError, match=f"{victim.name}.*trailing"
+        ):
+            open_store(path=store_dir, mmap=True)
+
+    def test_zstd_store_without_the_extra_fails_loudly(
+        self, tmp_path, monkeypatch
+    ):
+        """A manifest recorded with zstd must never silently fall back to
+        zlib when the optional package is missing."""
+        import repro.lsm.blocks as blocks_mod
+
+        if blocks_mod._zstd_module() is not None:
+            monkeypatch.setattr(blocks_mod, "_zstd_module", lambda: None)
+        with pytest.raises(ValueError, match="zstandard"):
+            open_store(
+                path=tmp_path / "db", filter=SPEC, compression="zstd"
+            )
