@@ -34,7 +34,7 @@ def run_mix(lookup_pct: int, range_mode: bool) -> float:
     # Warm the filter so early lookups touch a non-empty structure.
     filt.insert_many(keys[:1000])
     start = time.perf_counter()
-    for key, lookup in zip(keys.tolist(), is_lookup.tolist()):
+    for key, lookup in zip(keys.tolist(), is_lookup.tolist(), strict=True):
         if lookup:
             if range_mode:
                 filt.contains_range(key, min(key + RANGE_WIDTH, U64))

@@ -110,7 +110,7 @@ class TestMultiAttr:
     def test_soundness(self, dataset):
         run, obj, _ = dataset
         multi, _, _ = build_filters(run, obj, 20)
-        for a, b in zip(run[:300].tolist(), obj[:300].tolist()):
+        for a, b in zip(run[:300].tolist(), obj[:300].tolist(), strict=True):
             assert multi.contains_point(a, b)
             assert multi.contains_b_eq_a_range(b, 0, a)
 

@@ -78,7 +78,7 @@ class TestBreakdown:
 
     def test_false_positives_cost_io(self, breakdowns):
         """io_wait appears exactly when filters let queries through."""
-        for (range_size, name), run in breakdowns.items():
+        for run in breakdowns.values():
             if run.stats.filter_positives == 0:
                 assert run.stats.io_wait_s == 0
             blocked = run.stats.blocks_read

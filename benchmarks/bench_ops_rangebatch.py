@@ -73,7 +73,7 @@ def scalar_loop(filt: BloomRF, bounds: np.ndarray) -> np.ndarray:
     return np.fromiter(
         (
             filt.contains_range(int(lo), int(hi))
-            for lo, hi in zip(bounds[:, 0], bounds[:, 1])
+            for lo, hi in zip(bounds[:, 0], bounds[:, 1], strict=True)
         ),
         dtype=bool,
         count=bounds.shape[0],

@@ -42,7 +42,7 @@ def main() -> None:
     f_obj.insert_many(object_id)
 
     # Soundness on stored tuples.
-    for a, b in zip(run[:500].tolist(), object_id[:500].tolist()):
+    for a, b in zip(run[:500].tolist(), object_id[:500].tolist(), strict=True):
         assert multi.contains_point(a, b)
         assert multi.contains_b_eq_a_range(b, 0, a)
     print("soundness: 500/500 stored tuples answer positive")

@@ -26,7 +26,7 @@ def bulk_range_eval(
     inherently sequential (Rosetta's doubting, SuRF's trie walk, ...):
     one scalar probe per row, boolean array out.
     """
-    bounds = np.asarray(bounds)
+    bounds = np.asarray(bounds)  # repro-lint: ignore[dtype-discipline] -- generic adapter: rows reach the scalar fn via int(), any integer dtype is welcome
     return np.fromiter(
         (scalar_fn(int(lo), int(hi)) for lo, hi in bounds),
         dtype=bool,
@@ -44,7 +44,7 @@ def bulk_point_eval(
     (SuRF's trie walk, the cuckoo table): one scalar probe per key,
     boolean array out.
     """
-    keys = np.asarray(keys)
+    keys = np.asarray(keys)  # repro-lint: ignore[dtype-discipline] -- generic adapter: keys reach the scalar fn via int(), any integer dtype is welcome
     return np.fromiter(
         (scalar_fn(int(key)) for key in keys.ravel()),
         dtype=bool,
@@ -59,7 +59,7 @@ def check_bounds_rows(bounds: np.ndarray) -> np.ndarray:
     Cuckoo, the "none" filter) so their bulk form rejects inverted ranges
     exactly like their scalar form — the protocol's scalar==bulk contract.
     """
-    bounds = np.asarray(bounds)
+    bounds = np.asarray(bounds)  # repro-lint: ignore[dtype-discipline] -- validation helper: compares rows as given; pinning uint64 would wrap negatives before the check
     if bounds.size:
         inverted = bounds[:, 0] > bounds[:, 1]
         if np.any(inverted):

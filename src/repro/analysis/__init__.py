@@ -1,0 +1,41 @@
+"""AST-based invariant linter for the repo's safety contracts.
+
+``repro lint`` / ``python -m repro.analysis`` runs a small set of
+repo-specific rules over ``src/repro`` and fails on any unsuppressed
+finding.  The rules encode the store's correctness contracts — the
+maintenance-lock discipline around the copy-on-write run list, the
+fsync-before-``os.replace`` durability ordering, WAL-before-memtable
+write ordering, actionable ``SerialError`` messages, pinned ``uint64``
+key dtypes, and no swallowed worker exceptions — so a violation is a CI
+failure, not a review-memory test.
+
+Deliberate exceptions are suppressed in place with a written reason::
+
+    risky_thing()  # repro-lint: ignore[rule-id] -- why this one is safe
+
+The dynamic complement (lock-order cycle detection at runtime) lives in
+:mod:`repro.testing.locks`.
+"""
+
+from __future__ import annotations
+
+from .cli import main
+from .core import Finding, Linter, LintReport, ModuleSource, Rule, Suppression
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Linter",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Suppression",
+    "default_linter",
+    "main",
+]
+
+
+def default_linter() -> Linter:
+    """A :class:`Linter` loaded with the full repo rule set."""
+    return Linter([cls() for cls in ALL_RULES])

@@ -1,0 +1,67 @@
+"""Command-line front-end: ``repro lint`` / ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def default_target() -> Path:
+    """What to lint when no path is given: the ``repro`` package source.
+
+    Prefers the checkout layout (``src/repro`` under the current
+    directory) so suppressions and findings print repo-relative paths;
+    falls back to the installed package location.
+    """
+    checkout = Path("src/repro")
+    if checkout.is_dir():
+        return checkout
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the repo's invariant rules over Python sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package source)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their reasons",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .core import Linter
+    from .rules import ALL_RULES
+
+    args = build_parser().parse_args(argv)
+    rules = [cls() for cls in ALL_RULES]
+    if args.list_rules:
+        width = max(len(rule.id) for rule in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.summary}")
+        return 0
+
+    paths = args.paths or [default_target()]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}")
+        return 2
+    report = Linter(rules).run(paths)
+    print(report.render(show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1

@@ -1,0 +1,263 @@
+"""Rule engine for the repo's invariant linter.
+
+The store's safety contracts (maintenance-lock discipline, WAL-before-
+memtable ordering, fsync-before-replace durability, ...) are enforced by
+small AST rules over ``src/repro``.  This module is the machinery those
+rules plug into:
+
+* :class:`ModuleSource` — one parsed file: text, AST, and the per-line
+  suppression comments found in it.
+* :class:`Rule` — base class; subclasses declare an ``id``, the path
+  suffixes they apply to, and implement :meth:`Rule.check` (per file)
+  and/or :meth:`Rule.finalize` (once, over all scanned files).
+* :class:`Linter` — loads files, runs rules, applies suppressions, and
+  renders the report.
+
+Suppression syntax (same line as the finding)::
+
+    something_deliberate()  # repro-lint: ignore[rule-id] -- why it is safe
+
+The ``-- reason`` clause is mandatory: a suppression without a written
+reason is itself reported (rule ``lint-suppression``), as is one naming
+a rule id the linter does not know.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Suppression",
+]
+
+#: Matches the suppression marker inside a comment token; the reason is
+#: required, but its absence is reported by the linter rather than by
+#: this regex failing to match.
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+
+#: Rule id for problems with suppression comments themselves.
+SUPPRESSION_RULE_ID = "lint-suppression"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a ``file:line``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: ignore[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+class ModuleSource:
+    """One scanned file: path, source text, AST, suppressions."""
+
+    def __init__(self, path: Path, display: str, text: str) -> None:
+        self.path = path
+        #: POSIX-style path used in findings and for ``Rule.applies``
+        #: suffix matching (e.g. ``src/repro/lsm/db.py``).
+        self.display = display
+        self.text = text
+        self.tree = ast.parse(text, filename=display)
+        self.lines = text.splitlines()
+        self.suppressions: dict[int, Suppression] = {}
+        self.suppression_findings: list[Finding] = []
+        self._parse_suppressions()
+
+    def _iter_comments(self) -> Iterator[tuple[int, str]]:
+        """(lineno, text) of every real comment token.
+
+        Tokenizing (rather than regex-scanning raw lines) keeps the
+        suppression syntax inert inside strings and docstrings — this
+        module can document it without suppressing anything.
+        """
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError):
+            return
+
+    def _parse_suppressions(self) -> None:
+        for lineno, line in self._iter_comments():
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            if not rules:
+                self.suppression_findings.append(
+                    Finding(
+                        SUPPRESSION_RULE_ID,
+                        self.display,
+                        lineno,
+                        "suppression names no rule: use ignore[rule-id]",
+                    )
+                )
+                continue
+            if not reason:
+                self.suppression_findings.append(
+                    Finding(
+                        SUPPRESSION_RULE_ID,
+                        self.display,
+                        lineno,
+                        "suppression is missing its '-- reason' clause",
+                    )
+                )
+                continue
+            self.suppressions[lineno] = Suppression(lineno, rules, reason)
+
+    def suppression_for(self, finding: Finding) -> Suppression | None:
+        """The suppression covering ``finding``, if one exists on its line."""
+        suppression = self.suppressions.get(finding.line)
+        if suppression is not None and suppression.covers(finding.rule):
+            return suppression
+        return None
+
+
+class Rule:
+    """Base class for one invariant rule.
+
+    Subclasses set :attr:`id`, :attr:`summary`, :attr:`invariant`, and the
+    :attr:`paths` suffixes they apply to (empty tuple = every file), then
+    implement :meth:`check` and/or :meth:`finalize`.
+    """
+
+    id: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+    #: The safety contract the rule protects (for docs/README).
+    invariant: str = ""
+    #: Path suffixes the rule applies to; empty means all scanned files.
+    paths: tuple[str, ...] = ()
+
+    def applies(self, module: ModuleSource) -> bool:
+        return not self.paths or any(
+            module.display.endswith(suffix) for suffix in self.paths
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Per-file findings.  Default: none."""
+        return iter(())
+
+    def finalize(self, modules: Sequence[ModuleSource]) -> Iterator[Finding]:
+        """Cross-file findings, called once after every file. Default: none."""
+        return iter(())
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(self.id, module.display, getattr(node, "lineno", 1), message)
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one linter run."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, Suppression]]
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self, *, show_suppressed: bool = False) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if show_suppressed:
+            lines.extend(
+                f"{finding.render()} (suppressed: {suppression.reason})"
+                for finding, suppression in self.suppressed
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} suppressed, "
+            f"{self.files_scanned} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+class Linter:
+    """Run a rule set over files or directories."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+        self._known_ids = {rule.id for rule in self.rules} | {SUPPRESSION_RULE_ID}
+
+    def load(self, paths: Iterable[Path | str]) -> list[ModuleSource]:
+        modules = []
+        for path in _iter_python_files(Path(p) for p in paths):
+            display = path.as_posix()
+            modules.append(ModuleSource(path, display, path.read_text()))
+        return modules
+
+    def run(self, paths: Iterable[Path | str]) -> LintReport:
+        modules = self.load(paths)
+        by_display = {module.display: module for module in modules}
+        raw: list[Finding] = []
+        for module in modules:
+            raw.extend(module.suppression_findings)
+            raw.extend(self._unknown_rule_findings(module))
+            for rule in self.rules:
+                if rule.applies(module):
+                    raw.extend(rule.check(module))
+        for rule in self.rules:
+            raw.extend(rule.finalize(modules))
+
+        findings: list[Finding] = []
+        suppressed: list[tuple[Finding, Suppression]] = []
+        for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+            module = by_display.get(finding.path)
+            suppression = module.suppression_for(finding) if module else None
+            if suppression is not None and finding.rule != SUPPRESSION_RULE_ID:
+                suppressed.append((finding, suppression))
+            else:
+                findings.append(finding)
+        return LintReport(findings, suppressed, files_scanned=len(modules))
+
+    def _unknown_rule_findings(self, module: ModuleSource) -> Iterator[Finding]:
+        for suppression in module.suppressions.values():
+            for rule_id in suppression.rules:
+                if rule_id != "*" and rule_id not in self._known_ids:
+                    yield Finding(
+                        SUPPRESSION_RULE_ID,
+                        module.display,
+                        suppression.line,
+                        f"suppression names unknown rule {rule_id!r}",
+                    )

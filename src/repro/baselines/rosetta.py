@@ -262,7 +262,7 @@ class Rosetta:
         filt.max_level = int(header["max_level"])
         filt._filters = {
             level: BloomFilter.from_bytes(blob)
-            for level, blob in zip(levels, payloads)
+            for level, blob in zip(levels, payloads, strict=True)
         }
         filt._num_keys = int(header["num_keys"])
         filt.last_probe_count = 0

@@ -755,7 +755,7 @@ class SurfFilter:
 
     def contains_point_many(self, keys: np.ndarray) -> np.ndarray:
         if self._num_keys == 0:
-            return np.zeros(np.asarray(keys).size, dtype=bool)
+            return np.zeros(np.asarray(keys).size, dtype=bool)  # repro-lint: ignore[dtype-discipline] -- size only; the key values are never read
         return self._built().contains_point_many(keys)
 
     __contains__ = contains_point
@@ -769,7 +769,7 @@ class SurfFilter:
 
     def contains_range_many(self, bounds: np.ndarray) -> np.ndarray:
         if self._num_keys == 0:
-            return np.zeros(np.asarray(bounds).shape[0], dtype=bool)
+            return np.zeros(np.asarray(bounds).shape[0], dtype=bool)  # repro-lint: ignore[dtype-discipline] -- shape only; the bounds values are never read
         return self._built().contains_range_many(bounds)
 
     def to_bytes(self) -> bytes:

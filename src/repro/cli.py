@@ -13,13 +13,15 @@ Usage (also available as ``python -m repro``)::
     python -m repro store compact db/ --policy size-tiered
     python -m repro store inspect db/
     python -m repro store recover db/
+    python -m repro lint src/repro
 
 ``tune`` prints the advisor's chosen configuration and its analytic FPR
 estimates; ``model`` prints the full per-level FPR profile; ``measure``
 builds a filter over synthetic keys and measures FPR on guaranteed-empty
 queries; ``inspect`` summarizes a serialized filter file; ``store``
 creates, loads, queries, and summarizes persistent on-disk stores
-(:mod:`repro.lsm.store`).
+(:mod:`repro.lsm.store`); ``lint`` runs the AST invariant linter
+(:mod:`repro.analysis`) that machine-checks the store's safety contracts.
 """
 
 from __future__ import annotations
@@ -219,6 +221,27 @@ def build_parser() -> argparse.ArgumentParser:
         "recovered writes into durable runs",
     )
     s_recover.add_argument("path", help="store directory")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter over Python sources "
+        "(zero unsuppressed findings = exit 0)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package source)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their reasons",
+    )
 
     return parser
 
@@ -521,7 +544,7 @@ def _cmd_store_query(args) -> int:
         with open_store(path=args.path) as db:
             if points is not None:
                 present = db.get_many(points)
-                for key, hit in zip(points.tolist(), present.tolist()):
+                for key, hit in zip(points.tolist(), present.tolist(), strict=True):
                     print(f"point {key}: {'present' if hit else 'absent'}")
             if bounds is not None:
                 lo, hi = args.range_bounds
@@ -628,7 +651,7 @@ def _cmd_store_inspect(args) -> int:
             ]
             print(f"shards: {manifest['num_shards']} "
                   f"({manifest['partition']} partition)")
-            if len(set(spec.to_json() for spec in specs)) == 1:
+            if len({spec.to_json() for spec in specs}) == 1:
                 print(f"filter: {specs[0]!r}")
             else:
                 for i, spec in enumerate(specs):
@@ -656,7 +679,7 @@ def _cmd_store_inspect(args) -> int:
         # from mapped frames whose payloads are never materialized.
         shard_run_keys = []
         filter_bits = 0
-        for directory, shard_manifest in zip(shard_dirs, shard_manifests):
+        for directory, shard_manifest in zip(shard_dirs, shard_manifests, strict=True):
             run_keys = []
             for entry in shard_manifest.get("runs", []):
                 name = _manifest_field(entry, "file", directory)
@@ -722,7 +745,7 @@ def _cmd_store_inspect(args) -> int:
         epoch = 0
         records = wal_bytes = replay_records = replay_ops = stale = 0
         torn_any = False
-        for directory, shard_manifest in zip(shard_dirs, shard_manifests):
+        for directory, shard_manifest in zip(shard_dirs, shard_manifests, strict=True):
             wal_path = directory / WAL_NAME
             if not wal_path.is_file():
                 raise SerialError(
@@ -793,6 +816,17 @@ _STORE_COMMANDS = {
     "recover": _cmd_store_recover,
 }
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "tune": _cmd_tune,
     "model": _cmd_model,
@@ -800,6 +834,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "build": _cmd_build,
     "store": _cmd_store,
+    "lint": _cmd_lint,
 }
 
 

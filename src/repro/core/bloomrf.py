@@ -326,7 +326,7 @@ class BloomRF:
 
     def _validated_keys(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized :func:`check_key`: uint64 view of in-domain keys."""
-        arr = np.asarray(keys)
+        arr = np.asarray(keys)  # repro-lint: ignore[dtype-discipline] -- validation must see the caller's dtype to reject floats/negatives before astype(uint64)
         if arr.size == 0:
             return arr.astype(np.uint64)
         if arr.dtype == object:
@@ -350,7 +350,7 @@ class BloomRF:
 
     def _validated_bounds(self, bounds: np.ndarray) -> np.ndarray:
         """Validate an ``(n, 2)`` inclusive-bounds array (vectorized)."""
-        arr = np.asarray(bounds)
+        arr = np.asarray(bounds)  # repro-lint: ignore[dtype-discipline] -- validation must see the caller's dtype to reject floats/negatives before astype(uint64)
         if arr.size == 0:
             return np.zeros((0, 2), dtype=np.uint64)
         if arr.ndim != 2 or arr.shape[1] != 2:

@@ -28,8 +28,11 @@ from __future__ import annotations
 import threading
 import zlib
 from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.serial import SerialError
 
@@ -52,7 +55,7 @@ DEFAULT_CACHE_BYTES = 8 << 20  # decompressed-block budget per store
 _CODEC_NAMES = ("zlib", "zstd")
 
 
-def _zstd_module():
+def _zstd_module() -> Any:
     try:
         import zstandard
     except ImportError:
@@ -82,23 +85,33 @@ def require_codec(codec: str) -> str:
     return codec
 
 
-def _compressor(codec: str):
+def _compressor(codec: str) -> Callable[[bytes | memoryview], bytes]:
     require_codec(codec)
     if codec == "zlib":
         return lambda raw: zlib.compress(bytes(raw), 6)
     cctx = _zstd_module().ZstdCompressor()
-    return lambda raw: cctx.compress(bytes(raw))
+
+    def compress(raw: bytes | memoryview) -> bytes:
+        comp: bytes = cctx.compress(bytes(raw))
+        return comp
+
+    return compress
 
 
-def _decompressor(codec: str):
+def _decompressor(codec: str) -> Callable[[bytes | memoryview, int], bytes]:
     require_codec(codec)
     if codec == "zlib":
         return lambda comp, raw_len: zlib.decompress(comp)
     dctx = _zstd_module().ZstdDecompressor()
-    return lambda comp, raw_len: dctx.decompress(comp, max_output_size=raw_len)
+
+    def decompress(comp: bytes | memoryview, raw_len: int) -> bytes:
+        raw: bytes = dctx.decompress(comp, max_output_size=raw_len)
+        return raw
+
+    return decompress
 
 
-def normalize_compression(compression) -> dict | None:
+def normalize_compression(compression: object) -> dict[str, Any] | None:
     """Coerce an ``open_store(compression=...)`` argument to canonical form.
 
     ``None`` means uncompressed; a codec name string means that codec at
@@ -145,7 +158,7 @@ def normalize_compression(compression) -> dict | None:
 # writing: raw payload -> concatenated compressed blocks + block table
 # ----------------------------------------------------------------------
 def compress_payload(
-    raw, codec: str, block_bytes: int
+    raw: bytes | memoryview, codec: str, block_bytes: int
 ) -> tuple[bytes, list[list[int]]]:
     """Split ``raw`` into ``block_bytes`` chunks and compress each.
 
@@ -185,12 +198,12 @@ class BlockCache:
             )
         self.capacity_bytes = capacity_bytes
         self._lock = threading.Lock()
-        self._blocks: OrderedDict[tuple, bytes] = OrderedDict()
+        self._blocks: OrderedDict[tuple[Any, ...], bytes] = OrderedDict()
         self._used = 0
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: tuple) -> bytes | None:
+    def get(self, key: tuple[Any, ...]) -> bytes | None:
         with self._lock:
             block = self._blocks.get(key)
             if block is None:
@@ -200,7 +213,7 @@ class BlockCache:
             self.hits += 1
             return block
 
-    def put(self, key: tuple, block: bytes) -> None:
+    def put(self, key: tuple[Any, ...], block: bytes) -> None:
         size = len(block)
         if size > self.capacity_bytes:
             return  # larger than the whole budget; not worth evicting for
@@ -264,16 +277,16 @@ class BlockedPayload:
 
     def __init__(
         self,
-        data,
-        table,
+        data: bytes | memoryview,
+        table: list[list[int]],
         raw_len: int,
         block_bytes: int,
         codec: str,
         *,
         context: str,
         cache: BlockCache | None = None,
-        cache_key: tuple | None = None,
-        stats=None,
+        cache_key: tuple[Any, ...] | None = None,
+        stats: Any = None,
     ) -> None:
         if block_bytes <= 0:
             raise SerialError(
@@ -321,8 +334,10 @@ class BlockedPayload:
     def block(self, index: int) -> bytes:
         """Decompress (or fetch from cache) one verified block."""
         cache = self._cache
-        if cache is not None:
-            key = (*self._cache_key, index)
+        key = (
+            (*self._cache_key, index) if self._cache_key is not None else None
+        )
+        if cache is not None and key is not None:
             cached = cache.get(key)
             stats = self._stats
             if cached is not None:
@@ -332,7 +347,7 @@ class BlockedPayload:
             if stats is not None:
                 stats.block_cache_misses += 1
         block = self._decode(index)
-        if cache is not None:
+        if cache is not None and key is not None:
             cache.put(key, block)
         return block
 
@@ -374,7 +389,7 @@ class BlockedPayload:
         if first == last:
             offset = start - first * self.block_bytes
             return self.block(first)[offset : offset + length]
-        parts = []
+        parts: list[bytes] = []
         for index in range(first, last + 1):
             block = self.block(index)
             lo = start - index * self.block_bytes if index == first else 0
@@ -392,7 +407,12 @@ class BlockedPayload:
 
 
 def decompress_payload(
-    data, table, raw_len: int, block_bytes: int, codec: str, context: str
+    data: bytes | memoryview,
+    table: list[list[int]],
+    raw_len: int,
+    block_bytes: int,
+    codec: str,
+    context: str,
 ) -> bytes:
     """Eagerly decompress one block-table payload, verifying every CRC."""
     return BlockedPayload(
@@ -415,7 +435,12 @@ class SlicedValues:
 
     __slots__ = ("_read", "_offsets")
 
-    def __init__(self, source, offsets: np.ndarray) -> None:
+    def __init__(
+        self,
+        source: bytes | memoryview | BlockedPayload,
+        offsets: npt.NDArray[Any],
+    ) -> None:
+        self._read: Callable[[int, int], bytes]
         if isinstance(source, BlockedPayload):
             self._read = source.read
         else:
@@ -435,7 +460,7 @@ class SlicedValues:
         start = int(self._offsets[index])
         return self._read(start, int(self._offsets[index + 1]) - start)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[bytes]:
         for index in range(len(self)):
             yield self[index]
 

@@ -27,6 +27,12 @@ oldest run (nothing older left to shadow); interior merges keep them.
 Policy configuration is plain data (``{"policy": name, "params":
 {...}}``) so it persists in the store manifest and round-trips through
 ``open_store(compaction=...)``, the CLI, and reopen checks.
+
+Worker-path contract (machine-checked by ``repro lint``): a background
+thread cannot unwind the main thread, so no exception may be silently
+swallowed — errors must reach ``last_error`` or re-raise
+(``exception-discipline``), and merge commits must hold the engine's
+maintenance lock (``lock-discipline``).
 """
 
 from __future__ import annotations

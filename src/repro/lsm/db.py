@@ -11,6 +11,14 @@ Compaction is disabled by default, matching the paper's RocksDB setup
 (overlapping L0 runs are exactly what makes per-SST filters matter);
 :meth:`LsmDB.compact` is provided for KV-store completeness and drops
 shadowed versions and tombstones.
+
+Concurrency contract (machine-checked by ``repro lint``): readers take
+lock-free copy-on-write snapshots of ``self.sstables``, so every swap of
+the run list — and every call into a ``*_locked`` method or
+``_commit_merge`` — must hold ``self._maintenance_lock``
+(``lock-discipline``).  The compaction-stress suite additionally runs
+under :class:`repro.testing.LockOrderWatcher`, which fails on lock-order
+cycles and on unlocked run-list swaps at runtime.
 """
 
 from __future__ import annotations
@@ -409,7 +417,7 @@ class LsmDB:
     def _validated_keys(keys: np.ndarray) -> np.ndarray:
         """Shared key validation for the batched point paths: refuses
         negative keys instead of silently wrapping them into uint64."""
-        arr = np.asarray(keys)
+        arr = np.asarray(keys)  # repro-lint: ignore[dtype-discipline] -- validation must see the caller's dtype to reject floats/negatives before astype(uint64)
         if arr.size == 0:
             return np.zeros(0, dtype=np.uint64)
         if arr.ndim != 1:
@@ -496,7 +504,7 @@ class LsmDB:
         """Shared bounds validation for the batched scan paths: mirrors the
         scalar scans' inverted-range rejection and refuses negative keys
         instead of silently wrapping them into uint64."""
-        arr = np.asarray(bounds)
+        arr = np.asarray(bounds)  # repro-lint: ignore[dtype-discipline] -- validation must see the caller's dtype to reject floats/negatives before astype(uint64)
         if arr.size == 0:
             return np.zeros((0, 2), dtype=np.uint64)
         if arr.ndim != 2 or arr.shape[1] != 2:
@@ -551,7 +559,7 @@ class LsmDB:
             for i in np.nonzero(hits)[0]:
                 candidates[i].append(sst)
         out = self.memtable.contains_range_many(bounds)
-        for i, (lo, hi) in enumerate(zip(bounds[:, 0].tolist(), bounds[:, 1].tolist())):
+        for i, (lo, hi) in enumerate(zip(bounds[:, 0].tolist(), bounds[:, 1].tolist(), strict=True)):
             if not out[i] and candidates[i]:
                 out[i] = bool(self._merge_scan(lo, hi, candidates[i], limit=1))
         return out

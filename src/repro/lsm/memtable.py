@@ -68,7 +68,7 @@ class MemTable:
             return
         if len(values) != len(keys):
             raise ValueError("values must align with keys")
-        self._entries.update(zip(keys, values))
+        self._entries.update(zip(keys, values, strict=True))
 
     def delete(self, key: int) -> None:
         """Record a tombstone (shadows older versions on lower levels)."""

@@ -56,6 +56,13 @@ reopen (never rebuilt from keys), so probe answers and their
 store bit for bit; deserialization time lands in the
 ``deserialization_s`` bucket (the Fig. 12.G cost the paper charges for
 filter-block loads).
+
+Durability contract (machine-checked by ``repro lint``): raw
+``os.replace``/``os.write``/``open(..., "w")`` calls are confined to the
+approved helpers (``_atomic_write`` and the WAL append path), so every
+durable byte gets the fsync-before-replace ordering the crash suites
+verify (``durability-discipline``); in the ``Persistent*`` engines a
+memtable mutation must be preceded by a WAL append (``wal-ordering``).
 """
 
 from __future__ import annotations
@@ -821,9 +828,9 @@ class PersistentLsmDB(LsmDB):
         ops = 0
         for record in records:
             if record.op == OP_DELETE:
-                self.memtable.delete_many(record.keys)
+                self.memtable.delete_many(record.keys)  # repro-lint: ignore[wal-ordering] -- WAL replay: the record being applied IS the log entry
             else:
-                self.memtable.put_many(record.keys, record.values)
+                self.memtable.put_many(record.keys, record.values)  # repro-lint: ignore[wal-ordering] -- WAL replay: the record being applied IS the log entry
             ops += int(record.keys.size)
         self._wal = WriteAheadLog.attach(
             wal_path,
@@ -996,7 +1003,7 @@ class PersistentLsmDB(LsmDB):
             )
             fd = os.open(path, os.O_WRONLY | os.O_APPEND)
             try:
-                os.write(fd, delta)
+                os.write(fd, delta)  # repro-lint: ignore[durability-discipline] -- O_APPEND manifest run-delta: fsync'd below before the flush is acknowledged
                 os.fsync(fd)
             finally:
                 os.close(fd)

@@ -52,6 +52,11 @@ commit trade: bounded post-power-loss window, a fraction of the fsyncs);
 before the API call returns, so acknowledged writes survive process death
 (``kill -9``) even at ``sync="off"`` — the fsync policy only sizes the
 window lost to power failure.
+
+This module is part of the typed beachhead (``mypy --strict`` in CI) and
+its write paths are machine-checked by ``repro lint``: raw writes stay
+inside the append helpers (``durability-discipline``), and engines must
+append here *before* mutating their memtable (``wal-ordering``).
 """
 
 from __future__ import annotations
@@ -60,8 +65,10 @@ import os
 import struct
 import zlib
 from pathlib import Path
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.serial import KIND_WAL, SerialError, pack_frame, unpack_frame_prefix
 
@@ -82,7 +89,9 @@ class WalRecord:
 
     __slots__ = ("op", "keys", "values")
 
-    def __init__(self, op: int, keys: np.ndarray, values: list[bytes] | None):
+    def __init__(
+        self, op: int, keys: npt.NDArray[np.uint64], values: list[bytes] | None
+    ) -> None:
         self.op = op
         self.keys = keys
         self.values = values
@@ -92,7 +101,7 @@ class WalRecord:
 
 
 def _encode_record(
-    op: int, keys: np.ndarray, values: list[bytes] | None
+    op: int, keys: npt.NDArray[np.uint64], values: list[bytes] | None
 ) -> bytes:
     parts = [
         bytes([op]),
@@ -100,6 +109,7 @@ def _encode_record(
         np.ascontiguousarray(keys, dtype="<u8").tobytes(),
     ]
     if op == OP_PUT:
+        assert values is not None  # append_put routes value-less puts away
         lengths = np.fromiter(
             (len(v) for v in values), dtype="<u4", count=len(values)
         )
@@ -127,7 +137,7 @@ def _decode_body(body: bytes, where: str, offset: int) -> WalRecord:
     if keys_end > len(body):
         raise bad(f"key array for {count} keys overruns the body")
     keys = np.frombuffer(body[cursor:keys_end], dtype="<u8").astype(np.uint64)
-    values = None
+    values: list[bytes] | None = None
     if op == OP_PUT:
         lengths_end = keys_end + 4 * count
         if lengths_end > len(body):
@@ -144,7 +154,7 @@ def _decode_body(body: bytes, where: str, offset: int) -> WalRecord:
     return WalRecord(op, keys, values)
 
 
-def read_wal(path: str | Path) -> tuple[dict, list[WalRecord], int, bool]:
+def read_wal(path: str | Path) -> tuple[dict[str, Any], list[WalRecord], int, bool]:
     """Parse a log file into ``(header, records, valid_end, torn)``.
 
     ``valid_end`` is the byte offset of the last complete record's end —
@@ -193,7 +203,7 @@ def read_wal(path: str | Path) -> tuple[dict, list[WalRecord], int, bool]:
     return header, records, valid_end, torn
 
 
-def _header_field(header: dict, name: str, path: Path):
+def _header_field(header: dict[str, Any], name: str, path: Path) -> Any:
     try:
         return header[name]
     except (KeyError, TypeError):
@@ -244,7 +254,7 @@ class WriteAheadLog:
         self.fsyncs = 0
         self.bytes_written = 0
         self.records_appended = 0
-        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+        self._fd: int | None = os.open(self.path, os.O_WRONLY | os.O_APPEND)
 
     # ------------------------------------------------------------------
     # construction
@@ -335,7 +345,7 @@ class WriteAheadLog:
     # the write path
     # ------------------------------------------------------------------
     def append_put(
-        self, keys: np.ndarray, values: list[bytes] | None = None
+        self, keys: npt.NDArray[np.uint64], values: list[bytes] | None = None
     ) -> None:
         """Log a put batch.  Returns only once the record reached the
         kernel (one ``os.write``), which is the acknowledgement point."""
@@ -344,13 +354,15 @@ class WriteAheadLog:
         else:
             self._append(OP_PUT, keys, values)
 
-    def append_delete(self, keys: np.ndarray) -> None:
+    def append_delete(self, keys: npt.NDArray[np.uint64]) -> None:
         """Log a tombstone batch."""
         self._append(OP_DELETE, keys, None)
 
     def _append(
-        self, op: int, keys: np.ndarray, values: list[bytes] | None
+        self, op: int, keys: npt.NDArray[np.uint64], values: list[bytes] | None
     ) -> None:
+        if self._fd is None:
+            raise ValueError(f"write-ahead log {self.path} is closed")
         record = _encode_record(op, keys, values)
         os.write(self._fd, record)
         self.size_bytes += len(record)
@@ -375,6 +387,8 @@ class WriteAheadLog:
             self._fsync()
 
     def _fsync(self) -> None:
+        if self._fd is None:
+            raise ValueError(f"write-ahead log {self.path} is closed")
         os.fsync(self._fd)
         self.fsyncs += 1
         self._pending_ops = 0
@@ -390,7 +404,8 @@ class WriteAheadLog:
         before the replace, the old log replays against the old manifest;
         after it, the empty log matches the new one.
         """
-        os.close(self._fd)
+        if self._fd is not None:
+            os.close(self._fd)
         self.size_bytes = self._write_header_file(self.path, self.seal, epoch)
         self.epoch = epoch
         self.num_records = 0
@@ -405,7 +420,7 @@ class WriteAheadLog:
         os.close(self._fd)
         self._fd = None
 
-    def info(self) -> dict:
+    def info(self) -> dict[str, Any]:
         """WAL state for ``repro store inspect`` / ``wal_info()``."""
         return {
             "sync": self.sync_mode,

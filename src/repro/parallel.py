@@ -30,6 +30,10 @@ loop and no worker threads leak.  Single-job batches run inline (no pool
 round-trip for the common narrow-query case), and the per-shard work units
 are expected to be GIL-releasing NumPy sweeps so shards genuinely overlap
 on multi-core hosts.
+
+Worker-path contract (machine-checked by ``repro lint``): pool workers
+must never swallow exceptions silently — failures are recorded or
+re-raised so callers see them (``exception-discipline``).
 """
 
 from __future__ import annotations
@@ -221,7 +225,7 @@ def run_point_batch(
     owner = partitioner.owner_of_many(keys)
     jobs = group_by_owner(owner)
     answers = pool.run(jobs, lambda s, idx: method(shards[s], keys[idx]))
-    for (_, idx), ans in zip(jobs, answers):
+    for (_, idx), ans in zip(jobs, answers, strict=True):
         out[idx] = ans
     return out
 
@@ -248,7 +252,7 @@ def run_bounds_batch(
         for s, idx, clipped in partitioner.split_bounds(bounds)
     ]
     answers = pool.run(jobs, lambda s, job: method(shards[s], job[1]))
-    for (_, (idx, _)), ans in zip(jobs, answers):
+    for (_, (idx, _)), ans in zip(jobs, answers, strict=True):
         out[idx] |= ans
     return out
 

@@ -48,6 +48,12 @@ frame itself (magic, version, lengths, header) raises :class:`ValueError`.
 Frames carrying *exact* data add their own: ``KIND_SSTABLE`` run frames
 (:mod:`repro.lsm.store`) record a payload CRC32 in their header, because a
 flipped bit there would change answers rather than move a false positive.
+
+This module is part of the typed beachhead (``mypy --strict`` in CI), and
+``repro lint`` enforces its contracts package-wide: every
+:class:`SerialError` raised at an I/O boundary must name the offending
+file, and every ``KIND_*`` constant must have a registered reader
+(``serial-discipline``).
 """
 
 from __future__ import annotations
@@ -56,6 +62,15 @@ import json
 import mmap as _mmap
 import os
 import zlib
+from typing import TYPE_CHECKING, Any, TypeVar
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+#: Frame parsing is generic over the buffer type: ``bytes`` input yields
+#: ``bytes`` payloads (the eager path), ``memoryview`` input yields
+#: zero-copy sub-views (the :func:`map_frame` path).
+_Buf = TypeVar("_Buf", bytes, memoryview)
 
 __all__ = [
     "MAGIC",
@@ -131,7 +146,7 @@ _PREFIX_LEN = 12  # magic + version + kind + header length
 
 
 def pack_frame(
-    kind: int, header: dict, *payloads: bytes, version: int = FORMAT_VERSION
+    kind: int, header: dict[str, Any], *payloads: bytes, version: int = FORMAT_VERSION
 ) -> bytes:
     """Assemble one frame: magic, version, kind, JSON header, payloads."""
     if kind not in KIND_NAMES:
@@ -153,7 +168,7 @@ def pack_frame(
     return b"".join(parts)
 
 
-def _take(data, cursor: int, size: int, what: str):
+def _take(data: _Buf, cursor: int, size: int, what: str) -> tuple[_Buf, int]:
     """Slice ``size`` bytes at ``cursor`` (zero-copy for memoryview input)."""
     if cursor + size > len(data):
         raise SerialError(
@@ -165,7 +180,7 @@ def _take(data, cursor: int, size: int, what: str):
 
 def unpack_frame(
     data: bytes, expect_kind: int | None = None
-) -> tuple[dict, list[bytes]]:
+) -> tuple[dict[str, Any], list[bytes]]:
     """Parse a frame back into ``(header, payloads)``.
 
     Raises :class:`SerialError` on a bad magic, an unsupported format
@@ -178,7 +193,7 @@ def unpack_frame(
 
 def unpack_frame_prefix(
     data: bytes, start: int = 0, expect_kind: int | None = None
-) -> tuple[dict, list[bytes], int]:
+) -> tuple[dict[str, Any], list[bytes], int]:
     """Parse the frame beginning at ``start``; tolerate trailing bytes.
 
     The streaming counterpart of :func:`unpack_frame` for files that hold
@@ -209,8 +224,8 @@ def peek_kind(data: bytes) -> int:
     return int.from_bytes(prefix[6:8], "little")
 
 
-def _check_prefix(prefix) -> int:
-    if prefix[:4] != MAGIC:
+def _check_prefix(prefix: bytes | memoryview) -> int:
+    if bytes(prefix[:4]) != MAGIC:
         raise SerialError(
             f"not a serialized repro filter (bad magic {bytes(prefix[:4])!r}, "
             f"expected {MAGIC!r})"
@@ -225,7 +240,7 @@ def _check_prefix(prefix) -> int:
     return version
 
 
-def _unpack_any(data) -> tuple[int, dict, list[bytes]]:
+def _unpack_any(data: _Buf) -> tuple[int, dict[str, Any], list[_Buf]]:
     kind, header, payloads, cursor = _unpack_at(data, 0)
     if cursor != len(data):
         raise SerialError(
@@ -234,7 +249,7 @@ def _unpack_any(data) -> tuple[int, dict, list[bytes]]:
     return kind, header, payloads
 
 
-def _unpack_at(data, start: int) -> tuple[int, dict, list[bytes], int]:
+def _unpack_at(data: _Buf, start: int) -> tuple[int, dict[str, Any], list[_Buf], int]:
     """Parse one frame; ``data`` may be ``bytes`` or a ``memoryview``.
 
     With a memoryview input (the :func:`map_frame` path) every returned
@@ -255,7 +270,7 @@ def _unpack_at(data, start: int) -> tuple[int, dict, list[bytes], int]:
     if not isinstance(header, dict):
         raise SerialError("corrupt filter frame header: not a JSON object")
     count_bytes, cursor = _take(data, cursor, 4, "payload count")
-    payloads = []
+    payloads: list[_Buf] = []
     for i in range(int.from_bytes(count_bytes, "little")):
         size_bytes, cursor = _take(data, cursor, 8, f"payload {i} length")
         payload, cursor = _take(
@@ -289,21 +304,30 @@ class FrameView:
 
     __slots__ = ("path", "kind", "version", "header", "payloads", "_mmap", "_view")
 
-    def __init__(self, path, kind, version, header, payloads, mm, view):
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        kind: int,
+        version: int,
+        header: dict[str, Any],
+        payloads: list[memoryview],
+        mm: _mmap.mmap | None,
+        view: memoryview | None,
+    ) -> None:
         self.path = str(path)
         self.kind = kind
         self.version = version
         self.header = header
-        self.payloads = payloads
-        self._mmap = mm
-        self._view = view
+        self.payloads: list[memoryview] = payloads
+        self._mmap: _mmap.mmap | None = mm
+        self._view: memoryview | None = view
 
     @property
-    def view(self):
+    def view(self) -> memoryview | None:
         """The whole-frame memoryview (for kind-dispatched reloading)."""
         return self._view
 
-    def payload_array(self, index: int, dtype):
+    def payload_array(self, index: int, dtype: npt.DTypeLike) -> npt.NDArray[Any]:
         """Payload ``index`` as a read-only zero-copy numpy view."""
         import numpy as np
 
@@ -338,11 +362,13 @@ class FrameView:
     def __enter__(self) -> "FrameView":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-def map_frame(path, expect_kind: int | None = None) -> FrameView:
+def map_frame(
+    path: str | os.PathLike[str], expect_kind: int | None = None
+) -> FrameView:
     """Map the single frame in ``path`` without reading its payloads.
 
     The lazy counterpart of ``unpack_frame(path.read_bytes())``: the file
@@ -387,15 +413,16 @@ def map_frame(path, expect_kind: int | None = None) -> FrameView:
 # kind dispatch (through the repro.api registry; lazy imports keep this
 # module free of filter dependencies)
 # ----------------------------------------------------------------------
-def dump_filter(filt) -> bytes:
+def dump_filter(filt: object) -> bytes:
     """Serialize any supported filter object to its framed bytes."""
     to_bytes = getattr(filt, "to_bytes", None)
     if to_bytes is None:
         raise TypeError(f"cannot serialize {type(filt).__name__} objects")
-    return to_bytes()
+    blob: bytes = to_bytes()
+    return blob
 
 
-def load_filter(data: bytes):
+def load_filter(data: bytes) -> object:
     """Reconstruct whatever filter a frame holds, dispatching on its kind.
 
     Dispatch goes through the :mod:`repro.api` registry, so every
@@ -404,4 +431,5 @@ def load_filter(data: bytes):
     """
     from repro.api import filter_from_bytes
 
-    return filter_from_bytes(data)
+    loaded: object = filter_from_bytes(data)
+    return loaded

@@ -1,5 +1,17 @@
-"""Test-support machinery shipped with the package (fault injection)."""
+"""Test-support machinery shipped with the package.
+
+Fault injection (:mod:`repro.testing.faults`) crash-kills the store at
+syscall boundaries; the lock-order watcher (:mod:`repro.testing.locks`)
+instruments lock acquisition during the stress suites and fails on
+ordering cycles or unlocked run-list swaps.
+"""
 
 from repro.testing.faults import FaultInjector, InjectedCrash
+from repro.testing.locks import LockOrderError, LockOrderWatcher
 
-__all__ = ["FaultInjector", "InjectedCrash"]
+__all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "LockOrderError",
+    "LockOrderWatcher",
+]

@@ -1,0 +1,266 @@
+"""Lock-order watcher: the dynamic complement of ``repro lint``.
+
+The static rules (:mod:`repro.analysis`) prove lexically that run-list
+mutations sit under ``with self._maintenance_lock`` — but they cannot see
+*ordering* across locks at runtime.  With three lock sites in the store
+(the engine's maintenance :class:`~threading.RLock`, the compaction
+scheduler's bookkeeping lock, the block cache's LRU lock) plus whatever
+the thread pool creates, a deadlock needs two threads taking two of them
+in opposite orders.  This module instruments lock *construction* the way
+:class:`repro.testing.FaultInjector` instruments syscalls:
+
+* :class:`LockOrderWatcher` patches ``threading.Lock`` / ``threading.RLock``
+  while active, so every lock created in the window is wrapped in a proxy
+  that records, per thread, which locks were already held at each acquire.
+* Edges ``A -> B`` ("B acquired while A held") are keyed by the locks'
+  creation sites, building the acquisition-order graph across the whole
+  run.  A cycle in that graph is a potential deadlock even if the stress
+  run happened not to interleave fatally — :meth:`LockOrderWatcher.check`
+  (called automatically on clean exit) raises :class:`LockOrderError`.
+* :meth:`LockOrderWatcher.watch_engine` additionally guards the run-list
+  contract the linter enforces lexically: it swaps the engine's class for
+  a subclass whose ``sstables`` *setter* records a violation whenever the
+  run list is swapped without the maintenance lock held.  Reads stay
+  lock-free on purpose — copy-on-write snapshots are the design.
+
+Same-site nesting (two *instances* from one creation site, e.g. two
+shards' maintenance locks) is not edge-recorded: site-keyed cycle
+detection cannot orient it, and the store's fan-out never nests shards.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+__all__ = ["LockOrderError", "LockOrderWatcher"]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderError(AssertionError):
+    """A lock-order cycle or an unlocked run-list mutation was observed."""
+
+
+def _creation_site() -> str:
+    """``file:line`` of the first frame outside this module and threading."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(("locks.py", "threading.py")):
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"  # pragma: no cover - only if every frame is internal
+
+
+class _InstrumentedLock:
+    """Proxy around a real Lock/RLock that reports acquires to the watcher."""
+
+    def __init__(self, watcher: "LockOrderWatcher", inner, site: str) -> None:
+        self._watcher = watcher
+        self._inner = inner
+        self.site = site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._watcher._acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._watcher._released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        # RLock exposes this; Condition and the watch_engine() setter use
+        # it.  A plain Lock proxy falls back to "held by anyone".
+        inner_owned = getattr(self._inner, "_is_owned", None)
+        if inner_owned is not None:
+            return bool(inner_owned())
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_InstrumentedLock {self.site} wrapping {self._inner!r}>"
+
+
+class LockOrderWatcher:
+    """Record lock-acquisition order and fail on cycles.
+
+    Use as a context manager around code that *creates* the locks to be
+    watched (open the store inside the window).  On clean exit,
+    :meth:`check` runs automatically; with an exception in flight it does
+    not, so a crashing test reports its own failure, not a side effect.
+
+    ``watch_engine(db)`` opts a store's engines into run-list mutation
+    tracking; violations and cycles both surface as
+    :class:`LockOrderError` from :meth:`check`.
+    """
+
+    def __init__(self) -> None:
+        self.edges: dict[tuple[str, str], str] = {}
+        self.violations: list[str] = []
+        self._held = threading.local()
+        self._watched: list[tuple[object, type]] = []
+        self._active = False
+        self._state_lock = _REAL_LOCK()
+
+    # ------------------------------------------------------------------
+    # lock bookkeeping
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[_InstrumentedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _acquired(self, lock: _InstrumentedLock) -> None:
+        stack = self._stack()
+        if self._active and stack:
+            # threading.get_ident(), not current_thread(): the latter can
+            # construct a _DummyThread in a not-yet-registered bootstrap
+            # thread, whose Event.set() re-enters this proxy — unbounded
+            # recursion.  get_ident() is a side-effect-free C call.
+            ident = threading.get_ident()
+            for held in stack:
+                if held.site != lock.site and held is not lock:
+                    with self._state_lock:
+                        self.edges.setdefault(
+                            (held.site, lock.site),
+                            f"thread {ident}",
+                        )
+        stack.append(lock)
+
+    def _released(self, lock: _InstrumentedLock) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                break
+
+    def _make_lock(self):
+        return _InstrumentedLock(self, _REAL_LOCK(), _creation_site())
+
+    def _make_rlock(self):
+        return _InstrumentedLock(self, _REAL_RLOCK(), _creation_site())
+
+    # ------------------------------------------------------------------
+    # run-list mutation tracking
+    # ------------------------------------------------------------------
+    def watch_engine(self, db) -> None:
+        """Track unlocked ``sstables`` swaps on ``db`` (and its shards)."""
+        shards = getattr(db, "shards", None)
+        if shards is not None:
+            for shard in shards:
+                self._watch_one(shard)
+            return
+        self._watch_one(db)
+
+    def _watch_one(self, engine) -> None:
+        if not hasattr(engine, "sstables"):
+            raise TypeError(
+                f"{type(engine).__name__} has no run list to watch"
+            )
+        watcher = self
+        original = type(engine)
+
+        def _get(self):
+            return self.__dict__["sstables"]
+
+        def _set(self, value):
+            lock = self.__dict__.get("_maintenance_lock")
+            owned = getattr(lock, "_is_owned", None)
+            if lock is not None and owned is not None and not owned():
+                site = _creation_site()
+                watcher.violations.append(
+                    f"{original.__name__}.sstables swapped without the "
+                    f"maintenance lock at {site}"
+                )
+            self.__dict__["sstables"] = value
+
+        watched = type(
+            f"Watched{original.__name__}",
+            (original,),
+            {"sstables": property(_get, _set)},
+        )
+        engine.__class__ = watched
+        self._watched.append((engine, original))
+
+    # ------------------------------------------------------------------
+    # cycle detection
+    # ------------------------------------------------------------------
+    def cycle(self) -> list[str] | None:
+        """One lock-order cycle as a site list, or None if the graph is a DAG."""
+        graph: dict[str, list[str]] = {}
+        for src, dst in self.edges:
+            graph.setdefault(src, []).append(dst)
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = dict.fromkeys(graph, WHITE)
+        path: list[str] = []
+
+        def visit(node: str) -> list[str] | None:
+            color[node] = GREY
+            path.append(node)
+            for succ in graph.get(node, ()):
+                state = color.get(succ, BLACK if succ not in graph else WHITE)
+                if state == GREY:
+                    return path[path.index(succ) :] + [succ]
+                if state == WHITE:
+                    found = visit(succ)
+                    if found:
+                        return found
+            color[node] = BLACK
+            path.pop()
+            return None
+
+        for node in list(graph):
+            if color[node] == WHITE:
+                found = visit(node)
+                if found:
+                    return found
+        return None
+
+    def check(self) -> None:
+        """Raise :class:`LockOrderError` on any cycle or recorded violation."""
+        problems = list(self.violations)
+        cycle = self.cycle()
+        if cycle is not None:
+            chain = " -> ".join(cycle)
+            witnesses = {
+                f"{src} -> {dst} ({why})"
+                for (src, dst), why in self.edges.items()
+                if src in cycle and dst in cycle
+            }
+            problems.append(
+                "lock acquisition order has a cycle (potential deadlock): "
+                f"{chain}; observed edges: {'; '.join(sorted(witnesses))}"
+            )
+        if problems:
+            raise LockOrderError("\n".join(problems))
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "LockOrderWatcher":
+        threading.Lock = self._make_lock
+        threading.RLock = self._make_rlock
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._active = False
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        for engine, original in reversed(self._watched):
+            engine.__class__ = original
+        self._watched.clear()
+        if exc_type is None:
+            self.check()

@@ -1,0 +1,133 @@
+"""Suppression round-trip and rule-engine behavior for ``repro lint``."""
+
+import textwrap
+
+from repro.analysis import Linter
+from repro.analysis.core import SUPPRESSION_RULE_ID
+from repro.analysis.rules import ALL_RULES, LockDisciplineRule
+
+
+def lint_snippet(tmp_path, relpath, source, rules=None):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    rule_classes = rules if rules is not None else ALL_RULES
+    return Linter([cls() for cls in rule_classes]).run([path])
+
+
+BAD_LINE = "        self.sstables = []"
+
+
+def test_suppression_round_trip(tmp_path):
+    """A finding on a line with a matching reasoned suppression moves to
+    the suppressed list and the report goes green."""
+    source = f"""
+        class Engine:
+            def rotate(self):
+        {BAD_LINE}  # repro-lint: ignore[lock-discipline] -- test fixture
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source, [LockDisciplineRule])
+    assert report.ok, report.render()
+    assert len(report.suppressed) == 1
+    finding, suppression = report.suppressed[0]
+    assert finding.rule == "lock-discipline"
+    assert suppression.reason == "test fixture"
+    assert "1 suppressed" in report.render()
+    assert "test fixture" in report.render(show_suppressed=True)
+
+
+def test_wildcard_suppression_covers_any_rule(tmp_path):
+    source = f"""
+        class Engine:
+            def rotate(self):
+        {BAD_LINE}  # repro-lint: ignore[*] -- fixture blanket waiver
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source, [LockDisciplineRule])
+    assert report.ok
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_for_other_rule_does_not_cover(tmp_path):
+    source = f"""
+        class Engine:
+            def rotate(self):
+        {BAD_LINE}  # repro-lint: ignore[dtype-discipline] -- wrong rule
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source)
+    assert not report.ok
+    assert [f.rule for f in report.findings] == ["lock-discipline"]
+
+
+def test_missing_reason_is_reported_and_does_not_suppress(tmp_path):
+    source = f"""
+        class Engine:
+            def rotate(self):
+        {BAD_LINE}  # repro-lint: ignore[lock-discipline]
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source, [LockDisciplineRule])
+    rules = sorted(finding.rule for finding in report.findings)
+    assert rules == ["lint-suppression", "lock-discipline"]
+    assert "missing its '-- reason'" in report.findings[0].message
+
+
+def test_unknown_rule_id_in_suppression_is_reported(tmp_path):
+    source = """
+        def fine():
+            return 1  # repro-lint: ignore[no-such-rule] -- misremembered id
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source)
+    assert [f.rule for f in report.findings] == [SUPPRESSION_RULE_ID]
+    assert "unknown rule 'no-such-rule'" in report.findings[0].message
+
+
+def test_empty_rule_list_in_suppression_is_reported(tmp_path):
+    source = """
+        def fine():
+            return 1  # repro-lint: ignore[] -- forgot the rule id
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source)
+    assert [f.rule for f in report.findings] == [SUPPRESSION_RULE_ID]
+    assert "names no rule" in report.findings[0].message
+
+
+def test_suppression_syntax_in_strings_is_inert(tmp_path):
+    """Docstrings documenting the marker must not create suppressions."""
+    source = '''
+        def document():
+            """Use  # repro-lint: ignore[lock-discipline] -- reason  inline."""
+            return 1
+    '''
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source)
+    assert report.ok
+    assert not report.suppressed
+
+
+def test_findings_sorted_and_rendered_with_locations(tmp_path):
+    source = """
+        class Engine:
+            def later(self):
+                self.sstables = [2]
+
+            def earlier(self):
+                self.sstables = [1]
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source, [LockDisciplineRule])
+    lines = [finding.line for finding in report.findings]
+    assert lines == sorted(lines)
+    rendered = report.findings[0].render()
+    assert rendered.endswith("] self.sstables mutated outside "
+                             "'with self._maintenance_lock'")
+    assert "repro/lsm/db.py:" in rendered
+    assert "[lock-discipline]" in rendered
+
+
+def test_multiple_rules_one_suppression_comment(tmp_path):
+    """One comment can name several rules, comma-separated."""
+    source = f"""
+        class Engine:
+            def rotate(self):
+        {BAD_LINE}  # repro-lint: ignore[lock-discipline, dtype-discipline] -- both
+    """
+    report = lint_snippet(tmp_path, "repro/lsm/db.py", source)
+    assert report.ok, report.render()
+    assert len(report.suppressed) == 1

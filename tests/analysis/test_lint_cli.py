@@ -1,0 +1,65 @@
+"""CLI behavior of ``repro lint`` — including the self-check that the
+shipped ``src/repro`` tree lints clean."""
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis.cli import main as lint_main
+from repro.analysis.rules import ALL_RULES
+from repro.cli import main as repro_main
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def test_self_check_repro_source_lints_clean(capsys):
+    """The shipped tree must have zero unsuppressed findings (exit 0)."""
+    assert lint_main([str(PACKAGE_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[-1].startswith("0 finding(s)")
+
+
+def test_show_suppressed_lists_reasons(capsys):
+    assert lint_main([str(PACKAGE_DIR), "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "(suppressed:" in out
+
+
+def test_list_rules_prints_every_rule(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in ALL_RULES:
+        assert cls.id in out
+        assert cls.summary.split()[0] in out
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    bad = tmp_path / "repro" / "lsm" / "db.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            class Engine:
+                def rotate(self):
+                    self.sstables = []
+            """
+        )
+    )
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "[lock-discipline]" in out
+    assert "1 finding(s)" in out
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope.py")]) == 2
+    assert "no such path" in capsys.readouterr().out
+
+
+def test_repro_cli_forwards_lint_subcommand(capsys):
+    """``repro lint`` and ``python -m repro.analysis`` share one engine."""
+    assert repro_main(["lint", str(PACKAGE_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[-1].startswith("0 finding(s)")
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "lock-discipline" in capsys.readouterr().out

@@ -22,7 +22,7 @@ def batch_equals_scalar(filt: BloomRF, bounds: np.ndarray) -> None:
     scalar = np.fromiter(
         (
             filt.contains_range(int(lo), int(hi))
-            for lo, hi in zip(bounds[:, 0], bounds[:, 1])
+            for lo, hi in zip(bounds[:, 0], bounds[:, 1], strict=True)
         ),
         dtype=bool,
         count=bounds.shape[0],

@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.bloomrf import BloomRF
 from repro.core.config import BloomRFConfig
+from repro.serial import SerialError
 
 
 class TestExhaustiveSmallDomain:
@@ -128,12 +129,12 @@ class TestSerializationFailureInjection:
 
     def test_truncated_blob_raises(self):
         blob = self.make_blob()
-        with pytest.raises(Exception):
+        with pytest.raises(SerialError):
             BloomRF.from_bytes(blob[: len(blob) // 2])
 
     def test_garbage_header_raises(self):
         blob = self.make_blob()
-        with pytest.raises(Exception):
+        with pytest.raises(SerialError):
             BloomRF.from_bytes(b"\xff" * 16 + blob[16:])
 
     def test_bitflip_in_body_keeps_no_crash(self):

@@ -159,18 +159,18 @@ class TestMultiAttribute:
 
     def test_point_no_false_negatives(self):
         filt, run, obj = self.make()
-        for a, b in zip(run[:200], obj[:200]):
+        for a, b in zip(run[:200], obj[:200], strict=True):
             assert filt.contains_point(int(a), int(b))
 
     def test_a_eq_b_range_no_false_negatives(self):
         filt, run, obj = self.make()
-        for a, b in zip(run[:200], obj[:200]):
+        for a, b in zip(run[:200], obj[:200], strict=True):
             assert filt.contains_a_eq_b_range(int(a), max(0, int(b) - 10), int(b) + 10)
 
     def test_b_eq_a_range_no_false_negatives(self):
         """The paper's Run<300 AND ObjectID=Const probe shape."""
         filt, run, obj = self.make()
-        for a, b in zip(run[:200], obj[:200]):
+        for a, b in zip(run[:200], obj[:200], strict=True):
             assert filt.contains_b_eq_a_range(int(b), 0, int(a) + 1)
 
     def test_rejects_oversized_specs(self):
@@ -189,6 +189,6 @@ class TestMultiAttribute:
         runs = np.arange(50, dtype=np.uint64) << np.uint64(48)
         objs = (np.arange(50, dtype=np.uint64) * 977) << np.uint64(40)
         a.insert_many(runs, objs)
-        for r, o in zip(runs, objs):
+        for r, o in zip(runs, objs, strict=True):
             b.insert(int(r), int(o))
         assert np.array_equal(a.filter.pmhf_bits.words, b.filter.pmhf_bits.words)

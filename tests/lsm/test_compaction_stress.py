@@ -22,6 +22,12 @@ logical state, so they never add "loose" keys).
 
 ``REPRO_STRESS_POINTS`` / ``REPRO_STRESS_SEED`` control volume and
 placement (CI pins the seed on push and randomizes + multiplies nightly).
+
+Every test additionally runs under :class:`repro.testing.LockOrderWatcher`
+(the ``lock_watcher`` fixture): all locks the stores create are
+instrumented, and the fixture fails the test if the observed acquisition
+order ever contains a cycle (a potential deadlock the workload happened
+to survive) or if a run list is swapped without the maintenance lock.
 """
 
 import os
@@ -31,7 +37,16 @@ import numpy as np
 import pytest
 
 from repro.api import FilterSpec, open_store
-from repro.testing import FaultInjector, InjectedCrash
+from repro.testing import FaultInjector, InjectedCrash, LockOrderWatcher
+
+
+@pytest.fixture
+def lock_watcher():
+    """Instrument every lock created during the test; assert an acyclic
+    acquisition-order graph (and no unlocked run-list swaps) on exit."""
+    with LockOrderWatcher() as watcher:
+        yield watcher
+
 
 N_POINTS = int(os.environ.get("REPRO_STRESS_POINTS", "18"))
 SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
@@ -117,8 +132,8 @@ def _abandon(db):
         pool.close()
 
 
-def _open(root, policy, shards):
-    return open_store(
+def _open(root, policy, shards, watcher=None):
+    db = open_store(
         path=root,
         filter=SPEC,
         shards=shards,
@@ -128,16 +143,19 @@ def _open(root, policy, shards):
         wal_group_commit=4,
         compaction=POLICIES[policy],
     )
+    if watcher is not None:
+        watcher.watch_engine(db)
+    return db
 
 
-def _run_until_crash(root, policy, shards, ops, crash_at, rng):
+def _run_until_crash(root, policy, shards, ops, crash_at, rng, watcher=None):
     """Run the workload with a crash armed at syscall ``crash_at``.
 
     Returns ``(acked_ops, in_flight)``.  ``in_flight`` is the op running
     when the crash fired in the main thread; a crash that fired inside a
     background merge (or close()) has no in-flight op — merges carry no
     unacknowledged logical state."""
-    db = _open(root, policy, shards)
+    db = _open(root, policy, shards, watcher)
     acked = []
     current = None
     try:
@@ -203,7 +221,7 @@ def _check_recovered(root, acked, in_flight):
 
 
 @pytest.mark.parametrize("policy,shards", CONFIGS)
-def test_crash_mid_merge_preserves_acked_state(policy, shards, tmp_path):
+def test_crash_mid_merge_preserves_acked_state(policy, shards, tmp_path, lock_watcher):
     rng = random.Random(SEED * 2003 + hash((policy, shards)) % 100003)
     ops = _workload(random.Random(SEED * 37 + shards))
 
@@ -213,7 +231,7 @@ def test_crash_mid_merge_preserves_acked_state(policy, shards, tmp_path):
     # simply never fire, which degrades to a clean-completion check.
     dry_root = tmp_path / "dry"
     with FaultInjector(dry_root) as counter:
-        db = _open(dry_root, policy, shards)
+        db = _open(dry_root, policy, shards, lock_watcher)
         created = counter.count
         for op in ops:
             _apply(db, *op)
@@ -226,12 +244,12 @@ def test_crash_mid_merge_preserves_acked_state(policy, shards, tmp_path):
         root = tmp_path / f"crash-{crash_at}"
         torn = random.Random(rng.randrange(1 << 30))
         acked, in_flight = _run_until_crash(
-            root, policy, shards, ops, crash_at, torn
+            root, policy, shards, ops, crash_at, torn, lock_watcher
         )
         _check_recovered(root, acked, in_flight)
 
 
-def test_merge_commit_crash_is_pre_or_post(tmp_path):
+def test_merge_commit_crash_is_pre_or_post(tmp_path, lock_watcher):
     """Pin crashes onto the merge-commit window itself: build a store
     whose only remaining work is one background merge, then crash at
     every syscall boundary of that commit.  Each outcome must reopen to

@@ -1,0 +1,217 @@
+"""Unit tests for :class:`repro.testing.LockOrderWatcher`.
+
+The watcher patches ``threading.Lock`` / ``threading.RLock`` while
+active, builds the acquisition-order graph keyed by creation site, and
+fails on cycles or unlocked run-list swaps.  These tests drive it with
+synthetic locks (deterministic orderings, no races needed — the graph
+records *observed* nesting, not actual contention) and with a real
+store under background compaction.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import FilterSpec, open_store
+from repro.testing import LockOrderError, LockOrderWatcher
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+
+
+def test_factories_patched_and_restored():
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+    with LockOrderWatcher():
+        assert threading.Lock is not real_lock
+        assert threading.RLock is not real_rlock
+        lock = threading.Lock()
+        assert hasattr(lock, "site")
+    assert threading.Lock is real_lock
+    assert threading.RLock is real_rlock
+
+
+def test_consistent_order_is_clean():
+    with LockOrderWatcher() as watcher:
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+    assert watcher.cycle() is None
+    assert len(watcher.edges) == 1
+
+
+def test_opposite_order_cycle_is_detected():
+    watcher = LockOrderWatcher()
+    with pytest.raises(LockOrderError, match="cycle"):
+        with watcher:
+            # Distinct source lines: sites are the cycle's nodes.
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+    assert watcher.cycle() is not None
+
+
+def test_cycle_error_names_sites_and_witnesses():
+    watcher = LockOrderWatcher()
+    with pytest.raises(LockOrderError) as excinfo:
+        with watcher:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+    message = str(excinfo.value)
+    assert "test_lock_order.py" in message
+    assert "->" in message
+    assert "observed edges" in message
+
+
+def test_same_site_nesting_is_not_an_edge():
+    """Two instances from one creation site (shard fan-out) are skipped:
+    site-keyed detection cannot orient them."""
+    with LockOrderWatcher() as watcher:
+        locks = [threading.Lock() for _ in range(2)]
+        with locks[0]:
+            with locks[1]:
+                pass
+        with locks[1]:
+            with locks[0]:
+                pass
+    assert watcher.edges == {}
+
+
+def test_rlock_reentry_is_not_an_edge():
+    with LockOrderWatcher() as watcher:
+        lock = threading.RLock()
+        with lock:
+            with lock:
+                pass
+    assert watcher.edges == {}
+
+
+def test_rlock_proxy_supports_is_owned():
+    with LockOrderWatcher():
+        lock = threading.RLock()
+        assert not lock._is_owned()
+        with lock:
+            assert lock._is_owned()
+        assert not lock._is_owned()
+
+
+def test_condition_works_on_instrumented_lock():
+    """threading.Condition relies on RLock internals the proxy must keep
+    working (acquire/release/_is_owned) — Event/Condition are used by the
+    thread pool inside the watch window."""
+    with LockOrderWatcher():
+        event = threading.Event()
+        event.set()
+        assert event.wait(timeout=1)
+
+
+def test_cross_thread_edges_build_one_graph():
+    """Edges observed in different threads land in one shared graph, so
+    an A->B in thread 1 plus B->A in thread 2 is still a cycle."""
+    watcher = LockOrderWatcher()
+    with pytest.raises(LockOrderError, match="cycle"):
+        with watcher:
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+
+            def backward():
+                with b:
+                    with a:
+                        pass
+
+            t1 = threading.Thread(target=forward)
+            t1.start()
+            t1.join()
+            t2 = threading.Thread(target=backward)
+            t2.start()
+            t2.join()
+    assert watcher.cycle() is not None
+
+
+def test_watch_engine_records_unlocked_swap(tmp_path):
+    watcher = LockOrderWatcher()
+    with pytest.raises(LockOrderError, match="maintenance lock"):
+        with watcher:
+            db = open_store(
+                path=tmp_path / "db", filter=SPEC, memtable_capacity=16
+            )
+            watcher.watch_engine(db)
+            # Bypass the maintenance lock on purpose: must be recorded.
+            db.sstables = list(db.sstables)
+            db.close()
+    assert len(watcher.violations) == 1
+    assert "without the maintenance lock" in watcher.violations[0]
+
+
+def test_watch_engine_passes_locked_swap_and_restores_class(tmp_path):
+    with LockOrderWatcher() as watcher:
+        db = open_store(
+            path=tmp_path / "db", filter=SPEC, memtable_capacity=16
+        )
+        original = type(db)
+        watcher.watch_engine(db)
+        assert type(db).__name__.startswith("Watched")
+        with db._maintenance_lock:
+            db.sstables = list(db.sstables)
+        db.close()
+        assert watcher.violations == []
+    assert type(db) is original
+
+
+def test_watch_engine_covers_shards(tmp_path):
+    with LockOrderWatcher() as watcher:
+        db = open_store(
+            path=tmp_path / "db", filter=SPEC, shards=2, memtable_capacity=16
+        )
+        watcher.watch_engine(db)
+        shard = db.shards[0]
+        shard.sstables = list(shard.sstables)
+        db.close()
+        recorded = list(watcher.violations)
+        watcher.violations.clear()  # let __exit__'s auto-check pass
+    assert len(recorded) == 1
+
+
+def test_healthy_store_run_is_acyclic(tmp_path):
+    """A real store with background compaction under the watcher: locks
+    nest (maintenance lock, scheduler bookkeeping, cache LRU) but the
+    acquisition order must stay a DAG."""
+    keys = np.arange(256, dtype=np.uint64)
+    with LockOrderWatcher() as watcher:
+        db = open_store(
+            path=tmp_path / "db",
+            filter=SPEC,
+            memtable_capacity=32,
+            store_values=True,
+            compaction={"policy": "size-tiered", "min_runs": 2, "max_runs": 4},
+        )
+        watcher.watch_engine(db)
+        for start in range(0, 256, 64):
+            chunk = keys[start : start + 64]
+            db.put_many(chunk, [b"v%d" % k for k in chunk])
+            db.flush()
+        db.compact()
+        assert db.get_many(keys).all()
+        db.close()
+    assert watcher.edges, "expected nested acquisitions in a compacting store"
+    assert watcher.cycle() is None
+    assert watcher.violations == []

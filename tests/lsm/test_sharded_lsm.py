@@ -239,7 +239,7 @@ class TestBatchedWritePath:
         batched = LsmDB(policy=make_policy(), memtable_capacity=1024)
         batched.put_many(keys)
         assert len(scalar.sstables) == len(batched.sstables)
-        for a, b in zip(scalar.sstables, batched.sstables):
+        for a, b in zip(scalar.sstables, batched.sstables, strict=True):
             assert np.array_equal(a.keys, b.keys)
             assert a.filter_block == b.filter_block  # filters bit-identical
 
@@ -263,7 +263,7 @@ class TestBatchedWritePath:
         scalar, batched = MemTable(100), MemTable(100)
         keys = np.array([5, 1, 5, 9], dtype=np.uint64)
         values = [b"a", b"b", b"c", b"d"]
-        for k, v in zip(keys, values):
+        for k, v in zip(keys, values, strict=True):
             scalar.put(int(k), v)
         batched.put_many(keys, values)
         assert scalar.drain_sorted()[0].tolist() == [1, 5, 9]

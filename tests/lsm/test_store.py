@@ -130,7 +130,7 @@ class TestUnshardedReopen:
             assert reopened.get_value(300) == b"payload-300"
             assert reopened.get_value(301) is None
             assert reopened.scan(0, 30) == [
-                (int(k), v) for k, v in zip(keys[:11], values[:11])
+                (int(k), v) for k, v in zip(keys[:11], values[:11], strict=True)
             ]
 
     def test_sync_after_compact_prunes_old_runs(self, tmp_path, workload):
@@ -511,7 +511,7 @@ class TestReadTierExactness:
         with open_store(
             path=tmp_path / "db", mmap=True, block_cache_bytes=64
         ) as db:
-            for k, v in zip(keys[:100].tolist(), values[:100]):
+            for k, v in zip(keys[:100].tolist(), values[:100], strict=True):
                 assert db.get_value(k) == v
             assert db.stats.block_cache_hits == 0
 

@@ -102,7 +102,7 @@ class StoreMachine(RuleBasedStateMachine):
         values = [b"%d:%d" % (self.ticks, key) for key in keys]
         self.store.put_many(arr, values)
         self.shadow.put_many(arr, values)
-        for key, value in zip(keys, values):
+        for key, value in zip(keys, values, strict=True):
             self.oracle[key] = value
 
     @rule(keys=keys_strategy)

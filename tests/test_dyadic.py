@@ -88,7 +88,7 @@ class TestDecompose:
         sibling DIs (which could merge into their parent)."""
         hi = lo + width
         pieces = dyadic_decompose(lo, hi)
-        for (l1, p1), (l2, p2) in zip(pieces, pieces[1:]):
+        for (l1, p1), (l2, p2) in zip(pieces, pieces[1:], strict=False):
             if l1 == l2 and p1 ^ 1 == p2 and p1 % 2 == 0:
                 pytest.fail(f"siblings {(l1, p1)} and {(l2, p2)} not merged")
 

@@ -77,7 +77,7 @@ class TestRangePartitioner:
         edges = [part.partition_range(s) for s in range(4)]
         assert edges[0][0] == 0
         assert edges[-1][1] == (1 << 16) - 1
-        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+        for (_, hi), (lo, _) in zip(edges, edges[1:], strict=False):
             assert lo == hi + 1
 
     def test_owner_matches_partition_range(self):
@@ -117,7 +117,7 @@ class TestGroupByOwner:
         owner = rng.integers(0, 4, 1_000)
         payload = rng.integers(0, 1 << 32, 1_000, dtype=np.uint64)
         out = np.zeros_like(payload)
-        for s, idx in group_by_owner(owner):
+        for _s, idx in group_by_owner(owner):
             out[idx] = payload[idx]
         assert np.array_equal(out, payload)
 

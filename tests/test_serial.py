@@ -141,7 +141,7 @@ class TestShardedRoundTrip:
             assert restored.num_shards == sharded.num_shards
             assert restored.partition == sharded.partition
             assert restored.config == sharded.config
-            for a, b in zip(restored.shards, sharded.shards):
+            for a, b in zip(restored.shards, sharded.shards, strict=True):
                 assert a._bits == b._bits
                 assert a.num_keys == b.num_keys
             assert restored.contains_point_many(keys[:500]).all()
@@ -154,7 +154,7 @@ class TestShardedRoundTrip:
         assert manifest.name == "MANIFEST.json"
         assert len(list((tmp_path / "shards").glob("shard-*.brf"))) == 3
         with ShardedBloomRF.load_manifest(tmp_path / "shards") as restored:
-            for a, b in zip(restored.shards, sharded.shards):
+            for a, b in zip(restored.shards, sharded.shards, strict=True):
                 assert a._bits == b._bits
             assert restored.partition == sharded.partition
             assert restored.contains_point_many(keys[:500]).all()
