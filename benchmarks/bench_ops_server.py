@@ -1,0 +1,125 @@
+"""Serving-layer throughput: request coalescing vs per-request dispatch.
+
+The asyncio front-end's claim is that concurrency can be converted into
+the engines' vectorized batches: every request arriving while the
+previous tick executes is merged into one ``get_many`` /
+``put_many`` / ``scan_nonempty_many`` sweep, and a whole write group is
+acknowledged at a single WAL group-commit barrier.  The baseline mode
+(``coalesce=False``) dispatches every request as its own engine call
+with its own ack fsync — what a naive handler-per-request server does.
+
+Measured over ``--clients`` concurrent asyncio clients (8 by default,
+the acceptance floor) running a seeded mixed workload (batched gets,
+puts with values, deletes, range-emptiness probes, value scans) against
+a fresh persistent ``wal_sync="batch"`` store per mode:
+
+* **qps** — sustained requests per second across all clients;
+* **p50_ms / p99_ms** — per-request latency percentiles;
+* **coalesce_qps_speedup** — coalesced QPS over per-request QPS (the
+  guarded ratio; must stay > 1: coalesced beats per-request dispatch);
+* **engine_call_reduction** — how many engine calls coalescing saved;
+* tick/barrier accounting from the server itself.
+
+Results land in ``BENCH_server.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ops_server.py          # full
+    PYTHONPATH=src python benchmarks/bench_ops_server.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import FilterSpec, open_store
+from repro.server.bench import run_benchmark
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_server.json"
+
+SPEC = FilterSpec("bloomrf", {"bits_per_key": 14, "max_range": 1 << 12})
+
+
+def run(quick: bool) -> dict:
+    clients = 8
+    requests = 40 if quick else 150
+    root = Path(tempfile.mkdtemp(prefix="bench-server-"))
+    modes = iter(("coalesced", "uncoalesced"))
+
+    def make_store():
+        return open_store(
+            path=root / next(modes),
+            filter=SPEC,
+            memtable_capacity=1 << 14,
+            store_values=True,
+            wal_sync="batch",
+            wal_group_commit=64,
+        )
+
+    try:
+        result = run_benchmark(
+            make_store,
+            clients=clients,
+            requests_per_client=requests,
+            seed=61,
+            batch=8,
+            key_space=1 << 20,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    result["benchmark"] = "server"
+    result["mode"] = "quick" if quick else "full"
+    result["spec"] = SPEC.to_dict()
+    result["wal_sync"] = "batch"
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer requests per client",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULT_PATH,
+        help=f"result JSON path (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for label in ("coalesced", "uncoalesced"):
+        side = result[label]
+        print(
+            f"[server {result['mode']}] {label:>11}: "
+            f"{side['qps']:,.0f} req/s  "
+            f"p50 {side['p50_ms']:.2f}ms  p99 {side['p99_ms']:.2f}ms  "
+            f"({side['engine_calls']} engine calls, "
+            f"{side['barriers']} ack barriers)"
+        )
+    print(
+        f"[server {result['mode']}] coalescing speedup "
+        f"{result['coalesce_qps_speedup']:.2f}x qps, "
+        f"{result['engine_call_reduction']:.2f}x fewer engine calls"
+    )
+    print(f"-> {args.output}")
+
+    if not result["acceptance"]["coalesced_beats_uncoalesced"]:
+        print(
+            f"FAIL: coalesced mode did not beat per-request dispatch "
+            f"({result['coalesce_qps_speedup']:.2f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,12 @@ RATIO_GUARDS: dict[str, list[tuple[str, str]]] = {
         ("policies.*.final_runs", "lower"),
         ("policies.*.mean_runs_during_ingest", "lower"),
     ],
+    "server": [
+        # dimensionless wins of the coalescing front-end; raw QPS and
+        # latency stay unguarded (machine-dependent).
+        ("coalesce_qps_speedup", "higher"),
+        ("engine_call_reduction", "higher"),
+    ],
 }
 
 

@@ -62,7 +62,7 @@ from repro.lsm.filter_policy import SpecPolicy
 from repro.lsm.sharded import ShardedLsmDB
 from repro.shard import ShardedBloomRF
 
-__version__ = "1.5.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BloomRF",

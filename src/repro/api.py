@@ -148,6 +148,8 @@ class Store(Protocol):
 
     def sync(self) -> None: ...
 
+    def commit_barrier(self) -> None: ...
+
     def compact(self) -> None: ...
 
     def close(self) -> None: ...

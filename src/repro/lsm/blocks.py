@@ -342,10 +342,13 @@ class BlockedPayload:
             stats = self._stats
             if cached is not None:
                 if stats is not None:
-                    stats.block_cache_hits += 1
+                    # Atomic bump: block() runs on every reader thread
+                    # concurrently, and a bare ``+= 1`` here loses counts
+                    # (read-modify-write race on the shared IOStats).
+                    stats.add_cache_hit()
                 return cached
             if stats is not None:
-                stats.block_cache_misses += 1
+                stats.add_cache_miss()
         block = self._decode(index)
         if cache is not None and key is not None:
             cache.put(key, block)

@@ -107,6 +107,17 @@ class LsmDB:
         :class:`~repro.api.Store` interface regardless of backing.
         """
 
+    def commit_barrier(self) -> None:
+        """Block until every acknowledged write is power-loss durable.
+
+        A no-op for the in-memory store (there is nothing more durable
+        than the memtable).  :class:`~repro.lsm.store.PersistentLsmDB`
+        overrides this with the WAL's group-commit barrier, so a caller —
+        the serving layer acking a write group — can wait for the
+        covering fsync through the one :class:`~repro.api.Store`
+        interface regardless of backing.
+        """
+
     def __enter__(self) -> "LsmDB":
         return self
 

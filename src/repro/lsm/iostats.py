@@ -11,6 +11,7 @@ accounting preserves exactly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields, replace
 
 import numpy as np
@@ -49,6 +50,37 @@ class IOStats:
     residual_cpu_s: float = 0.0
     deserialization_s: float = 0.0
     io_wait_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Deliberately NOT a dataclass field: ``reset()`` zeros fields in
+        # place and ``replace(self)`` snapshots them, and the lock must
+        # survive both untouched.
+        self._hot_lock = threading.Lock()
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counter fields.
+
+        The hot-path form of ``stats.field += n`` for counters that can be
+        bumped from concurrent reader threads (the decompressed-block
+        cache hooks live inside mmap'd SST frames shared by every
+        reader): a bare ``+=`` is a read-modify-write that loses updates
+        under contention.  One uncontended lock acquisition is ~100ns, so
+        the single-threaded path cost is unmeasurable next to a block
+        decompression.
+        """
+        with self._hot_lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def add_cache_hit(self, n: int = 1) -> None:
+        """Atomic ``block_cache_hits += n`` (see :meth:`bump`)."""
+        with self._hot_lock:
+            self.block_cache_hits += n
+
+    def add_cache_miss(self, n: int = 1) -> None:
+        """Atomic ``block_cache_misses += n`` (see :meth:`bump`)."""
+        with self._hot_lock:
+            self.block_cache_misses += n
 
     def record_probe(self, positive: bool, truly_present: bool) -> None:
         """Classify one filter probe against ground truth."""
@@ -103,9 +135,10 @@ class IOStats:
         capture a reference to their DB's stats at open time and must keep
         recording into the live object across resets.
         """
-        snapshot = replace(self)
-        for field in fields(self):
-            setattr(self, field.name, field.default)
+        with self._hot_lock:
+            snapshot = replace(self)
+            for field in fields(self):
+                setattr(self, field.name, field.default)
         return snapshot
 
     def merge(self, other: "IOStats") -> None:
@@ -115,6 +148,10 @@ class IOStats:
         stats of a sharded run yields the same aggregate accounting as one
         unsharded run over the same probes (order never matters).
         """
+        with self._hot_lock:
+            self._merge_locked(other)
+
+    def _merge_locked(self, other: "IOStats") -> None:
         for name in (
             "filter_probes",
             "filter_positives",

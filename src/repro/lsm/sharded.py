@@ -239,6 +239,11 @@ class ShardedLsmDB:
         """Make every shard's flushed runs durable (no-op when in-memory)."""
         self._fan_out_all(lambda shard: shard.sync())
 
+    def commit_barrier(self) -> None:
+        """Wait for every shard's covering group commit (one fsync per
+        shard WAL at most; no-op for in-memory shards)."""
+        self._fan_out_all(lambda shard: shard.commit_barrier())
+
     def bulk_load(self, keys: np.ndarray, num_sstables: int) -> None:
         """Load an insertion-ordered stream into ``num_sstables`` runs *per
         shard*: the stream is partitioned first, then each shard chunks its

@@ -922,6 +922,18 @@ class PersistentLsmDB(LsmDB):
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
+    def commit_barrier(self) -> None:
+        """Block until every acknowledged write is covered by an fsync.
+
+        The ``wal_sync="batch"`` ack contract: :meth:`put` returning only
+        means the record reached the kernel (survives ``kill -9``); this
+        barrier additionally waits for — or leads — the covering group
+        commit, after which the write survives power loss too.  The
+        serving layer acks a whole write group behind one barrier call.
+        """
+        if self._wal is not None:
+            self._wal.commit_barrier()
+
     def sync(self) -> None:
         """Make the current run set durable.
 

@@ -53,6 +53,21 @@ before the API call returns, so acknowledged writes survive process death
 (``kill -9``) even at ``sync="off"`` — the fsync policy only sizes the
 window lost to power failure.
 
+Ack barrier
+-----------
+Bookkeeping is sequence-based and thread-safe: every appended operation
+advances a monotonic sequence (:attr:`last_seq`), and every fsync records
+the highest sequence it covered (:attr:`synced_seq`).  A caller that must
+know its record is durable against power loss — the serving layer acks a
+write group only at its covering group commit — calls
+:meth:`commit_barrier` with the sequence its append returned: it returns
+immediately when a concurrent fsync already covered the record and
+otherwise becomes the group-commit leader, issuing one fsync that covers
+every record appended so far.  The old single-writer counter reset
+(``_pending_ops = 0`` inside the fsync) could lose a concurrent
+appender's pending count and leave its record unsynced forever in batch
+mode; ``synced_seq = max(synced_seq, covered)`` cannot.
+
 This module is part of the typed beachhead (``mypy --strict`` in CI) and
 its write paths are machine-checked by ``repro lint``: raw writes stay
 inside the append helpers (``durability-discipline``), and engines must
@@ -63,6 +78,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import Any
@@ -250,10 +266,19 @@ class WriteAheadLog:
         self.group_commit = group_commit
         self.size_bytes = _size
         self.num_records = _records
-        self._pending_ops = 0
         self.fsyncs = 0
         self.bytes_written = 0
         self.records_appended = 0
+        # Sequence-based fsync accounting (thread-safe): ``_append_seq``
+        # counts every operation ever appended, ``_synced_seq`` the
+        # highest operation sequence covered by an fsync (or made
+        # redundant by rotation).  ``_state_lock`` guards the bookkeeping
+        # and serializes the appends themselves; ``_sync_lock`` elects a
+        # group-commit leader so concurrent barriers issue one fsync.
+        self._append_seq = 0
+        self._synced_seq = 0
+        self._state_lock = threading.Lock()
+        self._sync_lock = threading.Lock()
         self._fd: int | None = os.open(self.path, os.O_WRONLY | os.O_APPEND)
 
     # ------------------------------------------------------------------
@@ -346,52 +371,98 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def append_put(
         self, keys: npt.NDArray[np.uint64], values: list[bytes] | None = None
-    ) -> None:
+    ) -> int:
         """Log a put batch.  Returns only once the record reached the
-        kernel (one ``os.write``), which is the acknowledgement point."""
+        kernel (one ``os.write``), which is the acknowledgement point.
+        The returned sequence feeds :meth:`commit_barrier`."""
         if values is None or not any(values):
-            self._append(OP_PUT_EMPTY, keys, None)
-        else:
-            self._append(OP_PUT, keys, values)
+            return self._append(OP_PUT_EMPTY, keys, None)
+        return self._append(OP_PUT, keys, values)
 
-    def append_delete(self, keys: npt.NDArray[np.uint64]) -> None:
-        """Log a tombstone batch."""
-        self._append(OP_DELETE, keys, None)
+    def append_delete(self, keys: npt.NDArray[np.uint64]) -> int:
+        """Log a tombstone batch; returns the batch's barrier sequence."""
+        return self._append(OP_DELETE, keys, None)
 
     def _append(
         self, op: int, keys: npt.NDArray[np.uint64], values: list[bytes] | None
-    ) -> None:
-        if self._fd is None:
-            raise ValueError(f"write-ahead log {self.path} is closed")
+    ) -> int:
         record = _encode_record(op, keys, values)
-        os.write(self._fd, record)
-        self.size_bytes += len(record)
-        self.bytes_written += len(record)
-        self.num_records += 1
-        self.records_appended += 1
-        self._pending_ops += int(keys.size)
+        with self._state_lock:
+            if self._fd is None:
+                raise ValueError(f"write-ahead log {self.path} is closed")
+            os.write(self._fd, record)
+            self.size_bytes += len(record)
+            self.bytes_written += len(record)
+            self.num_records += 1
+            self.records_appended += 1
+            self._append_seq += int(keys.size)
+            seq = self._append_seq
         if (
             self.sync_mode == "batch"
-            and self._pending_ops >= self.group_commit
+            and seq - self._synced_seq >= self.group_commit
         ):
-            self._fsync()
+            self._fsync_upto(seq)
+        return seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence of the most recently appended operation."""
+        return self._append_seq
+
+    @property
+    def synced_seq(self) -> int:
+        """Highest operation sequence covered by an fsync (or rotation)."""
+        return self._synced_seq
+
+    @property
+    def pending_ops(self) -> int:
+        """Appended operations not yet covered by an fsync."""
+        return self._append_seq - self._synced_seq
 
     def commit(self) -> None:
         """Apply the fsync policy at a write-API-call boundary."""
-        if self._pending_ops == 0:
+        target = self._append_seq
+        if target == self._synced_seq:
             return
         if self.sync_mode == "always" or (
             self.sync_mode == "batch"
-            and self._pending_ops >= self.group_commit
+            and target - self._synced_seq >= self.group_commit
         ):
-            self._fsync()
+            self._fsync_upto(target)
 
-    def _fsync(self) -> None:
-        if self._fd is None:
-            raise ValueError(f"write-ahead log {self.path} is closed")
-        os.fsync(self._fd)
-        self.fsyncs += 1
-        self._pending_ops = 0
+    def commit_barrier(self, seq: int | None = None) -> None:
+        """Block until an fsync covers the record at ``seq``.
+
+        ``seq`` is a sequence returned by an append helper (default: the
+        newest appended record).  Returns immediately when that record is
+        already covered — by a group commit another caller led, or by a
+        rotation that made it redundant.  Otherwise this caller becomes
+        the group-commit leader: one fsync covers every record appended
+        so far, and concurrent barriers piggyback on it.  ``sync="off"``
+        opts out of power-loss durability entirely, so the barrier is a
+        no-op there (process-death durability still holds: the record
+        bytes reached the kernel before the append returned).
+        """
+        if self.sync_mode == "off":
+            return
+        target = self._append_seq if seq is None else seq
+        if self._synced_seq >= target:
+            return
+        self._fsync_upto(target)
+
+    def _fsync_upto(self, target: int) -> None:
+        with self._sync_lock:
+            if self._synced_seq >= target:
+                return  # a concurrent leader's fsync already covered us
+            fd = self._fd
+            if fd is None:
+                raise ValueError(f"write-ahead log {self.path} is closed")
+            covered = self._append_seq
+            os.fsync(fd)
+            self.fsyncs += 1
+            with self._state_lock:
+                if covered > self._synced_seq:
+                    self._synced_seq = covered
 
     # ------------------------------------------------------------------
     # rotation / lifecycle
@@ -404,21 +475,29 @@ class WriteAheadLog:
         before the replace, the old log replays against the old manifest;
         after it, the empty log matches the new one.
         """
-        if self._fd is not None:
-            os.close(self._fd)
-        self.size_bytes = self._write_header_file(self.path, self.seal, epoch)
-        self.epoch = epoch
-        self.num_records = 0
-        self._pending_ops = 0
-        self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+        with self._state_lock:
+            if self._fd is not None:
+                os.close(self._fd)
+            self.size_bytes = self._write_header_file(
+                self.path, self.seal, epoch
+            )
+            self.epoch = epoch
+            self.num_records = 0
+            # The truncated records are durable in the just-persisted
+            # runs, so every outstanding barrier is satisfied; sequences
+            # stay monotonic so tokens handed out earlier remain valid.
+            self._synced_seq = self._append_seq
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
 
     def close(self) -> None:
         if self._fd is None:
             return
-        if self._pending_ops and self.sync_mode != "off":
-            self._fsync()
-        os.close(self._fd)
-        self._fd = None
+        if self.pending_ops and self.sync_mode != "off":
+            self._fsync_upto(self._append_seq)
+        with self._state_lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
     def info(self) -> dict[str, Any]:
         """WAL state for ``repro store inspect`` / ``wal_info()``."""
@@ -429,6 +508,7 @@ class WriteAheadLog:
             "records": self.num_records,
             "bytes": self.size_bytes,
             "fsyncs": self.fsyncs,
+            "pending_ops": self.pending_ops,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

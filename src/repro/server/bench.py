@@ -1,0 +1,172 @@
+"""Many-client mixed-workload benchmark driver for the serving layer.
+
+Runs the same seeded workload twice — once against a coalescing server,
+once against the per-request dispatch baseline (``coalesce=False``, where
+every operation is its own engine call and every write pays its own ack
+barrier) — and reports sustained QPS plus p50/p99 request latency for
+each, with the coalesced/uncoalesced ratios the CI guards watch.
+
+Shared by ``benchmarks/bench_ops_server.py`` and the
+``repro store bench-server`` CLI; both feed ``scripts/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.server.client import AsyncStoreClient
+from repro.server.server import StoreServer
+
+__all__ = ["drive_server", "run_benchmark"]
+
+
+async def _client_workload(
+    client: AsyncStoreClient,
+    rng: random.Random,
+    *,
+    requests: int,
+    batch: int,
+    key_space: int,
+    latencies: list[float],
+) -> None:
+    span = max(key_space // 256, 4)
+    for _ in range(requests):
+        roll = rng.random()
+        start = time.perf_counter()
+        if roll < 0.25:
+            keys = [rng.randrange(key_space) for _ in range(batch)]
+            values = [b"v%d" % k for k in keys]
+            await client.put_many(keys, values)
+        elif roll < 0.30:
+            keys = [rng.randrange(key_space) for _ in range(max(batch // 2, 1))]
+            await client.delete_many(keys)
+        elif roll < 0.65:
+            await client.get_many(
+                [rng.randrange(key_space) for _ in range(batch)]
+            )
+        elif roll < 0.80:
+            await client.may_contain_many(
+                [rng.randrange(key_space) for _ in range(batch)]
+            )
+        elif roll < 0.95:
+            lo = rng.randrange(key_space - span)
+            await client.scan_nonempty(lo, lo + span)
+        else:
+            lo = rng.randrange(key_space - span)
+            await client.scan_range(lo, lo + span, limit=16)
+        latencies.append(time.perf_counter() - start)
+
+
+async def drive_server(
+    store: Any,
+    *,
+    coalesce: bool,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    batch: int = 8,
+    key_space: int = 1 << 20,
+) -> dict[str, Any]:
+    """Serve ``store``, hammer it with ``clients`` concurrent asyncio
+    clients running the seeded mixed workload, and report throughput,
+    latency percentiles, and coalescer accounting."""
+    server = StoreServer(store, port=0, coalesce=coalesce)
+    await server.start()
+    assert server.address is not None
+    host, port = server.address
+    latencies: list[float] = []
+
+    async def one_client(cid: int) -> None:
+        client = await AsyncStoreClient.connect(host, port)
+        try:
+            await _client_workload(
+                client,
+                random.Random((seed << 8) ^ cid),
+                requests=requests_per_client,
+                batch=batch,
+                key_space=key_space,
+                latencies=latencies,
+            )
+        finally:
+            await client.aclose()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(c) for c in range(clients)))
+    elapsed = time.perf_counter() - started
+    info = server.info()
+    await server.aclose()
+
+    lat_ms = np.sort(np.array(latencies, dtype=np.float64)) * 1e3
+    total = clients * requests_per_client
+    return {
+        "requests": total,
+        "elapsed_s": elapsed,
+        "qps": total / elapsed,
+        "p50_ms": float(np.percentile(lat_ms, 50)),
+        "p99_ms": float(np.percentile(lat_ms, 99)),
+        "mean_tick_ops": info["mean_tick_ops"],
+        "max_tick_ops": info["max_tick_ops"],
+        "engine_calls": info["engine_calls"],
+        "barriers": info["barriers"],
+        "errors": info["errors"],
+    }
+
+
+def run_benchmark(
+    make_store: Callable[[], Any],
+    *,
+    clients: int = 8,
+    requests_per_client: int = 50,
+    seed: int = 0,
+    batch: int = 8,
+    key_space: int = 1 << 20,
+) -> dict[str, Any]:
+    """Coalesced vs per-request dispatch on fresh stores from
+    ``make_store`` (called once per mode so neither run sees the other's
+    data), plus the dimensionless ratios the bench gates guard."""
+    sides = {}
+    for label, coalesce in (("coalesced", True), ("uncoalesced", False)):
+        store = make_store()
+        try:
+            sides[label] = asyncio.run(
+                drive_server(
+                    store,
+                    coalesce=coalesce,
+                    clients=clients,
+                    requests_per_client=requests_per_client,
+                    seed=seed,
+                    batch=batch,
+                    key_space=key_space,
+                )
+            )
+        finally:
+            store.close()
+    coalesced, uncoalesced = sides["coalesced"], sides["uncoalesced"]
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "batch": batch,
+        "key_space": key_space,
+        "seed": seed,
+        "coalesced": coalesced,
+        "uncoalesced": uncoalesced,
+        "coalesce_qps_speedup": coalesced["qps"] / uncoalesced["qps"],
+        "coalesce_p99_ratio": uncoalesced["p99_ms"] / coalesced["p99_ms"],
+        "engine_call_reduction": (
+            uncoalesced["engine_calls"] / max(coalesced["engine_calls"], 1)
+        ),
+        "acceptance": {
+            "eight_plus_clients": clients >= 8,
+            "coalesced_beats_uncoalesced": (
+                coalesced["qps"] > uncoalesced["qps"]
+            ),
+            "zero_request_errors": (
+                coalesced["errors"] == 0 and uncoalesced["errors"] == 0
+            ),
+        },
+    }

@@ -1,0 +1,338 @@
+"""Client libraries for the repro serving layer.
+
+Two clients over the same frame protocol:
+
+* :class:`StoreClient` — blocking sockets, one request in flight at a
+  time.  The store-shaped methods (``get_many`` / ``put_many`` / ...)
+  mirror :class:`repro.api.Store`, so code written against a local store
+  ports by swapping the object.
+* :class:`AsyncStoreClient` — asyncio, pipelined: many requests may be
+  in flight on one connection, matched back to callers by frame id (the
+  server answers out of order when coalesced batches complete together).
+
+Server-side failures surface as :class:`ServerError` carrying the remote
+exception class name in ``.kind``; framing failures surface as
+:class:`repro.server.protocol.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+from typing import Any, Iterable, Sequence
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    _LEN_PREFIX,
+    ProtocolError,
+    decode_frame_body,
+    decode_value,
+    encode_frame,
+    encode_value,
+    read_frame,
+)
+
+__all__ = ["AsyncStoreClient", "ServerError", "StoreClient"]
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ok: false``; ``.kind`` names the remote
+    exception class (``"ProtocolError"``, ``"ValueError"``, ...)."""
+
+    def __init__(self, message: str, kind: str = "Error") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _raise_if_error(response: dict[str, Any]) -> dict[str, Any]:
+    if not response.get("ok"):
+        raise ServerError(
+            str(response.get("error", "unspecified server error")),
+            str(response.get("kind", "Error")),
+        )
+    return response
+
+
+def _int_keys(keys: Iterable[Any]) -> list[int]:
+    return [int(k) for k in keys]
+
+
+def _int_bounds(bounds: Iterable[Sequence[Any]]) -> list[list[int]]:
+    return [[int(lo), int(hi)] for lo, hi in bounds]
+
+
+class StoreClient:
+    """Blocking client: one connection, one request in flight at a time."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "StoreClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            piece = self._sock.recv(n - len(chunks))
+            if not piece:
+                raise ConnectionError("server closed the connection")
+            chunks += piece
+        return bytes(chunks)
+
+    def _request(self, op: str, **fields: Any) -> dict[str, Any]:
+        rid = self._next_id
+        self._next_id += 1
+        message: dict[str, Any] = {"id": rid, "op": op, **fields}
+        self._sock.sendall(encode_frame(message))
+        (length,) = _LEN_PREFIX.unpack(self._recv_exact(_LEN_PREFIX.size))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        response = decode_frame_body(self._recv_exact(length))
+        if response.get("id") != rid:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {rid} (blocking clients never pipeline)"
+            )
+        return _raise_if_error(response)
+
+    # -- store-shaped surface ------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._request("ping")["pong"])
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self._request("stats")["stats"])
+
+    def get(self, key: int) -> bool:
+        return bool(self._request("get", key=int(key))["found"])
+
+    def get_many(self, keys: Iterable[Any]) -> list[bool]:
+        found = self._request("get_many", keys=_int_keys(keys))["found"]
+        return [bool(v) for v in found]
+
+    def get_value(self, key: int) -> bytes | None:
+        response = self._request("get_value", key=int(key))
+        raw = response.get("value")
+        return decode_value(raw) if raw is not None else None
+
+    def put(self, key: int, value: bytes = b"") -> None:
+        fields: dict[str, Any] = {"key": int(key)}
+        if value:
+            fields["value"] = encode_value(value)
+        self._request("put", **fields)
+
+    def put_many(
+        self, keys: Iterable[Any], values: Sequence[bytes] | None = None
+    ) -> int:
+        fields: dict[str, Any] = {"keys": _int_keys(keys)}
+        if values is not None:
+            fields["values"] = [encode_value(v) for v in values]
+        return int(self._request("put_many", **fields)["acked"])
+
+    def delete(self, key: int) -> None:
+        self._request("delete", key=int(key))
+
+    def delete_many(self, keys: Iterable[Any]) -> int:
+        return int(self._request("delete_many", keys=_int_keys(keys))["acked"])
+
+    def may_contain(self, key: int) -> bool:
+        return bool(self._request("may_contain", key=int(key))["maybe"])
+
+    def may_contain_many(self, keys: Iterable[Any]) -> list[bool]:
+        maybe = self._request("may_contain_many", keys=_int_keys(keys))["maybe"]
+        return [bool(v) for v in maybe]
+
+    def scan_nonempty(self, lo: int, hi: int) -> bool:
+        response = self._request("scan_nonempty", lo=int(lo), hi=int(hi))
+        return bool(response["nonempty"])
+
+    def scan_nonempty_many(
+        self, bounds: Iterable[Sequence[Any]]
+    ) -> list[bool]:
+        response = self._request(
+            "scan_nonempty_many", bounds=_int_bounds(bounds)
+        )
+        return [bool(v) for v in response["nonempty"]]
+
+    def scan_range(
+        self, lo: int, hi: int, limit: int | None = None
+    ) -> list[tuple[int, bytes]]:
+        fields: dict[str, Any] = {"lo": int(lo), "hi": int(hi)}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        rows = self._request("scan_range", **fields)["entries"]
+        return [(int(key), decode_value(value)) for key, value in rows]
+
+
+class AsyncStoreClient:
+    """Pipelined asyncio client: build with :meth:`connect`, not directly.
+
+    A background reader task matches response frames to waiting callers
+    by id, so any number of coroutines may issue requests concurrently on
+    the one connection.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._waiters: dict[Any, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncStoreClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self._fail_waiters(ConnectionError("client closed"))
+        self._writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._writer.wait_closed()
+
+    async def __aenter__(self) -> "AsyncStoreClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    # -- plumbing ------------------------------------------------------
+    def _fail_waiters(self, exc: BaseException) -> None:
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    error: BaseException = ConnectionError(
+                        "server closed the connection"
+                    )
+                    break
+                waiter = self._waiters.pop(frame.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            error = exc
+        self._fail_waiters(error)
+
+    async def _request(self, op: str, **fields: Any) -> dict[str, Any]:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        rid = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = future
+        frame = encode_frame({"id": rid, "op": op, **fields})
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+            response = await future
+        finally:
+            self._waiters.pop(rid, None)
+        return _raise_if_error(response)
+
+    # -- store-shaped surface ------------------------------------------
+    async def ping(self) -> bool:
+        return bool((await self._request("ping"))["pong"])
+
+    async def stats(self) -> dict[str, Any]:
+        return dict((await self._request("stats"))["stats"])
+
+    async def get(self, key: int) -> bool:
+        return bool((await self._request("get", key=int(key)))["found"])
+
+    async def get_many(self, keys: Iterable[Any]) -> list[bool]:
+        response = await self._request("get_many", keys=_int_keys(keys))
+        return [bool(v) for v in response["found"]]
+
+    async def get_value(self, key: int) -> bytes | None:
+        response = await self._request("get_value", key=int(key))
+        raw = response.get("value")
+        return decode_value(raw) if raw is not None else None
+
+    async def put(self, key: int, value: bytes = b"") -> None:
+        fields: dict[str, Any] = {"key": int(key)}
+        if value:
+            fields["value"] = encode_value(value)
+        await self._request("put", **fields)
+
+    async def put_many(
+        self, keys: Iterable[Any], values: Sequence[bytes] | None = None
+    ) -> int:
+        fields: dict[str, Any] = {"keys": _int_keys(keys)}
+        if values is not None:
+            fields["values"] = [encode_value(v) for v in values]
+        return int((await self._request("put_many", **fields))["acked"])
+
+    async def delete(self, key: int) -> None:
+        await self._request("delete", key=int(key))
+
+    async def delete_many(self, keys: Iterable[Any]) -> int:
+        response = await self._request("delete_many", keys=_int_keys(keys))
+        return int(response["acked"])
+
+    async def may_contain(self, key: int) -> bool:
+        return bool((await self._request("may_contain", key=int(key)))["maybe"])
+
+    async def may_contain_many(self, keys: Iterable[Any]) -> list[bool]:
+        response = await self._request(
+            "may_contain_many", keys=_int_keys(keys)
+        )
+        return [bool(v) for v in response["maybe"]]
+
+    async def scan_nonempty(self, lo: int, hi: int) -> bool:
+        response = await self._request("scan_nonempty", lo=int(lo), hi=int(hi))
+        return bool(response["nonempty"])
+
+    async def scan_nonempty_many(
+        self, bounds: Iterable[Sequence[Any]]
+    ) -> list[bool]:
+        response = await self._request(
+            "scan_nonempty_many", bounds=_int_bounds(bounds)
+        )
+        return [bool(v) for v in response["nonempty"]]
+
+    async def scan_range(
+        self, lo: int, hi: int, limit: int | None = None
+    ) -> list[tuple[int, bytes]]:
+        fields: dict[str, Any] = {"lo": int(lo), "hi": int(hi)}
+        if limit is not None:
+            fields["limit"] = int(limit)
+        rows = (await self._request("scan_range", **fields))["entries"]
+        return [(int(key), decode_value(value)) for key, value in rows]

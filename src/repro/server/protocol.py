@@ -1,0 +1,122 @@
+"""Wire protocol for the repro serving layer: length-prefixed JSON frames.
+
+One frame per request and per response::
+
+    +-----------------+---------------------------+
+    | u32 LE length   | length x UTF-8 JSON bytes |
+    +-----------------+---------------------------+
+
+The body is always one JSON object.  Requests carry ``{"id": <int>,
+"op": <str>, ...operands}``; responses echo the id with ``{"id": <int>,
+"ok": true, ...answer}`` or ``{"id": <int>, "ok": false, "error": <str>,
+"kind": <exception class name>}``.  Ids are chosen by the client and only
+need to be unique among its own in-flight requests — the server may
+answer out of order (coalesced batches complete together), so pipelining
+clients match responses by id.
+
+Values are raw bytes at the store API but JSON strings on the wire:
+base64 via :func:`encode_value` / :func:`decode_value` (None stays null).
+Keys are plain JSON integers in ``[0, 2**64)`` — within JSON's arbitrary
+precision, validated server-side before they reach a NumPy buffer.
+
+Frames are capped at :data:`MAX_FRAME_BYTES` in both directions; an
+oversized, truncated, or non-JSON frame raises :class:`ProtocolError`,
+after which the connection is dropped (frame boundaries are lost).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import struct
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame_body",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+    "read_frame",
+]
+
+#: Upper bound on one frame's JSON body, both directions.  Large enough
+#: for a ~100k-key batch, small enough that a malicious length prefix
+#: cannot balloon server memory.
+MAX_FRAME_BYTES = 32 << 20
+
+_LEN_PREFIX = struct.Struct("<I")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request: the connection is no longer framed."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One wire frame (length prefix + JSON body) for ``message``."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LEN_PREFIX.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> dict[str, Any]:
+    """The JSON object inside one frame body (already length-stripped)."""
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """The next frame from ``reader``; None on clean EOF between frames."""
+    try:
+        prefix = await reader.readexactly(_LEN_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError(
+                "connection closed inside a frame's length prefix"
+            ) from exc
+        return None
+    (length,) = _LEN_PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)} bytes into a "
+            f"{length}-byte frame body"
+        ) from exc
+    return decode_frame_body(body)
+
+
+def encode_value(value: bytes | None) -> str | None:
+    """Store value bytes -> JSON-safe base64 string (None stays None)."""
+    if value is None:
+        return None
+    return base64.b64encode(value).decode("ascii")
+
+
+def decode_value(encoded: Any) -> bytes:
+    """JSON base64 string -> store value bytes, validated."""
+    if not isinstance(encoded, str):
+        raise ProtocolError(
+            f"value must be a base64 string, got {type(encoded).__name__}"
+        )
+    try:
+        return base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"value is not valid base64: {exc}") from exc

@@ -1,0 +1,120 @@
+"""Race-free IOStats hot-path bumps.
+
+``BlockedPayload.block()`` bumps the decompressed-block-cache counters
+from whatever thread touches a block — server executor, compaction
+worker, shard pool — while the stats object itself is shared through
+mmap'd frames.  A bare ``+=`` is a read-modify-write that loses updates
+under contention; the locked ``add_cache_hit`` / ``add_cache_miss`` /
+``bump`` paths must make many-thread hammering land on EXACT counts.
+"""
+
+import threading
+
+from repro.lsm.iostats import IOStats
+
+N_THREADS = 8
+PER_THREAD = 5_000
+
+
+def _hammer(stats, work):
+    gate = threading.Barrier(N_THREADS)
+
+    def run():
+        gate.wait()
+        for _ in range(PER_THREAD):
+            work(stats)
+
+    threads = [threading.Thread(target=run) for _ in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+        assert not t.is_alive()
+
+
+def test_concurrent_cache_bumps_are_exact():
+    stats = IOStats()
+
+    def work(s):
+        s.add_cache_hit()
+        s.add_cache_miss(2)
+
+    _hammer(stats, work)
+    total = N_THREADS * PER_THREAD
+    assert stats.block_cache_hits == total
+    assert stats.block_cache_misses == 2 * total
+
+
+def test_concurrent_generic_bump_is_exact():
+    stats = IOStats()
+
+    def work(s):
+        s.bump(blocks_read=1, filter_probes=3)
+
+    _hammer(stats, work)
+    total = N_THREADS * PER_THREAD
+    assert stats.blocks_read == total
+    assert stats.filter_probes == 3 * total
+
+
+def test_mixed_hot_paths_are_exact():
+    """hits, misses, and generic bumps all contend on the same lock."""
+    stats = IOStats()
+
+    def work(s):
+        s.add_cache_hit(3)
+        s.bump(blocks_read=2)
+        s.add_cache_miss()
+
+    _hammer(stats, work)
+    total = N_THREADS * PER_THREAD
+    assert stats.block_cache_hits == 3 * total
+    assert stats.block_cache_misses == total
+    assert stats.blocks_read == 2 * total
+
+
+def test_single_threaded_semantics_unchanged():
+    """The locked paths are drop-in: same arithmetic, reset() still zeros
+    in place, merge() still sums, and the lock never leaks into field
+    iteration (counters/vars snapshots)."""
+    stats = IOStats()
+    stats.add_cache_hit()
+    stats.add_cache_miss(4)
+    stats.bump(blocks_read=7)
+    assert stats.block_cache_hits == 1
+    assert stats.block_cache_misses == 4
+    assert stats.blocks_read == 7
+
+    other = IOStats()
+    other.add_cache_hit(10)
+    stats.merge(other)
+    assert stats.block_cache_hits == 11
+
+    snapshot = stats.reset()
+    assert snapshot.block_cache_hits == 11 and stats.block_cache_hits == 0
+    stats.add_cache_hit()  # the lock survives reset
+    assert stats.block_cache_hits == 1
+    assert "_hot_lock" not in stats.counters()
+
+
+def test_bumps_continue_through_concurrent_reset():
+    """reset() racing hot bumps never corrupts: every update lands either
+    before the snapshot or after the zeroing, so snapshot + residual
+    equals the exact total."""
+    stats = IOStats()
+    snapshots = []
+    done = threading.Event()
+
+    def resetter():
+        while not done.is_set():
+            snapshots.append(stats.reset())
+
+    r = threading.Thread(target=resetter)
+    r.start()
+    try:
+        _hammer(stats, lambda s: s.add_cache_hit())
+    finally:
+        done.set()
+        r.join(30)
+    total = sum(s.block_cache_hits for s in snapshots) + stats.block_cache_hits
+    assert total == N_THREADS * PER_THREAD

@@ -199,7 +199,7 @@ def _check_recovered(root, acked, in_flight, store_values):
         counters = {
             key: val
             for key, val in vars(db.stats).items()
-            if not key.endswith("_s")
+            if not key.endswith("_s") and not key.startswith("_")
         }
         snapshots.append((answers, counters))
         if attempt == 0:

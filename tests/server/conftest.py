@@ -1,0 +1,57 @@
+"""Shared harness for the serving-layer tests.
+
+``running_server`` hosts one :class:`repro.server.StoreServer` on a
+background event-loop thread and yields it with its ephemeral address
+bound; leaving the block runs the graceful shutdown (drain -> flush)
+on the server's own loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.server import StoreServer
+
+
+@contextlib.contextmanager
+def _running_server(store, **kwargs):
+    loop = asyncio.new_event_loop()
+    server = StoreServer(store, port=0, **kwargs)
+    startup_failure = []
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # pragma: no cover - startup failure
+            startup_failure.append(exc)
+            return
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, name="server-loop", daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while server.address is None and not startup_failure:
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            raise TimeoutError("server did not bind within 10s")
+        time.sleep(0.005)
+    if startup_failure:  # pragma: no cover - startup failure
+        raise startup_failure[0]
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+@pytest.fixture
+def running_server():
+    """The ``_running_server`` context manager, as a fixture value."""
+    return _running_server

@@ -1,0 +1,92 @@
+"""Wire-format unit tests: frame round trips, the size cap, truncation,
+non-object bodies, and base64 value transport."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame_body,
+    decode_value,
+    encode_frame,
+    encode_value,
+    read_frame,
+)
+
+
+def _read_all(payload: bytes):
+    """Every frame from ``payload`` (as if received on a socket)."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip_multiple_frames(self):
+        a = {"id": 1, "op": "ping"}
+        b = {"id": 2, "op": "get", "key": 7, "nested": {"x": [1, 2]}}
+        assert _read_all(encode_frame(a) + encode_frame(b)) == [a, b]
+
+    def test_clean_eof_between_frames_returns_none(self):
+        assert _read_all(b"") == []
+        assert _read_all(encode_frame({"id": 0, "op": "ping"})) == [
+            {"id": 0, "op": "ping"}
+        ]
+
+    def test_eof_inside_length_prefix_raises(self):
+        with pytest.raises(ProtocolError, match="length prefix"):
+            _read_all(b"\x01\x02")
+
+    def test_eof_inside_body_raises(self):
+        frame = encode_frame({"id": 1, "op": "ping"})
+        with pytest.raises(ProtocolError, match="frame body"):
+            _read_all(frame[:-2])
+
+    def test_oversized_incoming_length_raises(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            _read_all(struct.pack("<I", MAX_FRAME_BYTES + 1))
+
+    def test_oversized_outgoing_frame_raises(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame_body(b"[1,2,3]")
+
+    def test_garbage_body_raises(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame_body(b"\xff\xfe\x00")
+
+
+class TestValues:
+    def test_round_trip(self):
+        for value in (b"", b"hello", bytes(range(256))):
+            assert decode_value(encode_value(value)) == value
+
+    def test_none_stays_none(self):
+        assert encode_value(None) is None
+
+    def test_empty_bytes_round_trip(self):
+        assert decode_value(encode_value(b"")) == b""
+
+    def test_bad_base64_raises(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_value("!!!not-base64!!!")
+
+    def test_non_string_raises(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_value(42)

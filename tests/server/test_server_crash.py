@@ -1,0 +1,107 @@
+"""Server crash-kill: zero acknowledged-write loss under wal_sync="batch".
+
+A child process serves a persistent batch-mode store while the fault
+injector arms ``os._exit(137)`` on the N-th durability syscall under the
+store root (a real kill -9 analog: no flush, no close, no atexit).  The
+parent hammers it with single-key puts over TCP, recording every key the
+server *acknowledged* — and under the ack-barrier contract an
+acknowledgement means a covering fsync already happened, group commit
+notwithstanding.  After the kill, ``repro store recover`` replays the
+log and every acked key must answer positively with its exact value.
+
+``REPRO_CRASH_SEED`` (default 0; CI randomizes nightly) moves the crash
+point, following the crash-recovery suite's conventions.
+"""
+
+import os
+import random
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+
+import repro
+from repro.api import open_store
+from repro.cli import main as cli_main
+from repro.server import ServerError, StoreClient
+from repro.server.protocol import ProtocolError
+
+SEED = int(os.environ.get("REPRO_CRASH_SEED", "0"))
+
+
+def test_server_kill_preserves_acked_writes(tmp_path):
+    root = tmp_path / "db"
+    crash_at = 41 + random.Random(SEED).randrange(120)
+    script = textwrap.dedent(
+        f"""
+        import asyncio
+        from repro.api import FilterSpec, open_store
+        from repro.server import StoreServer
+        from repro.testing import FaultInjector
+
+        db = open_store(
+            path={str(root)!r},
+            filter=FilterSpec(
+                "bloomrf", {{"bits_per_key": 14, "max_range": 4096}}
+            ),
+            memtable_capacity=64,
+            store_values=True,
+            wal_sync="batch",
+            wal_group_commit=4,
+        )
+
+        async def main():
+            server = StoreServer(db, port=0)
+            await server.start()
+            print(server.address[1], flush=True)
+            with FaultInjector(
+                {str(root)!r}, crash_at={crash_at}, mode="exit"
+            ):
+                await server.serve_forever()
+
+        asyncio.run(main())
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-c", script],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port_line = proc.stdout.readline().strip()
+        assert port_line, proc.stderr.read()
+        port = int(port_line)
+
+        acked = []
+        try:
+            with StoreClient("127.0.0.1", port, timeout=30) as client:
+                for k in range(5000):
+                    client.put(k, b"v%d" % k)
+                    acked.append(k)
+        except (ConnectionError, ServerError, ProtocolError, OSError):
+            pass  # the kill severed the connection mid-request
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - hang guard
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 137, proc.stderr.read()
+    assert acked, "server died before acknowledging anything"
+    assert len(acked) < 5000, "crash point never fired"
+
+    assert cli_main(["store", "recover", str(root)]) == 0
+    with open_store(path=root) as db:
+        answers = db.get_many(np.array(acked, dtype=np.uint64))
+        assert answers.all(), (
+            f"{int((~answers).sum())} of {len(acked)} acknowledged writes "
+            f"lost across kill -9 (crash_at={crash_at})"
+        )
+        for k in acked[-10:]:
+            assert db.get_value(k) == b"v%d" % k, (
+                f"acknowledged value for key {k} corrupted"
+            )

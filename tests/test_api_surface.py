@@ -10,6 +10,7 @@ same PR that changes the API, with a CHANGES.md note.
 import repro
 import repro.api
 import repro.serial
+import repro.server
 
 REPRO_ALL = [
     "AdvisorReport",
@@ -85,6 +86,17 @@ SERIAL_ALL = [
     "load_filter",
 ]
 
+SERVER_ALL = [
+    "AsyncStoreClient",
+    "Coalescer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServerError",
+    "StoreClient",
+    "StoreServer",
+    "run_server",
+]
+
 # The construction surface of the registry: every kind a FilterSpec can
 # name.  Removing a kind is an API break; additions must land here.
 REGISTERED_KINDS = [
@@ -111,12 +123,16 @@ def test_serial_all_snapshot():
     assert sorted(repro.serial.__all__) == sorted(SERIAL_ALL)
 
 
+def test_server_all_snapshot():
+    assert sorted(repro.server.__all__) == sorted(SERVER_ALL)
+
+
 def test_registered_kinds_snapshot():
     assert sorted(repro.available_kinds()) == sorted(REGISTERED_KINDS)
 
 
 def test_all_exports_resolve():
-    for module in (repro, repro.api, repro.serial):
+    for module in (repro, repro.api, repro.serial, repro.server):
         for name in module.__all__:
             assert getattr(module, name, None) is not None, (
                 f"{module.__name__}.{name} is exported but missing"
